@@ -1,0 +1,29 @@
+//! Bench: the beyond-paper ablation studies (DESIGN.md §6) — dynamic
+//! boost, per-job β, FCFS substrate and gear-set granularity.
+
+use bsld_bench::bench_opts;
+use bsld_core::experiments::ablation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let opts = bench_opts();
+    g.bench_function("boost", |b| {
+        b.iter(|| black_box(ablation::boost(black_box(&opts)).rows.len()))
+    });
+    g.bench_function("beta", |b| {
+        b.iter(|| black_box(ablation::beta(black_box(&opts)).rows.len()))
+    });
+    g.bench_function("fcfs", |b| {
+        b.iter(|| black_box(ablation::fcfs(black_box(&opts)).rows.len()))
+    });
+    g.bench_function("gears", |b| {
+        b.iter(|| black_box(ablation::gears(black_box(&opts)).rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: Figure 6 — the SDSC-Blue wait-time series experiment (baseline
+//! and DVFS 2/16 runs plus series extraction).
+
+use bsld_bench::bench_opts;
+use bsld_core::experiments::fig6;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    let opts = bench_opts();
+    g.bench_function("wait_series_pair", |b| {
+        b.iter(|| {
+            let f = fig6::run(black_box(&opts));
+            black_box(f.mean_waits())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench: Figures 7, 8, 9 — the enlarged-systems sweep.
+//!
+//! `cell/*` measures single enlarged runs (the sweep unit); `full_sweep`
+//! is the complete 5-workload × 7-size × 2-WQ study behind all three
+//! figures and Table 3.
+
+use bsld_bench::{bench_opts, run_policy, workload, BENCH_JOBS};
+use bsld_core::experiments::enlarged;
+use bsld_core::{PowerAwareConfig, WqThreshold};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig8_fig9");
+    g.sample_size(10);
+
+    for (pct, label) in [(20u32, "cell/SDSCBlue_+20%_WQ0"), (125, "cell/SDSCBlue_+125%_WQ0")] {
+        let w = workload("SDSCBlue", BENCH_JOBS);
+        let cfg =
+            PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::Limit(0) };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let m = run_policy(black_box(&w), &cfg, pct);
+                black_box((m.avg_bsld, m.energy.with_idle))
+            })
+        });
+    }
+
+    let opts = bench_opts();
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| {
+            let s = enlarged::run(black_box(&opts));
+            black_box(s.cells.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

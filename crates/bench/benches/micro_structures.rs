@@ -1,0 +1,96 @@
+//! Microbenchmarks of the simulator's hot data structures: the
+//! availability profile (allocation search and commitment), the First Fit
+//! processor pool, the event queue, and workload generation.
+//!
+//! These are the kernels every experiment cell spends its time in; keeping
+//! them measured guards the experiment turnaround time (a full 5 000-job
+//! cell must stay in the low milliseconds).
+
+use bsld_cluster::{ProcessorPool, Profile, ProfileBuilder};
+use bsld_simkernel::{EventQueue, Time};
+use bsld_workload::profiles::TraceProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn profile_with_steps(n: usize) -> Profile {
+    let total = 500 + 9 * n as u32;
+    let mut b = ProfileBuilder::new(Time(0), total, 500);
+    for i in 0..n {
+        b.release(Time(100 + 37 * i as u64), 9);
+    }
+    b.build()
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profile");
+    for steps in [16usize, 256, 2048] {
+        let p = profile_with_steps(steps);
+        let want = p.total() * 9 / 10; // forces a deep scan of the steps
+        g.bench_function(format!("earliest_fit/{steps}_steps"), |b| {
+            b.iter(|| black_box(p.earliest_fit(black_box(want), 10_000, Time(0))))
+        });
+        g.bench_function(format!("commit/{steps}_steps"), |b| {
+            b.iter(|| {
+                let mut q = p.clone();
+                q.commit(Time(5_000), Time(50_000), 100).unwrap();
+                black_box(q.available_at(Time(10_000)))
+            })
+        });
+        g.bench_function(format!("min_available/{steps}_steps"), |b| {
+            b.iter(|| black_box(p.min_available(Time(0), u64::MAX / 2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool");
+    for cpus in [430u32, 9_216] {
+        g.bench_function(format!("first_fit_cycle/{cpus}"), |b| {
+            b.iter(|| {
+                let mut pool = ProcessorPool::new(cpus);
+                let a = pool.allocate_first_fit(cpus / 3).unwrap();
+                let bset = pool.allocate_first_fit(cpus / 3).unwrap();
+                pool.release(&a);
+                let cset = pool.allocate_first_fit(cpus / 2).unwrap();
+                pool.release(&bset);
+                pool.release(&cset);
+                black_box(pool.free_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.push(Time(i.wrapping_mul(2_654_435_761) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_generation");
+    g.sample_size(20);
+    for (name, profile) in [("CTC", TraceProfile::ctc()), ("LLNLAtlas", TraceProfile::llnl_atlas())]
+    {
+        g.bench_function(format!("generate_5000/{name}"), |b| {
+            b.iter(|| black_box(profile.generate(black_box(2010), 5_000).jobs.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_profile, bench_pool, bench_events, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: Table 1 — the no-DVFS EASY baseline per workload.
+//!
+//! Measures the full simulate-and-summarise kernel for each of the five
+//! calibrated workloads (reduced job count). Run with `cargo bench -p
+//! bsld-bench --bench table1_baseline`.
+
+use bsld_bench::{run_baseline, workload, BENCH_JOBS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_baseline");
+    g.sample_size(10);
+    for name in ["CTC", "SDSC", "SDSCBlue", "LLNLThunder", "LLNLAtlas"] {
+        let w = workload(name, BENCH_JOBS);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let m = run_baseline(black_box(&w));
+                black_box(m.avg_bsld)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench: Table 3 — the five wait-time configurations.
+//!
+//! Measures each configuration column of Table 3 separately on SDSC-Blue:
+//! original no-DVFS, original DVFS at WQ ∈ {0, NO}, and +50 % DVFS at the
+//! same settings.
+
+use bsld_bench::{run_baseline, run_policy, workload, BENCH_JOBS};
+use bsld_core::{PowerAwareConfig, WqThreshold};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    let w = workload("SDSCBlue", BENCH_JOBS);
+
+    g.bench_function("orig_no_dvfs", |b| {
+        b.iter(|| black_box(run_baseline(black_box(&w)).avg_wait_secs))
+    });
+    for (wq, pct, label) in [
+        (WqThreshold::Limit(0), 0u32, "orig_wq0"),
+        (WqThreshold::NoLimit, 0, "orig_wqno"),
+        (WqThreshold::Limit(0), 50, "inc50_wq0"),
+        (WqThreshold::NoLimit, 50, "inc50_wqno"),
+    ] {
+        let cfg = PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: wq };
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run_policy(black_box(&w), &cfg, pct).avg_wait_secs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

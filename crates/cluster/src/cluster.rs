@@ -1,0 +1,71 @@
+//! Named machines and the system-enlargement study.
+
+use crate::gears::GearSet;
+use crate::processors::ProcessorPool;
+
+/// A DVFS-enabled cluster: a name, a processor count and a gear set.
+///
+/// `Cluster` is a *description*; the scheduler instantiates a
+/// [`ProcessorPool`] from it per simulation run.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Human-readable machine name (e.g. `"CTC"`).
+    pub name: String,
+    /// Number of processors.
+    pub cpus: u32,
+    /// The DVFS gear set shared by all processors.
+    pub gears: GearSet,
+}
+
+impl Cluster {
+    /// Creates a cluster description.
+    pub fn new(name: impl Into<String>, cpus: u32, gears: GearSet) -> Self {
+        assert!(cpus > 0, "a cluster needs at least one processor");
+        Cluster { name: name.into(), cpus, gears }
+    }
+
+    /// The same machine enlarged by `percent` % more processors (rounded to
+    /// the nearest processor), as in the paper's Section 5.2 study
+    /// (`percent` ∈ {0, 10, 20, 50, 75, 100, 125}).
+    pub fn enlarged(&self, percent: u32) -> Cluster {
+        let cpus = ((self.cpus as u64 * (100 + percent as u64) + 50) / 100) as u32;
+        Cluster {
+            name: format!("{}+{}%", self.name, percent),
+            cpus,
+            gears: self.gears.clone(),
+        }
+    }
+
+    /// Instantiates an all-free processor pool of this cluster's size.
+    pub fn pool(&self) -> ProcessorPool {
+        ProcessorPool::new(self.cpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enlargement_rounds_to_nearest() {
+        let c = Cluster::new("CTC", 430, GearSet::paper());
+        assert_eq!(c.enlarged(0).cpus, 430);
+        assert_eq!(c.enlarged(10).cpus, 473);
+        assert_eq!(c.enlarged(20).cpus, 516);
+        assert_eq!(c.enlarged(50).cpus, 645);
+        assert_eq!(c.enlarged(125).cpus, 968); // 967.5 rounds up
+        assert_eq!(c.enlarged(10).name, "CTC+10%");
+    }
+
+    #[test]
+    fn pool_has_cluster_size() {
+        let c = Cluster::new("SDSC", 128, GearSet::paper());
+        assert_eq!(c.pool().total(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn rejects_empty_cluster() {
+        let _ = Cluster::new("x", 0, GearSet::paper());
+    }
+}

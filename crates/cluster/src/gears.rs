@@ -1,0 +1,221 @@
+//! DVFS gear sets.
+//!
+//! A *gear* is a frequency/voltage pair the processors can run at. The paper
+//! uses the six-gear set of Table 2 (0.8 GHz @ 1.0 V … 2.3 GHz @ 1.5 V).
+//! Gears are ordered by frequency; [`GearId`] indices follow that order with
+//! 0 = lowest.
+
+use bsld_model::GearId;
+
+/// One DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gear {
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+}
+
+/// Errors rejected by [`GearSet::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GearSetError {
+    /// The gear list was empty.
+    Empty,
+    /// Frequencies were not strictly increasing.
+    FrequencyNotIncreasing,
+    /// Voltages were not non-decreasing.
+    VoltageDecreasing,
+    /// A frequency or voltage was not strictly positive / finite.
+    NonPositive,
+}
+
+impl std::fmt::Display for GearSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GearSetError::Empty => write!(f, "gear set must not be empty"),
+            GearSetError::FrequencyNotIncreasing => {
+                write!(f, "gear frequencies must be strictly increasing")
+            }
+            GearSetError::VoltageDecreasing => write!(f, "gear voltages must be non-decreasing"),
+            GearSetError::NonPositive => {
+                write!(f, "gear frequencies and voltages must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GearSetError {}
+
+/// An ordered set of DVFS gears (lowest frequency first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GearSet {
+    gears: Vec<Gear>,
+}
+
+impl GearSet {
+    /// Validates and wraps a list of gears ordered lowest-frequency first.
+    pub fn new(gears: Vec<Gear>) -> Result<Self, GearSetError> {
+        if gears.is_empty() {
+            return Err(GearSetError::Empty);
+        }
+        for g in &gears {
+            if !(g.freq_ghz.is_finite() && g.freq_ghz > 0.0 && g.voltage.is_finite() && g.voltage > 0.0)
+            {
+                return Err(GearSetError::NonPositive);
+            }
+        }
+        for w in gears.windows(2) {
+            if w[1].freq_ghz <= w[0].freq_ghz {
+                return Err(GearSetError::FrequencyNotIncreasing);
+            }
+            if w[1].voltage < w[0].voltage {
+                return Err(GearSetError::VoltageDecreasing);
+            }
+        }
+        Ok(GearSet { gears })
+    }
+
+    /// The paper's gear set (Table 2): frequencies 0.8–2.3 GHz in 0.3 GHz
+    /// steps, voltages 1.0–1.5 V in 0.1 V steps.
+    pub fn paper() -> Self {
+        GearSet::new(vec![
+            Gear { freq_ghz: 0.8, voltage: 1.0 },
+            Gear { freq_ghz: 1.1, voltage: 1.1 },
+            Gear { freq_ghz: 1.4, voltage: 1.2 },
+            Gear { freq_ghz: 1.7, voltage: 1.3 },
+            Gear { freq_ghz: 2.0, voltage: 1.4 },
+            Gear { freq_ghz: 2.3, voltage: 1.5 },
+        ])
+        .expect("paper gear set is valid")
+    }
+
+    /// A single-gear set (top frequency only) — the no-DVFS baseline
+    /// machine.
+    pub fn single(freq_ghz: f64, voltage: f64) -> Self {
+        GearSet::new(vec![Gear { freq_ghz, voltage }]).expect("single gear is valid")
+    }
+
+    /// Number of gears.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gears.len()
+    }
+
+    /// Always false: `GearSet::new` rejects empty sets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The lowest-frequency gear's id (always `GearId(0)`).
+    #[inline]
+    pub fn lowest(&self) -> GearId {
+        GearId(0)
+    }
+
+    /// The top-frequency gear's id.
+    #[inline]
+    pub fn top(&self) -> GearId {
+        GearId((self.gears.len() - 1) as u8)
+    }
+
+    /// The gear for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this set.
+    #[inline]
+    pub fn get(&self, id: GearId) -> Gear {
+        self.gears[id.index()]
+    }
+
+    /// Iterates `(GearId, Gear)` from the lowest frequency upward — the
+    /// order the paper's assignment algorithm tries gears in.
+    pub fn ascending(&self) -> impl Iterator<Item = (GearId, Gear)> + '_ {
+        self.gears
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GearId(i as u8), *g))
+    }
+
+    /// `f_top / f_gear` — the frequency ratio the β time model dilates by.
+    #[inline]
+    pub fn freq_ratio(&self, id: GearId) -> f64 {
+        self.get(self.top()).freq_ghz / self.get(id).freq_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_matches_table2() {
+        let gs = GearSet::paper();
+        assert_eq!(gs.len(), 6);
+        let freqs: Vec<f64> = gs.ascending().map(|(_, g)| g.freq_ghz).collect();
+        assert_eq!(freqs, vec![0.8, 1.1, 1.4, 1.7, 2.0, 2.3]);
+        let volts: Vec<f64> = gs.ascending().map(|(_, g)| g.voltage).collect();
+        assert_eq!(volts, vec![1.0, 1.1, 1.2, 1.3, 1.4, 1.5]);
+        assert_eq!(gs.lowest(), GearId(0));
+        assert_eq!(gs.top(), GearId(5));
+    }
+
+    #[test]
+    fn freq_ratio_top_is_one() {
+        let gs = GearSet::paper();
+        assert!((gs.freq_ratio(gs.top()) - 1.0).abs() < 1e-12);
+        assert!((gs.freq_ratio(GearId(0)) - 2.3 / 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(GearSet::new(vec![]), Err(GearSetError::Empty));
+    }
+
+    #[test]
+    fn rejects_non_increasing_frequency() {
+        let r = GearSet::new(vec![
+            Gear { freq_ghz: 1.0, voltage: 1.0 },
+            Gear { freq_ghz: 1.0, voltage: 1.1 },
+        ]);
+        assert_eq!(r, Err(GearSetError::FrequencyNotIncreasing));
+    }
+
+    #[test]
+    fn rejects_decreasing_voltage() {
+        let r = GearSet::new(vec![
+            Gear { freq_ghz: 1.0, voltage: 1.2 },
+            Gear { freq_ghz: 2.0, voltage: 1.1 },
+        ]);
+        assert_eq!(r, Err(GearSetError::VoltageDecreasing));
+    }
+
+    #[test]
+    fn rejects_non_positive() {
+        let r = GearSet::new(vec![Gear { freq_ghz: 0.0, voltage: 1.0 }]);
+        assert_eq!(r, Err(GearSetError::NonPositive));
+        let r = GearSet::new(vec![Gear { freq_ghz: 1.0, voltage: f64::NAN }]);
+        assert_eq!(r, Err(GearSetError::NonPositive));
+    }
+
+    #[test]
+    fn single_gear_baseline() {
+        let gs = GearSet::single(2.3, 1.5);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs.top(), gs.lowest());
+        assert_eq!(gs.error_display_len(), ());
+    }
+
+    impl GearSet {
+        /// Exercises the Display impls (compile-time check helper for tests).
+        fn error_display_len(&self) {
+            let _ = format!(
+                "{} {} {} {}",
+                GearSetError::Empty,
+                GearSetError::FrequencyNotIncreasing,
+                GearSetError::VoltageDecreasing,
+                GearSetError::NonPositive
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! DVFS-enabled cluster model.
+//!
+//! This crate models the hardware the scheduler manages:
+//!
+//! * [`Gear`] / [`GearSet`] — the DVFS frequency/voltage pairs (Table 2 of
+//!   Etinski et al. 2010);
+//! * [`ProcessorPool`] — the machine's processors with **First Fit**
+//!   (lowest-index-first) selection, the resource selection policy used in
+//!   the paper's simulations;
+//! * [`Profile`] — a count-based *future availability profile* derived from
+//!   the requested completion times of running jobs, on which the EASY
+//!   scheduler searches allocations and places its head-of-queue
+//!   reservation;
+//! * [`Cluster`] — a named machine (gear set + processor count) with the
+//!   system-enlargement constructor used by the paper's Section 5.2 study.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod gears;
+pub mod processors;
+pub mod profile;
+
+pub use cluster::Cluster;
+pub use gears::{Gear, GearSet, GearSetError};
+pub use processors::{ProcSet, ProcessorPool, SelectionPolicy};
+pub use profile::{Profile, ProfileBuilder, ProfileError};

@@ -1,0 +1,427 @@
+//! Future availability profile.
+//!
+//! The EASY scheduler reasons about the future with a *profile*: a
+//! piecewise-constant function `t ↦ available processors` built from the
+//! **requested** completion times of running jobs. The head-of-queue
+//! reservation is committed into the profile, and backfill candidates are
+//! checked against what remains — that single data structure encodes both
+//! the "shadow time" and the "extra processors" of classic EASY
+//! formulations, and stays correct under arbitrary commitments.
+//!
+//! All operations are integer/exact, so scheduling decisions are
+//! deterministic.
+
+use bsld_simkernel::Time;
+
+/// Errors from profile mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A commitment would drive availability negative at the given time.
+    Underflow {
+        /// First instant at which the commitment exceeds availability.
+        at: Time,
+    },
+    /// A commitment started before the profile origin.
+    BeforeOrigin,
+    /// A commitment had `end <= start`.
+    EmptyWindow,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Underflow { at } => {
+                write!(f, "commitment exceeds availability at {at:?}")
+            }
+            ProfileError::BeforeOrigin => write!(f, "commitment starts before profile origin"),
+            ProfileError::EmptyWindow => write!(f, "commitment window is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Builds a [`Profile`] from the set of running jobs.
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    origin: Time,
+    total: u32,
+    free_now: u32,
+    releases: Vec<(Time, u32)>,
+}
+
+impl ProfileBuilder {
+    /// Starts a profile at `origin` for a machine of `total` processors of
+    /// which `free_now` are currently idle.
+    pub fn new(origin: Time, total: u32, free_now: u32) -> Self {
+        assert!(free_now <= total, "free count exceeds machine size");
+        ProfileBuilder { origin, total, free_now, releases: Vec::new() }
+    }
+
+    /// Registers that `cpus` processors become free at time `at` (a running
+    /// job's expected completion). Times at or before the origin are folded
+    /// into the current free count.
+    pub fn release(&mut self, at: Time, cpus: u32) {
+        if cpus == 0 {
+            return;
+        }
+        if at <= self.origin {
+            self.free_now += cpus;
+            assert!(self.free_now <= self.total, "releases exceed machine size");
+        } else {
+            self.releases.push((at, cpus));
+        }
+    }
+
+    /// Finalises the profile.
+    pub fn build(mut self) -> Profile {
+        self.releases.sort_unstable_by_key(|&(t, _)| t);
+        let mut segs: Vec<(Time, u32)> = Vec::with_capacity(self.releases.len() + 1);
+        segs.push((self.origin, self.free_now));
+        let mut avail = self.free_now;
+        for (t, cpus) in self.releases {
+            avail += cpus;
+            assert!(avail <= self.total, "releases exceed machine size");
+            match segs.last_mut() {
+                Some(last) if last.0 == t => last.1 = avail,
+                _ => segs.push((t, avail)),
+            }
+        }
+        Profile { total: self.total, segs }
+    }
+}
+
+/// Piecewise-constant future availability (see module docs).
+///
+/// Invariants: segment start times strictly increase, the first segment
+/// starts at the profile origin, each availability is `≤ total`, and the
+/// last segment extends to infinity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    total: u32,
+    segs: Vec<(Time, u32)>,
+}
+
+impl Profile {
+    /// A trivial profile: `free` processors from `origin` forever.
+    pub fn flat(origin: Time, total: u32, free: u32) -> Self {
+        ProfileBuilder::new(origin, total, free).build()
+    }
+
+    /// The profile's origin (the "now" it was built at).
+    #[inline]
+    pub fn origin(&self) -> Time {
+        self.segs[0].0
+    }
+
+    /// The machine size.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// The underlying `(start, available)` segments (for tests/inspection).
+    pub fn segments(&self) -> &[(Time, u32)] {
+        &self.segs
+    }
+
+    /// Index of the segment covering `t` (clamped to the origin).
+    fn seg_index(&self, t: Time) -> usize {
+        match self.segs.binary_search_by_key(&t, |&(s, _)| s) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Available processors at time `t` (clamped to the origin).
+    pub fn available_at(&self, t: Time) -> u32 {
+        self.segs[self.seg_index(t)].1
+    }
+
+    /// Minimum availability over the window `[start, start+dur)`.
+    /// A zero-length window reads the instant `start`.
+    pub fn min_available(&self, start: Time, dur: u64) -> u32 {
+        let end = start.saturating_add(dur);
+        let mut i = self.seg_index(start);
+        let mut min = self.segs[i].1;
+        i += 1;
+        while i < self.segs.len() && self.segs[i].0 < end {
+            min = min.min(self.segs[i].1);
+            i += 1;
+        }
+        min
+    }
+
+    /// Whether `cpus` processors are continuously available over
+    /// `[start, start+dur)`.
+    #[inline]
+    pub fn can_fit(&self, start: Time, cpus: u32, dur: u64) -> bool {
+        cpus <= self.total && self.min_available(start, dur) >= cpus
+    }
+
+    /// Earliest `t ≥ not_before` such that `cpus` processors are available
+    /// throughout `[t, t+dur)`, or `None` if no such time exists (only when
+    /// `cpus > total` or a commitment blocks the horizon forever).
+    pub fn earliest_fit(&self, cpus: u32, dur: u64, not_before: Time) -> Option<Time> {
+        if cpus > self.total {
+            return None;
+        }
+        let mut t = not_before.max(self.origin());
+        'candidate: loop {
+            let window_end = t.saturating_add(dur);
+            let mut j = self.seg_index(t);
+            loop {
+                let (_, avail) = self.segs[j];
+                let seg_end = self.segs.get(j + 1).map_or(Time::MAX, |&(s, _)| s);
+                if avail < cpus {
+                    if seg_end == Time::MAX {
+                        // Blocked forever (an infinite commitment).
+                        return None;
+                    }
+                    t = seg_end;
+                    continue 'candidate;
+                }
+                if seg_end >= window_end {
+                    return Some(t);
+                }
+                j += 1;
+            }
+        }
+    }
+
+    /// Reserves `cpus` processors over `[start, end)`, reducing availability.
+    ///
+    /// The operation is atomic: on error the profile is unchanged.
+    pub fn commit(&mut self, start: Time, end: Time, cpus: u32) -> Result<(), ProfileError> {
+        if start < self.origin() {
+            return Err(ProfileError::BeforeOrigin);
+        }
+        if end <= start {
+            return Err(ProfileError::EmptyWindow);
+        }
+        if cpus == 0 {
+            return Ok(());
+        }
+        // Validate first.
+        let mut i = self.seg_index(start);
+        {
+            let mut j = i;
+            while j < self.segs.len() && self.segs[j].0 < end {
+                let covers_window = j >= i;
+                if covers_window && self.segs[j].1 < cpus {
+                    let at = self.segs[j].0.max(start);
+                    return Err(ProfileError::Underflow { at });
+                }
+                j += 1;
+            }
+        }
+        // Split segment boundaries at `start` and `end`.
+        if self.segs[i].0 < start {
+            let avail = self.segs[i].1;
+            self.segs.insert(i + 1, (start, avail));
+            i += 1;
+        }
+        let mut j = i;
+        while j < self.segs.len() && self.segs[j].0 < end {
+            j += 1;
+        }
+        // `j` is the first segment at or after `end`; if the previous
+        // segment extends past `end`, split it (unless `end` is beyond the
+        // horizon, in which case Time::MAX keeps the tail implicit).
+        if end < Time::MAX {
+            let prev_avail = self.segs[j - 1].1;
+            if j == self.segs.len() || self.segs[j].0 > end {
+                self.segs.insert(j, (end, prev_avail));
+            }
+        }
+        for seg in &mut self.segs[i..j] {
+            seg.1 -= cpus;
+        }
+        self.coalesce();
+        Ok(())
+    }
+
+    /// Merges adjacent segments with equal availability.
+    fn coalesce(&mut self) {
+        self.segs.dedup_by(|next, prev| prev.1 == next.1);
+    }
+
+    /// Debug invariant check used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.segs.is_empty() {
+            return Err("profile has no segments".into());
+        }
+        for w in self.segs.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("segment starts not increasing: {:?}", w));
+            }
+        }
+        for &(t, a) in &self.segs {
+            if a > self.total {
+                return Err(format!("availability {a} exceeds total {} at {t:?}", self.total));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profile: 10-cpu machine, 2 free now (t=100), releases of 3 at t=200
+    /// and 5 at t=300.
+    fn sample() -> Profile {
+        let mut b = ProfileBuilder::new(Time(100), 10, 2);
+        b.release(Time(200), 3);
+        b.release(Time(300), 5);
+        b.build()
+    }
+
+    #[test]
+    fn builder_accumulates_releases() {
+        let p = sample();
+        assert_eq!(p.segments(), &[(Time(100), 2), (Time(200), 5), (Time(300), 10)]);
+        assert_eq!(p.origin(), Time(100));
+        assert_eq!(p.total(), 10);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn builder_folds_past_releases() {
+        let mut b = ProfileBuilder::new(Time(100), 10, 2);
+        b.release(Time(50), 3); // already free by the origin
+        let p = b.build();
+        assert_eq!(p.available_at(Time(100)), 5);
+    }
+
+    #[test]
+    fn builder_merges_same_instant() {
+        let mut b = ProfileBuilder::new(Time(0), 10, 0);
+        b.release(Time(10), 2);
+        b.release(Time(10), 3);
+        let p = b.build();
+        assert_eq!(p.segments(), &[(Time(0), 0), (Time(10), 5)]);
+    }
+
+    #[test]
+    fn available_at_clamps_and_steps() {
+        let p = sample();
+        assert_eq!(p.available_at(Time(0)), 2); // clamped to origin
+        assert_eq!(p.available_at(Time(100)), 2);
+        assert_eq!(p.available_at(Time(199)), 2);
+        assert_eq!(p.available_at(Time(200)), 5);
+        assert_eq!(p.available_at(Time(1_000_000)), 10);
+    }
+
+    #[test]
+    fn min_available_over_window() {
+        let p = sample();
+        assert_eq!(p.min_available(Time(150), 100), 2); // spans the t=200 step
+        assert_eq!(p.min_available(Time(200), 100), 5);
+        assert_eq!(p.min_available(Time(200), 101), 5);
+        assert_eq!(p.min_available(Time(250), 100), 5); // [250,350) min(5,10)=5
+        assert_eq!(p.min_available(Time(300), u64::MAX), 10);
+    }
+
+    #[test]
+    fn earliest_fit_basic() {
+        let p = sample();
+        // 2 cpus fit immediately.
+        assert_eq!(p.earliest_fit(2, 1000, Time(100)), Some(Time(100)));
+        // 4 cpus must wait for the t=200 release.
+        assert_eq!(p.earliest_fit(4, 1000, Time(100)), Some(Time(200)));
+        // 8 cpus wait for t=300.
+        assert_eq!(p.earliest_fit(8, 1, Time(100)), Some(Time(300)));
+        // not_before is honoured.
+        assert_eq!(p.earliest_fit(2, 10, Time(250)), Some(Time(250)));
+        // Oversized request never fits.
+        assert_eq!(p.earliest_fit(11, 1, Time(100)), None);
+    }
+
+    #[test]
+    fn earliest_fit_skips_dips() {
+        // 10 cpus; a commitment creates a dip: 10 free except [200,300) → 1.
+        let mut p = Profile::flat(Time(0), 10, 10);
+        p.commit(Time(200), Time(300), 9).unwrap();
+        // A long job that would overlap the dip must start after it.
+        assert_eq!(p.earliest_fit(5, 250, Time(0)), Some(Time(300)));
+        // A short job fits before the dip.
+        assert_eq!(p.earliest_fit(5, 200, Time(0)), Some(Time(0)));
+        // One cpu fits anywhere.
+        assert_eq!(p.earliest_fit(1, 10_000, Time(0)), Some(Time(0)));
+    }
+
+    #[test]
+    fn commit_reduces_and_restores_window() {
+        let mut p = Profile::flat(Time(0), 8, 8);
+        p.commit(Time(10), Time(20), 3).unwrap();
+        assert_eq!(p.available_at(Time(9)), 8);
+        assert_eq!(p.available_at(Time(10)), 5);
+        assert_eq!(p.available_at(Time(19)), 5);
+        assert_eq!(p.available_at(Time(20)), 8);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn commit_stacks() {
+        let mut p = Profile::flat(Time(0), 8, 8);
+        p.commit(Time(10), Time(30), 3).unwrap();
+        p.commit(Time(20), Time(40), 3).unwrap();
+        assert_eq!(p.available_at(Time(15)), 5);
+        assert_eq!(p.available_at(Time(25)), 2);
+        assert_eq!(p.available_at(Time(35)), 5);
+        assert_eq!(p.available_at(Time(40)), 8);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn commit_underflow_is_atomic() {
+        let mut p = Profile::flat(Time(0), 8, 8);
+        p.commit(Time(10), Time(30), 6).unwrap();
+        let before = p.clone();
+        let err = p.commit(Time(0), Time(50), 4).unwrap_err();
+        assert_eq!(err, ProfileError::Underflow { at: Time(10) });
+        assert_eq!(p, before, "failed commit must not mutate the profile");
+    }
+
+    #[test]
+    fn commit_rejects_bad_windows() {
+        let mut p = Profile::flat(Time(100), 8, 8);
+        assert_eq!(p.commit(Time(50), Time(60), 1), Err(ProfileError::BeforeOrigin));
+        assert_eq!(p.commit(Time(100), Time(100), 1), Err(ProfileError::EmptyWindow));
+        assert_eq!(p.commit(Time(100), Time(200), 0), Ok(()));
+    }
+
+    #[test]
+    fn commit_to_infinity() {
+        let mut p = Profile::flat(Time(0), 8, 8);
+        p.commit(Time(10), Time::MAX, 8).unwrap();
+        assert_eq!(p.available_at(Time(9)), 8);
+        assert_eq!(p.available_at(Time(10)), 0);
+        assert_eq!(p.earliest_fit(1, 1, Time(20)), None);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn commit_on_release_boundary() {
+        let p0 = sample(); // steps at 200 and 300
+        let mut p = p0.clone();
+        p.commit(Time(200), Time(300), 5).unwrap();
+        assert_eq!(p.available_at(Time(200)), 0);
+        assert_eq!(p.available_at(Time(300)), 10);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn earliest_fit_after_commit_matches_can_fit() {
+        let mut p = Profile::flat(Time(0), 16, 16);
+        p.commit(Time(100), Time(200), 16).unwrap();
+        let t = p.earliest_fit(4, 150, Time(0)).unwrap();
+        assert_eq!(t, Time(200));
+        assert!(p.can_fit(t, 4, 150));
+        assert!(!p.can_fit(Time(0), 4, 150));
+        assert!(p.can_fit(Time(0), 4, 100)); // exactly up to the dip
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the availability profile — the data structure every
+//! scheduling decision goes through.
+
+use bsld_cluster::{Profile, ProfileBuilder};
+use bsld_simkernel::Time;
+use proptest::prelude::*;
+
+const TOTAL: u32 = 64;
+
+/// Builds a random profile: some free-now count plus future releases that
+/// never exceed the machine size.
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (0u32..=32, proptest::collection::vec((1u64..10_000, 1u32..8), 0..20)).prop_map(
+        |(free_now, releases)| {
+            let mut b = ProfileBuilder::new(Time(0), TOTAL, free_now);
+            let mut budget = TOTAL - free_now;
+            for (t, cpus) in releases {
+                let cpus = cpus.min(budget);
+                if cpus == 0 {
+                    break;
+                }
+                budget -= cpus;
+                b.release(Time(t), cpus);
+            }
+            b.build()
+        },
+    )
+}
+
+/// A sequence of commit attempts to apply on top.
+fn arb_commits() -> impl Strategy<Value = Vec<(u64, u64, u32)>> {
+    proptest::collection::vec((0u64..12_000, 1u64..8_000, 1u32..TOTAL), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Invariants survive any sequence of (possibly failing) commits, and
+    /// failed commits leave the profile untouched.
+    #[test]
+    fn commits_preserve_invariants(p in arb_profile(), commits in arb_commits()) {
+        let mut p = p;
+        for (start, dur, cpus) in commits {
+            let before = p.clone();
+            let end = Time(start.saturating_add(dur));
+            match p.commit(Time(start), end, cpus) {
+                Ok(()) => {
+                    p.check_invariants().map_err(TestCaseError::fail)?;
+                }
+                Err(_) => {
+                    prop_assert_eq!(&p, &before, "failed commit must not mutate");
+                }
+            }
+        }
+    }
+
+    /// `earliest_fit` returns a window that actually fits, and no earlier
+    /// boundary or the origin fits — i.e. it really is the earliest.
+    #[test]
+    fn earliest_fit_is_sound_and_minimal(
+        p in arb_profile(),
+        cpus in 1u32..=TOTAL,
+        dur in 1u64..6_000,
+        not_before in 0u64..8_000,
+    ) {
+        let nb = Time(not_before);
+        if let Some(t) = p.earliest_fit(cpus, dur, nb) {
+            prop_assert!(t >= nb);
+            prop_assert!(p.can_fit(t, cpus, dur), "returned window must fit");
+            // Minimality: candidate starts are `not_before` and segment
+            // boundaries; anything strictly earlier must not fit.
+            prop_assert!(t == nb || !p.can_fit(nb, cpus, dur));
+            for &(seg_start, _) in p.segments() {
+                if seg_start >= nb && seg_start < t {
+                    prop_assert!(
+                        !p.can_fit(seg_start, cpus, dur),
+                        "earlier boundary {seg_start:?} fits but {t:?} was returned"
+                    );
+                }
+            }
+        } else {
+            // The generated profiles are release-only (non-decreasing), so
+            // a fit exists iff the final availability covers the request.
+            let final_avail = p.segments().last().unwrap().1;
+            prop_assert!(final_avail < cpus, "fit must exist when the tail has room");
+        }
+    }
+
+    /// `min_available` over a window equals the pointwise minimum of
+    /// `available_at` sampled at the window start and every boundary
+    /// inside it.
+    #[test]
+    fn min_available_matches_pointwise(
+        p in arb_profile(),
+        start in 0u64..12_000,
+        dur in 0u64..8_000,
+    ) {
+        let start = Time(start);
+        let end = start.saturating_add(dur);
+        let mut expected = p.available_at(start);
+        for &(seg_start, _) in p.segments() {
+            if seg_start > start && seg_start < end {
+                expected = expected.min(p.available_at(seg_start));
+            }
+        }
+        prop_assert_eq!(p.min_available(start, dur), expected);
+    }
+
+    /// A committed window reduces availability by exactly `cpus` inside it
+    /// and leaves it unchanged outside.
+    #[test]
+    fn commit_is_exact(
+        p in arb_profile(),
+        start in 0u64..10_000,
+        dur in 1u64..4_000,
+        cpus in 1u32..16,
+    ) {
+        let start = Time(start);
+        let end = start + dur;
+        let mut q = p.clone();
+        if q.commit(start, end, cpus).is_ok() {
+            // Probe inside, before, and after the window.
+            let probes = [
+                start,
+                Time(start.as_secs() + dur / 2),
+                Time(start.as_secs().saturating_sub(1)),
+                end,
+                Time(end.as_secs() + 10_000),
+            ];
+            for t in probes {
+                let was = p.available_at(t);
+                let now = q.available_at(t);
+                if t >= start && t < end {
+                    prop_assert_eq!(now, was - cpus, "inside window at {:?}", t);
+                } else {
+                    prop_assert_eq!(now, was, "outside window at {:?}", t);
+                }
+            }
+        }
+    }
+}

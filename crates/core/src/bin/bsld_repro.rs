@@ -1,0 +1,467 @@
+//! `bsld-repro` — regenerate every table and figure of Etinski et al. 2010.
+//!
+//! ```text
+//! bsld-repro <experiment> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]
+//!
+//! experiments:
+//!   table1     workload characteristics & baseline avg BSLD
+//!   table3     average wait times (orig / enlarged systems)
+//!   fig3       normalized energy, original size (both idle scenarios)
+//!   fig4       number of jobs run at reduced frequency
+//!   fig5       average BSLD, original size
+//!   fig6       SDSC-Blue wait-time series (orig vs DVFS 2/16)
+//!   fig7       normalized energy of enlarged systems, WQ = 0
+//!   fig8       normalized energy of enlarged systems, WQ = NO
+//!   fig9       average BSLD of enlarged systems
+//!   ablations  beyond-paper studies (boost / beta / fcfs / gears / selection)
+//!   all        everything above
+//!   calibrate  baseline-vs-paper calibration summary (same as table1)
+//!
+//! tooling subcommands:
+//!   generate --workload W --swf FILE     export a calibrated synthetic
+//!                                        workload as an SWF trace
+//!   simulate [--workload W | --swf FILE] [--bsld-th X] [--wq N|no]
+//!            [--conservative] [--boost N] [--export PREFIX]
+//!                                        run one simulation, print the
+//!                                        detailed report; --export writes
+//!                                        PREFIX_{schedule,utilization,queue}.csv
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bsld_core::experiments::{ablation, enlarged, fig6, grid, table1, ExpOptions};
+use bsld_core::policy::WqThreshold;
+use bsld_core::{PowerAwareConfig, Simulator};
+use bsld_metrics::{Json, RunDetails};
+use bsld_workload::profiles::TraceProfile;
+use bsld_workload::Workload;
+
+fn usage() -> &'static str {
+    "usage: bsld-repro <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|all|calibrate\
+     |generate|simulate> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+     generate:  --workload <ctc|sdsc|blue|thunder|atlas> --swf FILE\n\
+     simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]"
+}
+
+struct Args {
+    experiment: String,
+    opts: ExpOptions,
+    // tooling options
+    workload: Option<String>,
+    swf: Option<PathBuf>,
+    bsld_th: Option<f64>,
+    wq: Option<WqThreshold>,
+    conservative: bool,
+    boost: Option<usize>,
+    /// Path prefix for `simulate`'s schedule/utilization/queue CSV exports.
+    export: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut opts = ExpOptions::default();
+    let mut experiment: Option<String> = None;
+    let mut workload = None;
+    let mut swf = None;
+    let mut bsld_th = None;
+    let mut wq = None;
+    let mut conservative = false;
+    let mut boost = None;
+    let mut export = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs value: {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|_| format!("bad --threads value: {v}"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                opts.out_dir = Some(PathBuf::from(v));
+            }
+            "--no-csv" => {
+                opts.out_dir = None;
+            }
+            "--workload" => {
+                workload = Some(it.next().ok_or("--workload needs a value")?);
+            }
+            "--swf" => {
+                swf = Some(PathBuf::from(it.next().ok_or("--swf needs a value")?));
+            }
+            "--bsld-th" => {
+                let v = it.next().ok_or("--bsld-th needs a value")?;
+                bsld_th = Some(v.parse().map_err(|_| format!("bad --bsld-th value: {v}"))?);
+            }
+            "--wq" => {
+                let v = it.next().ok_or("--wq needs a value")?;
+                wq = Some(if v.eq_ignore_ascii_case("no") {
+                    WqThreshold::NoLimit
+                } else {
+                    WqThreshold::Limit(
+                        v.parse().map_err(|_| format!("bad --wq value: {v}"))?,
+                    )
+                });
+            }
+            "--conservative" => conservative = true,
+            "--boost" => {
+                let v = it.next().ok_or("--boost needs a value")?;
+                boost = Some(v.parse().map_err(|_| format!("bad --boost value: {v}"))?);
+            }
+            "--export" => {
+                export = Some(it.next().ok_or("--export needs a path prefix")?);
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument: {other}\n{}", usage())),
+        }
+    }
+    let experiment = experiment.ok_or_else(|| usage().to_string())?;
+    Ok(Args { experiment, opts, workload, swf, bsld_th, wq, conservative, boost, export })
+}
+
+fn profile_by_name(name: &str) -> Result<TraceProfile, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "ctc" => TraceProfile::ctc(),
+        "sdsc" => TraceProfile::sdsc(),
+        "blue" | "sdscblue" => TraceProfile::sdsc_blue(),
+        "thunder" | "llnlthunder" => TraceProfile::llnl_thunder(),
+        "atlas" | "llnlatlas" => TraceProfile::llnl_atlas(),
+        other => return Err(format!("unknown workload: {other}")),
+    })
+}
+
+fn load_workload(args: &Args) -> Result<Workload, String> {
+    match (&args.swf, &args.workload) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let mut trace = bsld_swf::parse_swf(&text).map_err(|e| e.to_string())?;
+            bsld_swf::clean_trace(&mut trace, &bsld_swf::CleanConfig::default());
+            let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+            Ok(Workload::from_swf(name, &trace))
+        }
+        (None, Some(name)) => {
+            Ok(profile_by_name(name)?.generate(args.opts.seed, args.opts.jobs))
+        }
+        (None, None) => Err("simulate/generate need --workload or --swf".to_string()),
+    }
+}
+
+fn run_generate(args: &Args) -> Result<(), String> {
+    let name = args.workload.as_deref().ok_or("generate needs --workload")?;
+    let out = args.swf.clone().ok_or("generate needs --swf FILE")?;
+    let w = profile_by_name(name)?.generate(args.opts.seed, args.opts.jobs);
+    let text = bsld_swf::write_swf(&w.to_swf());
+    std::fs::write(&out, text).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!(
+        "# wrote {} ({} jobs on {} cpus, offered load {:.2})",
+        out.display(),
+        w.jobs.len(),
+        w.cpus,
+        w.offered_load()
+    );
+    Ok(())
+}
+
+fn run_simulate(args: &Args) -> Result<(), String> {
+    let w = load_workload(args)?;
+    let mut sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    if args.conservative {
+        sim = sim.with_conservative();
+    }
+    if let Some(limit) = args.boost {
+        sim = sim.with_boost(limit);
+    }
+    let res = match args.bsld_th {
+        None => {
+            println!(
+                "{}: {} jobs on {} cpus — EASY baseline (no DVFS)",
+                w.cluster_name,
+                w.jobs.len(),
+                w.cpus
+            );
+            sim.run_baseline(&w.jobs)
+        }
+        Some(th) => {
+            let cfg = PowerAwareConfig {
+                bsld_threshold: th,
+                wq_threshold: args.wq.unwrap_or(WqThreshold::NoLimit),
+            };
+            println!(
+                "{}: {} jobs on {} cpus — power-aware {}",
+                w.cluster_name,
+                w.jobs.len(),
+                w.cpus,
+                cfg.label()
+            );
+            sim.run_power_aware(&w.jobs, &cfg)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    let m = &res.metrics;
+    println!(
+        "avg BSLD {:.2} | avg wait {:.0} s | reduced {} | util {:.3} | makespan {:.1} d",
+        m.avg_bsld,
+        m.avg_wait_secs,
+        m.reduced_jobs,
+        m.utilization,
+        m.makespan_secs as f64 / 86_400.0
+    );
+    println!(
+        "energy: computational {:.3e}, with idle {:.3e} (normalised units)",
+        m.energy.computational, m.energy.with_idle
+    );
+    let details = RunDetails::compute(&res.outcomes, &sim.power);
+    println!("\n{}", details.render());
+
+    if let Some(prefix) = &args.export {
+        export_schedule(prefix, &res.outcomes).map_err(|e| format!("export failed: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Writes `<prefix>_schedule.csv` (one row per job: the Gantt data),
+/// `<prefix>_utilization.csv` and `<prefix>_queue.csv` (step series).
+fn export_schedule(
+    prefix: &str,
+    outcomes: &[bsld_model::JobOutcome],
+) -> std::io::Result<()> {
+    use bsld_metrics::series::{queue_depth_series, utilization_series};
+
+    let mut by_id: Vec<&bsld_model::JobOutcome> = outcomes.iter().collect();
+    by_id.sort_by_key(|o| o.id);
+    let rows: Vec<Vec<String>> = by_id
+        .iter()
+        .map(|o| {
+            vec![
+                o.id.0.to_string(),
+                o.cpus.to_string(),
+                o.arrival.as_secs().to_string(),
+                o.start.as_secs().to_string(),
+                o.finish.as_secs().to_string(),
+                o.gear.0.to_string(),
+                format!("{:.3}", o.bsld(bsld_model::BSLD_SHORT_JOB_THRESHOLD_SECS)),
+            ]
+        })
+        .collect();
+    let path = format!("{prefix}_schedule.csv");
+    let mut f = std::fs::File::create(&path)?;
+    bsld_metrics::write_csv(
+        &mut f,
+        &["job", "cpus", "arrival_s", "start_s", "finish_s", "gear", "bsld"],
+        &rows,
+    )?;
+    eprintln!("# wrote {path}");
+
+    for (name, series) in [
+        ("utilization", utilization_series(outcomes)),
+        ("queue", queue_depth_series(outcomes)),
+    ] {
+        let rows: Vec<Vec<String>> =
+            series.iter().map(|&(t, v)| vec![t.to_string(), v.to_string()]).collect();
+        let path = format!("{prefix}_{name}.csv");
+        let mut f = std::fs::File::create(&path)?;
+        bsld_metrics::write_csv(&mut f, &["time_s", name], &rows)?;
+        eprintln!("# wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = &args.opts;
+    eprintln!(
+        "# bsld-repro: {} (jobs={}, seed={}, threads={})",
+        args.experiment, opts.jobs, opts.seed, opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    match args.experiment.as_str() {
+        "generate" => {
+            if let Err(e) = run_generate(&args) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "simulate" => {
+            if let Err(e) = run_simulate(&args) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "table1" | "calibrate" => {
+            let t = table1::run(opts);
+            println!("{}", t.render());
+            report_csv(t.write_csv(opts).map(|p| p.into_iter().collect()));
+        }
+        "fig3" | "fig4" | "fig5" => {
+            let g = grid::run(opts);
+            match args.experiment.as_str() {
+                "fig3" => {
+                    println!("{}", g.render_fig3(false));
+                    println!("{}", g.render_fig3(true));
+                    println!("{}", g.render_summary());
+                }
+                "fig4" => println!("{}", g.render_fig4()),
+                _ => println!("{}", g.render_fig5()),
+            }
+            report_csv(g.write_csv(opts));
+        }
+        "fig6" => {
+            let f = fig6::run(opts);
+            println!("{}", f.render());
+            report_csv(f.write_csv(opts).map(|p| p.into_iter().collect()));
+        }
+        "table3" | "fig7" | "fig8" | "fig9" => {
+            let s = enlarged::run(opts);
+            match args.experiment.as_str() {
+                "table3" => println!("{}", s.render_table3()),
+                "fig7" => {
+                    println!("{}", s.render_energy(WqThreshold::Limit(0), false));
+                    println!("{}", s.render_energy(WqThreshold::Limit(0), true));
+                }
+                "fig8" => {
+                    println!("{}", s.render_energy(WqThreshold::NoLimit, false));
+                    println!("{}", s.render_energy(WqThreshold::NoLimit, true));
+                }
+                _ => {
+                    println!("{}", s.render_bsld(WqThreshold::NoLimit));
+                    println!("{}", s.render_bsld(WqThreshold::Limit(0)));
+                }
+            }
+            report_csv(s.write_csv(opts));
+        }
+        "ablations" => {
+            for a in [
+                ablation::boost(opts),
+                ablation::beta(opts),
+                ablation::fcfs(opts),
+                ablation::gears(opts),
+                ablation::selection(opts),
+            ] {
+                println!("{}", a.render());
+                report_csv(a.write_csv(opts).map(|p| p.into_iter().collect()));
+            }
+        }
+        "all" => {
+            let t = table1::run(opts);
+            println!("{}", t.render());
+            report_csv(t.write_csv(opts).map(|p| p.into_iter().collect()));
+
+            let g = grid::run(opts);
+            println!("{}", g.render_fig3(false));
+            println!("{}", g.render_fig3(true));
+            println!("{}", g.render_summary());
+            println!("{}", g.render_fig4());
+            println!("{}", g.render_fig5());
+            report_csv(g.write_csv(opts));
+
+            let f = fig6::run(opts);
+            println!("{}", f.render());
+            report_csv(f.write_csv(opts).map(|p| p.into_iter().collect()));
+
+            let s = enlarged::run(opts);
+            println!("{}", s.render_energy(WqThreshold::Limit(0), false));
+            println!("{}", s.render_energy(WqThreshold::Limit(0), true));
+            println!("{}", s.render_energy(WqThreshold::NoLimit, false));
+            println!("{}", s.render_energy(WqThreshold::NoLimit, true));
+            println!("{}", s.render_bsld(WqThreshold::NoLimit));
+            println!("{}", s.render_bsld(WqThreshold::Limit(0)));
+            println!("{}", s.render_table3());
+            report_csv(s.write_csv(opts));
+
+            for a in [
+                ablation::boost(opts),
+                ablation::beta(opts),
+                ablation::fcfs(opts),
+                ablation::gears(opts),
+                ablation::selection(opts),
+            ] {
+                println!("{}", a.render());
+                report_csv(a.write_csv(opts).map(|p| p.into_iter().collect()));
+            }
+
+            write_summary_json(opts, &t, &g);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("# done in {:.2?}", t0.elapsed());
+    ExitCode::SUCCESS
+}
+
+/// Writes `summary.json`: the calibration rows and the headline savings,
+/// for dashboards and regression tracking.
+fn write_summary_json(opts: &ExpOptions, t: &table1::Table1, g: &grid::OriginalSizeGrid) {
+    let Some(dir) = &opts.out_dir else {
+        return;
+    };
+    let baselines = Json::Arr(
+        t.rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("workload", Json::str(&r.workload)),
+                    ("cpus", Json::from(r.cpus as u64)),
+                    ("avg_bsld", Json::from(r.avg_bsld)),
+                    ("paper_avg_bsld", Json::from(r.paper.avg_bsld)),
+                    ("avg_wait_s", Json::from(r.avg_wait)),
+                    ("paper_avg_wait_s", Json::from(r.paper.avg_wait)),
+                    ("utilization", Json::from(r.utilization)),
+                ])
+            })
+            .collect(),
+    );
+    let headline = Json::Arr(
+        g.average_savings()
+            .into_iter()
+            .map(|(cfg, saving)| {
+                Json::obj(vec![
+                    ("bsld_threshold", Json::from(cfg.bsld_threshold)),
+                    ("wq_threshold", Json::str(cfg.wq_threshold.label())),
+                    ("mean_energy_saving", Json::from(saving)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Json::obj(vec![
+        ("paper", Json::str("Etinski et al., IPPS 2010")),
+        ("seed", Json::from(opts.seed)),
+        ("jobs", Json::from(opts.jobs)),
+        ("baselines", baselines),
+        ("headline_savings", headline),
+    ]);
+    let path = dir.join("summary.json");
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# JSON write failed: {e}"),
+    }
+}
+
+fn report_csv(res: std::io::Result<Vec<PathBuf>>) {
+    match res {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("# wrote {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("# CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,272 @@
+//! Figures 7, 8, 9 and Table 3 — enlarged DVFS systems.
+//!
+//! The paper's Section 5.2 reruns the same workloads on machines enlarged
+//! by 10–125 % under the power-aware scheduler (`BSLD_threshold = 2`,
+//! `WQ_threshold ∈ {0, NO}`) and asks whether more DVFS processors can cut
+//! energy *and* improve performance. One sweep supplies:
+//!
+//! * **Figure 7** — normalized energy vs. size, `WQ = 0` (both scenarios);
+//! * **Figure 8** — the same for `WQ = NO LIMIT`;
+//! * **Figure 9** — average BSLD vs. size for both `WQ` settings;
+//! * **Table 3** — average wait times for the five configurations.
+//!
+//! Energies are normalized against the **original-size no-DVFS** run; the
+//! idle-aware scenario charges idle power for the *enlarged* machine, which
+//! is what creates the paper's energy minimum at moderate enlargement.
+
+use bsld_metrics::{RunMetrics, TextTable};
+use bsld_par::par_map;
+use bsld_workload::profiles::TraceProfile;
+
+use super::{fmt, write_artifact, ExpOptions};
+use crate::policy::{PowerAwareConfig, WqThreshold};
+
+/// The paper's system-size increases, percent.
+pub const SIZE_INCREASES: [u32; 7] = [0, 10, 20, 50, 75, 100, 125];
+
+/// The two `WQ_threshold` settings of the enlarged study.
+pub const WQ_SETTINGS: [WqThreshold; 2] = [WqThreshold::Limit(0), WqThreshold::NoLimit];
+
+/// One enlarged-system cell.
+#[derive(Debug, Clone)]
+pub struct EnlargedCell {
+    /// Workload name.
+    pub workload: String,
+    /// System size increase, percent.
+    pub size_pct: u32,
+    /// `WQ_threshold` used (BSLD threshold is fixed at 2).
+    pub wq: WqThreshold,
+    /// Computational energy normalized to original-size no-DVFS.
+    pub norm_e_comp: f64,
+    /// Idle-aware energy normalized to original-size no-DVFS.
+    pub norm_e_idle: f64,
+    /// Average BSLD.
+    pub avg_bsld: f64,
+    /// Average wait, seconds.
+    pub avg_wait: f64,
+    /// Jobs run at reduced frequency.
+    pub reduced_jobs: usize,
+}
+
+/// The full enlarged-systems sweep.
+#[derive(Debug, Clone)]
+pub struct EnlargedStudy {
+    /// All cells (workload-major, then size, then WQ setting).
+    pub cells: Vec<EnlargedCell>,
+    /// `(workload, original-size baseline)` — the normalization reference.
+    pub baselines: Vec<(String, RunMetrics)>,
+}
+
+/// Runs the sweep: per workload, 1 baseline + 7 sizes × 2 WQ settings.
+pub fn run(opts: &ExpOptions) -> EnlargedStudy {
+    let profiles = TraceProfile::paper_five();
+    let mut tasks: Vec<(usize, u32, Option<WqThreshold>)> = Vec::new();
+    for (pi, _) in profiles.iter().enumerate() {
+        tasks.push((pi, 0, None)); // original size, no DVFS
+        for &size in &SIZE_INCREASES {
+            for &wq in &WQ_SETTINGS {
+                tasks.push((pi, size, Some(wq)));
+            }
+        }
+    }
+    let metrics = par_map(tasks.clone(), opts.threads, |(pi, size, wq)| {
+        let cfg = wq.map(|wq| PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: wq });
+        super::run_cell(&profiles[pi], opts, size, cfg.as_ref())
+    });
+
+    let mut baselines: Vec<(String, RunMetrics)> = Vec::new();
+    let mut cells = Vec::new();
+    for ((pi, size, wq), m) in tasks.into_iter().zip(metrics) {
+        let name = profiles[pi].name.clone();
+        match wq {
+            None => baselines.push((name, m)),
+            Some(wq) => {
+                let base =
+                    &baselines.iter().find(|(n, _)| *n == name).expect("baseline first").1;
+                cells.push(EnlargedCell {
+                    workload: name,
+                    size_pct: size,
+                    wq,
+                    norm_e_comp: m.energy.normalized_computational(&base.energy),
+                    norm_e_idle: m.energy.normalized_with_idle(&base.energy),
+                    avg_bsld: m.avg_bsld,
+                    avg_wait: m.avg_wait_secs,
+                    reduced_jobs: m.reduced_jobs,
+                });
+            }
+        }
+    }
+    EnlargedStudy { cells, baselines }
+}
+
+impl EnlargedStudy {
+    /// The cell for an exact combination.
+    pub fn cell(&self, workload: &str, size_pct: u32, wq: WqThreshold) -> Option<&EnlargedCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.size_pct == size_pct && c.wq == wq)
+    }
+
+    /// The baseline metrics of a workload.
+    pub fn baseline(&self, workload: &str) -> Option<&RunMetrics> {
+        self.baselines.iter().find(|(n, _)| n == workload).map(|(_, m)| m)
+    }
+
+    /// Figures 7/8: energy vs. size for one WQ setting and one scenario.
+    pub fn render_energy(&self, wq: WqThreshold, idle_low: bool) -> String {
+        let fig = if wq == WqThreshold::Limit(0) { "Figure 7" } else { "Figure 8" };
+        let scen = if idle_low { "idle=low" } else { "idle=0" };
+        let mut headers = vec!["Workload".to_string()];
+        headers.extend(SIZE_INCREASES.iter().map(|s| format!("+{s}%")));
+        let mut t = TextTable::new(headers);
+        for (name, _) in &self.baselines {
+            let mut row = vec![name.clone()];
+            for &size in &SIZE_INCREASES {
+                let c = self.cell(name, size, wq).expect("complete sweep");
+                row.push(fmt(if idle_low { c.norm_e_idle } else { c.norm_e_comp } * 100.0, 1));
+            }
+            t.row(row);
+        }
+        format!(
+            "{fig}: normalized energy (%) of enlarged systems, WQ = {}, {scen}\n{}",
+            wq.label(),
+            t.render()
+        )
+    }
+
+    /// Figure 9: average BSLD vs. size for one WQ setting.
+    pub fn render_bsld(&self, wq: WqThreshold) -> String {
+        let mut headers = vec!["Workload".to_string(), "base".to_string()];
+        headers.extend(SIZE_INCREASES.iter().map(|s| format!("+{s}%")));
+        let mut t = TextTable::new(headers);
+        for (name, base) in &self.baselines {
+            let mut row = vec![name.clone(), fmt(base.avg_bsld, 2)];
+            for &size in &SIZE_INCREASES {
+                let c = self.cell(name, size, wq).expect("complete sweep");
+                row.push(fmt(c.avg_bsld, 2));
+            }
+            t.row(row);
+        }
+        format!("Figure 9: average BSLD of enlarged systems, WQ = {}\n{}", wq.label(), t.render())
+    }
+
+    /// Table 3: average wait for the paper's five configurations.
+    pub fn render_table3(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Workload", "OrigNoDVFS", "OrigWQ0", "OrigWQNo", "+50%WQ0", "+50%WQNo",
+        ]);
+        for (name, base) in &self.baselines {
+            let g = |size: u32, wq: WqThreshold| {
+                fmt(self.cell(name, size, wq).expect("complete sweep").avg_wait, 0)
+            };
+            t.row(vec![
+                name.clone(),
+                fmt(base.avg_wait_secs, 0),
+                g(0, WqThreshold::Limit(0)),
+                g(0, WqThreshold::NoLimit),
+                g(50, WqThreshold::Limit(0)),
+                g(50, WqThreshold::NoLimit),
+            ]);
+        }
+        format!("Table 3: average wait time (s), BSLDthreshold = 2\n{}", t.render())
+    }
+
+    /// Writes `fig7_fig8_fig9_enlarged.csv` and `table3_wait.csv`.
+    pub fn write_csv(&self, opts: &ExpOptions) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let mut written = Vec::new();
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.workload.clone(),
+                    c.size_pct.to_string(),
+                    c.wq.label(),
+                    fmt(c.norm_e_comp, 5),
+                    fmt(c.norm_e_idle, 5),
+                    fmt(c.avg_bsld, 4),
+                    fmt(c.avg_wait, 1),
+                    c.reduced_jobs.to_string(),
+                ]
+            })
+            .collect();
+        if let Some(p) = write_artifact(
+            opts,
+            "fig7_fig8_fig9_enlarged",
+            &["workload", "size_increase_pct", "wq_threshold", "norm_energy_idle0", "norm_energy_idlelow", "avg_bsld", "avg_wait_s", "reduced_jobs"],
+            &rows,
+        )? {
+            written.push(p);
+        }
+        let t3: Vec<Vec<String>> = self
+            .baselines
+            .iter()
+            .map(|(name, base)| {
+                let g = |size: u32, wq: WqThreshold| {
+                    fmt(self.cell(name, size, wq).unwrap().avg_wait, 1)
+                };
+                vec![
+                    name.clone(),
+                    fmt(base.avg_wait_secs, 1),
+                    g(0, WqThreshold::Limit(0)),
+                    g(0, WqThreshold::NoLimit),
+                    g(50, WqThreshold::Limit(0)),
+                    g(50, WqThreshold::NoLimit),
+                ]
+            })
+            .collect();
+        if let Some(p) = write_artifact(
+            opts,
+            "table3_wait",
+            &["workload", "orig_no_dvfs", "orig_wq0", "orig_wqno", "inc50_wq0", "inc50_wqno"],
+            &t3,
+        )? {
+            written.push(p);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EnlargedStudy {
+        run(&ExpOptions::quick(40))
+    }
+
+    #[test]
+    fn sweep_is_complete() {
+        let s = small();
+        assert_eq!(s.baselines.len(), 5);
+        assert_eq!(s.cells.len(), 5 * SIZE_INCREASES.len() * 2);
+        assert!(s.cell("CTC", 125, WqThreshold::NoLimit).is_some());
+        assert!(s.baseline("SDSC").is_some());
+    }
+
+    #[test]
+    fn larger_systems_wait_less() {
+        let s = small();
+        for (name, _) in &s.baselines {
+            let w0 = s.cell(name, 0, WqThreshold::NoLimit).unwrap().avg_wait;
+            let w125 = s.cell(name, 125, WqThreshold::NoLimit).unwrap().avg_wait;
+            assert!(w125 <= w0, "{name}: {w125} > {w0}");
+        }
+    }
+
+    #[test]
+    fn renders_do_not_panic() {
+        let s = small();
+        for text in [
+            s.render_energy(WqThreshold::Limit(0), false),
+            s.render_energy(WqThreshold::Limit(0), true),
+            s.render_energy(WqThreshold::NoLimit, false),
+            s.render_energy(WqThreshold::NoLimit, true),
+            s.render_bsld(WqThreshold::Limit(0)),
+            s.render_bsld(WqThreshold::NoLimit),
+            s.render_table3(),
+        ] {
+            assert!(text.contains("CTC"), "{text}");
+        }
+    }
+}

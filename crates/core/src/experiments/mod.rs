@@ -1,0 +1,144 @@
+//! The experiment harness: one module per table/figure of the paper.
+//!
+//! | Module | Reproduces |
+//! |--------|------------|
+//! | [`table1`] | Table 1 — workload characteristics & baseline avg BSLD |
+//! | [`grid`] | Figures 3, 4, 5 — the original-size parameter grid |
+//! | [`fig6`] | Figure 6 — SDSC-Blue wait-time series |
+//! | [`enlarged`] | Figures 7, 8, 9 and Table 3 — enlarged systems |
+//! | [`ablation`] | Beyond-paper ablations (boost, per-job β, FCFS, gears) |
+//!
+//! Every experiment follows the same shape: a `run(&ExpOptions)` entry point
+//! that fans the independent simulations out over [`bsld_par::par_map`],
+//! a typed result, a `render()` text report and a `write_csv()` artifact
+//! writer.
+
+pub mod ablation;
+pub mod enlarged;
+pub mod fig6;
+pub mod grid;
+pub mod table1;
+
+use std::path::PathBuf;
+
+use bsld_metrics::RunMetrics;
+use bsld_workload::profiles::TraceProfile;
+use bsld_workload::Workload;
+
+use crate::policy::PowerAwareConfig;
+use crate::sim::Simulator;
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Master seed; every workload derives its streams from it.
+    pub seed: u64,
+    /// Jobs per workload (the paper simulates 5 000).
+    pub jobs: usize,
+    /// Worker threads for the sweep.
+    pub threads: usize,
+    /// Directory for CSV artifacts (`None` = don't write).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            seed: 2010,
+            jobs: 5000,
+            threads: bsld_par::default_threads(),
+            out_dir: Some(PathBuf::from("results")),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// A reduced-scale configuration for tests and benches.
+    pub fn quick(jobs: usize) -> Self {
+        ExpOptions { seed: 2010, jobs, threads: bsld_par::default_threads(), out_dir: None }
+    }
+}
+
+/// The per-cell work unit shared by the sweeps: generate the workload,
+/// enlarge the machine if asked, run baseline or the power-aware policy.
+pub(crate) fn run_cell(
+    profile: &TraceProfile,
+    opts: &ExpOptions,
+    size_increase_pct: u32,
+    cfg: Option<&PowerAwareConfig>,
+) -> RunMetrics {
+    let w: Workload = profile.generate(opts.seed, opts.jobs);
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    let sim = if size_increase_pct > 0 { sim.enlarged(size_increase_pct) } else { sim };
+    let res = match cfg {
+        None => sim.run_baseline(&w.jobs),
+        Some(c) => sim.run_power_aware(&w.jobs, c),
+    }
+    .expect("generated workloads always fit their machine");
+    res.metrics
+}
+
+/// Writes `name.csv` into the experiment's out dir (if any), returning the
+/// written path.
+pub(crate) fn write_artifact(
+    opts: &ExpOptions,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<Option<PathBuf>> {
+    let Some(dir) = &opts.out_dir else {
+        return Ok(None);
+    };
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = std::fs::File::create(&path)?;
+    bsld_metrics::write_csv(&mut file, headers, rows)?;
+    Ok(Some(path))
+}
+
+/// Formats a float with `digits` decimals (CSV/tables).
+pub(crate) fn fmt(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::WqThreshold;
+
+    #[test]
+    fn defaults_match_paper_scale() {
+        let o = ExpOptions::default();
+        assert_eq!(o.seed, 2010);
+        assert_eq!(o.jobs, 5000);
+        assert!(o.out_dir.is_some());
+    }
+
+    #[test]
+    fn run_cell_baseline_and_policy() {
+        let profile = TraceProfile::sdsc_blue().scaled_cpus(64);
+        let opts = ExpOptions::quick(150);
+        let base = run_cell(&profile, &opts, 0, None);
+        assert_eq!(base.jobs, 150);
+        assert_eq!(base.reduced_jobs, 0);
+        let cfg =
+            PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: WqThreshold::NoLimit };
+        let dvfs = run_cell(&profile, &opts, 0, Some(&cfg));
+        assert!(dvfs.reduced_jobs > 0);
+        let bigger = run_cell(&profile, &opts, 50, Some(&cfg));
+        assert!(bigger.avg_wait_secs <= dvfs.avg_wait_secs);
+    }
+
+    #[test]
+    fn write_artifact_noop_without_dir() {
+        let opts = ExpOptions::quick(10);
+        let p = write_artifact(&opts, "x", &["a"], &[]).unwrap();
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn fmt_digits() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(1.0, 0), "1");
+    }
+}

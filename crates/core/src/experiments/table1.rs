@@ -1,0 +1,155 @@
+//! Table 1 — workload characteristics and baseline average BSLD.
+//!
+//! The paper's Table 1 lists, per workload: the machine size, the simulated
+//! job count and the average BSLD when no DVFS is used. This experiment
+//! regenerates those rows from the calibrated profiles and additionally
+//! reports the average wait (the paper's Table 3 first column), making the
+//! calibration quality visible in one place.
+
+use bsld_metrics::TextTable;
+use bsld_par::par_map;
+use bsld_workload::profiles::TraceProfile;
+
+use super::{fmt, write_artifact, ExpOptions};
+
+/// Paper-reported reference values for the five workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Machine size.
+    pub cpus: u32,
+    /// Table 1 average BSLD without DVFS.
+    pub avg_bsld: f64,
+    /// Table 3 average wait without DVFS, seconds.
+    pub avg_wait: f64,
+}
+
+/// The paper's Table 1 + Table 3 baseline column.
+pub const PAPER_BASELINES: [PaperRow; 5] = [
+    PaperRow { name: "CTC", cpus: 430, avg_bsld: 4.66, avg_wait: 7107.0 },
+    PaperRow { name: "SDSC", cpus: 128, avg_bsld: 24.91, avg_wait: 36001.0 },
+    PaperRow { name: "SDSCBlue", cpus: 1152, avg_bsld: 5.15, avg_wait: 4798.0 },
+    PaperRow { name: "LLNLThunder", cpus: 4008, avg_bsld: 1.0, avg_wait: 0.0 },
+    PaperRow { name: "LLNLAtlas", cpus: 9216, avg_bsld: 1.08, avg_wait: 69.0 },
+];
+
+/// One measured row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Workload name.
+    pub workload: String,
+    /// Machine size.
+    pub cpus: u32,
+    /// Simulated job count.
+    pub jobs: usize,
+    /// Measured baseline average BSLD.
+    pub avg_bsld: f64,
+    /// Measured baseline average wait, seconds.
+    pub avg_wait: f64,
+    /// Measured utilisation.
+    pub utilization: f64,
+    /// The paper's reference values.
+    pub paper: PaperRow,
+}
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// One row per workload, paper order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Runs the five baselines (in parallel) and assembles Table 1.
+pub fn run(opts: &ExpOptions) -> Table1 {
+    let profiles = TraceProfile::paper_five();
+    let metrics = par_map(profiles.clone(), opts.threads, |p| super::run_cell(&p, opts, 0, None));
+    let rows = profiles
+        .iter()
+        .zip(metrics)
+        .zip(PAPER_BASELINES)
+        .map(|((p, m), paper)| Table1Row {
+            workload: p.name.clone(),
+            cpus: p.cpus,
+            jobs: m.jobs,
+            avg_bsld: m.avg_bsld,
+            avg_wait: m.avg_wait_secs,
+            utilization: m.utilization,
+            paper,
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    /// Renders the table with paper-vs-measured columns.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Workload", "#CPUs", "Jobs", "AvgBSLD", "paper", "AvgWait(s)", "paper", "Util",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.workload.clone(),
+                r.cpus.to_string(),
+                r.jobs.to_string(),
+                fmt(r.avg_bsld, 2),
+                fmt(r.paper.avg_bsld, 2),
+                fmt(r.avg_wait, 0),
+                fmt(r.paper.avg_wait, 0),
+                fmt(r.utilization, 3),
+            ]);
+        }
+        format!("Table 1: workloads, baseline (EASY, no DVFS)\n{}", t.render())
+    }
+
+    /// Writes `table1.csv`.
+    pub fn write_csv(&self, opts: &ExpOptions) -> std::io::Result<Option<std::path::PathBuf>> {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    r.cpus.to_string(),
+                    r.jobs.to_string(),
+                    fmt(r.avg_bsld, 4),
+                    fmt(r.paper.avg_bsld, 4),
+                    fmt(r.avg_wait, 1),
+                    fmt(r.paper.avg_wait, 1),
+                    fmt(r.utilization, 4),
+                ]
+            })
+            .collect();
+        write_artifact(
+            opts,
+            "table1",
+            &["workload", "cpus", "jobs", "avg_bsld", "paper_avg_bsld", "avg_wait_s", "paper_avg_wait_s", "utilization"],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baselines_cover_five_workloads() {
+        assert_eq!(PAPER_BASELINES.len(), 5);
+        assert_eq!(PAPER_BASELINES[1].avg_bsld, 24.91);
+    }
+
+    #[test]
+    fn small_scale_table1_has_all_rows() {
+        // Scaled-down smoke run: 5 workloads at 60 jobs each.
+        let t = run(&ExpOptions::quick(60));
+        assert_eq!(t.rows.len(), 5);
+        for r in &t.rows {
+            assert_eq!(r.jobs, 60);
+            assert!(r.avg_bsld >= 1.0);
+        }
+        let text = t.render();
+        assert!(text.contains("CTC"));
+        assert!(text.contains("LLNLAtlas"));
+    }
+}

@@ -1,0 +1,25 @@
+//! The paper's contribution: BSLD-threshold driven power management.
+//!
+//! This crate contains:
+//!
+//! * [`BsldThresholdPolicy`] — the CPU frequency-assignment algorithm of
+//!   Figures 1–2 of Etinski et al. 2010, implemented against the
+//!   `bsld-sched` policy hook: a job is scheduled at the lowest gear whose
+//!   *predicted BSLD* stays under `BSLD_threshold`, and only while no more
+//!   than `WQ_threshold` jobs are waiting;
+//! * [`Simulator`] — a one-stop facade wiring cluster, power model, β time
+//!   model and scheduling engine; used by every example, test and
+//!   experiment;
+//! * [`experiments`] — the harness that regenerates every table and figure
+//!   of the paper's evaluation section (see `DESIGN.md` for the index);
+//! * the `bsld-repro` binary exposing the harness on the command line.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod policy;
+pub mod sim;
+
+pub use policy::{BsldThresholdPolicy, PowerAwareConfig, WqThreshold};
+pub use sim::{RunResult, Simulator};

@@ -1,0 +1,252 @@
+//! The simulator facade.
+//!
+//! Bundles a cluster, the paper's power and time models and the scheduling
+//! engine behind two calls: [`Simulator::run_baseline`] (EASY, no DVFS) and
+//! [`Simulator::run_power_aware`] (EASY + the BSLD-threshold policy).
+
+use bsld_cluster::{Cluster, GearSet};
+use bsld_metrics::RunMetrics;
+use bsld_model::{Job, JobOutcome};
+use bsld_power::{BetaModel, PowerModel};
+use bsld_sched::{
+    simulate, BoostConfig, EngineConfig, FixedGearPolicy, FrequencyPolicy, SimError, TraceEvent,
+};
+
+use crate::policy::{BsldThresholdPolicy, PowerAwareConfig};
+
+/// A simulation result: the paper's metrics plus the raw outcomes.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Summary metrics (BSLD, waits, energy, reduced jobs, ...).
+    pub metrics: RunMetrics,
+    /// Raw per-job outcomes (completion order).
+    pub outcomes: Vec<JobOutcome>,
+    /// Scheduling trace (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// A configured machine + models, ready to run workloads.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// The machine description.
+    pub cluster: Cluster,
+    /// The CPU power model (energy accounting).
+    pub power: PowerModel,
+    /// The β execution-time model (dilation).
+    pub time_model: BetaModel,
+    /// Engine options (backfilling on, tracing off by default).
+    pub engine: EngineConfig,
+}
+
+impl Simulator {
+    /// The paper's setup for a machine of `cpus` processors: Table 2 gear
+    /// set, 25 % static share, 2.5 activity ratio, β = 0.5 dilation, EASY
+    /// backfilling.
+    pub fn paper_default(name: &str, cpus: u32) -> Simulator {
+        let gears = GearSet::paper();
+        Simulator {
+            cluster: Cluster::new(name, cpus, gears.clone()),
+            power: PowerModel::paper(gears.clone()),
+            time_model: BetaModel::new(gears),
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// A simulator over an explicit cluster (custom gear sets).
+    pub fn with_cluster(cluster: Cluster) -> Simulator {
+        let gears = cluster.gears.clone();
+        Simulator {
+            cluster,
+            power: PowerModel::paper(gears.clone()),
+            time_model: BetaModel::new(gears),
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// The same simulator on a machine enlarged by `percent` % (Section
+    /// 5.2's study).
+    pub fn enlarged(&self, percent: u32) -> Simulator {
+        Simulator {
+            cluster: self.cluster.enlarged(percent),
+            power: self.power.clone(),
+            time_model: self.time_model.clone(),
+            engine: self.engine.clone(),
+        }
+    }
+
+    /// Enables schedule tracing (builder style).
+    pub fn with_trace(mut self) -> Simulator {
+        self.engine.collect_trace = true;
+        self
+    }
+
+    /// Disables backfilling (FCFS ablation, builder style).
+    pub fn without_backfill(mut self) -> Simulator {
+        self.engine.backfill = false;
+        self
+    }
+
+    /// Switches to conservative backfilling (builder style): every queued
+    /// job holds a reservation instead of only the head.
+    pub fn with_conservative(mut self) -> Simulator {
+        self.engine.mode = bsld_sched::SchedMode::Conservative;
+        self
+    }
+
+    /// Overrides the resource selection policy (builder style). The paper
+    /// uses First Fit; contiguous selection models partition-constrained
+    /// machines.
+    pub fn with_selection(mut self, selection: bsld_cluster::SelectionPolicy) -> Simulator {
+        self.engine.selection = selection;
+        self
+    }
+
+    /// Enables the dynamic-boost extension (builder style).
+    pub fn with_boost(mut self, wq_limit: usize) -> Simulator {
+        self.engine.boost = Some(BoostConfig { wq_limit });
+        self
+    }
+
+    /// Runs `jobs` under an arbitrary frequency policy.
+    pub fn run_with_policy<P: FrequencyPolicy + ?Sized>(
+        &self,
+        jobs: &[Job],
+        policy: &P,
+    ) -> Result<RunResult, SimError> {
+        let res = simulate(&self.cluster, jobs, policy, &self.time_model, &self.engine)?;
+        let metrics = RunMetrics::compute(
+            &res.outcomes,
+            &self.power,
+            self.cluster.cpus,
+            self.time_model.gears().len(),
+        );
+        Ok(RunResult { metrics, outcomes: res.outcomes, trace: res.trace })
+    }
+
+    /// EASY backfilling with every job at the top gear — the paper's
+    /// no-DVFS baseline.
+    pub fn run_baseline(&self, jobs: &[Job]) -> Result<RunResult, SimError> {
+        let policy = FixedGearPolicy::new(self.time_model.gears().top());
+        self.run_with_policy(jobs, &policy)
+    }
+
+    /// EASY backfilling with the paper's BSLD-threshold frequency
+    /// assignment.
+    pub fn run_power_aware(
+        &self,
+        jobs: &[Job],
+        cfg: &PowerAwareConfig,
+    ) -> Result<RunResult, SimError> {
+        let policy = BsldThresholdPolicy::new(*cfg);
+        self.run_with_policy(jobs, &policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::WqThreshold;
+    use bsld_sched::validate_schedule;
+    use bsld_workload::profiles::TraceProfile;
+
+    fn small_workload() -> bsld_workload::Workload {
+        TraceProfile::sdsc_blue().scaled_cpus(64).generate(42, 300)
+    }
+
+    #[test]
+    fn baseline_runs_and_validates() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let res = sim.run_baseline(&w.jobs).unwrap();
+        assert_eq!(res.outcomes.len(), w.jobs.len());
+        validate_schedule(&res.outcomes, w.cpus).unwrap();
+        assert_eq!(res.metrics.reduced_jobs, 0, "baseline never reduces");
+        assert!(res.metrics.avg_bsld >= 1.0);
+    }
+
+    #[test]
+    fn power_aware_saves_energy_on_light_load() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let base = sim.run_baseline(&w.jobs).unwrap();
+        let cfg = PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: WqThreshold::NoLimit };
+        let dvfs = sim.run_power_aware(&w.jobs, &cfg).unwrap();
+        validate_schedule(&dvfs.outcomes, w.cpus).unwrap();
+        assert!(dvfs.metrics.reduced_jobs > 0, "some jobs must be reduced");
+        assert!(
+            dvfs.metrics.energy.computational < base.metrics.energy.computational,
+            "DVFS must cut computational energy: {} vs {}",
+            dvfs.metrics.energy.computational,
+            base.metrics.energy.computational
+        );
+        assert!(
+            dvfs.metrics.avg_bsld >= base.metrics.avg_bsld,
+            "frequency scaling cannot improve BSLD"
+        );
+    }
+
+    #[test]
+    fn wq_zero_is_more_conservative_than_no_limit() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let strict = sim
+            .run_power_aware(
+                &w.jobs,
+                &PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::Limit(0) },
+            )
+            .unwrap();
+        let loose = sim
+            .run_power_aware(
+                &w.jobs,
+                &PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::NoLimit },
+            )
+            .unwrap();
+        assert!(strict.metrics.reduced_jobs <= loose.metrics.reduced_jobs);
+    }
+
+    #[test]
+    fn enlarged_machine_reduces_waits() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let orig = sim.run_baseline(&w.jobs).unwrap();
+        let big = sim.enlarged(50).run_baseline(&w.jobs).unwrap();
+        assert!(big.metrics.avg_wait_secs <= orig.metrics.avg_wait_secs);
+        assert!(big.metrics.avg_bsld <= orig.metrics.avg_bsld);
+    }
+
+    #[test]
+    fn trace_collection_toggle() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        assert!(sim.run_baseline(&w.jobs).unwrap().trace.is_empty());
+        let traced = sim.clone().with_trace().run_baseline(&w.jobs).unwrap();
+        assert!(!traced.trace.is_empty());
+    }
+
+    #[test]
+    fn fcfs_ablation_waits_longer() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let easy = sim.run_baseline(&w.jobs).unwrap();
+        let fcfs = sim.clone().without_backfill().run_baseline(&w.jobs).unwrap();
+        assert!(
+            fcfs.metrics.avg_wait_secs >= easy.metrics.avg_wait_secs,
+            "backfilling must not hurt average wait: {} vs {}",
+            fcfs.metrics.avg_wait_secs,
+            easy.metrics.avg_wait_secs
+        );
+    }
+
+    #[test]
+    fn boost_limits_bsld_damage() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let cfg = PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: WqThreshold::NoLimit };
+        let plain = sim.run_power_aware(&w.jobs, &cfg).unwrap();
+        let boosted = sim.clone().with_boost(4).run_power_aware(&w.jobs, &cfg).unwrap();
+        validate_schedule(&boosted.outcomes, w.cpus).unwrap();
+        // Boosting can only shorten runtimes of reduced jobs, so energy
+        // goes up and performance improves (or stays).
+        assert!(boosted.metrics.energy.computational >= plain.metrics.energy.computational);
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimal CSV output (RFC 4180 quoting).
+
+use std::io::{self, Write};
+
+/// Escapes one CSV field: quotes it if it contains a comma, quote, or
+/// newline, doubling embedded quotes.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes a header row and data rows as CSV.
+pub fn write_csv<W: Write>(
+    w: &mut W,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&csv_escape(h));
+    }
+    writeln!(w, "{line}")?;
+    for row in rows {
+        debug_assert_eq!(row.len(), headers.len(), "CSV row width mismatch");
+        line.clear();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&csv_escape(cell));
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Renders CSV to a `String` (convenience for tests and small reports).
+pub fn csv_string(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut buf = Vec::new();
+    write_csv(&mut buf, headers, rows).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        assert_eq!(csv_escape("abc"), "abc");
+        assert_eq!(csv_escape("1.5"), "1.5");
+    }
+
+    #[test]
+    fn special_fields_quoted() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn full_document() {
+        let rows = vec![
+            vec!["CTC".to_string(), "0.92".to_string()],
+            vec!["SDSC,large".to_string(), "1.00".to_string()],
+        ];
+        let s = csv_string(&["workload", "energy"], &rows);
+        assert_eq!(s, "workload,energy\nCTC,0.92\n\"SDSC,large\",1.00\n");
+    }
+
+    #[test]
+    fn empty_rows() {
+        let s = csv_string(&["a"], &[]);
+        assert_eq!(s, "a\n");
+    }
+}

@@ -1,0 +1,278 @@
+//! Detailed per-run metrics: distribution tails and per-class breakdowns.
+//!
+//! [`RunMetrics`](crate::RunMetrics) carries the aggregate numbers the
+//! paper reports; this module computes what a production operator would
+//! additionally want:
+//!
+//! * wait-time and BSLD percentiles (p50/p90/p99) — averages hide the tail
+//!   the users actually complain about;
+//! * per-size-class breakdowns (serial / small / medium / large), since
+//!   frequency scaling and enlarged machines affect narrow and wide jobs
+//!   differently;
+//! * active energy split by gear, making the policy's gear usage visible.
+
+use bsld_model::{JobOutcome, BSLD_SHORT_JOB_THRESHOLD_SECS};
+use bsld_power::PowerModel;
+use bsld_simkernel::stats::quantile_sorted;
+
+/// A percentile summary of one distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    fn of(mut values: Vec<f64>) -> Percentiles {
+        values.sort_by(|a, b| a.total_cmp(b));
+        Percentiles {
+            p50: quantile_sorted(&values, 0.50).unwrap_or(0.0),
+            p90: quantile_sorted(&values, 0.90).unwrap_or(0.0),
+            p99: quantile_sorted(&values, 0.99).unwrap_or(0.0),
+            max: values.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Job size classes used by the breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Exactly one processor.
+    Serial,
+    /// 2–32 processors.
+    Small,
+    /// 33–512 processors.
+    Medium,
+    /// More than 512 processors.
+    Large,
+}
+
+impl SizeClass {
+    /// Classifies a processor count.
+    pub fn of(cpus: u32) -> SizeClass {
+        match cpus {
+            1 => SizeClass::Serial,
+            2..=32 => SizeClass::Small,
+            33..=512 => SizeClass::Medium,
+            _ => SizeClass::Large,
+        }
+    }
+
+    /// All classes in display order.
+    pub const ALL: [SizeClass; 4] =
+        [SizeClass::Serial, SizeClass::Small, SizeClass::Medium, SizeClass::Large];
+
+    /// Human label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SizeClass::Serial => "serial",
+            SizeClass::Small => "small(2-32)",
+            SizeClass::Medium => "medium(33-512)",
+            SizeClass::Large => "large(>512)",
+        }
+    }
+}
+
+/// Aggregates of one size class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMetrics {
+    /// Jobs in the class.
+    pub jobs: usize,
+    /// Average BSLD.
+    pub avg_bsld: f64,
+    /// Average wait, seconds.
+    pub avg_wait: f64,
+    /// Jobs run at a reduced gear.
+    pub reduced: usize,
+}
+
+/// The detailed report.
+#[derive(Debug, Clone)]
+pub struct RunDetails {
+    /// Wait-time percentiles, seconds.
+    pub wait: Percentiles,
+    /// BSLD percentiles.
+    pub bsld: Percentiles,
+    /// Per-size-class metrics, in [`SizeClass::ALL`] order (empty classes
+    /// have `jobs == 0`).
+    pub by_class: Vec<(SizeClass, ClassMetrics)>,
+    /// Active energy per gear index (normalised units), summing to the
+    /// run's computational energy.
+    pub energy_by_gear: Vec<f64>,
+}
+
+impl RunDetails {
+    /// Computes the detailed report from raw outcomes.
+    pub fn compute(outcomes: &[JobOutcome], pm: &PowerModel) -> RunDetails {
+        let th = BSLD_SHORT_JOB_THRESHOLD_SECS;
+        let gear_count = pm.gears().len();
+        let top = pm.gears().top();
+
+        let waits: Vec<f64> = outcomes.iter().map(|o| o.wait() as f64).collect();
+        let bslds: Vec<f64> = outcomes.iter().map(|o| o.bsld(th)).collect();
+
+        let mut by_class = Vec::with_capacity(4);
+        for class in SizeClass::ALL {
+            let members: Vec<&JobOutcome> =
+                outcomes.iter().filter(|o| SizeClass::of(o.cpus) == class).collect();
+            let jobs = members.len();
+            let (mut bsld_sum, mut wait_sum, mut reduced) = (0.0, 0.0, 0usize);
+            for o in &members {
+                bsld_sum += o.bsld(th);
+                wait_sum += o.wait() as f64;
+                if o.was_reduced(top) {
+                    reduced += 1;
+                }
+            }
+            by_class.push((
+                class,
+                ClassMetrics {
+                    jobs,
+                    avg_bsld: if jobs > 0 { bsld_sum / jobs as f64 } else { 0.0 },
+                    avg_wait: if jobs > 0 { wait_sum / jobs as f64 } else { 0.0 },
+                    reduced,
+                },
+            ));
+        }
+
+        let mut energy_by_gear = vec![0.0; gear_count];
+        for o in outcomes {
+            for p in &o.phases {
+                let idx = p.gear.index().min(gear_count - 1);
+                energy_by_gear[idx] += o.cpus as f64 * p.seconds as f64 * pm.p_active(p.gear);
+            }
+        }
+
+        RunDetails {
+            wait: Percentiles::of(waits),
+            bsld: Percentiles::of(bslds),
+            by_class,
+            energy_by_gear,
+        }
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wait  (s): p50 {:>10.0}  p90 {:>10.0}  p99 {:>10.0}  max {:>10.0}",
+            self.wait.p50, self.wait.p90, self.wait.p99, self.wait.max
+        );
+        let _ = writeln!(
+            out,
+            "BSLD     : p50 {:>10.2}  p90 {:>10.2}  p99 {:>10.2}  max {:>10.2}",
+            self.bsld.p50, self.bsld.p90, self.bsld.p99, self.bsld.max
+        );
+        let mut t = crate::TextTable::new(vec!["class", "jobs", "avg BSLD", "avg wait(s)", "reduced"]);
+        for (class, m) in &self.by_class {
+            if m.jobs == 0 {
+                continue;
+            }
+            t.row(vec![
+                class.label().to_string(),
+                m.jobs.to_string(),
+                format!("{:.2}", m.avg_bsld),
+                format!("{:.0}", m.avg_wait),
+                m.reduced.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        let total: f64 = self.energy_by_gear.iter().sum();
+        if total > 0.0 {
+            let _ = write!(out, "active energy by gear:");
+            for (i, e) in self.energy_by_gear.iter().enumerate() {
+                let _ = write!(out, "  g{i} {:.1}%", e / total * 100.0);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_cluster::GearSet;
+    use bsld_model::{GearId, JobId, Phase};
+    use bsld_simkernel::Time;
+
+    fn outcome(id: u32, cpus: u32, wait: u64, runtime: u64, gear: u8) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            cpus,
+            arrival: Time(0),
+            start: Time(wait),
+            finish: Time(wait + runtime),
+            gear: GearId(gear),
+            phases: vec![Phase { gear: GearId(gear), seconds: runtime }],
+            nominal_runtime: runtime,
+            requested: runtime,
+        }
+    }
+
+    fn pm() -> PowerModel {
+        PowerModel::paper(GearSet::paper())
+    }
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(SizeClass::of(1), SizeClass::Serial);
+        assert_eq!(SizeClass::of(2), SizeClass::Small);
+        assert_eq!(SizeClass::of(32), SizeClass::Small);
+        assert_eq!(SizeClass::of(33), SizeClass::Medium);
+        assert_eq!(SizeClass::of(512), SizeClass::Medium);
+        assert_eq!(SizeClass::of(513), SizeClass::Large);
+    }
+
+    #[test]
+    fn percentiles_and_classes() {
+        let outcomes: Vec<JobOutcome> = (0..100)
+            .map(|i| outcome(i, if i % 2 == 0 { 1 } else { 64 }, i as u64 * 10, 1000, 5))
+            .collect();
+        let d = RunDetails::compute(&outcomes, &pm());
+        assert!((d.wait.p50 - 495.0).abs() < 10.0, "p50 = {}", d.wait.p50);
+        assert_eq!(d.wait.max, 990.0);
+        let serial = d.by_class.iter().find(|(c, _)| *c == SizeClass::Serial).unwrap().1;
+        let medium = d.by_class.iter().find(|(c, _)| *c == SizeClass::Medium).unwrap().1;
+        assert_eq!(serial.jobs, 50);
+        assert_eq!(medium.jobs, 50);
+        assert_eq!(serial.reduced, 0);
+    }
+
+    #[test]
+    fn energy_by_gear_sums_to_total() {
+        let pm = pm();
+        let outcomes = vec![outcome(0, 4, 0, 100, 0), outcome(1, 2, 0, 200, 5)];
+        let d = RunDetails::compute(&outcomes, &pm);
+        let total: f64 = d.energy_by_gear.iter().sum();
+        let expected =
+            4.0 * 100.0 * pm.p_active(GearId(0)) + 2.0 * 200.0 * pm.p_active(GearId(5));
+        assert!((total - expected).abs() < 1e-9);
+        assert!(d.energy_by_gear[1] == 0.0 && d.energy_by_gear[3] == 0.0);
+    }
+
+    #[test]
+    fn empty_run_renders() {
+        let d = RunDetails::compute(&[], &pm());
+        assert_eq!(d.wait.max, 0.0);
+        let text = d.render();
+        assert!(text.contains("p50"));
+    }
+
+    #[test]
+    fn render_includes_gear_shares() {
+        let outcomes = vec![outcome(0, 4, 0, 100, 0), outcome(1, 2, 0, 200, 5)];
+        let d = RunDetails::compute(&outcomes, &pm());
+        let text = d.render();
+        assert!(text.contains("g0"), "{text}");
+        assert!(text.contains("g5"), "{text}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Run metrics and report writers.
+//!
+//! * [`RunMetrics`] — the per-run summary every experiment consumes:
+//!   average/max BSLD (Eq. 6), wait-time statistics, reduced-job counts,
+//!   per-gear histograms, energy in both idle scenarios, utilisation;
+//! * [`series`] — per-job wait-time series (Figure 6) and smoothing;
+//! * [`TextTable`] — aligned plain-text tables for terminal output;
+//! * [`csvout`] / [`jsonout`] — hand-rolled CSV and JSON writers (kept
+//!   dependency-free on purpose; see DESIGN.md §8).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csvout;
+pub mod detail;
+pub mod jsonout;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use csvout::{csv_escape, csv_string, write_csv};
+pub use detail::{Percentiles, RunDetails, SizeClass};
+pub use jsonout::Json;
+pub use summary::RunMetrics;
+pub use table::TextTable;

@@ -1,0 +1,155 @@
+//! Per-run summary metrics.
+
+use bsld_model::{GearId, JobOutcome, BSLD_SHORT_JOB_THRESHOLD_SECS};
+use bsld_power::{EnergyAccount, EnergyReport, PowerModel};
+use bsld_simkernel::stats::OnlineStats;
+
+/// Everything the paper reports about one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Number of completed jobs.
+    pub jobs: usize,
+    /// Average BSLD over all jobs (Eq. 6, threshold 600 s) — Figures 5 & 9.
+    pub avg_bsld: f64,
+    /// Largest single-job BSLD.
+    pub max_bsld: f64,
+    /// Average wait time in seconds — Table 3.
+    pub avg_wait_secs: f64,
+    /// Largest single-job wait, seconds.
+    pub max_wait_secs: u64,
+    /// Jobs that ran below the top gear at any point — Figure 4.
+    pub reduced_jobs: usize,
+    /// Jobs per initially-assigned gear (index = gear id).
+    pub gear_histogram: Vec<usize>,
+    /// Completion time of the last job, seconds from simulation start.
+    pub makespan_secs: u64,
+    /// Energy in both idle scenarios — Figures 3, 7, 8.
+    pub energy: EnergyReport,
+    /// Busy processor-time over capacity for the makespan.
+    pub utilization: f64,
+}
+
+impl RunMetrics {
+    /// Summarises a run.
+    ///
+    /// * `outcomes` — the simulator's completed jobs;
+    /// * `pm` — the power model used for energy accounting;
+    /// * `total_cpus` — the machine size the run used (for idle energy);
+    /// * `gear_count` — gears in the machine's gear set (histogram width).
+    pub fn compute(
+        outcomes: &[JobOutcome],
+        pm: &PowerModel,
+        total_cpus: u32,
+        gear_count: usize,
+    ) -> RunMetrics {
+        let th = BSLD_SHORT_JOB_THRESHOLD_SECS;
+        let top = GearId(gear_count.saturating_sub(1) as u8);
+        let mut bsld = OnlineStats::new();
+        let mut wait = OnlineStats::new();
+        let mut max_wait = 0u64;
+        let mut reduced = 0usize;
+        let mut gear_histogram = vec![0usize; gear_count.max(1)];
+        let mut account = EnergyAccount::new();
+        let mut makespan = 0u64;
+        for o in outcomes {
+            bsld.push(o.bsld(th));
+            let w = o.wait();
+            wait.push(w as f64);
+            max_wait = max_wait.max(w);
+            if o.was_reduced(top) {
+                reduced += 1;
+            }
+            let g = o.gear.index().min(gear_histogram.len() - 1);
+            gear_histogram[g] += 1;
+            account.add_outcome(pm, o);
+            makespan = makespan.max(o.finish.as_secs());
+        }
+        let energy = account.finish(pm, total_cpus, makespan);
+        RunMetrics {
+            jobs: outcomes.len(),
+            avg_bsld: bsld.mean(),
+            max_bsld: bsld.max().unwrap_or(0.0),
+            avg_wait_secs: wait.mean(),
+            max_wait_secs: max_wait,
+            reduced_jobs: reduced,
+            gear_histogram,
+            makespan_secs: makespan,
+            energy,
+            utilization: energy.utilization(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_cluster::GearSet;
+    use bsld_model::{JobId, Phase};
+    use bsld_simkernel::Time;
+
+    fn outcome(id: u32, cpus: u32, arrival: u64, start: u64, runtime: u64, gear: u8) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            cpus,
+            arrival: Time(arrival),
+            start: Time(start),
+            finish: Time(start + runtime),
+            gear: GearId(gear),
+            phases: vec![Phase { gear: GearId(gear), seconds: runtime }],
+            nominal_runtime: runtime,
+            requested: runtime,
+        }
+    }
+
+    #[test]
+    fn summary_of_two_jobs() {
+        let pm = PowerModel::paper(GearSet::paper());
+        let outcomes = vec![
+            outcome(0, 4, 0, 0, 1200, 5),     // BSLD 1, no wait
+            outcome(1, 2, 0, 1200, 1200, 2), // BSLD 2, wait 1200, reduced
+        ];
+        let m = RunMetrics::compute(&outcomes, &pm, 4, 6);
+        assert_eq!(m.jobs, 2);
+        assert!((m.avg_bsld - 1.5).abs() < 1e-12);
+        assert_eq!(m.max_bsld, 2.0);
+        assert!((m.avg_wait_secs - 600.0).abs() < 1e-12);
+        assert_eq!(m.max_wait_secs, 1200);
+        assert_eq!(m.reduced_jobs, 1);
+        assert_eq!(m.gear_histogram, vec![0, 0, 1, 0, 0, 1]);
+        assert_eq!(m.makespan_secs, 2400);
+        assert!(m.energy.computational > 0.0);
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+    }
+
+    #[test]
+    fn empty_run() {
+        let pm = PowerModel::paper(GearSet::paper());
+        let m = RunMetrics::compute(&[], &pm, 4, 6);
+        assert_eq!(m.jobs, 0);
+        assert_eq!(m.avg_bsld, 0.0);
+        assert_eq!(m.reduced_jobs, 0);
+        assert_eq!(m.makespan_secs, 0);
+    }
+
+    #[test]
+    fn boosted_job_counts_as_reduced() {
+        let pm = PowerModel::paper(GearSet::paper());
+        let o = JobOutcome {
+            id: JobId(0),
+            cpus: 1,
+            arrival: Time(0),
+            start: Time(0),
+            finish: Time(100),
+            gear: GearId(0),
+            phases: vec![
+                Phase { gear: GearId(0), seconds: 50 },
+                Phase { gear: GearId(5), seconds: 50 },
+            ],
+            nominal_runtime: 80,
+            requested: 80,
+        };
+        let m = RunMetrics::compute(&[o], &pm, 1, 6);
+        assert_eq!(m.reduced_jobs, 1);
+        assert_eq!(m.gear_histogram[0], 1, "histogram uses the initial gear");
+    }
+}

@@ -1,0 +1,103 @@
+//! The Bounded Slowdown (BSLD) metric.
+//!
+//! BSLD is the paper's measure of user-perceived performance. For a completed
+//! job (Eq. 1 and Eq. 6 of the paper):
+//!
+//! ```text
+//! BSLD = max( (WaitTime + PenalizedRunTime) / max(Th, RunTime), 1 )
+//! ```
+//!
+//! where `PenalizedRunTime` is the runtime at the gear the job actually used
+//! and `RunTime` in the denominator is the **nominal** (top-frequency)
+//! runtime — so dilation from frequency scaling counts fully as slowdown.
+//! `Th = 600 s` keeps very short jobs from dominating averages.
+//!
+//! For a *prediction* at scheduling time (Eq. 2) the user-requested time `RQ`
+//! replaces the unknown runtime and the β-model dilation coefficient
+//! `Coef(f)` replaces the realised penalty:
+//!
+//! ```text
+//! PredBSLD = max( (WT + RQ·Coef(f)) / max(Th, RQ), 1 )
+//! ```
+
+/// The paper's very-short-job threshold `Th` (600 s = 10 min).
+pub const BSLD_SHORT_JOB_THRESHOLD_SECS: u64 = 600;
+
+/// Observed BSLD of a completed job (Eq. 6).
+///
+/// * `wait` — seconds between arrival and start;
+/// * `penalized_runtime` — seconds between start and finish (at the executed
+///   gear(s));
+/// * `nominal_runtime` — runtime at the top frequency (denominator);
+/// * `th` — the short-job threshold, normally
+///   [`BSLD_SHORT_JOB_THRESHOLD_SECS`].
+#[inline]
+pub fn bsld_observed(wait: u64, penalized_runtime: u64, nominal_runtime: u64, th: u64) -> f64 {
+    let denom = th.max(nominal_runtime) as f64;
+    let slowdown = (wait + penalized_runtime) as f64 / denom;
+    slowdown.max(1.0)
+}
+
+/// Predicted BSLD at scheduling time (Eq. 2).
+///
+/// * `wait` — wait time implied by the candidate allocation (`start −
+///   arrival`);
+/// * `requested` — the user runtime estimate `RQ` at top frequency;
+/// * `coef` — the β-model dilation coefficient `Coef(f) ≥ 1`;
+/// * `th` — the short-job threshold.
+#[inline]
+pub fn bsld_predicted(wait: u64, requested: u64, coef: f64, th: u64) -> f64 {
+    let denom = th.max(requested) as f64;
+    let slowdown = (wait as f64 + requested as f64 * coef) / denom;
+    slowdown.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_job_clamped_by_threshold() {
+        // 60 s job, no wait: (0+60)/600 < 1 → clamped to 1.
+        assert_eq!(bsld_observed(0, 60, 60, 600), 1.0);
+        // 60 s job, 540 s wait: (540+60)/600 = 1.
+        assert_eq!(bsld_observed(540, 60, 60, 600), 1.0);
+        // 60 s job, 1140 s wait: (1140+60)/600 = 2.
+        assert_eq!(bsld_observed(1140, 60, 60, 600), 2.0);
+    }
+
+    #[test]
+    fn long_job_uses_own_runtime() {
+        // 1200 s job, 1200 s wait: (1200+1200)/1200 = 2.
+        assert_eq!(bsld_observed(1200, 1200, 1200, 600), 2.0);
+    }
+
+    #[test]
+    fn dilation_counts_as_slowdown() {
+        // Nominal 1000 s job dilated to 1500 s, no wait:
+        // (0+1500)/1000 = 1.5 — the denominator stays nominal.
+        assert_eq!(bsld_observed(0, 1500, 1000, 600), 1.5);
+    }
+
+    #[test]
+    fn never_below_one() {
+        assert_eq!(bsld_observed(0, 1, 1, 600), 1.0);
+        assert_eq!(bsld_predicted(0, 1, 1.0, 600), 1.0);
+    }
+
+    #[test]
+    fn predicted_matches_formula() {
+        // WT=500, RQ=1000, Coef=1.5: (500+1500)/1000 = 2.
+        assert_eq!(bsld_predicted(500, 1000, 1.5, 600), 2.0);
+        // Short requested time uses threshold denominator:
+        // WT=300, RQ=300, Coef=2: (300+600)/600 = 1.5.
+        assert_eq!(bsld_predicted(300, 300, 2.0, 600), 1.5);
+    }
+
+    #[test]
+    fn predicted_monotone_in_coef_and_wait() {
+        let base = bsld_predicted(100, 2000, 1.0, 600);
+        assert!(bsld_predicted(100, 2000, 1.2, 600) > base);
+        assert!(bsld_predicted(500, 2000, 1.0, 600) > base);
+    }
+}

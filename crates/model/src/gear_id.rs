@@ -1,0 +1,43 @@
+//! Gear identifiers.
+//!
+//! A [`GearId`] is an index into a cluster's DVFS gear set, ordered from the
+//! lowest frequency (index 0) to the highest. The gear table itself (the
+//! frequency/voltage pairs) lives in `bsld-cluster`; the bare index lives
+//! here so that job outcomes can record their assigned gear without pulling
+//! in the cluster model.
+
+/// Index into a DVFS gear set; `GearId(0)` is the lowest frequency and
+/// larger indices are faster gears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GearId(pub u8);
+
+impl GearId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GearId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(GearId(0) < GearId(1));
+        assert!(GearId(5) > GearId(4));
+        assert_eq!(GearId(3).index(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(GearId(2).to_string(), "g2");
+    }
+}

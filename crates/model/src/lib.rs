@@ -1,0 +1,24 @@
+//! Domain model shared by the BSLD reproduction crates.
+//!
+//! * [`Job`] — a rigid parallel job: arrival time, processor count, actual
+//!   runtime and user-requested runtime (both expressed at the top CPU
+//!   frequency), and a per-job β frequency-sensitivity coefficient;
+//! * [`JobOutcome`] — what the simulator records once a job completes:
+//!   start/finish times, the assigned DVFS gear and the executed phases;
+//! * [`bsld`] — the Bounded Slowdown metric (Eq. 1/2/6 of Etinski et al.
+//!   2010) with the paper's 600 s very-short-job threshold;
+//! * [`GearId`] — an index into a DVFS gear set (the gear table itself lives
+//!   in `bsld-cluster`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bsld;
+pub mod gear_id;
+pub mod job;
+pub mod outcome;
+
+pub use bsld::{bsld_observed, bsld_predicted, BSLD_SHORT_JOB_THRESHOLD_SECS};
+pub use gear_id::GearId;
+pub use job::{Job, JobId};
+pub use outcome::{JobOutcome, Phase};

@@ -1,0 +1,163 @@
+//! Completed-job records.
+
+use bsld_simkernel::Time;
+
+use crate::bsld::bsld_observed;
+use crate::gear_id::GearId;
+use crate::job::JobId;
+
+/// One contiguous stretch of execution at a single gear.
+///
+/// Without the dynamic-boost extension every job has exactly one phase; with
+/// it, a job that is boosted mid-run has two or more.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Gear the job ran at during this phase.
+    pub gear: GearId,
+    /// Wall-clock seconds spent in this phase (already dilated).
+    pub seconds: u64,
+}
+
+/// Everything the simulator records about a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job's identifier.
+    pub id: JobId,
+    /// Processors held for the whole execution.
+    pub cpus: u32,
+    /// Submission time.
+    pub arrival: Time,
+    /// Execution start time.
+    pub start: Time,
+    /// Completion time (`start + penalized runtime`).
+    pub finish: Time,
+    /// Gear assigned at start (the paper assigns one gear per execution).
+    pub gear: GearId,
+    /// Executed phases; one entry unless the job was boosted mid-run.
+    pub phases: Vec<Phase>,
+    /// Nominal (top-frequency) runtime, seconds.
+    pub nominal_runtime: u64,
+    /// User-requested runtime at top frequency, seconds.
+    pub requested: u64,
+}
+
+impl JobOutcome {
+    /// Seconds the job waited between arrival and start.
+    #[inline]
+    pub fn wait(&self) -> u64 {
+        self.start - self.arrival
+    }
+
+    /// Wall-clock runtime actually experienced (dilated by DVFS), seconds.
+    #[inline]
+    pub fn penalized_runtime(&self) -> u64 {
+        self.finish - self.start
+    }
+
+    /// Observed BSLD (Eq. 6 of the paper) with short-job threshold `th`.
+    #[inline]
+    pub fn bsld(&self, th: u64) -> f64 {
+        bsld_observed(self.wait(), self.penalized_runtime(), self.nominal_runtime, th)
+    }
+
+    /// Whether the job ran below the given top gear at any point.
+    #[inline]
+    pub fn was_reduced(&self, top: GearId) -> bool {
+        self.phases.iter().any(|p| p.gear < top)
+    }
+
+    /// Processor-seconds occupied (dilated runtime × cpus).
+    #[inline]
+    pub fn area(&self) -> u64 {
+        self.cpus as u64 * self.penalized_runtime()
+    }
+
+    /// Checks internal consistency; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.start < self.arrival {
+            return Err(format!("{}: started before arrival", self.id));
+        }
+        if self.finish < self.start {
+            return Err(format!("{}: finished before start", self.id));
+        }
+        let phase_sum: u64 = self.phases.iter().map(|p| p.seconds).sum();
+        if phase_sum != self.penalized_runtime() {
+            return Err(format!(
+                "{}: phases sum to {} but penalized runtime is {}",
+                self.id,
+                phase_sum,
+                self.penalized_runtime()
+            ));
+        }
+        if self.phases.is_empty() {
+            return Err(format!("{}: no executed phases", self.id));
+        }
+        if self.phases[0].gear != self.gear {
+            return Err(format!("{}: first phase gear differs from assigned gear", self.id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(wait: u64, runtime: u64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(0),
+            cpus: 4,
+            arrival: Time(100),
+            start: Time(100 + wait),
+            finish: Time(100 + wait + runtime),
+            gear: GearId(5),
+            phases: vec![Phase { gear: GearId(5), seconds: runtime }],
+            nominal_runtime: runtime,
+            requested: runtime,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let o = outcome(50, 1000);
+        assert_eq!(o.wait(), 50);
+        assert_eq!(o.penalized_runtime(), 1000);
+        assert_eq!(o.area(), 4000);
+        assert!(!o.was_reduced(GearId(5)));
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn bsld_of_outcome() {
+        let o = outcome(1000, 1000);
+        assert_eq!(o.bsld(600), 2.0);
+    }
+
+    #[test]
+    fn reduced_detection() {
+        let mut o = outcome(0, 1500);
+        o.gear = GearId(2);
+        o.phases = vec![Phase { gear: GearId(2), seconds: 1500 }];
+        assert!(o.was_reduced(GearId(5)));
+        assert!(!o.was_reduced(GearId(2)));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistency() {
+        let mut o = outcome(0, 100);
+        o.phases[0].seconds = 99;
+        assert!(o.validate().is_err());
+
+        let mut o = outcome(0, 100);
+        o.start = Time(0); // before arrival at t=100
+        assert!(o.validate().is_err());
+
+        let mut o = outcome(0, 100);
+        o.phases.clear();
+        assert!(o.validate().is_err());
+
+        let mut o = outcome(0, 100);
+        o.phases[0].gear = GearId(1);
+        assert!(o.validate().is_err());
+    }
+}

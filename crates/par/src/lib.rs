@@ -1,0 +1,188 @@
+//! Order-preserving parallel map over a crossbeam work pool.
+//!
+//! The reproduction's experiment grids (workload × `BSLD_threshold` ×
+//! `WQ_threshold` × system size) are embarrassingly parallel: every cell is
+//! an independent, deterministic simulation. [`par_map`] fans the cells out
+//! over a fixed pool of scoped worker threads fed by a crossbeam channel and
+//! returns results **in input order**, so parallel sweeps are bit-for-bit
+//! identical to sequential ones.
+//!
+//! Following the HPC-parallel guidance: crossbeam for thread-based
+//! parallelism and work distribution; `parking_lot` for the shared result
+//! slots.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Number of worker threads [`par_map`] uses by default: the available
+/// parallelism, capped at 16 (the grids rarely have more useful width).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Applies `f` to every item on a pool of `threads` workers, returning the
+/// results in input order.
+///
+/// Items are distributed dynamically (a shared channel acts as the work
+/// queue), so heterogeneous cell costs — e.g. the SDSC grid cell simulating
+/// a saturated machine — do not serialise the sweep.
+///
+/// Panics in workers propagate: if any invocation of `f` panics, `par_map`
+/// panics after the pool drains.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 || n == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        tx.send(pair).expect("channel open");
+    }
+    drop(tx);
+
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let rx = rx.clone();
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok((idx, item)) = rx.recv() {
+                    let out = f(item);
+                    *slots[idx].lock() = Some(out);
+                }
+            });
+        }
+    })
+    .expect("a parallel worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// A thread-safe progress counter for long sweeps.
+///
+/// Workers call [`Progress::tick`]; an observer (usually the CLI) reads
+/// [`Progress::done`] to render status lines.
+#[derive(Debug, Default)]
+pub struct Progress {
+    done: std::sync::atomic::AtomicUsize,
+    total: usize,
+}
+
+impl Progress {
+    /// A counter expecting `total` ticks.
+    pub fn new(total: usize) -> Self {
+        Progress { done: std::sync::atomic::AtomicUsize::new(0), total }
+    }
+
+    /// Records one completed unit and returns the new count.
+    pub fn tick(&self) -> usize {
+        self.done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
+    }
+
+    /// Completed units so far.
+    pub fn done(&self) -> usize {
+        self.done.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The expected total.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(items.clone(), 8, |x| x * 2);
+        let expected: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let items: Vec<u32> = (0..97).collect();
+        let seq = par_map(items.clone(), 1, |x| x.wrapping_mul(2654435761) >> 7);
+        for threads in [2, 3, 4, 8, 32] {
+            let par = par_map(items.clone(), threads, |x| x.wrapping_mul(2654435761) >> 7);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let out = par_map(vec![41], 4, |x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Simulate heterogeneous cell costs with spin work proportional to
+        // an arbitrary pattern.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(items, 8, |x| {
+            let spins = (x % 7) * 1000;
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = par_map(vec![1, 2, 3], 2, |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn progress_counts() {
+        let p = Progress::new(10);
+        assert_eq!(p.total(), 10);
+        assert_eq!(p.done(), 0);
+        assert_eq!(p.tick(), 1);
+        assert_eq!(p.tick(), 2);
+        assert_eq!(p.done(), 2);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

@@ -1,0 +1,193 @@
+//! Workload energy accounting.
+//!
+//! The paper reports two CPU-energy scenarios for every run:
+//!
+//! * **computational energy** (`E_idle=0`) — idle processors dissipate
+//!   nothing; only job execution counts;
+//! * **idle-aware energy** (`E_idle=low`) — idle processors draw the
+//!   lowest-gear idle power for every idle processor-second of the
+//!   workload's makespan.
+//!
+//! [`EnergyAccount`] accumulates job phases during (or after) a simulation
+//! and produces an [`EnergyReport`] holding both scenarios.
+
+use bsld_model::{GearId, JobOutcome};
+
+use crate::model::PowerModel;
+
+/// Accumulates active energy and busy processor-time for one run.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyAccount {
+    active: f64,
+    busy_cpu_secs: f64,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one executed phase: `cpus` processors for `secs` wall seconds at
+    /// `gear`.
+    pub fn add_phase(&mut self, pm: &PowerModel, cpus: u32, secs: u64, gear: GearId) {
+        let cpu_secs = cpus as f64 * secs as f64;
+        self.active += cpu_secs * pm.p_active(gear);
+        self.busy_cpu_secs += cpu_secs;
+    }
+
+    /// Adds every phase of a completed job.
+    pub fn add_outcome(&mut self, pm: &PowerModel, outcome: &JobOutcome) {
+        for phase in &outcome.phases {
+            self.add_phase(pm, outcome.cpus, phase.seconds, phase.gear);
+        }
+    }
+
+    /// Finalises the account for a machine of `total_cpus` whose simulated
+    /// span (first arrival to last completion) was `makespan_secs`.
+    pub fn finish(&self, pm: &PowerModel, total_cpus: u32, makespan_secs: u64) -> EnergyReport {
+        let capacity = total_cpus as f64 * makespan_secs as f64;
+        // Guard against accounting drift: busy time can never exceed
+        // capacity by more than rounding noise.
+        let idle_cpu_secs = (capacity - self.busy_cpu_secs).max(0.0);
+        let idle = idle_cpu_secs * pm.p_idle();
+        EnergyReport {
+            computational: self.active,
+            with_idle: self.active + idle,
+            busy_cpu_secs: self.busy_cpu_secs,
+            idle_cpu_secs,
+            makespan_secs,
+            total_cpus,
+        }
+    }
+}
+
+/// Energy totals of one simulation run (normalised power units × seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// `E_idle=0`: energy of job execution only.
+    pub computational: f64,
+    /// `E_idle=low`: computational energy plus idle power.
+    pub with_idle: f64,
+    /// Processor-seconds spent running jobs.
+    pub busy_cpu_secs: f64,
+    /// Processor-seconds spent idle within the makespan.
+    pub idle_cpu_secs: f64,
+    /// The makespan used for the idle computation, seconds.
+    pub makespan_secs: u64,
+    /// Machine size used for the idle computation.
+    pub total_cpus: u32,
+}
+
+impl EnergyReport {
+    /// Machine utilisation: busy processor-time over capacity.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.total_cpus as f64 * self.makespan_secs as f64;
+        if cap == 0.0 {
+            0.0
+        } else {
+            self.busy_cpu_secs / cap
+        }
+    }
+
+    /// This report's computational energy normalised by `baseline`'s.
+    pub fn normalized_computational(&self, baseline: &EnergyReport) -> f64 {
+        self.computational / baseline.computational
+    }
+
+    /// This report's idle-aware energy normalised by `baseline`'s.
+    pub fn normalized_with_idle(&self, baseline: &EnergyReport) -> f64 {
+        self.with_idle / baseline.with_idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_cluster::GearSet;
+    use bsld_model::{JobId, Phase};
+    use bsld_simkernel::Time;
+
+    fn pm() -> PowerModel {
+        PowerModel::paper(GearSet::paper())
+    }
+
+    #[test]
+    fn single_phase_energy() {
+        let pm = pm();
+        let mut acc = EnergyAccount::new();
+        acc.add_phase(&pm, 4, 100, GearId(5));
+        let rep = acc.finish(&pm, 8, 100);
+        let expected_active = 4.0 * 100.0 * pm.p_active(GearId(5));
+        assert!((rep.computational - expected_active).abs() < 1e-9);
+        // 8 cpus × 100 s capacity, 400 busy ⇒ 400 idle cpu·s.
+        assert!((rep.idle_cpu_secs - 400.0).abs() < 1e-9);
+        let expected_idle = 400.0 * pm.p_idle();
+        assert!((rep.with_idle - (expected_active + expected_idle)).abs() < 1e-9);
+        assert!((rep.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_phases_accumulate() {
+        let pm = pm();
+        let outcome = JobOutcome {
+            id: JobId(0),
+            cpus: 2,
+            arrival: Time(0),
+            start: Time(0),
+            finish: Time(300),
+            gear: GearId(0),
+            phases: vec![
+                Phase { gear: GearId(0), seconds: 200 },
+                Phase { gear: GearId(5), seconds: 100 },
+            ],
+            nominal_runtime: 250,
+            requested: 250,
+        };
+        let mut acc = EnergyAccount::new();
+        acc.add_outcome(&pm, &outcome);
+        let rep = acc.finish(&pm, 2, 300);
+        let expected = 2.0 * 200.0 * pm.p_active(GearId(0)) + 2.0 * 100.0 * pm.p_active(GearId(5));
+        assert!((rep.computational - expected).abs() < 1e-9);
+        assert!((rep.utilization() - 1.0).abs() < 1e-12);
+        assert!((rep.idle_cpu_secs - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduced_gear_saves_computational_energy_for_same_work() {
+        // One job, 1000 work-seconds on 4 cpus: lowest gear (dilated) must
+        // cost less active energy than top gear.
+        let pm = pm();
+        let gs = GearSet::paper();
+        let beta = crate::BetaModel::new(gs.clone());
+        let mut at_top = EnergyAccount::new();
+        at_top.add_phase(&pm, 4, 1000, gs.top());
+        let mut at_low = EnergyAccount::new();
+        at_low.add_phase(&pm, 4, beta.dilate(1000, 0.5, gs.lowest()), gs.lowest());
+        let span = 10_000;
+        let top_rep = at_top.finish(&pm, 4, span);
+        let low_rep = at_low.finish(&pm, 4, span);
+        assert!(low_rep.computational < top_rep.computational);
+        // Ratio ≈ 0.55 for the paper's parameters (the 45 % bound).
+        let ratio = low_rep.normalized_computational(&top_rep);
+        assert!((ratio - 0.55).abs() < 0.02, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn with_idle_always_at_least_computational() {
+        let pm = pm();
+        let mut acc = EnergyAccount::new();
+        acc.add_phase(&pm, 1, 50, GearId(2));
+        let rep = acc.finish(&pm, 10, 100);
+        assert!(rep.with_idle >= rep.computational);
+    }
+
+    #[test]
+    fn empty_account() {
+        let pm = pm();
+        let rep = EnergyAccount::new().finish(&pm, 4, 0);
+        assert_eq!(rep.computational, 0.0);
+        assert_eq!(rep.with_idle, 0.0);
+        assert_eq!(rep.utilization(), 0.0);
+    }
+}

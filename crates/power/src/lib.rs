@@ -1,0 +1,37 @@
+//! CPU power and execution-time models (Section 4 of Etinski et al. 2010).
+//!
+//! * [`PowerModel`] — dynamic power `P = A·C·f·V²` plus static power
+//!   `P = α·V`, with a running/idle activity ratio of 2.5 and α derived from
+//!   the static share of total active power at the top gear (25 % in the
+//!   paper). The derived model reproduces the paper's observation that an
+//!   idle processor draws ≈ 21 % of a busy top-frequency processor.
+//! * [`BetaModel`] — the β execution-time dilation model
+//!   `T(f)/T(f_top) = β·(f_top/f − 1) + 1`.
+//! * [`EnergyAccount`] — accumulates per-phase active energy and derives the
+//!   paper's two energy scenarios: *computational energy* (idle processors
+//!   free) and *idle-aware energy* (idle processors at lowest-gear idle
+//!   power).
+//!
+//! Power is expressed in normalised units (`A_idle·C = 1`); every reported
+//! energy in the reproduction is a ratio against a no-DVFS run of the same
+//! workload, so the absolute scale cancels.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod energy;
+pub mod model;
+pub mod time_model;
+
+pub use energy::{EnergyAccount, EnergyReport};
+pub use model::PowerModel;
+pub use time_model::BetaModel;
+
+/// The paper's default β (Section 4, after Freeh et al. measurements).
+pub const DEFAULT_BETA: f64 = 0.5;
+
+/// The paper's static share of total active CPU power at the top frequency.
+pub const DEFAULT_STATIC_FRACTION: f64 = 0.25;
+
+/// The paper's running-to-idle activity-factor ratio.
+pub const DEFAULT_ACTIVITY_RATIO: f64 = 2.5;

@@ -1,0 +1,206 @@
+//! The CPU power model.
+
+use bsld_cluster::GearSet;
+use bsld_model::GearId;
+
+use crate::{DEFAULT_ACTIVITY_RATIO, DEFAULT_STATIC_FRACTION};
+
+/// Dynamic + static CPU power (Eqs. 3–4 of the paper).
+///
+/// Dynamic power is `A·C·f·V²` where `A` is the activity factor and `C` the
+/// switched capacitance; the product `A·C` is normalised to 1 for an idle
+/// processor, and a running processor's activity is `activity_ratio` (2.5)
+/// times higher. Static power is `α·V` with α chosen such that static power
+/// is `static_fraction` (25 %) of the total active power at the top gear.
+///
+/// Idle processors are assumed to sit at the lowest gear with idle activity
+/// — the paper's "idle = low" scenario.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    gears: GearSet,
+    /// `A_idle · C` in normalised power units.
+    act_idle_c: f64,
+    /// Running activity / idle activity (2.5 in the paper).
+    activity_ratio: f64,
+    /// Static power coefficient (derived).
+    alpha: f64,
+}
+
+impl PowerModel {
+    /// The paper's parameterisation for a given gear set: activity ratio
+    /// 2.5, static share 25 % at the top gear, normalised `A_idle·C = 1`.
+    pub fn paper(gears: GearSet) -> Self {
+        Self::with_params(gears, DEFAULT_STATIC_FRACTION, DEFAULT_ACTIVITY_RATIO, 1.0)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// * `static_fraction` — static share of *total active* power at the top
+    ///   gear, in `[0, 1)`;
+    /// * `activity_ratio` — running vs. idle activity (≥ 1);
+    /// * `act_idle_c` — the normalised `A_idle·C` product (> 0).
+    pub fn with_params(
+        gears: GearSet,
+        static_fraction: f64,
+        activity_ratio: f64,
+        act_idle_c: f64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&static_fraction), "static fraction must be in [0,1)");
+        assert!(activity_ratio >= 1.0, "running activity must be >= idle activity");
+        assert!(act_idle_c > 0.0, "A_idle·C must be positive");
+        let top = gears.get(gears.top());
+        // P_static(top) = sf · (P_dyn_run(top) + P_static(top))
+        //   ⇒ α·V_top·(1−sf) = sf · A_run·C·f_top·V_top²
+        //   ⇒ α = sf/(1−sf) · A_run·C · f_top · V_top
+        let act_run_c = act_idle_c * activity_ratio;
+        let alpha =
+            static_fraction / (1.0 - static_fraction) * act_run_c * top.freq_ghz * top.voltage;
+        PowerModel { gears, act_idle_c, activity_ratio, alpha }
+    }
+
+    /// The gear set this model prices.
+    pub fn gears(&self) -> &GearSet {
+        &self.gears
+    }
+
+    /// Dynamic power of a processor *running a job* at `gear`.
+    #[inline]
+    pub fn p_dynamic_running(&self, gear: GearId) -> f64 {
+        let g = self.gears.get(gear);
+        self.act_idle_c * self.activity_ratio * g.freq_ghz * g.voltage * g.voltage
+    }
+
+    /// Dynamic power of an *idle* processor parked at `gear`.
+    #[inline]
+    pub fn p_dynamic_idle(&self, gear: GearId) -> f64 {
+        let g = self.gears.get(gear);
+        self.act_idle_c * g.freq_ghz * g.voltage * g.voltage
+    }
+
+    /// Static (leakage) power at `gear` (Eq. 4: `α·V`).
+    #[inline]
+    pub fn p_static(&self, gear: GearId) -> f64 {
+        self.alpha * self.gears.get(gear).voltage
+    }
+
+    /// Total power of a processor running a job at `gear`.
+    #[inline]
+    pub fn p_active(&self, gear: GearId) -> f64 {
+        self.p_dynamic_running(gear) + self.p_static(gear)
+    }
+
+    /// Total power of an idle processor (lowest gear, idle activity).
+    #[inline]
+    pub fn p_idle(&self) -> f64 {
+        let low = self.gears.lowest();
+        self.p_dynamic_idle(low) + self.p_static(low)
+    }
+
+    /// `P_idle / P_active(top)` — the paper reports ≈ 0.21 for its
+    /// parameters.
+    pub fn idle_fraction_of_top(&self) -> f64 {
+        self.p_idle() / self.p_active(self.gears.top())
+    }
+
+    /// Energy (per processor) to run one second of *top-frequency work* at
+    /// `gear`, i.e. `P_active(gear) · Coef` where the caller supplies the
+    /// β-model dilation `coef`. Useful for reasoning about whether a gear
+    /// saves energy per unit of work.
+    #[inline]
+    pub fn energy_per_work_second(&self, gear: GearId, coef: f64) -> f64 {
+        self.p_active(gear) * coef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_model() -> PowerModel {
+        PowerModel::paper(GearSet::paper())
+    }
+
+    #[test]
+    fn static_share_at_top_is_25_percent() {
+        let m = paper_model();
+        let top = m.gears().top();
+        let share = m.p_static(top) / m.p_active(top);
+        assert!((share - 0.25).abs() < 1e-12, "share = {share}");
+    }
+
+    #[test]
+    fn idle_is_21_percent_of_top_active() {
+        // The paper: "an idle processor consumes 21% of the power consumed
+        // by a processor executing a job at the highest frequency".
+        let m = paper_model();
+        let frac = m.idle_fraction_of_top();
+        assert!((frac - 0.213).abs() < 0.005, "idle fraction = {frac}");
+    }
+
+    #[test]
+    fn power_increases_with_gear() {
+        let m = paper_model();
+        let mut prev = 0.0;
+        for (id, _) in m.gears().ascending().collect::<Vec<_>>() {
+            let p = m.p_active(id);
+            assert!(p > prev, "P_active must increase with frequency");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn running_beats_idle_dynamic_by_activity_ratio() {
+        let m = paper_model();
+        let g = GearId(3);
+        let ratio = m.p_dynamic_running(g) / m.p_dynamic_idle(g);
+        assert!((ratio - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowest_gear_saves_energy_per_work_second() {
+        // With β = 0.5 the energy per top-frequency work second must be
+        // lower at the lowest gear — that is the entire point of the policy.
+        let m = paper_model();
+        let gs = m.gears().clone();
+        let coef_low = 0.5 * (gs.freq_ratio(gs.lowest()) - 1.0) + 1.0;
+        let e_low = m.energy_per_work_second(gs.lowest(), coef_low);
+        let e_top = m.energy_per_work_second(gs.top(), 1.0);
+        assert!(
+            e_low < e_top,
+            "lowest gear must be more energy-efficient per unit work: {e_low} vs {e_top}"
+        );
+        // And the saving is bounded (≈ 45 % for the paper's parameters).
+        let saving = 1.0 - e_low / e_top;
+        assert!((saving - 0.45).abs() < 0.02, "saving = {saving}");
+    }
+
+    #[test]
+    fn energy_per_work_monotone_across_gears_with_beta_half() {
+        // For β = 0.5 and the paper's gear table, lower gears are strictly
+        // more efficient per work second — the policy's low-to-high search
+        // therefore finds the most efficient admissible gear first.
+        let m = paper_model();
+        let gs = m.gears().clone();
+        let mut prev = f64::NEG_INFINITY;
+        for (id, _) in gs.ascending() {
+            let coef = 0.5 * (gs.freq_ratio(id) - 1.0) + 1.0;
+            let e = m.energy_per_work_second(id, coef);
+            assert!(e > prev, "gear {id}: {e} <= {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn custom_static_fraction() {
+        let m = PowerModel::with_params(GearSet::paper(), 0.4, 2.5, 1.0);
+        let top = m.gears().top();
+        let share = m.p_static(top) / m.p_active(top);
+        assert!((share - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "static fraction")]
+    fn rejects_bad_static_fraction() {
+        let _ = PowerModel::with_params(GearSet::paper(), 1.0, 2.5, 1.0);
+    }
+}

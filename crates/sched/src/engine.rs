@@ -1,0 +1,1091 @@
+//! The event-driven EASY backfilling simulator.
+//!
+//! # Scheduling semantics
+//!
+//! On every event (job arrival or completion) the engine runs a scheduling
+//! pass:
+//!
+//! 1. **Start head jobs.** While the head of the wait queue fits on the
+//!    currently free processors it starts immediately (First Fit processor
+//!    selection), at the gear chosen by the [`FrequencyPolicy`].
+//! 2. **Reserve.** The remaining head job (if any) receives the only
+//!    reservation: the earliest instant — according to the *requested*
+//!    completion times of running jobs — at which its processors are
+//!    available. The reservation (at its policy-chosen gear and dilated
+//!    requested duration) is committed into the availability profile.
+//! 3. **Backfill.** Every other queued job, in arrival order, may start now
+//!    iff its dilated requested runtime fits the committed profile — i.e.
+//!    iff it cannot delay the reservation. The gear is again chosen by the
+//!    policy, which may decline.
+//!
+//! Because passes rerun on every completion, early finishes automatically
+//! reschedule all queued jobs, as in the paper. Reservations are
+//! re-derived each pass and can only move earlier, preserving the EASY
+//! no-delay guarantee.
+//!
+//! # Dynamic boost (paper future work)
+//!
+//! With [`BoostConfig`] enabled, whenever the wait queue is deeper than
+//! `wq_limit` after a pass, every running job at a reduced gear is re-timed
+//! to the top gear from "now" onwards. Completed work is converted through
+//! the β model, a new completion event is scheduled (stale events are
+//! invalidated by an epoch counter), and the gear change is recorded as a
+//! new execution phase.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use bsld_cluster::{Cluster, ProcSet, ProcessorPool, ProfileBuilder, SelectionPolicy};
+use bsld_model::{GearId, Job, JobId, JobOutcome, Phase};
+use bsld_power::BetaModel;
+use bsld_simkernel::{EventQueue, Time};
+
+use crate::policy::{DecisionCtx, FrequencyPolicy};
+
+/// The queueing discipline the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// EASY backfilling (the paper's substrate): one reservation for the
+    /// queue head; other jobs backfill iff they cannot delay it.
+    #[default]
+    Easy,
+    /// Conservative backfilling: *every* queued job holds a reservation
+    /// (re-derived each event, in arrival order); a job starts early only
+    /// into holes left by all earlier reservations. The classic
+    /// lower-variance alternative to EASY, provided as an ablation
+    /// substrate.
+    Conservative,
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Queueing discipline.
+    pub mode: SchedMode,
+    /// Enable backfilling (EASY step 3). `false` degrades EASY to plain
+    /// FCFS with a head reservation — the ablation baseline. Ignored under
+    /// [`SchedMode::Conservative`] (conservative *is* backfilling).
+    pub backfill: bool,
+    /// Resource selection policy: which processors a cleared job gets.
+    pub selection: SelectionPolicy,
+    /// Record a [`TraceEvent`] log of scheduling actions.
+    pub collect_trace: bool,
+    /// Enable the dynamic-boost extension.
+    pub boost: Option<BoostConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: SchedMode::Easy,
+            backfill: true,
+            selection: SelectionPolicy::FirstFit,
+            collect_trace: false,
+            boost: None,
+        }
+    }
+}
+
+/// Dynamic-boost extension parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BoostConfig {
+    /// Boost running reduced jobs to the top gear whenever more than this
+    /// many jobs are waiting after a scheduling pass.
+    pub wq_limit: usize,
+}
+
+/// Scheduling actions, recorded when `collect_trace` is on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A job began executing.
+    Start {
+        /// Time of the action.
+        at: Time,
+        /// The job.
+        job: JobId,
+        /// Assigned gear.
+        gear: GearId,
+        /// Whether the job started via backfilling (ahead of earlier
+        /// arrivals).
+        backfilled: bool,
+        /// First processor index of the allocation (First Fit evidence).
+        first_proc: u32,
+    },
+    /// A head-of-queue reservation was (re-)derived.
+    Reserve {
+        /// Time of the action.
+        at: Time,
+        /// The job holding the reservation.
+        job: JobId,
+        /// Reserved start time.
+        start: Time,
+        /// Gear the reservation was priced at.
+        gear: GearId,
+    },
+    /// A job completed.
+    Finish {
+        /// Time of the action.
+        at: Time,
+        /// The job.
+        job: JobId,
+    },
+    /// A running job was boosted to the top gear.
+    Boost {
+        /// Time of the action.
+        at: Time,
+        /// The job.
+        job: JobId,
+        /// Gear before the boost.
+        from: GearId,
+    },
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A job requests more processors than the machine has.
+    JobTooLarge {
+        /// The offending job.
+        job: JobId,
+        /// Processors requested.
+        cpus: u32,
+        /// Machine size.
+        total: u32,
+    },
+    /// Jobs were not sorted by arrival time.
+    ArrivalsNotSorted,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::JobTooLarge { job, cpus, total } => {
+                write!(f, "{job} requests {cpus} cpus but the machine has {total}")
+            }
+            SimError::ArrivalsNotSorted => write!(f, "jobs must be sorted by arrival time"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// One outcome per job, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Completion time of the last job (simulation start is 0).
+    pub makespan: Time,
+    /// Scheduling-action log (when `collect_trace` was set).
+    pub trace: Vec<TraceEvent>,
+    /// Number of scheduling passes executed (diagnostics).
+    pub passes: u64,
+}
+
+impl SimResult {
+    /// Outcomes re-sorted by job id (arrival order).
+    pub fn outcomes_by_id(&self) -> Vec<&JobOutcome> {
+        let mut v: Vec<&JobOutcome> = self.outcomes.iter().collect();
+        v.sort_by_key(|o| o.id);
+        v
+    }
+}
+
+enum Event {
+    Arrive(JobId),
+    Finish(JobId, u32),
+}
+
+struct RunningJob {
+    cpus: u32,
+    procs: ProcSet,
+    start: Time,
+    /// When the reservation bookkeeping expects the processors back
+    /// (requested time, dilated to the current gear, from the current
+    /// phase's start).
+    expected_end: Time,
+    /// Current gear.
+    gear: GearId,
+    /// Wall-clock start of the current phase.
+    phase_start: Time,
+    /// Completed phases before the current one.
+    phases: Vec<Phase>,
+    /// Top-frequency work-seconds completed before the current phase.
+    work_done: f64,
+    /// Requested-work-seconds budget consumed before the current phase
+    /// (for re-deriving `expected_end` after a boost).
+    requested_done: f64,
+    /// Invalidates stale completion events after a re-time.
+    epoch: u32,
+}
+
+/// An in-flight simulation. Use [`simulate`] unless you need stepping.
+pub struct Simulation<'a, P: FrequencyPolicy + ?Sized> {
+    jobs: &'a [Job],
+    policy: &'a P,
+    time_model: &'a BetaModel,
+    cfg: EngineConfig,
+    top: GearId,
+
+    now: Time,
+    events: EventQueue<Event>,
+    pool: ProcessorPool,
+    queue: VecDeque<JobId>,
+    running: BTreeMap<JobId, RunningJob>,
+    outcomes: Vec<JobOutcome>,
+    trace: Vec<TraceEvent>,
+    passes: u64,
+}
+
+/// Runs `jobs` (sorted by arrival) on `cluster` under `policy`.
+///
+/// This is the whole-workload entry point used by every experiment.
+pub fn simulate<P: FrequencyPolicy + ?Sized>(
+    cluster: &Cluster,
+    jobs: &[Job],
+    policy: &P,
+    time_model: &BetaModel,
+    cfg: &EngineConfig,
+) -> Result<SimResult, SimError> {
+    Simulation::new(cluster, jobs, policy, time_model, cfg.clone())?.run()
+}
+
+impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
+    /// Validates inputs and prepares the event queue.
+    pub fn new(
+        cluster: &Cluster,
+        jobs: &'a [Job],
+        policy: &'a P,
+        time_model: &'a BetaModel,
+        cfg: EngineConfig,
+    ) -> Result<Self, SimError> {
+        for w in jobs.windows(2) {
+            if w[1].arrival < w[0].arrival {
+                return Err(SimError::ArrivalsNotSorted);
+            }
+        }
+        for job in jobs {
+            if job.cpus > cluster.cpus {
+                return Err(SimError::JobTooLarge {
+                    job: job.id,
+                    cpus: job.cpus,
+                    total: cluster.cpus,
+                });
+            }
+        }
+        let mut events = EventQueue::with_capacity(jobs.len() * 2);
+        for job in jobs {
+            events.push(job.arrival, Event::Arrive(job.id));
+        }
+        Ok(Simulation {
+            jobs,
+            policy,
+            time_model,
+            cfg,
+            top: time_model.gears().top(),
+            now: Time::ZERO,
+            events,
+            pool: cluster.pool(),
+            queue: VecDeque::new(),
+            running: BTreeMap::new(),
+            outcomes: Vec::with_capacity(jobs.len()),
+            trace: Vec::new(),
+            passes: 0,
+        })
+    }
+
+    /// Drives the event loop to completion.
+    pub fn run(mut self) -> Result<SimResult, SimError> {
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.now, "event time went backwards");
+            self.now = t;
+            match ev {
+                Event::Arrive(id) => {
+                    self.queue.push_back(id);
+                }
+                Event::Finish(id, epoch) => {
+                    let valid = self.running.get(&id).is_some_and(|r| r.epoch == epoch);
+                    if !valid {
+                        continue; // stale event from before a re-time
+                    }
+                    self.complete(id);
+                }
+            }
+            self.schedule_pass();
+            self.maybe_boost();
+        }
+        debug_assert!(self.queue.is_empty(), "jobs left waiting at end of simulation");
+        debug_assert!(self.running.is_empty(), "jobs left running at end of simulation");
+        let makespan = self.outcomes.iter().map(|o| o.finish).max().unwrap_or(Time::ZERO);
+        Ok(SimResult {
+            outcomes: self.outcomes,
+            makespan,
+            trace: self.trace,
+            passes: self.passes,
+        })
+    }
+
+    /// The job record for `id`. Returns the `'a` workload lifetime (not
+    /// tied to `&self`), so callers can keep the reference across mutable
+    /// engine calls.
+    fn job(&self, id: JobId) -> &'a Job {
+        &self.jobs[id.index()]
+    }
+
+    fn ctx<'b>(&'b self, job: &'b Job, wq_others: usize) -> DecisionCtx<'b> {
+        DecisionCtx { now: self.now, job, wq_others, time_model: self.time_model }
+    }
+
+    /// Attempts to start `id` right now at `gear` under the configured
+    /// selection policy. Returns `false` (changing nothing) when the
+    /// selection policy cannot serve the request — only possible with
+    /// contiguous selection under fragmentation.
+    fn try_start_job(&mut self, id: JobId, gear: GearId, backfilled: bool) -> bool {
+        let job = &self.jobs[id.index()];
+        let Some(procs) = self.pool.allocate(job.cpus, self.cfg.selection) else {
+            return false;
+        };
+        let wall = self.time_model.dilate(job.runtime, job.beta, gear);
+        let expected = self.time_model.dilate(job.requested, job.beta, gear);
+        debug_assert!(wall <= expected);
+        let finish_at = self.now + wall;
+        self.events.push(finish_at, Event::Finish(id, 0));
+        if self.cfg.collect_trace {
+            self.trace.push(TraceEvent::Start {
+                at: self.now,
+                job: id,
+                gear,
+                backfilled,
+                first_proc: procs.first().unwrap_or(0),
+            });
+        }
+        self.running.insert(
+            id,
+            RunningJob {
+                cpus: job.cpus,
+                procs,
+                start: self.now,
+                expected_end: self.now + expected,
+                gear,
+                phase_start: self.now,
+                phases: Vec::new(),
+                work_done: 0.0,
+                requested_done: 0.0,
+                epoch: 0,
+            },
+        );
+        true
+    }
+
+    /// Completes `id` at the current time.
+    fn complete(&mut self, id: JobId) {
+        let mut r = self.running.remove(&id).expect("completion of a job that is not running");
+        self.pool.release(&r.procs);
+        let job = &self.jobs[id.index()];
+        let last_secs = self.now - r.phase_start;
+        if last_secs > 0 || r.phases.is_empty() {
+            r.phases.push(Phase { gear: r.gear, seconds: last_secs });
+        }
+        let first_gear = r.phases.first().expect("at least one phase").gear;
+        let outcome = JobOutcome {
+            id,
+            cpus: job.cpus,
+            arrival: job.arrival,
+            start: r.start,
+            finish: self.now,
+            gear: first_gear,
+            phases: r.phases,
+            nominal_runtime: job.runtime,
+            requested: job.requested,
+        };
+        debug_assert_eq!(outcome.validate(), Ok(()));
+        if self.cfg.collect_trace {
+            self.trace.push(TraceEvent::Finish { at: self.now, job: id });
+        }
+        self.outcomes.push(outcome);
+    }
+
+    /// One scheduling pass under the configured discipline.
+    fn schedule_pass(&mut self) {
+        self.passes += 1;
+        match self.cfg.mode {
+            SchedMode::Easy => self.schedule_pass_easy(),
+            SchedMode::Conservative => self.schedule_pass_conservative(),
+        }
+    }
+
+    /// One EASY scheduling pass (see module docs).
+    fn schedule_pass_easy(&mut self) {
+        // Step 1: start head jobs that fit right now.
+        while let Some(&head) = self.queue.front() {
+            let job = self.job(head);
+            if !self.pool.can_allocate(job.cpus, self.cfg.selection) {
+                break;
+            }
+            let wq_others = self.queue.len() - 1;
+            let gear = {
+                let ctx = self.ctx(job, wq_others);
+                self.policy.head_gear(&ctx, self.now)
+            };
+            self.queue.pop_front();
+            let ok = self.try_start_job(head, gear, false);
+            debug_assert!(ok, "can_allocate promised the head would fit");
+        }
+        let Some(&head) = self.queue.front() else {
+            return;
+        };
+
+        // Step 2: reserve for the head on the profile of running jobs.
+        let mut builder = ProfileBuilder::new(self.now, self.pool.total(), self.pool.free_count());
+        for r in self.running.values() {
+            // A job whose expected end equals `now` is still physically
+            // running (its completion event sits later in this instant's
+            // event batch), so its processors become available strictly
+            // after `now`.
+            builder.release(r.expected_end.max(self.now + 1), r.cpus);
+        }
+        let mut profile = builder.build();
+
+        let head_job = self.job(head);
+        let res_start = profile
+            .earliest_fit(head_job.cpus, 1, self.now)
+            .expect("head job fits an empty machine");
+        // Under count-complete selection policies step 1 already started
+        // every head that fits now. Contiguous selection can be blocked by
+        // fragmentation even when the count fits, in which case the
+        // (count-based) reservation legitimately starts "now" and the head
+        // retries at the next completion event.
+        debug_assert!(
+            res_start > self.now || self.cfg.selection == SelectionPolicy::ContiguousFirstFit,
+            "head start now is handled in step 1"
+        );
+        let wq_others = self.queue.len() - 1;
+        let res_gear = {
+            let ctx = self.ctx(head_job, wq_others);
+            self.policy.head_gear(&ctx, res_start)
+        };
+        let res_dur = self.time_model.dilate(head_job.requested, head_job.beta, res_gear);
+        profile
+            .commit(res_start, res_start.saturating_add(res_dur), head_job.cpus)
+            .expect("reservation fits by construction");
+        if self.cfg.collect_trace {
+            self.trace.push(TraceEvent::Reserve {
+                at: self.now,
+                job: head,
+                start: res_start,
+                gear: res_gear,
+            });
+        }
+
+        if !self.cfg.backfill {
+            return;
+        }
+
+        // Step 3: backfill the rest of the queue in arrival order.
+        let candidates: Vec<JobId> = self.queue.iter().skip(1).copied().collect();
+        let mut started: Vec<JobId> = Vec::new();
+        for id in candidates {
+            let job = self.job(id);
+            if job.cpus > self.pool.free_count() {
+                continue;
+            }
+            let wq_others = self.queue.len() - 1 - started.len();
+            let chosen = {
+                let ctx = self.ctx(job, wq_others);
+                let tm = self.time_model;
+                let now = self.now;
+                let profile_ref = &profile;
+                let mut fits = |gear: GearId| {
+                    let dur = tm.dilate(job.requested, job.beta, gear);
+                    profile_ref.can_fit(now, job.cpus, dur)
+                };
+                self.policy.backfill_gear(&ctx, &mut fits)
+            };
+            if let Some(gear) = chosen {
+                if self.try_start_job(id, gear, true) {
+                    let dur = self.time_model.dilate(job.requested, job.beta, gear);
+                    profile
+                        .commit(self.now, self.now.saturating_add(dur), job.cpus)
+                        .expect("policy returned a gear that does not fit");
+                    started.push(id);
+                }
+            }
+        }
+        if !started.is_empty() {
+            self.queue.retain(|id| !started.contains(id));
+        }
+    }
+
+    /// One conservative-backfilling pass: every queued job receives an
+    /// earliest-fit reservation in arrival order (duration-aware per gear,
+    /// via [`FrequencyPolicy::reserve_gear`]); jobs whose reservation
+    /// starts now begin executing.
+    fn schedule_pass_conservative(&mut self) {
+        let mut builder = ProfileBuilder::new(self.now, self.pool.total(), self.pool.free_count());
+        for r in self.running.values() {
+            builder.release(r.expected_end.max(self.now + 1), r.cpus);
+        }
+        let mut profile = builder.build();
+
+        let snapshot: Vec<JobId> = self.queue.iter().copied().collect();
+        let mut started: Vec<JobId> = Vec::new();
+        let mut earlier_still_waiting = false;
+        for id in snapshot {
+            let job = self.job(id);
+            let wq_others = self.queue.len() - 1 - started.len();
+            let (gear, start) = {
+                let ctx = self.ctx(job, wq_others);
+                let tm = self.time_model;
+                let now = self.now;
+                let profile_ref = &profile;
+                let mut find_start = |g: GearId| {
+                    let dur = tm.dilate(job.requested, job.beta, g);
+                    profile_ref
+                        .earliest_fit(job.cpus, dur, now)
+                        .expect("every job fits an empty machine eventually")
+                };
+                self.policy.reserve_gear(&ctx, &mut find_start)
+            };
+            let dur = self.time_model.dilate(job.requested, job.beta, gear);
+            let can_start = start == self.now
+                && self.try_start_job(id, gear, earlier_still_waiting);
+            profile
+                .commit(start, start.saturating_add(dur), job.cpus)
+                .expect("reserve_gear start came from earliest_fit");
+            if can_start {
+                started.push(id);
+            } else {
+                earlier_still_waiting = true;
+                if self.cfg.collect_trace {
+                    self.trace.push(TraceEvent::Reserve { at: self.now, job: id, start, gear });
+                }
+            }
+        }
+        if !started.is_empty() {
+            self.queue.retain(|id| !started.contains(id));
+        }
+    }
+
+    /// Dynamic-boost extension: re-time running reduced jobs to the top
+    /// gear when the queue is too deep.
+    fn maybe_boost(&mut self) {
+        let Some(boost) = self.cfg.boost else {
+            return;
+        };
+        if self.queue.len() <= boost.wq_limit {
+            return;
+        }
+        let ids: Vec<(JobId, GearId)> = self
+            .running
+            .iter()
+            .filter(|(_, r)| r.gear < self.top)
+            .map(|(&id, r)| (id, r.gear))
+            .collect();
+        for (id, from) in ids {
+            self.retime_to(id, self.top);
+            if self.cfg.collect_trace {
+                self.trace.push(TraceEvent::Boost { at: self.now, job: id, from });
+            }
+        }
+    }
+
+    /// Switches running job `id` to `gear` at the current instant,
+    /// converting completed work through the β model and rescheduling its
+    /// completion event.
+    fn retime_to(&mut self, id: JobId, gear: GearId) {
+        let job = &self.jobs[id.index()];
+        let r = self.running.get_mut(&id).expect("retime of a job that is not running");
+        if r.gear == gear {
+            return;
+        }
+        let elapsed = self.now - r.phase_start;
+        let coef_old = self.time_model.coef(job.beta, r.gear);
+        r.work_done += elapsed as f64 / coef_old;
+        r.requested_done += elapsed as f64 / coef_old;
+        if elapsed > 0 {
+            r.phases.push(Phase { gear: r.gear, seconds: elapsed });
+        }
+        let remaining_work = (job.runtime as f64 - r.work_done).max(0.0);
+        let remaining_requested =
+            (job.requested as f64 - r.requested_done).max(remaining_work);
+        let wall = self.time_model.wall_for_work(remaining_work, job.beta, gear).max(1);
+        let expected_wall = self
+            .time_model
+            .wall_for_work(remaining_requested, job.beta, gear)
+            .max(wall);
+        r.gear = gear;
+        r.phase_start = self.now;
+        r.expected_end = self.now + expected_wall;
+        r.epoch += 1;
+        let epoch = r.epoch;
+        self.events.push(self.now + wall, Event::Finish(id, epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FixedGearPolicy;
+    use bsld_cluster::GearSet;
+
+    fn cluster(cpus: u32) -> Cluster {
+        Cluster::new("test", cpus, GearSet::paper())
+    }
+
+    fn tm() -> BetaModel {
+        BetaModel::new(GearSet::paper())
+    }
+
+    fn top_policy() -> FixedGearPolicy {
+        FixedGearPolicy::new(GearSet::paper().top())
+    }
+
+    /// j(id, arrival, cpus, runtime, requested)
+    fn j(id: u32, arrival: u64, cpus: u32, runtime: u64, requested: u64) -> Job {
+        Job::new(id, Time(arrival), cpus, runtime, requested)
+    }
+
+    fn run(cluster_cpus: u32, jobs: &[Job]) -> SimResult {
+        let tm = tm();
+        simulate(
+            &cluster(cluster_cpus),
+            jobs,
+            &top_policy(),
+            &tm,
+            &EngineConfig { collect_trace: true, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    fn start_of(res: &SimResult, id: u32) -> Time {
+        res.outcomes.iter().find(|o| o.id == JobId(id)).unwrap().start
+    }
+
+    #[test]
+    fn single_job_starts_immediately() {
+        let res = run(4, &[j(0, 10, 4, 100, 200)]);
+        assert_eq!(res.outcomes.len(), 1);
+        let o = &res.outcomes[0];
+        assert_eq!(o.start, Time(10));
+        assert_eq!(o.finish, Time(110));
+        assert_eq!(res.makespan, Time(110));
+    }
+
+    #[test]
+    fn fcfs_order_without_contention() {
+        let jobs = vec![j(0, 0, 2, 100, 100), j(1, 5, 2, 100, 100)];
+        let res = run(4, &jobs);
+        assert_eq!(start_of(&res, 0), Time(0));
+        assert_eq!(start_of(&res, 1), Time(5));
+    }
+
+    #[test]
+    fn backfill_short_job_around_reservation() {
+        // 4 cpus. J0 takes 3 cpus until t=100. J1 (head) needs 4 → reserved
+        // at t=100. J2 (1 cpu, 50 s) fits before the reservation → backfills
+        // at t=2. J3 (1 cpu, 200 s) would delay the reservation → waits.
+        let jobs = vec![
+            j(0, 0, 3, 100, 100),
+            j(1, 1, 4, 100, 100),
+            j(2, 2, 1, 50, 50),
+            j(3, 3, 1, 200, 200),
+        ];
+        let res = run(4, &jobs);
+        assert_eq!(start_of(&res, 0), Time(0));
+        assert_eq!(start_of(&res, 1), Time(100));
+        assert_eq!(start_of(&res, 2), Time(2), "J2 must backfill");
+        assert_eq!(start_of(&res, 3), Time(200), "J3 must wait for the head");
+        let backfilled: Vec<bool> = res
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Start { job, backfilled, .. } if *job == JobId(2) => Some(*backfilled),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(backfilled, vec![true]);
+    }
+
+    #[test]
+    fn no_backfill_config_degrades_to_fcfs() {
+        let jobs = vec![
+            j(0, 0, 3, 100, 100),
+            j(1, 1, 4, 100, 100),
+            j(2, 2, 1, 50, 50),
+        ];
+        let tmm = tm();
+        let res = simulate(
+            &cluster(4),
+            &jobs,
+            &top_policy(),
+            &tmm,
+            &EngineConfig { backfill: false, ..Default::default() },
+        )
+        .unwrap();
+        let s2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap().start;
+        assert_eq!(s2, Time(200), "without backfilling J2 waits behind J1");
+    }
+
+    #[test]
+    fn backfill_crossing_shadow_on_extra_processors() {
+        // 4 cpus. J0 holds 2 until t=100. J1 (head, 3 cpus) reserved at 100.
+        // J2 (1 cpu, 500 s) crosses the shadow time but uses the processor
+        // the reservation leaves spare → must backfill at its arrival.
+        let jobs = vec![
+            j(0, 0, 2, 100, 100),
+            j(1, 1, 3, 100, 100),
+            j(2, 2, 1, 500, 500),
+        ];
+        let res = run(4, &jobs);
+        assert_eq!(start_of(&res, 1), Time(100));
+        assert_eq!(start_of(&res, 2), Time(2));
+    }
+
+    #[test]
+    fn early_finish_reschedules_queue() {
+        // J0 requests 1000 s but runs 10 s; J1 starts at t=10, not t=1000.
+        let jobs = vec![j(0, 0, 4, 10, 1000), j(1, 1, 4, 50, 50)];
+        let res = run(4, &jobs);
+        assert_eq!(start_of(&res, 1), Time(10));
+    }
+
+    #[test]
+    fn easy_guarantee_backfill_never_delays_head() {
+        // Adversarial mix of backfill candidates; the head's start must
+        // equal its start when backfilling is disabled.
+        let jobs = vec![
+            j(0, 0, 5, 100, 120),
+            j(1, 1, 8, 200, 250),   // head once J0 runs
+            j(2, 2, 2, 40, 60),
+            j(3, 3, 3, 90, 100),
+            j(4, 4, 1, 500, 700),
+            j(5, 5, 2, 10, 20),
+        ];
+        let tmm = tm();
+        let with_bf = run(8, &jobs);
+        let without_bf = simulate(
+            &cluster(8),
+            &jobs,
+            &top_policy(),
+            &tmm,
+            &EngineConfig { backfill: false, ..Default::default() },
+        )
+        .unwrap();
+        let head_with = with_bf.outcomes.iter().find(|o| o.id == JobId(1)).unwrap().start;
+        let head_without = without_bf.outcomes.iter().find(|o| o.id == JobId(1)).unwrap().start;
+        assert!(
+            head_with <= head_without,
+            "backfilling delayed the head: {head_with:?} > {head_without:?}"
+        );
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_processors() {
+        let jobs = vec![j(0, 0, 3, 100, 100), j(1, 0, 2, 100, 100)];
+        let res = run(8, &jobs);
+        let firsts: Vec<u32> = res
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Start { first_proc, .. } => Some(*first_proc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(firsts, vec![0, 3]);
+    }
+
+    #[test]
+    fn simultaneous_finishes_are_deterministic() {
+        let jobs = vec![
+            j(0, 0, 2, 100, 100),
+            j(1, 0, 2, 100, 100),
+            j(2, 1, 4, 50, 50),
+        ];
+        let a = run(4, &jobs);
+        let b = run(4, &jobs);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(start_of(&a, 2), Time(100));
+    }
+
+    #[test]
+    fn rejects_oversize_job() {
+        let tmm = tm();
+        let err = simulate(
+            &cluster(4),
+            &[j(0, 0, 5, 10, 10)],
+            &top_policy(),
+            &tmm,
+            &EngineConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::JobTooLarge { job: JobId(0), cpus: 5, total: 4 });
+        assert!(err.to_string().contains("5 cpus"));
+    }
+
+    #[test]
+    fn rejects_unsorted_arrivals() {
+        let tmm = tm();
+        let err = simulate(
+            &cluster(4),
+            &[j(0, 10, 1, 10, 10), j(1, 5, 1, 10, 10)],
+            &top_policy(),
+            &tmm,
+            &EngineConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::ArrivalsNotSorted);
+    }
+
+    #[test]
+    fn reduced_gear_dilates_runtime() {
+        // Pin everything to the lowest gear: runtimes stretch by Coef(0.8).
+        let tmm = tm();
+        let low = FixedGearPolicy::new(GearId(0));
+        let res = simulate(
+            &cluster(4),
+            &[j(0, 0, 4, 1000, 1000)],
+            &low,
+            &tmm,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let o = &res.outcomes[0];
+        assert_eq!(o.penalized_runtime(), tmm.dilate(1000, 0.5, GearId(0)));
+        assert_eq!(o.gear, GearId(0));
+        assert!(o.was_reduced(GearSet::paper().top()));
+    }
+
+    #[test]
+    fn boost_retimes_running_reduced_job() {
+        // One reduced job running alone; then a burst of arrivals deepens
+        // the queue past wq_limit=0 and triggers a boost.
+        let tmm = tm();
+        let low = FixedGearPolicy::new(GearId(0));
+        let jobs = vec![
+            j(0, 0, 4, 1000, 1000),
+            // Two arrivals at t=500 → queue depth 2 > 0 after the pass
+            // (neither fits while J0 holds the machine).
+            j(1, 500, 4, 10, 10),
+            j(2, 500, 4, 10, 10),
+        ];
+        let res = simulate(
+            &cluster(4),
+            &jobs,
+            &low,
+            &tmm,
+            &EngineConfig {
+                boost: Some(BoostConfig { wq_limit: 1 }),
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let o0 = res.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
+        assert_eq!(o0.phases.len(), 2, "boost must split execution into two phases");
+        assert_eq!(o0.phases[0].gear, GearId(0));
+        assert_eq!(o0.phases[1].gear, GearSet::paper().top());
+        // Boosted at t=500: 500 wall s at Coef≈1.9375 ⇒ ≈258 work-s done;
+        // remaining ≈742 work-s at top ⇒ finish ≈ 500+742, well before the
+        // un-boosted 1937.
+        assert!(o0.finish < Time(1937), "boost must shorten the job: {:?}", o0.finish);
+        assert!(res.trace.iter().any(|e| matches!(e, TraceEvent::Boost { job, .. } if *job == JobId(0))));
+        o0.validate().unwrap();
+    }
+
+    #[test]
+    fn boost_does_not_fire_below_limit() {
+        let tmm = tm();
+        let low = FixedGearPolicy::new(GearId(0));
+        let jobs = vec![j(0, 0, 4, 1000, 1000), j(1, 500, 4, 10, 10)];
+        let res = simulate(
+            &cluster(4),
+            &jobs,
+            &low,
+            &tmm,
+            &EngineConfig {
+                boost: Some(BoostConfig { wq_limit: 1 }),
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let o0 = res.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
+        assert_eq!(o0.phases.len(), 1, "queue depth 1 must not trigger a boost");
+    }
+
+    #[test]
+    fn conservative_protects_queued_reservations() {
+        // 4 cpus. J0 (2 cpus) runs [0,100). J1 (3 cpus) is the head,
+        // reserved [100,200). J2 (4 cpus) queues behind; J3 (1 cpu, 250 s)
+        // arrives last.
+        //
+        // EASY backfills J3 immediately (it cannot delay the *head*), which
+        // pushes J2 from 200 to 253. Conservative gives J2 its own
+        // reservation at [200,300), so J3 must wait until 300.
+        let jobs = vec![
+            j(0, 0, 2, 100, 100),
+            j(1, 1, 3, 100, 100),
+            j(2, 2, 4, 100, 100),
+            j(3, 3, 1, 250, 250),
+        ];
+        let tmm = tm();
+        let easy = run(4, &jobs);
+        let cons = simulate(
+            &cluster(4),
+            &jobs,
+            &top_policy(),
+            &tmm,
+            &EngineConfig {
+                mode: SchedMode::Conservative,
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(start_of(&easy, 3), Time(3), "EASY backfills the small job");
+        assert_eq!(start_of(&easy, 2), Time(253), "EASY delays the queued wide job");
+        let cons_start = |id: u32| {
+            cons.outcomes.iter().find(|o| o.id == JobId(id)).unwrap().start
+        };
+        assert_eq!(cons_start(2), Time(200), "conservative protects J2's reservation");
+        assert_eq!(cons_start(3), Time(300), "conservative delays the small job");
+        crate::validate::validate_schedule(&cons.outcomes, 4).unwrap();
+    }
+
+    #[test]
+    fn conservative_matches_easy_on_contention_free_load() {
+        let jobs: Vec<Job> = (0..20).map(|i| j(i, (i as u64) * 500, 2, 100, 150)).collect();
+        let tmm = tm();
+        let easy = run(8, &jobs);
+        let cons = simulate(
+            &cluster(8),
+            &jobs,
+            &top_policy(),
+            &tmm,
+            &EngineConfig { mode: SchedMode::Conservative, ..Default::default() },
+        )
+        .unwrap();
+        for o in &easy.outcomes {
+            let c = cons.outcomes.iter().find(|x| x.id == o.id).unwrap();
+            assert_eq!(o.start, c.start, "{}: no queueing ⇒ same schedule", o.id);
+        }
+    }
+
+    #[test]
+    fn conservative_reschedules_on_early_finish() {
+        let jobs = vec![j(0, 0, 4, 10, 1000), j(1, 1, 4, 50, 50)];
+        let tmm = tm();
+        let res = simulate(
+            &cluster(4),
+            &jobs,
+            &top_policy(),
+            &tmm,
+            &EngineConfig { mode: SchedMode::Conservative, ..Default::default() },
+        )
+        .unwrap();
+        let s1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap().start;
+        assert_eq!(s1, Time(10), "reservations must be re-derived on early completion");
+    }
+
+    #[test]
+    fn contiguous_selection_fragmentation_delays_jobs() {
+        // 4 cpus. Long jobs pin processors 0 and 2; short jobs hold 1 and 3
+        // until t=10. At t=10 two processors are free but not adjacent:
+        // First Fit starts the 2-cpu job at 10, contiguous selection must
+        // wait for the long jobs to finish at t=1000.
+        let jobs = vec![
+            j(0, 0, 1, 1000, 1000), // proc 0
+            j(1, 0, 1, 10, 10),     // proc 1
+            j(2, 0, 1, 1000, 1000), // proc 2
+            j(3, 0, 1, 10, 10),     // proc 3
+            j(4, 5, 2, 20, 20),     // needs two processors
+        ];
+        let tmm = tm();
+        let ff = run(4, &jobs);
+        assert_eq!(start_of(&ff, 4), Time(10));
+        let contig = simulate(
+            &cluster(4),
+            &jobs,
+            &top_policy(),
+            &tmm,
+            &EngineConfig {
+                selection: SelectionPolicy::ContiguousFirstFit,
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s4 = contig.outcomes.iter().find(|o| o.id == JobId(4)).unwrap().start;
+        assert_eq!(s4, Time(1000), "fragmentation must block contiguous selection");
+        crate::validate::validate_schedule(&contig.outcomes, 4).unwrap();
+        // The allocation it finally gets is one contiguous range.
+        let first_procs: Vec<u32> = contig
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Start { job, first_proc, .. } if *job == JobId(4) => Some(*first_proc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(first_procs.len(), 1);
+    }
+
+    #[test]
+    fn last_fit_selection_allocates_from_the_top() {
+        let jobs = vec![j(0, 0, 2, 10, 10)];
+        let tmm = tm();
+        let res = simulate(
+            &cluster(8),
+            &jobs,
+            &top_policy(),
+            &tmm,
+            &EngineConfig {
+                selection: SelectionPolicy::LastFit,
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let first = res
+            .trace
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Start { first_proc, .. } => Some(*first_proc),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first, 6, "LastFit must pick processors 6 and 7");
+    }
+
+    #[test]
+    fn conservative_is_deterministic() {
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| j(i, (i as u64) * 13, 1 + (i % 5), 30 + (i as u64 % 200), 400))
+            .collect();
+        let tmm = tm();
+        let mk = || {
+            simulate(
+                &cluster(8),
+                &jobs,
+                &top_policy(),
+                &tmm,
+                &EngineConfig { mode: SchedMode::Conservative, ..Default::default() },
+            )
+            .unwrap()
+            .outcomes
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn outcome_count_matches_jobs() {
+        let jobs: Vec<Job> = (0..50)
+            .map(|i| j(i, (i as u64) * 7, 1 + (i % 4), 50 + (i as u64 % 90), 200))
+            .collect();
+        let res = run(8, &jobs);
+        assert_eq!(res.outcomes.len(), jobs.len());
+        for o in &res.outcomes {
+            o.validate().unwrap();
+        }
+    }
+}

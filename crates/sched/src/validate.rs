@@ -1,0 +1,101 @@
+//! Schedule validity checking.
+//!
+//! Replays a set of [`JobOutcome`]s against the machine size and asserts the
+//! fundamental scheduling invariants. Used by integration and property
+//! tests, and cheap enough to run on every simulated workload.
+
+use bsld_model::JobOutcome;
+
+/// Checks that `outcomes` describe a physically possible schedule on a
+/// machine of `total_cpus` processors:
+///
+/// * every job starts at or after its arrival;
+/// * every job's phases are consistent ([`JobOutcome::validate`]);
+/// * at no instant do concurrently running jobs occupy more than
+///   `total_cpus` processors.
+pub fn validate_schedule(outcomes: &[JobOutcome], total_cpus: u32) -> Result<(), String> {
+    for o in outcomes {
+        o.validate()?;
+        if o.cpus > total_cpus {
+            return Err(format!("{} uses {} cpus on a {}-cpu machine", o.id, o.cpus, total_cpus));
+        }
+    }
+    // Sweep usage changes: +cpus at start, -cpus at finish. A job finishing
+    // at t releases before a job starting at t needs its processors (the
+    // simulator processes completions before the scheduling pass).
+    let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(outcomes.len() * 2);
+    for o in outcomes {
+        deltas.push((o.start.as_secs(), o.cpus as i64));
+        deltas.push((o.finish.as_secs(), -(o.cpus as i64)));
+    }
+    deltas.sort_by_key(|&(t, d)| (t, d)); // releases (-) sort before claims (+)
+    let mut used = 0i64;
+    for (t, d) in deltas {
+        used += d;
+        if used > total_cpus as i64 {
+            return Err(format!("oversubscription at t={t}: {used} > {total_cpus}"));
+        }
+        if used < 0 {
+            return Err(format!("negative usage at t={t} (finish before start?)"));
+        }
+    }
+    if used != 0 {
+        return Err(format!("usage does not return to zero (ends at {used})"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_model::{GearId, JobId, Phase};
+    use bsld_simkernel::Time;
+
+    fn outcome(id: u32, cpus: u32, start: u64, finish: u64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            cpus,
+            arrival: Time(0),
+            start: Time(start),
+            finish: Time(finish),
+            gear: GearId(0),
+            phases: vec![Phase { gear: GearId(0), seconds: finish - start }],
+            nominal_runtime: finish - start,
+            requested: finish - start,
+        }
+    }
+
+    #[test]
+    fn accepts_valid_schedule() {
+        let outcomes =
+            vec![outcome(0, 2, 0, 100), outcome(1, 2, 0, 50), outcome(2, 4, 100, 200)];
+        validate_schedule(&outcomes, 4).unwrap();
+    }
+
+    #[test]
+    fn back_to_back_handover_is_legal() {
+        // Job 1 starts exactly when job 0 finishes, using the same cpus.
+        let outcomes = vec![outcome(0, 4, 0, 100), outcome(1, 4, 100, 200)];
+        validate_schedule(&outcomes, 4).unwrap();
+    }
+
+    #[test]
+    fn detects_oversubscription() {
+        let outcomes = vec![outcome(0, 3, 0, 100), outcome(1, 2, 50, 150)];
+        let err = validate_schedule(&outcomes, 4).unwrap_err();
+        assert!(err.contains("oversubscription"), "{err}");
+    }
+
+    #[test]
+    fn detects_start_before_arrival() {
+        let mut o = outcome(0, 1, 5, 10);
+        o.arrival = Time(7);
+        assert!(validate_schedule(&[o], 4).is_err());
+    }
+
+    #[test]
+    fn detects_oversize_job() {
+        let err = validate_schedule(&[outcome(0, 8, 0, 10)], 4).unwrap_err();
+        assert!(err.contains("8 cpus"), "{err}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Simulation time.
+//!
+//! The whole workspace measures time in **whole seconds** held in a [`Time`]
+//! newtype. The Standard Workload Format reports arrival, wait and run times
+//! in seconds, and the paper's metrics (BSLD with a 600 s threshold, average
+//! wait times of thousands of seconds) make sub-second resolution
+//! unnecessary. Integer time keeps the event queue total order exact and the
+//! simulation bit-for-bit reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time, in whole seconds since simulation start.
+///
+/// `Time` is a thin wrapper over `u64` with checked arithmetic in debug
+/// builds. Durations are plain `u64` seconds; adding a duration to a `Time`
+/// yields a `Time`, and subtracting two `Time`s yields a `u64` duration.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable instant, used as an "infinite horizon"
+    /// sentinel in availability profiles.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Constructs a time from a number of seconds since simulation start.
+    #[inline]
+    pub const fn seconds(s: u64) -> Self {
+        Time(s)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating duration from `earlier` to `self` (zero if `earlier` is
+    /// actually later).
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// `self + secs`, saturating at [`Time::MAX`].
+    #[inline]
+    pub fn saturating_add(self, secs: u64) -> Time {
+        Time(self.0.saturating_add(secs))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+
+    #[inline]
+    fn add(self, secs: u64) -> Time {
+        debug_assert!(
+            self.0.checked_add(secs).is_some(),
+            "Time overflow: {} + {}",
+            self.0,
+            secs
+        );
+        Time(self.0.wrapping_add(secs))
+    }
+}
+
+impl AddAssign<u64> for Time {
+    #[inline]
+    fn add_assign(&mut self, secs: u64) {
+        *self = *self + secs;
+    }
+}
+
+impl Sub<Time> for Time {
+    /// Duration in seconds. Panics in debug builds if `rhs` is later than
+    /// `self`; use [`Time::saturating_since`] when the ordering is unknown.
+    type Output = u64;
+
+    #[inline]
+    fn sub(self, rhs: Time) -> u64 {
+        debug_assert!(
+            self.0 >= rhs.0,
+            "negative duration: {} - {}",
+            self.0,
+            rhs.0
+        );
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Time::seconds(42);
+        assert_eq!(t.as_secs(), 42);
+        assert_eq!(Time::ZERO.as_secs(), 0);
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time(1) < Time(2));
+        assert!(Time(2) <= Time(2));
+        assert_eq!(Time(5).min(Time(3)), Time(3));
+        assert_eq!(Time(5).max(Time(3)), Time(5));
+    }
+
+    #[test]
+    fn add_duration() {
+        let t = Time(10) + 5;
+        assert_eq!(t, Time(15));
+        let mut u = Time(1);
+        u += 9;
+        assert_eq!(u, Time(10));
+    }
+
+    #[test]
+    fn sub_gives_duration() {
+        assert_eq!(Time(15) - Time(10), 5);
+        assert_eq!(Time(15) - Time(15), 0);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time(3).saturating_since(Time(10)), 0);
+        assert_eq!(Time(10).saturating_since(Time(3)), 7);
+        assert_eq!(Time::MAX.saturating_add(1), Time::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    #[cfg(debug_assertions)]
+    fn negative_duration_panics_in_debug() {
+        let _ = Time(1) - Time(2);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Time(7)), "7");
+        assert_eq!(format!("{:?}", Time(7)), "t=7");
+    }
+}

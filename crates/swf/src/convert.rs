@@ -1,0 +1,75 @@
+//! SWF → domain-model conversion.
+
+use bsld_model::Job;
+use bsld_simkernel::Time;
+
+use crate::record::SwfRecord;
+
+/// Converts cleaned SWF records into simulator [`Job`]s.
+///
+/// Records without a usable size or runtime are skipped (cleaning normally
+/// removes them first). Jobs are re-identified densely in input order, which
+/// is also arrival order after cleaning. The user estimate falls back to the
+/// actual runtime when the log has none, and is clamped to be at least the
+/// runtime (see [`Job::new`]).
+pub fn records_to_jobs(records: &[SwfRecord]) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(records.len());
+    for r in records {
+        let (Some(procs), Some(req)) = (r.effective_procs(), r.effective_req_time()) else {
+            continue;
+        };
+        if r.run_time <= 0 || r.submit < 0 {
+            continue;
+        }
+        jobs.push(Job::new(
+            jobs.len() as u32,
+            Time(r.submit as u64),
+            procs,
+            r.run_time as u64,
+            req,
+        ));
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_valid_records() {
+        let records = vec![
+            SwfRecord::simple(10, 0, 3600, 4, 7200),
+            SwfRecord::simple(11, 60, 100, 1, 600),
+        ];
+        let jobs = records_to_jobs(&records);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id.0, 0, "ids re-densified");
+        assert_eq!(jobs[0].cpus, 4);
+        assert_eq!(jobs[0].runtime, 3600);
+        assert_eq!(jobs[0].requested, 7200);
+        assert_eq!(jobs[1].arrival, Time(60));
+    }
+
+    #[test]
+    fn skips_unusable_records() {
+        let mut bad_size = SwfRecord::simple(1, 0, 100, -1, 100);
+        bad_size.req_procs = -1;
+        let records = vec![
+            bad_size,
+            SwfRecord::simple(2, 0, -1, 4, 100), // no runtime
+            SwfRecord::simple(3, 0, 100, 4, 100),
+        ];
+        let jobs = records_to_jobs(&records);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].runtime, 100);
+    }
+
+    #[test]
+    fn estimate_clamped_to_runtime() {
+        let mut r = SwfRecord::simple(1, 0, 500, 2, 100);
+        r.req_time = 100; // shorter than actual runtime
+        let jobs = records_to_jobs(&[r]);
+        assert_eq!(jobs[0].requested, 500, "Job::new clamps requested >= runtime");
+    }
+}

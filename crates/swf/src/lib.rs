@@ -1,0 +1,31 @@
+//! Standard Workload Format (SWF) support.
+//!
+//! The paper simulates 5 000-job segments of *cleaned* traces from the
+//! Parallel Workload Archive. This crate implements the archive's SWF text
+//! format so real traces can be dropped into the reproduction unchanged:
+//!
+//! * [`SwfRecord`] — the 18 standard fields of one job line;
+//! * [`parse_swf`] / [`write_swf`] — text round-trip with header directives;
+//! * [`clean`] — the cleaning steps the paper relies on: removal of
+//!   non-representative user *flurries*, dropping failed/zero-size jobs,
+//!   clamping runtimes to estimates, and 5 000-job segment selection with
+//!   arrival rebasing;
+//! * [`stats`] — trace summaries (size/runtime distributions, offered load);
+//! * [`convert`] — conversion into `bsld-model` [`bsld_model::Job`]s.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clean;
+pub mod convert;
+pub mod parse;
+pub mod record;
+pub mod stats;
+pub mod write;
+
+pub use clean::{clean_trace, select_segment, CleanConfig, CleanSummary};
+pub use convert::records_to_jobs;
+pub use parse::{parse_swf, ParseError};
+pub use record::{SwfHeader, SwfRecord, SwfTrace};
+pub use stats::TraceStats;
+pub use write::write_swf;

@@ -1,0 +1,198 @@
+//! SWF text parsing.
+
+use crate::record::{SwfHeader, SwfRecord, SwfTrace};
+
+/// A parse failure, with the 1-based line number it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of SWF parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A data line had fewer than 18 whitespace-separated fields.
+    TooFewFields {
+        /// Number of fields found.
+        found: usize,
+    },
+    /// A field was not a valid integer.
+    BadInteger {
+        /// 1-based field index.
+        field: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ParseErrorKind::TooFewFields { found } => {
+                write!(f, "line {}: expected 18 fields, found {found}", self.line)
+            }
+            ParseErrorKind::BadInteger { field, token } => {
+                write!(f, "line {}: field {field} is not an integer: {token:?}", self.line)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses SWF text into a [`SwfTrace`].
+///
+/// * Comment lines start with `;`. Lines of the form `; Key: Value` set the
+///   typed header directives ([`SwfHeader`]); other comment lines are
+///   preserved in `header.extra`.
+/// * Data lines hold 18 whitespace-separated integers. Lines with *more*
+///   than 18 fields are accepted (some archive files carry trailing extras);
+///   the extras are ignored.
+/// * Blank lines are skipped.
+pub fn parse_swf(text: &str) -> Result<SwfTrace, ParseError> {
+    let mut header = SwfHeader::default();
+    let mut records = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix(';') {
+            parse_header_line(comment.trim(), &mut header);
+            continue;
+        }
+        records.push(parse_data_line(line, lineno)?);
+    }
+    Ok(SwfTrace { header, records })
+}
+
+fn parse_header_line(comment: &str, header: &mut SwfHeader) {
+    if let Some((key, value)) = comment.split_once(':') {
+        let value = value.trim();
+        match key.trim() {
+            "MaxProcs" => {
+                if let Ok(v) = value.parse() {
+                    header.max_procs = Some(v);
+                    return;
+                }
+            }
+            "MaxRuntime" => {
+                if let Ok(v) = value.parse() {
+                    header.max_runtime = Some(v);
+                    return;
+                }
+            }
+            "MaxJobs" => {
+                if let Ok(v) = value.parse() {
+                    header.max_jobs = Some(v);
+                    return;
+                }
+            }
+            "UnixStartTime" => {
+                if let Ok(v) = value.parse() {
+                    header.unix_start_time = Some(v);
+                    return;
+                }
+            }
+            _ => {}
+        }
+    }
+    header.extra.push(comment.to_string());
+}
+
+fn parse_data_line(line: &str, lineno: usize) -> Result<SwfRecord, ParseError> {
+    let mut fields = [0i64; 18];
+    let mut count = 0;
+    for (i, tok) in line.split_whitespace().enumerate() {
+        if i >= 18 {
+            break; // tolerate trailing extras
+        }
+        fields[i] = tok.parse().map_err(|_| ParseError {
+            line: lineno,
+            kind: ParseErrorKind::BadInteger { field: i + 1, token: tok.to_string() },
+        })?;
+        count = i + 1;
+    }
+    if count < 18 {
+        return Err(ParseError { line: lineno, kind: ParseErrorKind::TooFewFields { found: count } });
+    }
+    Ok(SwfRecord::from_fields(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; MaxProcs: 430
+; MaxRuntime: 64800
+; MaxJobs: 2
+; UnixStartTime: 832105380
+; Note: synthetic sample
+1 0 10 3600 4 -1 -1 4 7200 -1 1 12 3 -1 1 -1 -1 -1
+2 60 -1 100 1 -1 -1 1 600 -1 1 13 3 -1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_header_and_records() {
+        let t = parse_swf(SAMPLE).unwrap();
+        assert_eq!(t.header.max_procs, Some(430));
+        assert_eq!(t.header.max_runtime, Some(64800));
+        assert_eq!(t.header.max_jobs, Some(2));
+        assert_eq!(t.header.unix_start_time, Some(832105380));
+        assert_eq!(t.header.extra, vec!["Version: 2.2", "Note: synthetic sample"]);
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.records[0].job_id, 1);
+        assert_eq!(t.records[0].run_time, 3600);
+        assert_eq!(t.records[1].submit, 60);
+        assert_eq!(t.records[1].wait, -1);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let t = parse_swf("\n\n1 0 0 10 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n\n").unwrap();
+        assert_eq!(t.records.len(), 1);
+    }
+
+    #[test]
+    fn too_few_fields_is_an_error() {
+        let err = parse_swf("1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.kind, ParseErrorKind::TooFewFields { found: 3 });
+        assert!(err.to_string().contains("expected 18 fields"));
+    }
+
+    #[test]
+    fn bad_integer_is_an_error() {
+        let err = parse_swf("1 x 0 10 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(matches!(err.kind, ParseErrorKind::BadInteger { field: 2, .. }));
+        assert!(err.to_string().contains("field 2"));
+    }
+
+    #[test]
+    fn extra_fields_tolerated() {
+        let t = parse_swf("1 0 0 10 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1 999 888\n").unwrap();
+        assert_eq!(t.records.len(), 1);
+        assert_eq!(t.records[0].think_time, -1);
+    }
+
+    #[test]
+    fn error_line_numbers_count_all_lines() {
+        let text = "; comment\n\n1 2 3\n";
+        let err = parse_swf(text).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn malformed_header_directive_is_kept_as_extra() {
+        let t = parse_swf("; MaxProcs: lots\n").unwrap();
+        assert_eq!(t.header.max_procs, None);
+        assert_eq!(t.header.extra, vec!["MaxProcs: lots"]);
+    }
+}

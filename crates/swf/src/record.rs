@@ -1,0 +1,220 @@
+//! SWF records and headers.
+
+/// One job line of an SWF trace — the 18 standard fields.
+///
+/// All fields use the archive convention that `-1` means *unknown*.
+/// Times are in seconds; `submit` is relative to the trace's
+/// `UnixStartTime`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwfRecord {
+    /// 1. Job number (1-based in the archive).
+    pub job_id: i64,
+    /// 2. Submit time, seconds since trace start.
+    pub submit: i64,
+    /// 3. Wait time in the original system, seconds.
+    pub wait: i64,
+    /// 4. Actual run time, seconds.
+    pub run_time: i64,
+    /// 5. Number of allocated processors.
+    pub alloc_procs: i64,
+    /// 6. Average CPU time used per processor, seconds.
+    pub avg_cpu_time: i64,
+    /// 7. Used memory per node, KB.
+    pub used_memory: i64,
+    /// 8. Requested number of processors.
+    pub req_procs: i64,
+    /// 9. Requested (estimated) run time, seconds.
+    pub req_time: i64,
+    /// 10. Requested memory per node, KB.
+    pub req_memory: i64,
+    /// 11. Completion status (1 = completed, 0 = failed, 5 = cancelled, …).
+    pub status: i64,
+    /// 12. User id.
+    pub user: i64,
+    /// 13. Group id.
+    pub group: i64,
+    /// 14. Executable (application) number.
+    pub executable: i64,
+    /// 15. Queue number.
+    pub queue: i64,
+    /// 16. Partition number.
+    pub partition: i64,
+    /// 17. Preceding job number (workflow dependency).
+    pub preceding_job: i64,
+    /// 18. Think time from preceding job, seconds.
+    pub think_time: i64,
+}
+
+impl SwfRecord {
+    /// A record with every field unknown (`-1`).
+    pub fn unknown() -> Self {
+        SwfRecord {
+            job_id: -1,
+            submit: -1,
+            wait: -1,
+            run_time: -1,
+            alloc_procs: -1,
+            avg_cpu_time: -1,
+            used_memory: -1,
+            req_procs: -1,
+            req_time: -1,
+            req_memory: -1,
+            status: -1,
+            user: -1,
+            group: -1,
+            executable: -1,
+            queue: -1,
+            partition: -1,
+            preceding_job: -1,
+            think_time: -1,
+        }
+    }
+
+    /// Convenience constructor for the fields the simulator needs.
+    pub fn simple(job_id: i64, submit: i64, run_time: i64, procs: i64, req_time: i64) -> Self {
+        SwfRecord {
+            job_id,
+            submit,
+            run_time,
+            alloc_procs: procs,
+            req_procs: procs,
+            req_time,
+            status: 1,
+            ..SwfRecord::unknown()
+        }
+    }
+
+    /// The processor count the simulator should use: allocated if known,
+    /// otherwise requested.
+    pub fn effective_procs(&self) -> Option<u32> {
+        let p = if self.alloc_procs > 0 { self.alloc_procs } else { self.req_procs };
+        (p > 0).then_some(p as u32)
+    }
+
+    /// The runtime estimate the simulator should use: the user request if
+    /// known, otherwise the actual runtime.
+    pub fn effective_req_time(&self) -> Option<u64> {
+        let t = if self.req_time > 0 { self.req_time } else { self.run_time };
+        (t > 0).then_some(t as u64)
+    }
+
+    /// The 18 fields in file order.
+    pub fn fields(&self) -> [i64; 18] {
+        [
+            self.job_id,
+            self.submit,
+            self.wait,
+            self.run_time,
+            self.alloc_procs,
+            self.avg_cpu_time,
+            self.used_memory,
+            self.req_procs,
+            self.req_time,
+            self.req_memory,
+            self.status,
+            self.user,
+            self.group,
+            self.executable,
+            self.queue,
+            self.partition,
+            self.preceding_job,
+            self.think_time,
+        ]
+    }
+
+    /// Builds a record from the 18 fields in file order.
+    pub fn from_fields(f: [i64; 18]) -> Self {
+        SwfRecord {
+            job_id: f[0],
+            submit: f[1],
+            wait: f[2],
+            run_time: f[3],
+            alloc_procs: f[4],
+            avg_cpu_time: f[5],
+            used_memory: f[6],
+            req_procs: f[7],
+            req_time: f[8],
+            req_memory: f[9],
+            status: f[10],
+            user: f[11],
+            group: f[12],
+            executable: f[13],
+            queue: f[14],
+            partition: f[15],
+            preceding_job: f[16],
+            think_time: f[17],
+        }
+    }
+}
+
+/// Header directives of an SWF file (`; Key: Value` comment lines).
+///
+/// Only the directives the reproduction uses are parsed into typed fields;
+/// everything else is preserved verbatim in `extra` so traces round-trip.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwfHeader {
+    /// `MaxProcs` — the machine size.
+    pub max_procs: Option<u32>,
+    /// `MaxRuntime` — the longest permitted runtime, seconds.
+    pub max_runtime: Option<u64>,
+    /// `MaxJobs` — number of jobs the file claims to hold.
+    pub max_jobs: Option<u64>,
+    /// `UnixStartTime` — epoch of `submit = 0`.
+    pub unix_start_time: Option<i64>,
+    /// Unparsed header lines (without the leading `;`), in order.
+    pub extra: Vec<String>,
+}
+
+/// A parsed SWF trace: header plus job records in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwfTrace {
+    /// Header directives.
+    pub header: SwfHeader,
+    /// Job records in file order.
+    pub records: Vec<SwfRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_roundtrip() {
+        let mut r = SwfRecord::unknown();
+        r.job_id = 7;
+        r.submit = 100;
+        r.run_time = 3600;
+        r.req_procs = 16;
+        let f = r.fields();
+        assert_eq!(SwfRecord::from_fields(f), r);
+    }
+
+    #[test]
+    fn effective_procs_prefers_allocated() {
+        let mut r = SwfRecord::unknown();
+        assert_eq!(r.effective_procs(), None);
+        r.req_procs = 8;
+        assert_eq!(r.effective_procs(), Some(8));
+        r.alloc_procs = 4;
+        assert_eq!(r.effective_procs(), Some(4));
+    }
+
+    #[test]
+    fn effective_req_time_falls_back_to_runtime() {
+        let mut r = SwfRecord::unknown();
+        assert_eq!(r.effective_req_time(), None);
+        r.run_time = 120;
+        assert_eq!(r.effective_req_time(), Some(120));
+        r.req_time = 600;
+        assert_eq!(r.effective_req_time(), Some(600));
+    }
+
+    #[test]
+    fn simple_constructor() {
+        let r = SwfRecord::simple(1, 0, 100, 4, 200);
+        assert_eq!(r.status, 1);
+        assert_eq!(r.effective_procs(), Some(4));
+        assert_eq!(r.effective_req_time(), Some(200));
+        assert_eq!(r.used_memory, -1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Trace summary statistics.
+
+use bsld_simkernel::stats::OnlineStats;
+
+use crate::record::SwfTrace;
+
+/// Aggregate statistics of a trace, for workload characterisation tables.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Number of records summarised.
+    pub jobs: usize,
+    /// Runtime statistics, seconds.
+    pub runtime: OnlineStats,
+    /// Processor-count statistics.
+    pub size: OnlineStats,
+    /// Requested-time statistics, seconds.
+    pub requested: OnlineStats,
+    /// Fraction of jobs using a single processor.
+    pub serial_fraction: f64,
+    /// Fraction of jobs shorter than 600 s (the BSLD threshold).
+    pub short_fraction: f64,
+    /// Trace span: first to last submission, seconds.
+    pub span_secs: u64,
+    /// Offered load: total processor-seconds over machine capacity for the
+    /// span (requires the header's `MaxProcs`; 0 otherwise).
+    pub offered_load: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace's records.
+    pub fn of(trace: &SwfTrace) -> TraceStats {
+        let mut runtime = OnlineStats::new();
+        let mut size = OnlineStats::new();
+        let mut requested = OnlineStats::new();
+        let mut serial = 0usize;
+        let mut short = 0usize;
+        let mut first = i64::MAX;
+        let mut last = i64::MIN;
+        let mut area = 0f64;
+        let mut n = 0usize;
+        for r in &trace.records {
+            let (Some(p), Some(req)) = (r.effective_procs(), r.effective_req_time()) else {
+                continue;
+            };
+            if r.run_time <= 0 {
+                continue;
+            }
+            n += 1;
+            runtime.push(r.run_time as f64);
+            size.push(p as f64);
+            requested.push(req as f64);
+            if p == 1 {
+                serial += 1;
+            }
+            if r.run_time < 600 {
+                short += 1;
+            }
+            first = first.min(r.submit);
+            last = last.max(r.submit);
+            area += p as f64 * r.run_time as f64;
+        }
+        let span_secs = if n > 0 { (last - first).max(0) as u64 } else { 0 };
+        let offered_load = match (trace.header.max_procs, span_secs) {
+            (Some(m), s) if s > 0 => area / (m as f64 * s as f64),
+            _ => 0.0,
+        };
+        TraceStats {
+            jobs: n,
+            runtime,
+            size,
+            requested,
+            serial_fraction: if n > 0 { serial as f64 / n as f64 } else { 0.0 },
+            short_fraction: if n > 0 { short as f64 / n as f64 } else { 0.0 },
+            span_secs,
+            offered_load,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{SwfHeader, SwfRecord};
+
+    #[test]
+    fn stats_of_simple_trace() {
+        let trace = SwfTrace {
+            header: SwfHeader { max_procs: Some(10), ..Default::default() },
+            records: vec![
+                SwfRecord::simple(1, 0, 100, 1, 100),    // serial, short
+                SwfRecord::simple(2, 500, 1000, 4, 2000),
+                SwfRecord::simple(3, 1000, 2000, 5, 2000),
+            ],
+        };
+        let s = TraceStats::of(&trace);
+        assert_eq!(s.jobs, 3);
+        assert!((s.serial_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.short_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.span_secs, 1000);
+        // area = 100 + 4000 + 10000 = 14100; capacity = 10 * 1000.
+        assert!((s.offered_load - 1.41).abs() < 1e-12);
+        assert!((s.runtime.mean() - (100.0 + 1000.0 + 2000.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::of(&SwfTrace::default());
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.span_secs, 0);
+        assert_eq!(s.offered_load, 0.0);
+        assert_eq!(s.serial_fraction, 0.0);
+    }
+
+    #[test]
+    fn skips_invalid_records() {
+        let trace = SwfTrace {
+            header: SwfHeader::default(),
+            records: vec![SwfRecord::unknown(), SwfRecord::simple(1, 0, 50, 2, 50)],
+        };
+        let s = TraceStats::of(&trace);
+        assert_eq!(s.jobs, 1);
+    }
+}

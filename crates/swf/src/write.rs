@@ -1,0 +1,89 @@
+//! SWF text output.
+
+use std::fmt::Write as _;
+
+use crate::record::SwfTrace;
+
+/// Serialises a trace back to SWF text.
+///
+/// Typed header directives are emitted first, followed by the preserved
+/// `extra` comment lines, then one data line per record. Round-trips with
+/// [`crate::parse_swf`] up to comment ordering and whitespace.
+pub fn write_swf(trace: &SwfTrace) -> String {
+    let mut out = String::new();
+    let h = &trace.header;
+    if let Some(v) = h.max_procs {
+        let _ = writeln!(out, "; MaxProcs: {v}");
+    }
+    if let Some(v) = h.max_runtime {
+        let _ = writeln!(out, "; MaxRuntime: {v}");
+    }
+    if let Some(v) = h.max_jobs {
+        let _ = writeln!(out, "; MaxJobs: {v}");
+    }
+    if let Some(v) = h.unix_start_time {
+        let _ = writeln!(out, "; UnixStartTime: {v}");
+    }
+    for line in &h.extra {
+        let _ = writeln!(out, "; {line}");
+    }
+    for r in &trace.records {
+        let f = r.fields();
+        let mut first = true;
+        for v in f {
+            if first {
+                first = false;
+            } else {
+                out.push(' ');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_swf;
+    use crate::record::{SwfHeader, SwfRecord};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = SwfTrace {
+            header: SwfHeader {
+                max_procs: Some(128),
+                max_runtime: Some(86400),
+                max_jobs: Some(3),
+                unix_start_time: Some(1_000_000),
+                extra: vec!["Computer: IBM SP2".to_string()],
+            },
+            records: vec![
+                SwfRecord::simple(1, 0, 100, 4, 200),
+                SwfRecord::simple(2, 50, 7200, 128, 86400),
+                SwfRecord::unknown(),
+            ],
+        };
+        let text = write_swf(&trace);
+        let back = parse_swf(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_writes_nothing_but_parses_back() {
+        let t = SwfTrace::default();
+        let text = write_swf(&t);
+        assert_eq!(parse_swf(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn data_line_format() {
+        let trace = SwfTrace {
+            header: SwfHeader::default(),
+            records: vec![SwfRecord::simple(1, 2, 3, 4, 5)],
+        };
+        let text = write_swf(&trace);
+        assert_eq!(text.trim(), "1 2 -1 3 4 -1 -1 4 5 -1 1 -1 -1 -1 -1 -1 -1 -1");
+    }
+}

@@ -1,0 +1,272 @@
+//! Samplable distributions built on `rand`'s uniform source.
+//!
+//! The offline dependency set does not include `rand_distr`, so the
+//! classical sampling transforms are implemented here: inversion for the
+//! exponential and Weibull, Box–Muller for the normal/log-normal, and
+//! Marsaglia–Tsang squeeze for the gamma. Each sampler is deterministic
+//! given the RNG stream.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A continuous distribution that can be sampled.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> f64;
+}
+
+/// Exponential distribution with the given rate (mean `1/rate`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    /// Event rate λ (> 0).
+    pub rate: f64,
+}
+
+impl Sample for Exp {
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        debug_assert!(self.rate > 0.0);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+/// Standard normal via Box–Muller (one value per draw; the second is
+/// discarded to keep the sampler stateless and the streams independent).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdNormal;
+
+impl Sample for StdNormal {
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Log-normal: `exp(mu + sigma·N(0,1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal (≥ 0).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Log-normal with the given *median* (`exp(mu)`) and sigma.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0);
+        LogNormal { mu: median.ln(), sigma }
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        (self.mu + self.sigma * StdNormal.sample(rng)).exp()
+    }
+}
+
+/// Weibull with shape `k` and scale `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Weibull {
+    /// Shape k (> 0). k < 1 gives heavy tails, k = 1 is exponential.
+    pub shape: f64,
+    /// Scale λ (> 0).
+    pub scale: f64,
+}
+
+impl Sample for Weibull {
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        debug_assert!(self.shape > 0.0 && self.scale > 0.0);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Gamma with shape `k` and scale `theta` (Marsaglia–Tsang).
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma {
+    /// Shape k (> 0).
+    pub shape: f64,
+    /// Scale θ (> 0).
+    pub scale: f64,
+}
+
+impl Sample for Gamma {
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        debug_assert!(self.shape > 0.0 && self.scale > 0.0);
+        // Marsaglia–Tsang requires k >= 1; boost smaller shapes.
+        let k = self.shape;
+        if k < 1.0 {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let boosted = Gamma { shape: k + 1.0, scale: self.scale }.sample(rng);
+            return boosted * u.powf(1.0 / k);
+        }
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = StdNormal.sample(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+/// Log-uniform over `[lo, hi]`: `exp(U(ln lo, ln hi))`. The classic
+/// Feitelson model for job sizes and short runtimes.
+#[derive(Debug, Clone, Copy)]
+pub struct LogUniform {
+    /// Lower bound (> 0).
+    pub lo: f64,
+    /// Upper bound (≥ lo).
+    pub hi: f64,
+}
+
+impl Sample for LogUniform {
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        debug_assert!(self.lo > 0.0 && self.hi >= self.lo);
+        if self.hi == self.lo {
+            return self.lo;
+        }
+        rng.gen_range(self.lo.ln()..=self.hi.ln()).exp()
+    }
+}
+
+/// A two-component mixture: `first` with probability `p`, else `second`.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix<A, B> {
+    /// Probability of drawing from `first`.
+    pub p: f64,
+    /// The first component.
+    pub first: A,
+    /// The second component.
+    pub second: B,
+}
+
+impl<A: Sample, B: Sample> Sample for Mix<A, B> {
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        if rng.gen_bool(self.p.clamp(0.0, 1.0)) {
+            self.first.sample(rng)
+        } else {
+            self.second.sample(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_simkernel::rng::stream_rng;
+
+    fn mean_of(d: &impl Sample, n: usize, seed: u64) -> f64 {
+        let mut rng = stream_rng(seed, 0);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let m = mean_of(&Exp { rate: 0.5 }, 200_000, 1);
+        assert!((m - 2.0).abs() < 0.05, "mean = {m}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = stream_rng(2, 0);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| StdNormal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::with_median(100.0, 1.0);
+        let mut rng = stream_rng(3, 0);
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median / 100.0 - 1.0).abs() < 0.1, "median = {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn weibull_mean() {
+        // k=1 reduces to exponential with mean = scale.
+        let m = mean_of(&Weibull { shape: 1.0, scale: 3.0 }, 200_000, 4);
+        assert!((m - 3.0).abs() < 0.1, "mean = {m}");
+    }
+
+    #[test]
+    fn gamma_mean_and_positivity() {
+        for (shape, scale) in [(0.5, 2.0), (1.0, 1.0), (4.0, 0.5), (9.0, 3.0)] {
+            let d = Gamma { shape, scale };
+            let mut rng = stream_rng(5, shape.to_bits());
+            let n = 100_000;
+            let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            assert!(xs.iter().all(|&x| x > 0.0));
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let expected = shape * scale;
+            assert!(
+                (mean / expected - 1.0).abs() < 0.05,
+                "shape {shape}: mean {mean} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn loguniform_bounds() {
+        let d = LogUniform { lo: 4.0, hi: 4096.0 };
+        let mut rng = stream_rng(6, 0);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((4.0..=4096.0).contains(&x));
+        }
+        // Degenerate range.
+        assert_eq!(LogUniform { lo: 7.0, hi: 7.0 }.sample(&mut rng), 7.0);
+    }
+
+    #[test]
+    fn loguniform_is_log_spread() {
+        // Median of LogUniform(1, 10000) is 100 (geometric midpoint).
+        let d = LogUniform { lo: 1.0, hi: 10_000.0 };
+        let mut rng = stream_rng(7, 0);
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median / 100.0 - 1.0).abs() < 0.15, "median = {median}");
+    }
+
+    #[test]
+    fn mixture_proportion() {
+        let d = Mix { p: 0.25, first: Exp { rate: 1000.0 }, second: Exp { rate: 0.001 } };
+        let mut rng = stream_rng(8, 0);
+        let n = 100_000;
+        let small = (0..n).filter(|_| d.sample(&mut rng) < 1.0).count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let d = LogNormal::with_median(10.0, 0.5);
+        let a: Vec<f64> = {
+            let mut rng = stream_rng(9, 1);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = stream_rng(9, 1);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! User runtime-estimate (requested time) models.
+//!
+//! Backfilling depends critically on how users over-estimate. Following the
+//! archive literature (Mu'alem & Feitelson; Tsafrir's estimate studies):
+//!
+//! * a minority of users request exactly the runtime they use;
+//! * a minority always request the site maximum;
+//! * the rest inflate the runtime by a heavy-tailed factor and round the
+//!   result *up* to a "human" value (multiples of 5 min / 15 min / 1 h).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::dist::{LogNormal, Sample};
+
+/// Parameters of the estimate model.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimateModel {
+    /// Probability the user's estimate is exact.
+    pub p_exact: f64,
+    /// Probability the user requests the site maximum.
+    pub p_max: f64,
+    /// Median of the multiplicative over-estimation factor (≥ 1).
+    pub factor_median: f64,
+    /// Log-space spread of the factor.
+    pub factor_sigma: f64,
+    /// Site runtime limit, seconds (upper clamp for every estimate).
+    pub max: u64,
+}
+
+impl EstimateModel {
+    /// Draws the requested time for a job of the given actual `runtime`.
+    /// Always returns a value in `[runtime, max]` (or exactly `runtime`
+    /// when `runtime > max`, which cleaning should have prevented).
+    pub fn sample(&self, rng: &mut SmallRng, runtime: u64) -> u64 {
+        if runtime >= self.max {
+            return runtime;
+        }
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        if roll < self.p_exact {
+            return runtime;
+        }
+        if roll < self.p_exact + self.p_max {
+            return self.max;
+        }
+        let factor = LogNormal::with_median(self.factor_median, self.factor_sigma)
+            .sample(rng)
+            .max(1.0);
+        let raw = (runtime as f64 * factor).round() as u64;
+        round_up_human(raw).clamp(runtime, self.max)
+    }
+}
+
+/// Rounds a requested time up to a value a human would type: multiples of
+/// 5 min below 1 h, of 15 min below 5 h, of 1 h above.
+pub fn round_up_human(secs: u64) -> u64 {
+    let unit = if secs <= 3_600 {
+        300
+    } else if secs <= 18_000 {
+        900
+    } else {
+        3_600
+    };
+    secs.div_ceil(unit) * unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_simkernel::rng::stream_rng;
+
+    fn model() -> EstimateModel {
+        EstimateModel { p_exact: 0.15, p_max: 0.1, factor_median: 3.0, factor_sigma: 1.0, max: 64_800 }
+    }
+
+    #[test]
+    fn round_up_human_steps() {
+        assert_eq!(round_up_human(1), 300);
+        assert_eq!(round_up_human(300), 300);
+        assert_eq!(round_up_human(301), 600);
+        assert_eq!(round_up_human(3_600), 3_600);
+        assert_eq!(round_up_human(3_601), 4_500);
+        assert_eq!(round_up_human(18_000), 18_000);
+        assert_eq!(round_up_human(18_001), 21_600);
+    }
+
+    #[test]
+    fn estimates_bound_runtime() {
+        let m = model();
+        let mut rng = stream_rng(1, 0);
+        for runtime in [1u64, 59, 600, 3_600, 20_000, 64_799] {
+            for _ in 0..2_000 {
+                let req = m.sample(&mut rng, runtime);
+                assert!(req >= runtime, "req {req} < runtime {runtime}");
+                assert!(req <= 64_800);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_fraction() {
+        let m = model();
+        let mut rng = stream_rng(2, 0);
+        let n = 50_000;
+        // Use an off-grid runtime so rounding cannot produce an accidental
+        // exact match.
+        let exact = (0..n).filter(|_| m.sample(&mut rng, 1_234) == 1_234).count();
+        let frac = exact as f64 / n as f64;
+        assert!((frac - 0.15).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn max_requests_fraction() {
+        let m = model();
+        let mut rng = stream_rng(3, 0);
+        let n = 50_000;
+        let maxed = (0..n).filter(|_| m.sample(&mut rng, 1_234) == 64_800).count();
+        let frac = maxed as f64 / n as f64;
+        // p_max plus the lognormal tail that clamps to max.
+        assert!(frac > 0.09 && frac < 0.25, "frac = {frac}");
+    }
+
+    #[test]
+    fn runtime_at_limit_returns_runtime() {
+        let m = model();
+        let mut rng = stream_rng(4, 0);
+        assert_eq!(m.sample(&mut rng, 64_800), 64_800);
+        assert_eq!(m.sample(&mut rng, 70_000), 70_000);
+    }
+
+    #[test]
+    fn typical_overestimation_is_heavy() {
+        let m = model();
+        let mut rng = stream_rng(5, 0);
+        let n = 20_000;
+        let mean_factor: f64 =
+            (0..n).map(|_| m.sample(&mut rng, 3_000) as f64 / 3_000.0).sum::<f64>() / n as f64;
+        // The archive's mean over-estimation is severalfold.
+        assert!(mean_factor > 2.0, "mean factor = {mean_factor}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic workload generation.
+//!
+//! The paper evaluates on 5 000-job segments of five Parallel Workload
+//! Archive traces (CTC SP2, SDSC SP2, SDSC Blue Horizon, LLNL Thunder,
+//! LLNL Atlas). The archive traces are not redistributable with this
+//! repository, so this crate generates **calibrated synthetic equivalents**:
+//! statistical models of arrivals, job sizes, runtimes and user estimates
+//! whose parameters are tuned per trace so that the *no-DVFS baseline*
+//! reproduces Table 1's average BSLD and Table 3's average wait-time
+//! regimes. Real SWF traces can be substituted at any time via
+//! [`Workload::from_swf`].
+//!
+//! Structure:
+//!
+//! * [`dist`] — samplable distributions (exponential, log-normal, gamma,
+//!   Weibull, log-uniform) built only on `rand`'s uniform source;
+//! * [`arrivals`] — Poisson and day/night-modulated Poisson arrival
+//!   processes;
+//! * [`sizes`] — processor-count models (serial fraction, power-of-two
+//!   bias, multiple-of constraints);
+//! * [`runtimes`] — runtime mixtures (short-job spike + log-normal body);
+//! * [`estimates`] — user requested-time models (exact users, round-value
+//!   inflation, request-the-maximum users);
+//! * [`profiles`] — the five calibrated [`profiles::TraceProfile`]s.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrivals;
+pub mod dist;
+pub mod estimates;
+pub mod profiles;
+pub mod runtimes;
+pub mod sizes;
+
+use bsld_model::Job;
+use bsld_swf::{records_to_jobs, SwfTrace};
+
+/// A named workload ready for simulation: a machine size and a list of
+/// jobs sorted by arrival.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload/machine name (e.g. `"CTC"`).
+    pub cluster_name: String,
+    /// Number of processors of the original machine.
+    pub cpus: u32,
+    /// Jobs sorted by arrival time, ids dense in arrival order.
+    pub jobs: Vec<Job>,
+}
+
+impl Workload {
+    /// Builds a workload from a parsed SWF trace.
+    ///
+    /// Uses the header's `MaxProcs` as the machine size, falling back to
+    /// the largest job.
+    pub fn from_swf(name: impl Into<String>, trace: &SwfTrace) -> Workload {
+        let mut jobs = records_to_jobs(&trace.records);
+        jobs.sort_by_key(|j| j.arrival);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = bsld_model::JobId(i as u32);
+        }
+        let cpus = trace
+            .header
+            .max_procs
+            .unwrap_or_else(|| jobs.iter().map(|j| j.cpus).max().unwrap_or(1));
+        Workload { cluster_name: name.into(), cpus, jobs }
+    }
+
+    /// Total work volume (processor-seconds at top frequency).
+    pub fn total_area(&self) -> u64 {
+        self.jobs.iter().map(|j| j.area()).sum()
+    }
+
+    /// Span between first and last arrival, seconds.
+    pub fn arrival_span(&self) -> u64 {
+        match (self.jobs.first(), self.jobs.last()) {
+            (Some(a), Some(b)) => b.arrival - a.arrival,
+            _ => 0,
+        }
+    }
+
+    /// Offered load: work volume over machine capacity for the arrival
+    /// span. Values near (or above) 1 mean a saturated machine.
+    pub fn offered_load(&self) -> f64 {
+        let span = self.arrival_span();
+        if span == 0 {
+            return 0.0;
+        }
+        self.total_area() as f64 / (self.cpus as f64 * span as f64)
+    }
+
+    /// Exports the workload as an SWF trace (the inverse of
+    /// [`Workload::from_swf`]), so synthetic workloads can be archived,
+    /// shared, and replayed by other simulators.
+    pub fn to_swf(&self) -> SwfTrace {
+        let records = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let mut r = bsld_swf::SwfRecord::simple(
+                    j.id.0 as i64 + 1, // archive job numbers are 1-based
+                    j.arrival.as_secs() as i64,
+                    j.runtime as i64,
+                    j.cpus as i64,
+                    j.requested as i64,
+                );
+                r.status = 1;
+                r
+            })
+            .collect();
+        SwfTrace {
+            header: bsld_swf::SwfHeader {
+                max_procs: Some(self.cpus),
+                max_runtime: self.jobs.iter().map(|j| j.requested).max(),
+                max_jobs: Some(self.jobs.len() as u64),
+                unix_start_time: Some(0),
+                extra: vec![format!("Computer: synthetic {}", self.cluster_name)],
+            },
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_swf::{SwfHeader, SwfRecord};
+
+    #[test]
+    fn from_swf_sorts_and_renumbers() {
+        let trace = SwfTrace {
+            header: SwfHeader { max_procs: Some(16), ..Default::default() },
+            records: vec![
+                SwfRecord::simple(5, 100, 50, 2, 60),
+                SwfRecord::simple(9, 0, 50, 4, 60),
+            ],
+        };
+        let w = Workload::from_swf("test", &trace);
+        assert_eq!(w.cpus, 16);
+        assert_eq!(w.jobs.len(), 2);
+        assert_eq!(w.jobs[0].id.0, 0);
+        assert_eq!(w.jobs[0].arrival.as_secs(), 0);
+        assert_eq!(w.jobs[0].cpus, 4);
+        assert_eq!(w.jobs[1].arrival.as_secs(), 100);
+    }
+
+    #[test]
+    fn offered_load_computation() {
+        let trace = SwfTrace {
+            header: SwfHeader { max_procs: Some(10), ..Default::default() },
+            records: vec![
+                SwfRecord::simple(1, 0, 100, 5, 100),
+                SwfRecord::simple(2, 100, 100, 5, 100),
+            ],
+        };
+        let w = Workload::from_swf("test", &trace);
+        assert_eq!(w.total_area(), 1000);
+        assert_eq!(w.arrival_span(), 100);
+        assert!((w.offered_load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::from_swf("empty", &SwfTrace::default());
+        assert_eq!(w.jobs.len(), 0);
+        assert_eq!(w.offered_load(), 0.0);
+        assert_eq!(w.cpus, 1);
+    }
+
+    #[test]
+    fn swf_export_roundtrips() {
+        let w = crate::profiles::TraceProfile::ctc().generate(5, 200);
+        let trace = w.to_swf();
+        assert_eq!(trace.header.max_procs, Some(w.cpus));
+        assert_eq!(trace.records.len(), 200);
+        let back = Workload::from_swf(&w.cluster_name, &trace);
+        assert_eq!(back.cpus, w.cpus);
+        assert_eq!(back.jobs.len(), w.jobs.len());
+        for (a, b) in w.jobs.iter().zip(&back.jobs) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.cpus, b.cpus);
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.requested, b.requested);
+        }
+        // And the text round-trip holds too.
+        let text = bsld_swf::write_swf(&trace);
+        let parsed = bsld_swf::parse_swf(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+}

@@ -1,0 +1,408 @@
+//! Calibrated trace profiles.
+//!
+//! One [`TraceProfile`] per workload of Table 1. Each combines a size,
+//! runtime, estimate and arrival model; the free parameters were calibrated
+//! against the *no-DVFS EASY baseline* so that the simulated average BSLD
+//! and average wait land in the paper's reported regimes:
+//!
+//! | Workload     | CPUs  | Paper avg BSLD | Paper avg wait (s) |
+//! |--------------|-------|----------------|--------------------|
+//! | CTC          | 430   | 4.66           | 7 107              |
+//! | SDSC         | 128   | 24.91          | 36 001             |
+//! | SDSC-Blue    | 1 152 | 5.15           | 4 798              |
+//! | LLNL-Thunder | 4 008 | 1.00           | 0                  |
+//! | LLNL-Atlas   | 9 216 | 1.08           | 69                 |
+//!
+//! The qualitative features the paper calls out are modelled structurally:
+//! SDSC is saturated; Thunder's jobs are mostly shorter than the 600 s BSLD
+//! threshold; SDSC-Blue allocates multiples of 8 processors; Atlas runs
+//! large parallel jobs.
+
+use bsld_model::Job;
+use bsld_simkernel::rng::{stream_rng, streams};
+use bsld_simkernel::Time;
+use rand::Rng;
+
+use crate::arrivals::{ArrivalProcess, DailyCycle, Poisson};
+use crate::estimates::EstimateModel;
+use crate::runtimes::RuntimeModel;
+use crate::sizes::SizeModel;
+use crate::Workload;
+
+/// Per-job β specification.
+#[derive(Debug, Clone, Copy)]
+pub enum BetaSpec {
+    /// Every job uses the same β (the paper's setting, β = 0.5).
+    Fixed(f64),
+    /// β drawn uniformly from `mean ± spread`, clamped to `[0, 1]` — the
+    /// paper's future-work scenario of heterogeneous job sensitivity.
+    PerJob {
+        /// Centre of the distribution.
+        mean: f64,
+        /// Half-width of the uniform spread.
+        spread: f64,
+    },
+}
+
+/// Day/night arrival modulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DailyPattern {
+    /// Fraction of each day in the high-rate phase.
+    pub day_fraction: f64,
+    /// Day-to-night rate ratio (≥ 1).
+    pub day_night_ratio: f64,
+}
+
+/// A complete generative model of one workload.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    /// Workload name (matches the paper's tables).
+    pub name: String,
+    /// Machine size, processors.
+    pub cpus: u32,
+    /// Target offered load (work volume / capacity over the arrival span).
+    pub target_load: f64,
+    /// Size model.
+    pub sizes: SizeModel,
+    /// Runtime model.
+    pub runtimes: RuntimeModel,
+    /// Estimate model.
+    pub estimates: EstimateModel,
+    /// Arrival modulation (`None` = homogeneous Poisson).
+    pub daily: Option<DailyPattern>,
+    /// Per-job β.
+    pub beta: BetaSpec,
+}
+
+impl TraceProfile {
+    /// CTC SP2 (430 cpus): many large jobs, low degree of parallelism.
+    pub fn ctc() -> TraceProfile {
+        TraceProfile {
+            name: "CTC".into(),
+            cpus: 430,
+            target_load: 0.71,
+            sizes: SizeModel { p_serial: 0.35, p_pow2: 0.55, min_parallel: 2, max: 336, multiple_of: 1 },
+            runtimes: RuntimeModel {
+                p_short: 0.20,
+                short_range: (10, 600),
+                body_median: 6000,
+                body_sigma: 1.5,
+                min: 1,
+                max: 64_800,
+            },
+            estimates: EstimateModel {
+                p_exact: 0.10,
+                p_max: 0.12,
+                factor_median: 3.0,
+                factor_sigma: 1.0,
+                max: 64_800,
+            },
+            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.5 }),
+            beta: BetaSpec::Fixed(0.5),
+        }
+    }
+
+    /// SDSC SP2 (128 cpus): the saturated machine — worst baseline BSLD.
+    pub fn sdsc() -> TraceProfile {
+        TraceProfile {
+            name: "SDSC".into(),
+            cpus: 128,
+            target_load: 0.96,
+            sizes: SizeModel { p_serial: 0.22, p_pow2: 0.60, min_parallel: 2, max: 64, multiple_of: 1 },
+            runtimes: RuntimeModel {
+                p_short: 0.30,
+                short_range: (10, 600),
+                body_median: 5200,
+                body_sigma: 1.5,
+                min: 1,
+                max: 64_800,
+            },
+            estimates: EstimateModel {
+                p_exact: 0.06,
+                p_max: 0.18,
+                factor_median: 4.0,
+                factor_sigma: 1.1,
+                max: 64_800,
+            },
+            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.6 }),
+            beta: BetaSpec::Fixed(0.5),
+        }
+    }
+
+    /// SDSC Blue Horizon (1 152 cpus): no serial jobs, 8-cpu allocation
+    /// quantum.
+    pub fn sdsc_blue() -> TraceProfile {
+        TraceProfile {
+            name: "SDSCBlue".into(),
+            cpus: 1_152,
+            target_load: 0.54,
+            sizes: SizeModel { p_serial: 0.0, p_pow2: 0.45, min_parallel: 8, max: 1_152, multiple_of: 8 },
+            runtimes: RuntimeModel {
+                p_short: 0.35,
+                short_range: (10, 600),
+                body_median: 3200,
+                body_sigma: 1.4,
+                min: 1,
+                max: 64_800,
+            },
+            estimates: EstimateModel {
+                p_exact: 0.08,
+                p_max: 0.12,
+                factor_median: 3.0,
+                factor_sigma: 1.0,
+                max: 64_800,
+            },
+            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.6 }),
+            beta: BetaSpec::Fixed(0.5),
+        }
+    }
+
+    /// LLNL Thunder (4 008 cpus): large numbers of small-to-medium, mostly
+    /// sub-10-minute jobs; essentially no queueing.
+    pub fn llnl_thunder() -> TraceProfile {
+        TraceProfile {
+            name: "LLNLThunder".into(),
+            cpus: 4_008,
+            target_load: 0.66,
+            sizes: SizeModel { p_serial: 0.12, p_pow2: 0.70, min_parallel: 2, max: 512, multiple_of: 1 },
+            runtimes: RuntimeModel {
+                p_short: 0.62,
+                short_range: (5, 600),
+                body_median: 1_500,
+                body_sigma: 1.1,
+                min: 1,
+                max: 43_200,
+            },
+            estimates: EstimateModel {
+                p_exact: 0.25,
+                p_max: 0.10,
+                factor_median: 2.0,
+                factor_sigma: 0.8,
+                max: 43_200,
+            },
+            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.5 }),
+            beta: BetaSpec::Fixed(0.5),
+        }
+    }
+
+    /// LLNL Atlas (9 216 cpus): large parallel jobs, light queueing.
+    pub fn llnl_atlas() -> TraceProfile {
+        TraceProfile {
+            name: "LLNLAtlas".into(),
+            cpus: 9_216,
+            target_load: 0.48,
+            sizes: SizeModel { p_serial: 0.05, p_pow2: 0.80, min_parallel: 64, max: 4_096, multiple_of: 1 },
+            runtimes: RuntimeModel {
+                p_short: 0.30,
+                short_range: (10, 600),
+                body_median: 2_600,
+                body_sigma: 1.2,
+                min: 1,
+                max: 86_400,
+            },
+            estimates: EstimateModel {
+                p_exact: 0.20,
+                p_max: 0.10,
+                factor_median: 2.5,
+                factor_sigma: 0.9,
+                max: 86_400,
+            },
+            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.5 }),
+            beta: BetaSpec::Fixed(0.5),
+        }
+    }
+
+    /// The paper's five workloads in table order.
+    pub fn paper_five() -> Vec<TraceProfile> {
+        vec![
+            TraceProfile::ctc(),
+            TraceProfile::sdsc(),
+            TraceProfile::sdsc_blue(),
+            TraceProfile::llnl_thunder(),
+            TraceProfile::llnl_atlas(),
+        ]
+    }
+
+    /// The profile rescaled to a machine of `cpus` processors: job sizes
+    /// are scaled proportionally (respecting the allocation quantum) and
+    /// the offered load target is preserved. Useful for fast tests and
+    /// examples on small machines.
+    pub fn scaled_cpus(mut self, cpus: u32) -> TraceProfile {
+        assert!(cpus >= 1);
+        let f = cpus as f64 / self.cpus as f64;
+        self.cpus = cpus;
+        let quantum = self.sizes.multiple_of.max(1);
+        let scale = |v: u32| ((v as f64 * f).round() as u32).max(1);
+        self.sizes.max = scale(self.sizes.max).clamp(1, cpus);
+        self.sizes.min_parallel = scale(self.sizes.min_parallel).clamp(1, self.sizes.max);
+        if quantum > 1 {
+            self.sizes.min_parallel = self.sizes.min_parallel.max(quantum);
+            self.sizes.max = self.sizes.max.max(self.sizes.min_parallel);
+        }
+        self
+    }
+
+    /// Overrides β (builder style).
+    pub fn with_beta(mut self, beta: BetaSpec) -> TraceProfile {
+        self.beta = beta;
+        self
+    }
+
+    /// Generates `n` jobs deterministically from `seed`.
+    ///
+    /// Sizes, runtimes, estimates, arrivals and β draw from independent RNG
+    /// streams, so altering one model leaves the other draws untouched.
+    /// The arrival rate is derived from the sampled work volume so that the
+    /// realised *offered load* matches `target_load` by construction.
+    pub fn generate(&self, seed: u64, n: usize) -> Workload {
+        let mut size_rng = stream_rng(seed, streams::SIZES);
+        let mut run_rng = stream_rng(seed, streams::RUNTIMES);
+        let mut est_rng = stream_rng(seed, streams::ESTIMATES);
+        let mut arr_rng = stream_rng(seed, streams::ARRIVALS);
+        let mut beta_rng = stream_rng(seed, streams::BETA);
+
+        let sizes: Vec<u32> = (0..n).map(|_| self.sizes.sample(&mut size_rng)).collect();
+        let runtimes: Vec<u64> = (0..n).map(|_| self.runtimes.sample(&mut run_rng)).collect();
+        let requests: Vec<u64> =
+            runtimes.iter().map(|&r| self.estimates.sample(&mut est_rng, r)).collect();
+
+        let area: f64 = sizes
+            .iter()
+            .zip(&runtimes)
+            .map(|(&s, &r)| s as f64 * r as f64)
+            .sum();
+        let span = area / (self.cpus as f64 * self.target_load);
+        let avg_rate = if span > 0.0 { n as f64 / span } else { 1.0 };
+        let arrivals = match self.daily {
+            Some(d) => DailyCycle {
+                avg_rate,
+                period: 86_400,
+                day_fraction: d.day_fraction,
+                day_night_ratio: d.day_night_ratio,
+            }
+            .generate(&mut arr_rng, n),
+            None => Poisson { rate: avg_rate }.generate(&mut arr_rng, n),
+        };
+
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| {
+                let beta = match self.beta {
+                    BetaSpec::Fixed(b) => b,
+                    BetaSpec::PerJob { mean, spread } => {
+                        let lo = (mean - spread).max(0.0);
+                        let hi = (mean + spread).min(1.0);
+                        if hi > lo {
+                            beta_rng.gen_range(lo..=hi)
+                        } else {
+                            lo
+                        }
+                    }
+                };
+                Job::new(i as u32, Time(arrivals[i]), sizes[i], runtimes[i], requests[i])
+                    .with_beta(beta)
+            })
+            .collect();
+
+        Workload { cluster_name: self.name.clone(), cpus: self.cpus, jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_five_match_table1_sizes() {
+        let five = TraceProfile::paper_five();
+        let names: Vec<&str> = five.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["CTC", "SDSC", "SDSCBlue", "LLNLThunder", "LLNLAtlas"]);
+        let cpus: Vec<u32> = five.iter().map(|p| p.cpus).collect();
+        assert_eq!(cpus, [430, 128, 1_152, 4_008, 9_216]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = TraceProfile::ctc();
+        let a = p.generate(42, 200);
+        let b = p.generate(42, 200);
+        assert_eq!(a.jobs, b.jobs);
+        let c = p.generate(43, 200);
+        assert_ne!(a.jobs, c.jobs);
+    }
+
+    #[test]
+    fn generated_load_matches_target() {
+        let p = TraceProfile::sdsc_blue();
+        let w = p.generate(7, 2_000);
+        let load = w.offered_load();
+        assert!(
+            (load / p.target_load - 1.0).abs() < 0.1,
+            "load {load} vs target {}",
+            p.target_load
+        );
+    }
+
+    #[test]
+    fn jobs_sorted_with_dense_ids() {
+        let w = TraceProfile::sdsc().generate(1, 500);
+        for (i, j) in w.jobs.iter().enumerate() {
+            assert_eq!(j.id.0 as usize, i);
+            if i > 0 {
+                assert!(j.arrival >= w.jobs[i - 1].arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_respect_machine() {
+        for p in TraceProfile::paper_five() {
+            let w = p.generate(3, 1_000);
+            for j in &w.jobs {
+                assert!(j.cpus <= p.cpus, "{}: job size {} > {}", p.name, j.cpus, p.cpus);
+                assert!(j.requested >= j.runtime);
+            }
+        }
+    }
+
+    #[test]
+    fn blue_uses_multiples_of_8() {
+        let w = TraceProfile::sdsc_blue().generate(9, 500);
+        for j in &w.jobs {
+            assert_eq!(j.cpus % 8, 0, "Blue job of {} cpus", j.cpus);
+        }
+    }
+
+    #[test]
+    fn thunder_is_mostly_short() {
+        let w = TraceProfile::llnl_thunder().generate(11, 2_000);
+        let short = w.jobs.iter().filter(|j| j.runtime < 600).count();
+        assert!(
+            short as f64 / w.jobs.len() as f64 > 0.5,
+            "Thunder must be majority sub-600 s"
+        );
+    }
+
+    #[test]
+    fn scaled_profile_shrinks_sizes() {
+        let p = TraceProfile::sdsc_blue().scaled_cpus(64);
+        assert_eq!(p.cpus, 64);
+        let w = p.generate(5, 300);
+        for j in &w.jobs {
+            assert!(j.cpus <= 64);
+            assert_eq!(j.cpus % 8, 0);
+        }
+        // Load target still holds approximately.
+        let load = w.offered_load();
+        assert!((load / p.target_load - 1.0).abs() < 0.25, "load = {load}");
+    }
+
+    #[test]
+    fn per_job_beta_varies() {
+        let p = TraceProfile::ctc().with_beta(BetaSpec::PerJob { mean: 0.5, spread: 0.3 });
+        let w = p.generate(13, 300);
+        let betas: Vec<f64> = w.jobs.iter().map(|j| j.beta).collect();
+        assert!(betas.iter().any(|&b| b < 0.4));
+        assert!(betas.iter().any(|&b| b > 0.6));
+        assert!(betas.iter().all(|&b| (0.0..=1.0).contains(&b)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Job runtime models.
+//!
+//! Runtimes are modelled as a two-component mixture: a *short-job* spike
+//! (log-uniform between a few seconds and ten minutes — setup jobs, crashed
+//! runs, test submissions) and a log-normal *body* for production runs.
+//! Both components are clamped to `[min, max]` where `max` is the site's
+//! runtime limit.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::dist::{LogNormal, LogUniform, Sample};
+
+/// Parameters of the runtime mixture.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeModel {
+    /// Probability of a short job.
+    pub p_short: f64,
+    /// Short component bounds, seconds (log-uniform).
+    pub short_range: (u64, u64),
+    /// Median of the log-normal body, seconds.
+    pub body_median: u64,
+    /// Sigma of the log-normal body (log-space spread).
+    pub body_sigma: f64,
+    /// Global bounds, seconds.
+    pub min: u64,
+    /// Site runtime limit, seconds.
+    pub max: u64,
+}
+
+impl RuntimeModel {
+    /// Draws one runtime in seconds.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        debug_assert!(self.min >= 1 && self.max >= self.min);
+        let x = if self.p_short > 0.0 && rng.gen_bool(self.p_short.clamp(0.0, 1.0)) {
+            LogUniform { lo: self.short_range.0 as f64, hi: self.short_range.1 as f64 }
+                .sample(rng)
+        } else {
+            LogNormal::with_median(self.body_median as f64, self.body_sigma).sample(rng)
+        };
+        (x.round() as u64).clamp(self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_simkernel::rng::stream_rng;
+
+    fn model() -> RuntimeModel {
+        RuntimeModel {
+            p_short: 0.3,
+            short_range: (10, 600),
+            body_median: 8000,
+            body_sigma: 1.2,
+            min: 1,
+            max: 64_800,
+        }
+    }
+
+    #[test]
+    fn runtimes_within_bounds() {
+        let m = model();
+        let mut rng = stream_rng(1, 0);
+        for _ in 0..20_000 {
+            let r = m.sample(&mut rng);
+            assert!((1..=64_800).contains(&r));
+        }
+    }
+
+    #[test]
+    fn short_fraction_approximate() {
+        let m = model();
+        let mut rng = stream_rng(2, 0);
+        let n = 50_000;
+        let short = (0..n).filter(|_| m.sample(&mut rng) < 600).count();
+        let frac = short as f64 / n as f64;
+        // 30 % from the spike plus the body's own sub-600 s tail.
+        assert!(frac > 0.28 && frac < 0.45, "frac = {frac}");
+    }
+
+    #[test]
+    fn body_median_approximate() {
+        let m = RuntimeModel { p_short: 0.0, ..model() };
+        let mut rng = stream_rng(3, 0);
+        let n = 50_001;
+        let mut xs: Vec<u64> = (0..n).map(|_| m.sample(&mut rng)).collect();
+        xs.sort_unstable();
+        let median = xs[n / 2] as f64;
+        assert!((median / 8000.0 - 1.0).abs() < 0.1, "median = {median}");
+    }
+
+    #[test]
+    fn clamping_to_site_limit() {
+        let m = RuntimeModel { body_median: 60_000, body_sigma: 2.0, ..model() };
+        let mut rng = stream_rng(4, 0);
+        let capped = (0..10_000).filter(|_| m.sample(&mut rng) == 64_800).count();
+        assert!(capped > 100, "heavy tail must hit the site limit");
+    }
+}

@@ -1,0 +1,137 @@
+//! Job size (processor count) models.
+//!
+//! Archive traces share three structural features the model captures:
+//! a serial-job fraction, a strong bias toward powers of two, and
+//! machine-specific constraints (SDSC Blue allocates in multiples of 8;
+//! Thunder ran small-to-medium jobs; Atlas ran large ones).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::dist::{LogUniform, Sample};
+
+/// Parameters of the size model.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeModel {
+    /// Probability of a serial (1-processor) job.
+    pub p_serial: f64,
+    /// Probability that a parallel size snaps to the nearest power of two.
+    pub p_pow2: f64,
+    /// Smallest parallel size.
+    pub min_parallel: u32,
+    /// Largest size (usually the machine size or a queue limit).
+    pub max: u32,
+    /// Sizes are rounded up to a multiple of this (1 = no constraint;
+    /// 8 for SDSC Blue).
+    pub multiple_of: u32,
+}
+
+impl SizeModel {
+    /// Draws one job size.
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        debug_assert!(self.min_parallel >= 1 && self.max >= self.min_parallel);
+        if self.p_serial > 0.0 && rng.gen_bool(self.p_serial.clamp(0.0, 1.0)) {
+            return 1;
+        }
+        let raw = LogUniform { lo: self.min_parallel as f64, hi: self.max as f64 }.sample(rng);
+        let mut size = raw.round().max(self.min_parallel as f64) as u32;
+        if self.p_pow2 > 0.0 && rng.gen_bool(self.p_pow2.clamp(0.0, 1.0)) {
+            size = nearest_pow2(size);
+        }
+        if self.multiple_of > 1 {
+            size = size.div_ceil(self.multiple_of) * self.multiple_of;
+        }
+        size.clamp(self.min_parallel, self.max)
+    }
+}
+
+/// The power of two nearest to `x` in log space (ties go down).
+fn nearest_pow2(x: u32) -> u32 {
+    if x <= 1 {
+        return 1;
+    }
+    let lower = 1u32 << (31 - x.leading_zeros());
+    let upper = lower.saturating_mul(2);
+    // Geometric midpoint: lower·√2.
+    if (x as f64) < lower as f64 * std::f64::consts::SQRT_2 {
+        lower
+    } else {
+        upper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_simkernel::rng::stream_rng;
+
+    #[test]
+    fn nearest_pow2_rounds_geometrically() {
+        assert_eq!(nearest_pow2(1), 1);
+        assert_eq!(nearest_pow2(3), 4); // 3 > 2·√2 ≈ 2.83
+        assert_eq!(nearest_pow2(5), 4); // 5 < 4·√2 ≈ 5.66
+        assert_eq!(nearest_pow2(6), 8);
+        assert_eq!(nearest_pow2(48), 64); // 48 > 32·√2 ≈ 45.25
+        assert_eq!(nearest_pow2(45), 32);
+        assert_eq!(nearest_pow2(1024), 1024);
+    }
+
+    #[test]
+    fn serial_fraction_respected() {
+        let m = SizeModel { p_serial: 0.4, p_pow2: 0.6, min_parallel: 2, max: 128, multiple_of: 1 };
+        let mut rng = stream_rng(1, 0);
+        let n = 50_000;
+        let serial = (0..n).filter(|_| m.sample(&mut rng) == 1).count();
+        let frac = serial as f64 / n as f64;
+        assert!((frac - 0.4).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn sizes_within_bounds() {
+        let m = SizeModel { p_serial: 0.1, p_pow2: 0.7, min_parallel: 2, max: 430, multiple_of: 1 };
+        let mut rng = stream_rng(2, 0);
+        for _ in 0..20_000 {
+            let s = m.sample(&mut rng);
+            assert!(s == 1 || (2..=430).contains(&s), "size {s}");
+        }
+    }
+
+    #[test]
+    fn multiple_of_constraint() {
+        let m = SizeModel { p_serial: 0.0, p_pow2: 0.3, min_parallel: 8, max: 1152, multiple_of: 8 };
+        let mut rng = stream_rng(3, 0);
+        for _ in 0..20_000 {
+            let s = m.sample(&mut rng);
+            assert_eq!(s % 8, 0, "size {s} not a multiple of 8");
+            assert!((8..=1152).contains(&s));
+        }
+    }
+
+    #[test]
+    fn pow2_bias_visible() {
+        let m = SizeModel { p_serial: 0.0, p_pow2: 0.9, min_parallel: 2, max: 512, multiple_of: 1 };
+        let mut rng = stream_rng(4, 0);
+        let n = 50_000;
+        let pow2 = (0..n)
+            .filter(|_| {
+                let s = m.sample(&mut rng);
+                s.is_power_of_two()
+            })
+            .count();
+        assert!(pow2 as f64 / n as f64 > 0.85);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = SizeModel { p_serial: 0.2, p_pow2: 0.5, min_parallel: 2, max: 64, multiple_of: 1 };
+        let a: Vec<u32> = {
+            let mut rng = stream_rng(5, 0);
+            (0..32).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = stream_rng(5, 0);
+            (0..32).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! The knob study: how `BSLD_threshold` and `WQ_threshold` trade energy for
+//! performance on one machine (the paper's Section 5.1, condensed).
+//!
+//! ```text
+//! cargo run --release --example energy_tradeoff [workload]
+//! ```
+//!
+//! `workload` ∈ {ctc, sdsc, blue, thunder, atlas}; default `blue`.
+
+use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
+use bsld::metrics::TextTable;
+use bsld::workload::profiles::TraceProfile;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "blue".to_string());
+    let profile = match which.as_str() {
+        "ctc" => TraceProfile::ctc(),
+        "sdsc" => TraceProfile::sdsc(),
+        "blue" => TraceProfile::sdsc_blue(),
+        "thunder" => TraceProfile::llnl_thunder(),
+        "atlas" => TraceProfile::llnl_atlas(),
+        other => {
+            eprintln!("unknown workload {other}; use ctc|sdsc|blue|thunder|atlas");
+            std::process::exit(1);
+        }
+    };
+    let w = profile.generate(2010, 3000);
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    let base = sim.run_baseline(&w.jobs).unwrap();
+    println!(
+        "{}: baseline avg BSLD {:.2}, avg wait {:.0} s\n",
+        w.cluster_name, base.metrics.avg_bsld, base.metrics.avg_wait_secs
+    );
+
+    let mut t = TextTable::new(vec![
+        "BSLDth/WQth", "E(idle=0)", "E(idle=low)", "avg BSLD", "avg wait(s)", "reduced",
+    ]);
+    for bsld_th in [1.5, 2.0, 3.0] {
+        for wq in [
+            WqThreshold::Limit(0),
+            WqThreshold::Limit(4),
+            WqThreshold::Limit(16),
+            WqThreshold::NoLimit,
+        ] {
+            let cfg = PowerAwareConfig { bsld_threshold: bsld_th, wq_threshold: wq };
+            let run = sim.run_power_aware(&w.jobs, &cfg).unwrap();
+            t.row(vec![
+                cfg.label(),
+                format!(
+                    "{:.3}",
+                    run.metrics.energy.normalized_computational(&base.metrics.energy)
+                ),
+                format!("{:.3}", run.metrics.energy.normalized_with_idle(&base.metrics.energy)),
+                format!("{:.2}", run.metrics.avg_bsld),
+                format!("{:.0}", run.metrics.avg_wait_secs),
+                run.metrics.reduced_jobs.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("lower energy ⇒ higher BSLD: pick the threshold pair that fits your SLA.");
+}

@@ -1,0 +1,82 @@
+//! Scheduling-substrate comparison: EASY vs. conservative backfilling vs.
+//! FCFS, with and without the power-aware policy — plus the resource
+//! selection policies.
+//!
+//! ```text
+//! cargo run --release --example substrates
+//! ```
+//!
+//! The paper builds on EASY backfilling; this example shows how much that
+//! choice matters, and what a partition-constrained machine (contiguous
+//! allocation) loses to fragmentation.
+
+use bsld::cluster::SelectionPolicy;
+use bsld::core::{PowerAwareConfig, Simulator};
+use bsld::metrics::TextTable;
+use bsld::par::par_map;
+use bsld::workload::profiles::TraceProfile;
+
+fn main() {
+    let w = TraceProfile::sdsc_blue().generate(2010, 2500);
+    let cfg = PowerAwareConfig::medium();
+    println!(
+        "{}: {} jobs on {} cpus, policy {}\n",
+        w.cluster_name,
+        w.jobs.len(),
+        w.cpus,
+        cfg.label()
+    );
+
+    #[derive(Clone, Copy)]
+    enum Variant {
+        Easy(bool),
+        Conservative(bool),
+        Fcfs(bool),
+        Selection(SelectionPolicy, bool),
+    }
+    let variants: Vec<(&str, Variant)> = vec![
+        ("EASY", Variant::Easy(false)),
+        ("EASY + DVFS", Variant::Easy(true)),
+        ("Conservative", Variant::Conservative(false)),
+        ("Conservative + DVFS", Variant::Conservative(true)),
+        ("FCFS (no backfill)", Variant::Fcfs(false)),
+        ("FCFS + DVFS", Variant::Fcfs(true)),
+        ("EASY, contiguous alloc", Variant::Selection(SelectionPolicy::ContiguousFirstFit, false)),
+        ("EASY, contiguous + DVFS", Variant::Selection(SelectionPolicy::ContiguousFirstFit, true)),
+    ];
+
+    let results = par_map(variants.clone(), bsld::par::default_threads(), |(_, v)| {
+        let base = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let (sim, dvfs) = match v {
+            Variant::Easy(d) => (base, d),
+            Variant::Conservative(d) => (base.with_conservative(), d),
+            Variant::Fcfs(d) => (base.without_backfill(), d),
+            Variant::Selection(sel, d) => (base.with_selection(sel), d),
+        };
+        if dvfs {
+            sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
+        } else {
+            sim.run_baseline(&w.jobs).unwrap().metrics
+        }
+    });
+
+    let easy_base = &results[0];
+    let mut t = TextTable::new(vec![
+        "substrate", "E(idle=0)", "avg BSLD", "avg wait(s)", "p-reduced",
+    ]);
+    for ((label, _), m) in variants.iter().zip(&results) {
+        t.row(vec![
+            label.to_string(),
+            format!("{:.3}", m.energy.normalized_computational(&easy_base.energy)),
+            format!("{:.2}", m.avg_bsld),
+            format!("{:.0}", m.avg_wait_secs),
+            format!("{:.0}%", m.reduced_jobs as f64 / m.jobs.max(1) as f64 * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "EASY's aggressive backfilling is what keeps the DVFS penalty tolerable;\n\
+         conservative trades a little backfilling for fairness, FCFS collapses,\n\
+         and contiguous allocation pays a fragmentation tax on top."
+    );
+}

@@ -1,0 +1,54 @@
+//! # bsld — BSLD-threshold power-aware job scheduling for HPC centers
+//!
+//! Facade crate of the reproduction of *Etinski, Corbalan, Labarta, Valero:
+//! "BSLD Threshold Driven Power Management Policy for HPC Centers"*
+//! (IPDPS/IPPS 2010). Re-exports every workspace crate under one roof:
+//!
+//! * [`simkernel`] — discrete-event kernel (time, events, RNG, statistics);
+//! * [`model`] — jobs, outcomes, the BSLD metric;
+//! * [`cluster`] — DVFS gears, First Fit processor pool, availability
+//!   profiles;
+//! * [`power`] — the `ACfV²`+`αV` power model, β time model, energy
+//!   accounting;
+//! * [`swf`] — Standard Workload Format parsing/cleaning;
+//! * [`workload`] — synthetic workloads calibrated to the paper's five
+//!   traces;
+//! * [`sched`] — the EASY backfilling engine with the frequency-policy hook;
+//! * [`metrics`] — run summaries and report writers;
+//! * [`core`] — the paper's BSLD-threshold policy, simulator facade and the
+//!   experiment harness reproducing every table and figure;
+//! * [`par`] — the parallel sweep executor.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
+//! use bsld::workload::profiles::TraceProfile;
+//!
+//! // A small calibrated workload (SDSC-Blue-like), 200 jobs, seed 42.
+//! let workload = TraceProfile::sdsc_blue().scaled_cpus(64).generate(42, 200);
+//! let sim = Simulator::paper_default(&workload.cluster_name, workload.cpus);
+//!
+//! // Baseline: EASY backfilling, no DVFS.
+//! let base = sim.run_baseline(&workload.jobs).unwrap();
+//!
+//! // The paper's policy: BSLD threshold 2.0, unlimited wait queue.
+//! let cfg = PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::NoLimit };
+//! let dvfs = sim.run_power_aware(&workload.jobs, &cfg).unwrap();
+//!
+//! assert!(dvfs.metrics.energy.computational <= base.metrics.energy.computational);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use bsld_cluster as cluster;
+pub use bsld_core as core;
+pub use bsld_metrics as metrics;
+pub use bsld_model as model;
+pub use bsld_par as par;
+pub use bsld_power as power;
+pub use bsld_sched as sched;
+pub use bsld_simkernel as simkernel;
+pub use bsld_swf as swf;
+pub use bsld_workload as workload;

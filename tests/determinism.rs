@@ -1,0 +1,75 @@
+//! Integration tests: reproducibility guarantees.
+//!
+//! Every experiment in the reproduction must be bit-for-bit reproducible:
+//! same seed ⇒ same workload ⇒ same schedule ⇒ same metrics — regardless of
+//! how many worker threads the sweep uses.
+
+use bsld::core::experiments::{grid, table1, ExpOptions};
+use bsld::core::{PowerAwareConfig, Simulator};
+use bsld::par::par_map;
+use bsld::workload::profiles::TraceProfile;
+
+#[test]
+fn workload_generation_reproducible() {
+    let a = TraceProfile::ctc().generate(99, 400);
+    let b = TraceProfile::ctc().generate(99, 400);
+    assert_eq!(a.jobs, b.jobs);
+}
+
+#[test]
+fn seeds_actually_differ() {
+    let a = TraceProfile::ctc().generate(1, 200);
+    let b = TraceProfile::ctc().generate(2, 200);
+    assert_ne!(a.jobs, b.jobs);
+}
+
+#[test]
+fn simulation_metrics_reproducible() {
+    let w = TraceProfile::sdsc_blue().scaled_cpus(64).generate(17, 400);
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    let m1 = sim.run_power_aware(&w.jobs, &PowerAwareConfig::medium()).unwrap().metrics;
+    let m2 = sim.run_power_aware(&w.jobs, &PowerAwareConfig::medium()).unwrap().metrics;
+    assert_eq!(m1.avg_bsld.to_bits(), m2.avg_bsld.to_bits());
+    assert_eq!(m1.energy.computational.to_bits(), m2.energy.computational.to_bits());
+    assert_eq!(m1.reduced_jobs, m2.reduced_jobs);
+}
+
+#[test]
+fn sweep_results_independent_of_thread_count() {
+    let mk = |threads: usize| {
+        let opts = ExpOptions { threads, ..ExpOptions::quick(60) };
+        let g = grid::run(&opts);
+        g.cells
+            .iter()
+            .map(|c| (c.workload.clone(), c.norm_e_comp.to_bits(), c.reduced_jobs))
+            .collect::<Vec<_>>()
+    };
+    let seq = mk(1);
+    let par4 = mk(4);
+    let par16 = mk(16);
+    assert_eq!(seq, par4);
+    assert_eq!(seq, par16);
+}
+
+#[test]
+fn table1_reproducible_across_runs() {
+    let opts = ExpOptions::quick(60);
+    let a = table1::run(&opts);
+    let b = table1::run(&opts);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.avg_bsld.to_bits(), rb.avg_bsld.to_bits());
+        assert_eq!(ra.avg_wait.to_bits(), rb.avg_wait.to_bits());
+    }
+}
+
+#[test]
+fn par_map_is_deterministic_under_contention() {
+    // Heavier closure with shared-nothing state: results must be in input
+    // order regardless of execution interleavings.
+    let inputs: Vec<u64> = (0..200).collect();
+    let expected: Vec<u64> = inputs.iter().map(|&x| x * x % 7919).collect();
+    for threads in [1, 2, 8] {
+        let got = par_map(inputs.clone(), threads, |x| x * x % 7919);
+        assert_eq!(got, expected, "threads = {threads}");
+    }
+}

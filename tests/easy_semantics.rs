@@ -1,0 +1,164 @@
+//! Integration tests: EASY backfilling semantics through the public facade.
+//!
+//! These scenarios are small enough to verify by hand; each pins down a
+//! behaviour of the scheduling substrate that the paper's policy relies on.
+
+use bsld::cluster::{Cluster, GearSet};
+use bsld::model::{Job, JobId};
+use bsld::power::BetaModel;
+use bsld::sched::{simulate, validate_schedule, EngineConfig, FixedGearPolicy};
+use bsld::simkernel::Time;
+
+fn j(id: u32, arrival: u64, cpus: u32, runtime: u64, requested: u64) -> Job {
+    Job::new(id, Time(arrival), cpus, runtime, requested)
+}
+
+fn run_easy(cpus: u32, jobs: &[Job]) -> Vec<(u32, u64, u64)> {
+    let gears = GearSet::paper();
+    let tm = BetaModel::new(gears.clone());
+    let res = simulate(
+        &Cluster::new("t", cpus, gears.clone()),
+        jobs,
+        &FixedGearPolicy::new(gears.top()),
+        &tm,
+        &EngineConfig::default(),
+    )
+    .unwrap();
+    validate_schedule(&res.outcomes, cpus).unwrap();
+    let mut v: Vec<(u32, u64, u64)> = res
+        .outcomes
+        .iter()
+        .map(|o| (o.id.0, o.start.as_secs(), o.finish.as_secs()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn textbook_backfill_chain() {
+    // 8 cpus.
+    // J0: 6 cpus, 100 s          → starts at 0.
+    // J1: 8 cpus, 100 s (head)   → reserved at 100.
+    // J2: 2 cpus, 90 s           → backfills at t≈2 (fits before 100).
+    // J3: 2 cpus, 300 s          → cannot backfill (would hold cpus past
+    //                              the reservation); runs after J1.
+    let jobs = vec![
+        j(0, 0, 6, 100, 100),
+        j(1, 1, 8, 100, 100),
+        j(2, 2, 2, 90, 98),
+        j(3, 3, 2, 300, 300),
+    ];
+    let got = run_easy(8, &jobs);
+    assert_eq!(got[0], (0, 0, 100));
+    assert_eq!(got[1], (1, 100, 200));
+    assert_eq!(got[2], (2, 2, 92));
+    assert_eq!(got[3], (3, 200, 500));
+}
+
+#[test]
+fn cascading_early_finish() {
+    // Requested times are 10× the actual runtimes; every completion must
+    // pull the whole queue forward.
+    let jobs = vec![
+        j(0, 0, 4, 50, 500),
+        j(1, 1, 4, 50, 500),
+        j(2, 2, 4, 50, 500),
+    ];
+    let got = run_easy(4, &jobs);
+    assert_eq!(got[0], (0, 0, 50));
+    assert_eq!(got[1], (1, 50, 100));
+    assert_eq!(got[2], (2, 100, 150));
+}
+
+#[test]
+fn queue_order_is_fcfs_among_equal_jobs() {
+    // Identical competing jobs must start in arrival order.
+    let jobs: Vec<Job> = (0..6).map(|i| j(i, i as u64, 4, 100, 100)).collect();
+    let got = run_easy(4, &jobs);
+    for w in got.windows(2) {
+        assert!(w[0].1 <= w[1].1, "start order violates FCFS: {got:?}");
+    }
+}
+
+#[test]
+fn backfill_does_not_starve_head_under_stream_of_small_jobs() {
+    // A continuous stream of small jobs could starve the wide head job if
+    // backfilling ignored the reservation. The head must start exactly when
+    // the first two long jobs end.
+    let mut jobs = vec![
+        j(0, 0, 4, 1000, 1000), // holds the machine
+        j(1, 1, 4, 1000, 1000), // head after J0: needs all 4 cpus
+    ];
+    // 20 one-cpu jobs arriving every 50 s, each 400 s long.
+    for i in 0..20 {
+        jobs.push(j(2 + i, 2 + (i as u64) * 50, 1, 400, 400));
+    }
+    let got = run_easy(4, &jobs);
+    let head = got.iter().find(|&&(id, _, _)| id == 1).unwrap();
+    assert_eq!(head.1, 1000, "head must start exactly at J0's completion");
+}
+
+#[test]
+fn exact_fit_handover() {
+    // Two jobs that exactly fill the machine back to back.
+    let jobs = vec![j(0, 0, 16, 100, 100), j(1, 0, 16, 100, 100)];
+    let got = run_easy(16, &jobs);
+    assert_eq!(got[0].1, 0);
+    assert_eq!(got[1].1, 100);
+}
+
+#[test]
+fn fcfs_vs_easy_differ_only_by_backfilling() {
+    let jobs = vec![
+        j(0, 0, 3, 100, 100),
+        j(1, 1, 4, 100, 100),
+        j(2, 2, 1, 50, 50),
+    ];
+    let gears = GearSet::paper();
+    let tm = BetaModel::new(gears.clone());
+    let cluster = Cluster::new("t", 4, gears.clone());
+    let top = FixedGearPolicy::new(gears.top());
+    let easy =
+        simulate(&cluster, &jobs, &top, &tm, &EngineConfig::default()).unwrap();
+    let fcfs = simulate(
+        &cluster,
+        &jobs,
+        &top,
+        &tm,
+        &EngineConfig { backfill: false, ..Default::default() },
+    )
+    .unwrap();
+    let start = |res: &bsld::sched::SimResult, id: u32| {
+        res.outcomes.iter().find(|o| o.id == JobId(id)).unwrap().start.as_secs()
+    };
+    // Head and first job identical in both.
+    assert_eq!(start(&easy, 0), start(&fcfs, 0));
+    assert_eq!(start(&easy, 1), start(&fcfs, 1));
+    // The small job backfills only under EASY.
+    assert_eq!(start(&easy, 2), 2);
+    assert_eq!(start(&fcfs, 2), 200);
+}
+
+#[test]
+fn makespan_lower_bound_holds() {
+    // Makespan can never beat total work / machine size.
+    let jobs: Vec<Job> =
+        (0..40).map(|i| j(i, (i as u64) * 10, 1 + (i % 8), 100 + (i as u64 % 300), 600)).collect();
+    let gears = GearSet::paper();
+    let tm = BetaModel::new(gears.clone());
+    let res = simulate(
+        &Cluster::new("t", 16, gears.clone()),
+        &jobs,
+        &FixedGearPolicy::new(gears.top()),
+        &tm,
+        &EngineConfig::default(),
+    )
+    .unwrap();
+    let area: u64 = jobs.iter().map(|jb| jb.area()).sum();
+    let lower = area / 16;
+    assert!(
+        res.makespan.as_secs() >= lower,
+        "makespan {} below work lower bound {lower}",
+        res.makespan
+    );
+}

@@ -1,0 +1,121 @@
+//! Integration tests: the Section 5.2 enlarged-systems claims, at reduced
+//! scale.
+
+use bsld::core::experiments::{enlarged, ExpOptions};
+use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
+use bsld::workload::profiles::TraceProfile;
+
+#[test]
+fn enlarging_monotonically_improves_bsld_under_dvfs() {
+    // Paper: "an additional increase in system size always gives an
+    // improvement in performance" (Figure 9).
+    let w = TraceProfile::sdsc_blue().scaled_cpus(96).generate(21, 500);
+    let cfg = PowerAwareConfig::medium();
+    let mut last = f64::INFINITY;
+    for pct in [0u32, 20, 50, 100] {
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus).enlarged(pct);
+        let m = sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics;
+        assert!(
+            m.avg_bsld <= last * 1.02,
+            "+{pct}%: BSLD {} should not exceed previous {last}",
+            m.avg_bsld
+        );
+        last = m.avg_bsld;
+    }
+}
+
+#[test]
+fn computational_energy_decreases_with_size() {
+    // Paper: "Logically, computational energy decreases with system
+    // dimension increase" — shorter waits admit more DVFS.
+    let w = TraceProfile::ctc().scaled_cpus(64).generate(23, 500);
+    let cfg = PowerAwareConfig::medium();
+    let energy = |pct: u32| {
+        Simulator::paper_default(&w.cluster_name, w.cpus)
+            .enlarged(pct)
+            .run_power_aware(&w.jobs, &cfg)
+            .unwrap()
+            .metrics
+            .energy
+            .computational
+    };
+    let e0 = energy(0);
+    let e50 = energy(50);
+    let e125 = energy(125);
+    assert!(e50 <= e0 * 1.02, "+50% must not raise computational energy: {e50} vs {e0}");
+    assert!(e125 <= e50 * 1.02, "+125% must not raise it further: {e125} vs {e50}");
+}
+
+#[test]
+fn idle_aware_energy_eventually_grows_with_size() {
+    // Paper: in the idle=low scenario "there is a point after which further
+    // increase in system size results in higher energy consumption".
+    // Idle power of the extra processors must eventually dominate. Compare
+    // the idle components directly: capacity grows linearly with size.
+    let w = TraceProfile::llnl_thunder().scaled_cpus(128).generate(25, 400);
+    let cfg = PowerAwareConfig::medium();
+    let run = |pct: u32| {
+        Simulator::paper_default(&w.cluster_name, w.cpus)
+            .enlarged(pct)
+            .run_power_aware(&w.jobs, &cfg)
+            .unwrap()
+            .metrics
+            .energy
+    };
+    let e0 = run(0);
+    let e125 = run(125);
+    assert!(
+        e125.idle_cpu_secs > e0.idle_cpu_secs,
+        "a much larger machine must idle more: {} vs {}",
+        e125.idle_cpu_secs,
+        e0.idle_cpu_secs
+    );
+    // And the with-idle total reflects that pressure: the gap between
+    // with_idle and computational grows with machine size.
+    let overhead0 = e0.with_idle - e0.computational;
+    let overhead125 = e125.with_idle - e125.computational;
+    assert!(overhead125 > overhead0);
+}
+
+#[test]
+fn table3_regimes_hold_at_small_scale() {
+    // Structural Table 3 checks on the sweep: DVFS inflates waits at the
+    // original size; +50 % processors deflates them below the DVFS-at-
+    // original-size values.
+    let s = enlarged::run(&ExpOptions::quick(120));
+    for (name, base) in &s.baselines {
+        let orig_no = s.cell(name, 0, WqThreshold::NoLimit).unwrap().avg_wait;
+        let big_no = s.cell(name, 50, WqThreshold::NoLimit).unwrap().avg_wait;
+        assert!(
+            orig_no + 1.0 >= base.avg_wait_secs,
+            "{name}: DVFS should not shorten waits at original size"
+        );
+        assert!(
+            big_no <= orig_no + 1.0,
+            "{name}: +50% should cut waits: {big_no} vs {orig_no}"
+        );
+    }
+}
+
+#[test]
+fn enlarged_dvfs_beats_baseline_energy_at_20_percent() {
+    // The headline claim: +20 % machine + power-aware scheduling can cut
+    // computational energy substantially while holding performance.
+    let w = TraceProfile::sdsc_blue().generate(27, 1200);
+    let cfg = PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::Limit(0) };
+    let sim0 = Simulator::paper_default(&w.cluster_name, w.cpus);
+    let base = sim0.run_baseline(&w.jobs).unwrap().metrics;
+    let dvfs20 = sim0.enlarged(20).run_power_aware(&w.jobs, &cfg).unwrap().metrics;
+    let norm = dvfs20.energy.normalized_computational(&base.energy);
+    assert!(norm < 0.95, "+20% DVFS must save energy, normalized = {norm}");
+    // The performance crossover: by +50% the power-aware run must beat the
+    // original-size baseline (the paper reports the crossover at +10–20 %;
+    // our synthetic SDSC-Blue sits closer to saturation and crosses later).
+    let dvfs50 = sim0.enlarged(50).run_power_aware(&w.jobs, &cfg).unwrap().metrics;
+    assert!(
+        dvfs50.avg_bsld <= base.avg_bsld,
+        "+50% DVFS must beat the original baseline: {} vs {}",
+        dvfs50.avg_bsld,
+        base.avg_bsld
+    );
+}
