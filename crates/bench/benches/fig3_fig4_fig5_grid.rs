@@ -19,13 +19,26 @@ fn bench(c: &mut Criterion) {
     // Representative cells: the paper's most conservative and most
     // aggressive parameter pairs on a mid-load and the saturated workload.
     for (wl, bt, wq, label) in [
-        ("SDSCBlue", 1.5, WqThreshold::Limit(0), "cell/SDSCBlue_1.5_0"),
+        (
+            "SDSCBlue",
+            1.5,
+            WqThreshold::Limit(0),
+            "cell/SDSCBlue_1.5_0",
+        ),
         ("SDSCBlue", 3.0, WqThreshold::NoLimit, "cell/SDSCBlue_3_NO"),
         ("SDSC", 2.0, WqThreshold::Limit(16), "cell/SDSC_2_16"),
-        ("LLNLThunder", 2.0, WqThreshold::NoLimit, "cell/LLNLThunder_2_NO"),
+        (
+            "LLNLThunder",
+            2.0,
+            WqThreshold::NoLimit,
+            "cell/LLNLThunder_2_NO",
+        ),
     ] {
         let w = workload(wl, BENCH_JOBS);
-        let cfg = PowerAwareConfig { bsld_threshold: bt, wq_threshold: wq };
+        let cfg = PowerAwareConfig {
+            bsld_threshold: bt,
+            wq_threshold: wq,
+        };
         g.bench_function(label, |b| {
             b.iter(|| {
                 let m = run_policy(black_box(&w), &cfg, 0);

@@ -14,10 +14,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_fig8_fig9");
     g.sample_size(10);
 
-    for (pct, label) in [(20u32, "cell/SDSCBlue_+20%_WQ0"), (125, "cell/SDSCBlue_+125%_WQ0")] {
+    for (pct, label) in [
+        (20u32, "cell/SDSCBlue_+20%_WQ0"),
+        (125, "cell/SDSCBlue_+125%_WQ0"),
+    ] {
         let w = workload("SDSCBlue", BENCH_JOBS);
-        let cfg =
-            PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::Limit(0) };
+        let cfg = PowerAwareConfig {
+            bsld_threshold: 2.0,
+            wq_threshold: WqThreshold::Limit(0),
+        };
         g.bench_function(label, |b| {
             b.iter(|| {
                 let m = run_policy(black_box(&w), &cfg, pct);

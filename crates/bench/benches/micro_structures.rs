@@ -83,8 +83,10 @@ fn bench_events(c: &mut Criterion) {
 fn bench_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload_generation");
     g.sample_size(20);
-    for (name, profile) in [("CTC", TraceProfile::ctc()), ("LLNLAtlas", TraceProfile::llnl_atlas())]
-    {
+    for (name, profile) in [
+        ("CTC", TraceProfile::ctc()),
+        ("LLNLAtlas", TraceProfile::llnl_atlas()),
+    ] {
         g.bench_function(format!("generate_5000/{name}"), |b| {
             b.iter(|| black_box(profile.generate(black_box(2010), 5_000).jobs.len()))
         });
@@ -92,5 +94,11 @@ fn bench_generation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_profile, bench_pool, bench_events, bench_generation);
+criterion_group!(
+    benches,
+    bench_profile,
+    bench_pool,
+    bench_events,
+    bench_generation
+);
 criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench: power-capped runs — the ledger/sleep/cap hook's overhead and
+//! the capped-scheduling kernel itself.
+//!
+//! Three configurations on the same workload isolate the costs: observe
+//! only (ledger on the baseline schedule), sleep states on top, and a
+//! hard cap with DVFS (the cap-sweep experiment's cell kernel). Run with
+//! `cargo bench -p bsld-bench --bench powercap_sweep`.
+
+use bsld_bench::{workload, BENCH_JOBS};
+use bsld_core::{PowerAwareConfig, PowerCapConfig, Simulator, WqThreshold};
+use bsld_powercap::SleepConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("powercap");
+    g.sample_size(10);
+    let w = workload("SDSCBlue", BENCH_JOBS);
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+
+    let cases: [(&str, PowerCapConfig); 3] = [
+        ("observe_only", PowerCapConfig::observe_only()),
+        (
+            "sleep_states",
+            PowerCapConfig::observe_only().with_sleep(SleepConfig::paper_default()),
+        ),
+        (
+            "hard_cap_dvfs",
+            PowerCapConfig::hard(0.6)
+                .with_sleep(SleepConfig::paper_default())
+                .with_policy(PowerAwareConfig {
+                    bsld_threshold: 2.0,
+                    wq_threshold: WqThreshold::NoLimit,
+                }),
+        ),
+    ];
+    for (name, cfg) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = sim.run_power_capped(black_box(&w.jobs), &cfg).unwrap();
+                black_box((r.power.energy, r.run.metrics.avg_bsld))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

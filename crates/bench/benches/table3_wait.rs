@@ -23,7 +23,10 @@ fn bench(c: &mut Criterion) {
         (WqThreshold::Limit(0), 50, "inc50_wq0"),
         (WqThreshold::NoLimit, 50, "inc50_wqno"),
     ] {
-        let cfg = PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: wq };
+        let cfg = PowerAwareConfig {
+            bsld_threshold: 2.0,
+            wq_threshold: wq,
+        };
         g.bench_function(label, |b| {
             b.iter(|| black_box(run_policy(black_box(&w), &cfg, pct).avg_wait_secs))
         });

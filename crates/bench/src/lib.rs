@@ -18,7 +18,10 @@ pub const BENCH_JOBS: usize = 400;
 
 /// Reduced-scale experiment options (no CSV output).
 pub fn bench_opts() -> ExpOptions {
-    ExpOptions { threads: 1, ..ExpOptions::quick(BENCH_JOBS) }
+    ExpOptions {
+        threads: 1,
+        ..ExpOptions::quick(BENCH_JOBS)
+    }
 }
 
 /// Generates the benchmark workload for a named profile.
@@ -45,6 +48,10 @@ pub fn run_baseline(w: &Workload) -> RunMetrics {
 /// Runs the power-aware policy on a workload.
 pub fn run_policy(w: &Workload, cfg: &PowerAwareConfig, enlarged_pct: u32) -> RunMetrics {
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    let sim = if enlarged_pct > 0 { sim.enlarged(enlarged_pct) } else { sim };
+    let sim = if enlarged_pct > 0 {
+        sim.enlarged(enlarged_pct)
+    } else {
+        sim
+    };
     sim.run_power_aware(&w.jobs, cfg).expect("fits").metrics
 }

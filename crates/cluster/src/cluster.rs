@@ -21,7 +21,11 @@ impl Cluster {
     /// Creates a cluster description.
     pub fn new(name: impl Into<String>, cpus: u32, gears: GearSet) -> Self {
         assert!(cpus > 0, "a cluster needs at least one processor");
-        Cluster { name: name.into(), cpus, gears }
+        Cluster {
+            name: name.into(),
+            cpus,
+            gears,
+        }
     }
 
     /// The same machine enlarged by `percent` % more processors (rounded to

@@ -38,7 +38,10 @@ impl std::fmt::Display for GearSetError {
             }
             GearSetError::VoltageDecreasing => write!(f, "gear voltages must be non-decreasing"),
             GearSetError::NonPositive => {
-                write!(f, "gear frequencies and voltages must be positive and finite")
+                write!(
+                    f,
+                    "gear frequencies and voltages must be positive and finite"
+                )
             }
         }
     }
@@ -59,7 +62,10 @@ impl GearSet {
             return Err(GearSetError::Empty);
         }
         for g in &gears {
-            if !(g.freq_ghz.is_finite() && g.freq_ghz > 0.0 && g.voltage.is_finite() && g.voltage > 0.0)
+            if !(g.freq_ghz.is_finite()
+                && g.freq_ghz > 0.0
+                && g.voltage.is_finite()
+                && g.voltage > 0.0)
             {
                 return Err(GearSetError::NonPositive);
             }
@@ -79,12 +85,30 @@ impl GearSet {
     /// steps, voltages 1.0–1.5 V in 0.1 V steps.
     pub fn paper() -> Self {
         GearSet::new(vec![
-            Gear { freq_ghz: 0.8, voltage: 1.0 },
-            Gear { freq_ghz: 1.1, voltage: 1.1 },
-            Gear { freq_ghz: 1.4, voltage: 1.2 },
-            Gear { freq_ghz: 1.7, voltage: 1.3 },
-            Gear { freq_ghz: 2.0, voltage: 1.4 },
-            Gear { freq_ghz: 2.3, voltage: 1.5 },
+            Gear {
+                freq_ghz: 0.8,
+                voltage: 1.0,
+            },
+            Gear {
+                freq_ghz: 1.1,
+                voltage: 1.1,
+            },
+            Gear {
+                freq_ghz: 1.4,
+                voltage: 1.2,
+            },
+            Gear {
+                freq_ghz: 1.7,
+                voltage: 1.3,
+            },
+            Gear {
+                freq_ghz: 2.0,
+                voltage: 1.4,
+            },
+            Gear {
+                freq_ghz: 2.3,
+                voltage: 1.5,
+            },
         ])
         .expect("paper gear set is valid")
     }
@@ -175,8 +199,14 @@ mod tests {
     #[test]
     fn rejects_non_increasing_frequency() {
         let r = GearSet::new(vec![
-            Gear { freq_ghz: 1.0, voltage: 1.0 },
-            Gear { freq_ghz: 1.0, voltage: 1.1 },
+            Gear {
+                freq_ghz: 1.0,
+                voltage: 1.0,
+            },
+            Gear {
+                freq_ghz: 1.0,
+                voltage: 1.1,
+            },
         ]);
         assert_eq!(r, Err(GearSetError::FrequencyNotIncreasing));
     }
@@ -184,17 +214,29 @@ mod tests {
     #[test]
     fn rejects_decreasing_voltage() {
         let r = GearSet::new(vec![
-            Gear { freq_ghz: 1.0, voltage: 1.2 },
-            Gear { freq_ghz: 2.0, voltage: 1.1 },
+            Gear {
+                freq_ghz: 1.0,
+                voltage: 1.2,
+            },
+            Gear {
+                freq_ghz: 2.0,
+                voltage: 1.1,
+            },
         ]);
         assert_eq!(r, Err(GearSetError::VoltageDecreasing));
     }
 
     #[test]
     fn rejects_non_positive() {
-        let r = GearSet::new(vec![Gear { freq_ghz: 0.0, voltage: 1.0 }]);
+        let r = GearSet::new(vec![Gear {
+            freq_ghz: 0.0,
+            voltage: 1.0,
+        }]);
         assert_eq!(r, Err(GearSetError::NonPositive));
-        let r = GearSet::new(vec![Gear { freq_ghz: 1.0, voltage: f64::NAN }]);
+        let r = GearSet::new(vec![Gear {
+            freq_ghz: 1.0,
+            voltage: f64::NAN,
+        }]);
         assert_eq!(r, Err(GearSetError::NonPositive));
     }
 

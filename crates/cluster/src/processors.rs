@@ -24,7 +24,9 @@ impl ProcSet {
         if len == 0 {
             return ProcSet::new();
         }
-        ProcSet { ranges: vec![(start, len)] }
+        ProcSet {
+            ranges: vec![(start, len)],
+        }
     }
 
     /// Number of processors in the set.
@@ -41,7 +43,10 @@ impl ProcSet {
     /// order (the pool's First Fit scan guarantees this).
     fn push(&mut self, idx: u32) {
         if let Some(last) = self.ranges.last_mut() {
-            debug_assert!(idx >= last.0 + last.1, "ProcSet::push requires increasing indices");
+            debug_assert!(
+                idx >= last.0 + last.1,
+                "ProcSet::push requires increasing indices"
+            );
             if idx == last.0 + last.1 {
                 last.1 += 1;
                 return;
@@ -138,7 +143,11 @@ impl ProcessorPool {
         if tail != 0 {
             words[nwords - 1] = (1u64 << tail) - 1;
         }
-        ProcessorPool { words, total, free: total }
+        ProcessorPool {
+            words,
+            total,
+            free: total,
+        }
     }
 
     /// Total processor count.
@@ -337,7 +346,9 @@ mod tests {
 
     #[test]
     fn procset_contains() {
-        let s = ProcSet { ranges: vec![(2, 3), (10, 1)] };
+        let s = ProcSet {
+            ranges: vec![(2, 3), (10, 1)],
+        };
         for i in [2, 3, 4, 10] {
             assert!(s.contains(i), "{i}");
         }
@@ -348,9 +359,15 @@ mod tests {
 
     #[test]
     fn procset_intersects() {
-        let a = ProcSet { ranges: vec![(0, 4)] };
-        let b = ProcSet { ranges: vec![(4, 4)] };
-        let c = ProcSet { ranges: vec![(3, 1)] };
+        let a = ProcSet {
+            ranges: vec![(0, 4)],
+        };
+        let b = ProcSet {
+            ranges: vec![(4, 4)],
+        };
+        let c = ProcSet {
+            ranges: vec![(3, 1)],
+        };
         assert!(!a.intersects(&b));
         assert!(a.intersects(&c));
         assert!(!b.intersects(&c));
@@ -430,15 +447,22 @@ mod tests {
         p.release(&a); // free: [0,4) and [8,16)
         assert!(p.can_allocate(8, SelectionPolicy::ContiguousFirstFit));
         let c = p.allocate_contiguous(8).unwrap();
-        assert_eq!(c.ranges(), &[(8, 8)], "first contiguous run of 8 starts at 8");
+        assert_eq!(
+            c.ranges(),
+            &[(8, 8)],
+            "first contiguous run of 8 starts at 8"
+        );
         // 12 free processors total but no contiguous run of 5 left.
         p.release(&c);
         let _d = p.allocate_first_fit(2).unwrap(); // occupies [0,2) — wait, [0,4) free, takes 0,1
-        // free now: [2,4) and [8,16): runs of 2 and 8.
+                                                   // free now: [2,4) and [8,16): runs of 2 and 8.
         assert!(p.can_allocate(8, SelectionPolicy::ContiguousFirstFit));
         assert!(!p.can_allocate(9, SelectionPolicy::ContiguousFirstFit));
         assert!(p.allocate_contiguous(9).is_none());
-        assert!(p.can_allocate(9, SelectionPolicy::FirstFit), "non-contiguous still fits");
+        assert!(
+            p.can_allocate(9, SelectionPolicy::FirstFit),
+            "non-contiguous still fits"
+        );
     }
 
     #[test]
@@ -498,7 +522,9 @@ mod tests {
         // Deterministic pseudo-random walk.
         let mut state = 0x12345u64;
         for _ in 0..500 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if state.is_multiple_of(3) && !held.is_empty() {
                 let idx = (state / 3) as usize % held.len();
                 let s = held.swap_remove(idx);

@@ -55,7 +55,12 @@ impl ProfileBuilder {
     /// which `free_now` are currently idle.
     pub fn new(origin: Time, total: u32, free_now: u32) -> Self {
         assert!(free_now <= total, "free count exceeds machine size");
-        ProfileBuilder { origin, total, free_now, releases: Vec::new() }
+        ProfileBuilder {
+            origin,
+            total,
+            free_now,
+            releases: Vec::new(),
+        }
     }
 
     /// Registers that `cpus` processors become free at time `at` (a running
@@ -87,7 +92,10 @@ impl ProfileBuilder {
                 _ => segs.push((t, avail)),
             }
         }
-        Profile { total: self.total, segs }
+        Profile {
+            total: self.total,
+            segs,
+        }
     }
 }
 
@@ -259,7 +267,10 @@ impl Profile {
         }
         for &(t, a) in &self.segs {
             if a > self.total {
-                return Err(format!("availability {a} exceeds total {} at {t:?}", self.total));
+                return Err(format!(
+                    "availability {a} exceeds total {} at {t:?}",
+                    self.total
+                ));
             }
         }
         Ok(())
@@ -282,7 +293,10 @@ mod tests {
     #[test]
     fn builder_accumulates_releases() {
         let p = sample();
-        assert_eq!(p.segments(), &[(Time(100), 2), (Time(200), 5), (Time(300), 10)]);
+        assert_eq!(
+            p.segments(),
+            &[(Time(100), 2), (Time(200), 5), (Time(300), 10)]
+        );
         assert_eq!(p.origin(), Time(100));
         assert_eq!(p.total(), 10);
         p.check_invariants().unwrap();
@@ -389,8 +403,14 @@ mod tests {
     #[test]
     fn commit_rejects_bad_windows() {
         let mut p = Profile::flat(Time(100), 8, 8);
-        assert_eq!(p.commit(Time(50), Time(60), 1), Err(ProfileError::BeforeOrigin));
-        assert_eq!(p.commit(Time(100), Time(100), 1), Err(ProfileError::EmptyWindow));
+        assert_eq!(
+            p.commit(Time(50), Time(60), 1),
+            Err(ProfileError::BeforeOrigin)
+        );
+        assert_eq!(
+            p.commit(Time(100), Time(100), 1),
+            Err(ProfileError::EmptyWindow)
+        );
         assert_eq!(p.commit(Time(100), Time(200), 0), Ok(()));
     }
 

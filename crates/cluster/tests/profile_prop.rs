@@ -10,8 +10,11 @@ const TOTAL: u32 = 64;
 /// Builds a random profile: some free-now count plus future releases that
 /// never exceed the machine size.
 fn arb_profile() -> impl Strategy<Value = Profile> {
-    (0u32..=32, proptest::collection::vec((1u64..10_000, 1u32..8), 0..20)).prop_map(
-        |(free_now, releases)| {
+    (
+        0u32..=32,
+        proptest::collection::vec((1u64..10_000, 1u32..8), 0..20),
+    )
+        .prop_map(|(free_now, releases)| {
             let mut b = ProfileBuilder::new(Time(0), TOTAL, free_now);
             let mut budget = TOTAL - free_now;
             for (t, cpus) in releases {
@@ -23,8 +26,7 @@ fn arb_profile() -> impl Strategy<Value = Profile> {
                 b.release(Time(t), cpus);
             }
             b.build()
-        },
-    )
+        })
 }
 
 /// A sequence of commit attempts to apply on top.

@@ -14,6 +14,7 @@
 //!   fig8       normalized energy of enlarged systems, WQ = NO
 //!   fig9       average BSLD of enlarged systems
 //!   ablations  beyond-paper studies (boost / beta / fcfs / gears / selection)
+//!   powercap   beyond-paper: power-cap levels x BSLD thresholds frontier
 //!   all        everything above
 //!   calibrate  baseline-vs-paper calibration summary (same as table1)
 //!
@@ -30,7 +31,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bsld_core::experiments::{ablation, enlarged, fig6, grid, table1, ExpOptions};
+use bsld_core::experiments::{ablation, enlarged, fig6, grid, powercap, table1, ExpOptions};
 use bsld_core::policy::WqThreshold;
 use bsld_core::{PowerAwareConfig, Simulator};
 use bsld_metrics::{Json, RunDetails};
@@ -38,8 +39,8 @@ use bsld_workload::profiles::TraceProfile;
 use bsld_workload::Workload;
 
 fn usage() -> &'static str {
-    "usage: bsld-repro <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|all|calibrate\
-     |generate|simulate> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+    "usage: bsld-repro <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|powercap|all\
+     |calibrate|generate|simulate> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
      generate:  --workload <ctc|sdsc|blue|thunder|atlas> --swf FILE\n\
      simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]"
 }
@@ -105,9 +106,7 @@ fn parse_args() -> Result<Args, String> {
                 wq = Some(if v.eq_ignore_ascii_case("no") {
                     WqThreshold::NoLimit
                 } else {
-                    WqThreshold::Limit(
-                        v.parse().map_err(|_| format!("bad --wq value: {v}"))?,
-                    )
+                    WqThreshold::Limit(v.parse().map_err(|_| format!("bad --wq value: {v}"))?)
                 });
             }
             "--conservative" => conservative = true,
@@ -126,7 +125,17 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let experiment = experiment.ok_or_else(|| usage().to_string())?;
-    Ok(Args { experiment, opts, workload, swf, bsld_th, wq, conservative, boost, export })
+    Ok(Args {
+        experiment,
+        opts,
+        workload,
+        swf,
+        bsld_th,
+        wq,
+        conservative,
+        boost,
+        export,
+    })
 }
 
 fn profile_by_name(name: &str) -> Result<TraceProfile, String> {
@@ -150,15 +159,16 @@ fn load_workload(args: &Args) -> Result<Workload, String> {
             let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
             Ok(Workload::from_swf(name, &trace))
         }
-        (None, Some(name)) => {
-            Ok(profile_by_name(name)?.generate(args.opts.seed, args.opts.jobs))
-        }
+        (None, Some(name)) => Ok(profile_by_name(name)?.generate(args.opts.seed, args.opts.jobs)),
         (None, None) => Err("simulate/generate need --workload or --swf".to_string()),
     }
 }
 
 fn run_generate(args: &Args) -> Result<(), String> {
-    let name = args.workload.as_deref().ok_or("generate needs --workload")?;
+    let name = args
+        .workload
+        .as_deref()
+        .ok_or("generate needs --workload")?;
     let out = args.swf.clone().ok_or("generate needs --swf FILE")?;
     let w = profile_by_name(name)?.generate(args.opts.seed, args.opts.jobs);
     let text = bsld_swf::write_swf(&w.to_swf());
@@ -232,10 +242,7 @@ fn run_simulate(args: &Args) -> Result<(), String> {
 
 /// Writes `<prefix>_schedule.csv` (one row per job: the Gantt data),
 /// `<prefix>_utilization.csv` and `<prefix>_queue.csv` (step series).
-fn export_schedule(
-    prefix: &str,
-    outcomes: &[bsld_model::JobOutcome],
-) -> std::io::Result<()> {
+fn export_schedule(prefix: &str, outcomes: &[bsld_model::JobOutcome]) -> std::io::Result<()> {
     use bsld_metrics::series::{queue_depth_series, utilization_series};
 
     let mut by_id: Vec<&bsld_model::JobOutcome> = outcomes.iter().collect();
@@ -258,7 +265,15 @@ fn export_schedule(
     let mut f = std::fs::File::create(&path)?;
     bsld_metrics::write_csv(
         &mut f,
-        &["job", "cpus", "arrival_s", "start_s", "finish_s", "gear", "bsld"],
+        &[
+            "job",
+            "cpus",
+            "arrival_s",
+            "start_s",
+            "finish_s",
+            "gear",
+            "bsld",
+        ],
         &rows,
     )?;
     eprintln!("# wrote {path}");
@@ -267,8 +282,10 @@ fn export_schedule(
         ("utilization", utilization_series(outcomes)),
         ("queue", queue_depth_series(outcomes)),
     ] {
-        let rows: Vec<Vec<String>> =
-            series.iter().map(|&(t, v)| vec![t.to_string(), v.to_string()]).collect();
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|&(t, v)| vec![t.to_string(), v.to_string()])
+            .collect();
         let path = format!("{prefix}_{name}.csv");
         let mut f = std::fs::File::create(&path)?;
         bsld_metrics::write_csv(&mut f, &["time_s", name], &rows)?;
@@ -358,6 +375,12 @@ fn main() -> ExitCode {
                 report_csv(a.write_csv(opts).map(|p| p.into_iter().collect()));
             }
         }
+        "powercap" => {
+            let s = powercap::run(opts);
+            println!("{}", s.render_frontier());
+            println!("{}", s.render_cells());
+            report_csv(s.write_csv(opts));
+        }
         "all" => {
             let t = table1::run(opts);
             println!("{}", t.render());
@@ -395,6 +418,10 @@ fn main() -> ExitCode {
                 println!("{}", a.render());
                 report_csv(a.write_csv(opts).map(|p| p.into_iter().collect()));
             }
+
+            let pc = powercap::run(opts);
+            println!("{}", pc.render_frontier());
+            report_csv(pc.write_csv(opts));
 
             write_summary_json(opts, &t, &g);
         }

@@ -46,7 +46,13 @@ pub struct Ablation {
 impl Ablation {
     /// Renders the study as a table.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(vec!["Variant", "E(idle=0)", "AvgBSLD", "AvgWait(s)", "Reduced"]);
+        let mut t = TextTable::new(vec![
+            "Variant",
+            "E(idle=0)",
+            "AvgBSLD",
+            "AvgWait(s)",
+            "Reduced",
+        ]);
         for r in &self.rows {
             t.row(vec![
                 r.variant.clone(),
@@ -77,7 +83,13 @@ impl Ablation {
         write_artifact(
             opts,
             &format!("ablation_{}", self.name),
-            &["variant", "norm_energy_idle0", "avg_bsld", "avg_wait_s", "reduced_jobs"],
+            &[
+                "variant",
+                "norm_energy_idle0",
+                "avg_bsld",
+                "avg_wait_s",
+                "reduced_jobs",
+            ],
             &rows,
         )
     }
@@ -133,7 +145,10 @@ pub fn boost(opts: &ExpOptions) -> Ablation {
     for ((label, _), m) in variants.iter().zip(&runs[1..]) {
         rows.push(row_from(label.clone(), m, &base));
     }
-    Ablation { name: "boost".into(), rows }
+    Ablation {
+        name: "boost".into(),
+        rows,
+    }
 }
 
 /// Per-job β (paper future work): fixed 0.5 vs. uniform spreads.
@@ -141,26 +156,37 @@ pub fn beta(opts: &ExpOptions) -> Ablation {
     let cfg = PowerAwareConfig::medium();
     let variants: Vec<(String, BetaSpec)> = vec![
         ("beta=0.5".into(), BetaSpec::Fixed(0.5)),
-        ("beta=0.5±0.2".into(), BetaSpec::PerJob { mean: 0.5, spread: 0.2 }),
-        ("beta=0.5±0.4".into(), BetaSpec::PerJob { mean: 0.5, spread: 0.4 }),
+        (
+            "beta=0.5±0.2".into(),
+            BetaSpec::PerJob {
+                mean: 0.5,
+                spread: 0.2,
+            },
+        ),
+        (
+            "beta=0.5±0.4".into(),
+            BetaSpec::PerJob {
+                mean: 0.5,
+                spread: 0.4,
+            },
+        ),
         ("beta=0.3".into(), BetaSpec::Fixed(0.3)),
         ("beta=0.8".into(), BetaSpec::Fixed(0.8)),
     ];
     let mut tasks: Vec<Option<BetaSpec>> = vec![None];
     tasks.extend(variants.iter().map(|(_, b)| Some(*b)));
-    let runs = par_map(tasks, opts.threads, |task| {
-        match task {
-            None => {
-                let w = TraceProfile::sdsc_blue().generate(opts.seed, opts.jobs);
-                let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-                sim.run_baseline(&w.jobs).unwrap().metrics
-            }
-            Some(spec) => {
-                let w =
-                    TraceProfile::sdsc_blue().with_beta(spec).generate(opts.seed, opts.jobs);
-                let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-                sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
-            }
+    let runs = par_map(tasks, opts.threads, |task| match task {
+        None => {
+            let w = TraceProfile::sdsc_blue().generate(opts.seed, opts.jobs);
+            let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+            sim.run_baseline(&w.jobs).unwrap().metrics
+        }
+        Some(spec) => {
+            let w = TraceProfile::sdsc_blue()
+                .with_beta(spec)
+                .generate(opts.seed, opts.jobs);
+            let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+            sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
         }
     });
     let base = runs[0].clone();
@@ -168,7 +194,10 @@ pub fn beta(opts: &ExpOptions) -> Ablation {
     for ((label, _), m) in variants.iter().zip(&runs[1..]) {
         rows.push(row_from(label.clone(), m, &base));
     }
-    Ablation { name: "beta".into(), rows }
+    Ablation {
+        name: "beta".into(),
+        rows,
+    }
 }
 
 /// Scheduling substrate: EASY vs. conservative backfilling vs. plain FCFS
@@ -209,7 +238,10 @@ pub fn fcfs(opts: &ExpOptions) -> Ablation {
         .zip(&runs)
         .map(|((_, _, label), m)| row_from(label.to_string(), m, &base))
         .collect();
-    Ablation { name: "fcfs".into(), rows }
+    Ablation {
+        name: "fcfs".into(),
+        rows,
+    }
 }
 
 /// Resource selection: First Fit (paper) vs. Last Fit vs. contiguous
@@ -242,7 +274,10 @@ pub fn selection(opts: &ExpOptions) -> Ablation {
         .zip(&runs)
         .map(|((_, _, label), m)| row_from(label.to_string(), m, &base))
         .collect();
-    Ablation { name: "selection".into(), rows }
+    Ablation {
+        name: "selection".into(),
+        rows,
+    }
 }
 
 /// Gear-set granularity: 2, 3, 6 (paper) and 12 gears spanning the same
@@ -258,20 +293,15 @@ pub fn gears(opts: &ExpOptions) -> Ablation {
     let w = TraceProfile::sdsc_blue().generate(opts.seed, opts.jobs);
     let mut tasks: Vec<Option<GearSet>> = vec![None];
     tasks.extend(sets.iter().map(|(_, g)| Some(g.clone())));
-    let runs = par_map(tasks, opts.threads, |task| {
-        match task {
-            None => {
-                let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-                sim.run_baseline(&w.jobs).unwrap().metrics
-            }
-            Some(gearset) => {
-                let sim = Simulator::with_cluster(Cluster::new(
-                    w.cluster_name.clone(),
-                    w.cpus,
-                    gearset,
-                ));
-                sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
-            }
+    let runs = par_map(tasks, opts.threads, |task| match task {
+        None => {
+            let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+            sim.run_baseline(&w.jobs).unwrap().metrics
+        }
+        Some(gearset) => {
+            let sim =
+                Simulator::with_cluster(Cluster::new(w.cluster_name.clone(), w.cpus, gearset));
+            sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
         }
     });
     let base = runs[0].clone();
@@ -279,7 +309,10 @@ pub fn gears(opts: &ExpOptions) -> Ablation {
     for ((label, _), m) in sets.iter().zip(&runs[1..]) {
         rows.push(row_from(label.clone(), m, &base));
     }
-    Ablation { name: "gears".into(), rows }
+    Ablation {
+        name: "gears".into(),
+        rows,
+    }
 }
 
 /// A gear set of `n` points linearly interpolating the paper's range
@@ -289,7 +322,10 @@ fn interpolated_gears(n: usize) -> GearSet {
     let gears = (0..n)
         .map(|i| {
             let t = i as f64 / (n - 1) as f64;
-            Gear { freq_ghz: 0.8 + t * 1.5, voltage: 1.0 + t * 0.5 }
+            Gear {
+                freq_ghz: 0.8 + t * 1.5,
+                voltage: 1.0 + t * 0.5,
+            }
         })
         .collect();
     GearSet::new(gears).expect("interpolated set is valid")
@@ -332,7 +368,10 @@ mod tests {
         let cons = a.row("CONS").unwrap();
         let fcfs_row = a.row("FCFS").unwrap();
         assert!(fcfs_row.avg_wait >= easy.avg_wait);
-        assert!(fcfs_row.avg_wait >= cons.avg_wait, "conservative still backfills");
+        assert!(
+            fcfs_row.avg_wait >= cons.avg_wait,
+            "conservative still backfills"
+        );
     }
 
     #[test]

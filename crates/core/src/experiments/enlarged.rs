@@ -70,7 +70,10 @@ pub fn run(opts: &ExpOptions) -> EnlargedStudy {
         }
     }
     let metrics = par_map(tasks.clone(), opts.threads, |(pi, size, wq)| {
-        let cfg = wq.map(|wq| PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: wq });
+        let cfg = wq.map(|wq| PowerAwareConfig {
+            bsld_threshold: 2.0,
+            wq_threshold: wq,
+        });
         super::run_cell(&profiles[pi], opts, size, cfg.as_ref())
     });
 
@@ -81,8 +84,11 @@ pub fn run(opts: &ExpOptions) -> EnlargedStudy {
         match wq {
             None => baselines.push((name, m)),
             Some(wq) => {
-                let base =
-                    &baselines.iter().find(|(n, _)| *n == name).expect("baseline first").1;
+                let base = &baselines
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .expect("baseline first")
+                    .1;
                 cells.push(EnlargedCell {
                     workload: name,
                     size_pct: size,
@@ -109,12 +115,19 @@ impl EnlargedStudy {
 
     /// The baseline metrics of a workload.
     pub fn baseline(&self, workload: &str) -> Option<&RunMetrics> {
-        self.baselines.iter().find(|(n, _)| n == workload).map(|(_, m)| m)
+        self.baselines
+            .iter()
+            .find(|(n, _)| n == workload)
+            .map(|(_, m)| m)
     }
 
     /// Figures 7/8: energy vs. size for one WQ setting and one scenario.
     pub fn render_energy(&self, wq: WqThreshold, idle_low: bool) -> String {
-        let fig = if wq == WqThreshold::Limit(0) { "Figure 7" } else { "Figure 8" };
+        let fig = if wq == WqThreshold::Limit(0) {
+            "Figure 7"
+        } else {
+            "Figure 8"
+        };
         let scen = if idle_low { "idle=low" } else { "idle=0" };
         let mut headers = vec!["Workload".to_string()];
         headers.extend(SIZE_INCREASES.iter().map(|s| format!("+{s}%")));
@@ -123,7 +136,14 @@ impl EnlargedStudy {
             let mut row = vec![name.clone()];
             for &size in &SIZE_INCREASES {
                 let c = self.cell(name, size, wq).expect("complete sweep");
-                row.push(fmt(if idle_low { c.norm_e_idle } else { c.norm_e_comp } * 100.0, 1));
+                row.push(fmt(
+                    if idle_low {
+                        c.norm_e_idle
+                    } else {
+                        c.norm_e_comp
+                    } * 100.0,
+                    1,
+                ));
             }
             t.row(row);
         }
@@ -147,17 +167,29 @@ impl EnlargedStudy {
             }
             t.row(row);
         }
-        format!("Figure 9: average BSLD of enlarged systems, WQ = {}\n{}", wq.label(), t.render())
+        format!(
+            "Figure 9: average BSLD of enlarged systems, WQ = {}\n{}",
+            wq.label(),
+            t.render()
+        )
     }
 
     /// Table 3: average wait for the paper's five configurations.
     pub fn render_table3(&self) -> String {
         let mut t = TextTable::new(vec![
-            "Workload", "OrigNoDVFS", "OrigWQ0", "OrigWQNo", "+50%WQ0", "+50%WQNo",
+            "Workload",
+            "OrigNoDVFS",
+            "OrigWQ0",
+            "OrigWQNo",
+            "+50%WQ0",
+            "+50%WQNo",
         ]);
         for (name, base) in &self.baselines {
             let g = |size: u32, wq: WqThreshold| {
-                fmt(self.cell(name, size, wq).expect("complete sweep").avg_wait, 0)
+                fmt(
+                    self.cell(name, size, wq).expect("complete sweep").avg_wait,
+                    0,
+                )
             };
             t.row(vec![
                 name.clone(),
@@ -168,7 +200,10 @@ impl EnlargedStudy {
                 g(50, WqThreshold::NoLimit),
             ]);
         }
-        format!("Table 3: average wait time (s), BSLDthreshold = 2\n{}", t.render())
+        format!(
+            "Table 3: average wait time (s), BSLDthreshold = 2\n{}",
+            t.render()
+        )
     }
 
     /// Writes `fig7_fig8_fig9_enlarged.csv` and `table3_wait.csv`.
@@ -193,7 +228,16 @@ impl EnlargedStudy {
         if let Some(p) = write_artifact(
             opts,
             "fig7_fig8_fig9_enlarged",
-            &["workload", "size_increase_pct", "wq_threshold", "norm_energy_idle0", "norm_energy_idlelow", "avg_bsld", "avg_wait_s", "reduced_jobs"],
+            &[
+                "workload",
+                "size_increase_pct",
+                "wq_threshold",
+                "norm_energy_idle0",
+                "norm_energy_idlelow",
+                "avg_bsld",
+                "avg_wait_s",
+                "reduced_jobs",
+            ],
             &rows,
         )? {
             written.push(p);
@@ -218,7 +262,14 @@ impl EnlargedStudy {
         if let Some(p) = write_artifact(
             opts,
             "table3_wait",
-            &["workload", "orig_no_dvfs", "orig_wq0", "orig_wqno", "inc50_wq0", "inc50_wqno"],
+            &[
+                "workload",
+                "orig_no_dvfs",
+                "orig_wq0",
+                "orig_wqno",
+                "inc50_wq0",
+                "inc50_wqno",
+            ],
             &t3,
         )? {
             written.push(p);

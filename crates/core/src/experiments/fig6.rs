@@ -28,7 +28,10 @@ pub struct Fig6 {
 pub fn run(opts: &ExpOptions) -> Fig6 {
     let profile = TraceProfile::sdsc_blue();
     let w = profile.generate(opts.seed, opts.jobs);
-    let cfg = PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::Limit(16) };
+    let cfg = PowerAwareConfig {
+        bsld_threshold: 2.0,
+        wq_threshold: WqThreshold::Limit(16),
+    };
     let runs = par_map(vec![None, Some(cfg)], opts.threads, |c| {
         let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
         match c {
@@ -58,7 +61,12 @@ impl Fig6 {
     /// Renders a textual zoom: a few windows of the series plus the means.
     pub fn render(&self) -> String {
         let (mo, md) = self.mean_waits();
-        let mut t = TextTable::new(vec!["job#", "arrival(s)", "wait orig(s)", "wait DVFS_2_16(s)"]);
+        let mut t = TextTable::new(vec![
+            "job#",
+            "arrival(s)",
+            "wait orig(s)",
+            "wait DVFS_2_16(s)",
+        ]);
         // Sample every nth job to keep the text digestible (the CSV holds
         // the full series).
         let n = self.orig.len().max(1);
@@ -87,7 +95,12 @@ impl Fig6 {
             .zip(&self.dvfs)
             .enumerate()
             .map(|(i, (&(arr, wo), &(_, wd)))| {
-                vec![i.to_string(), arr.to_string(), wo.to_string(), wd.to_string()]
+                vec![
+                    i.to_string(),
+                    arr.to_string(),
+                    wo.to_string(),
+                    wd.to_string(),
+                ]
             })
             .collect();
         write_artifact(

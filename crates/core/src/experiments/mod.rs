@@ -7,6 +7,7 @@
 //! | [`fig6`] | Figure 6 — SDSC-Blue wait-time series |
 //! | [`enlarged`] | Figures 7, 8, 9 and Table 3 — enlarged systems |
 //! | [`ablation`] | Beyond-paper ablations (boost, per-job β, FCFS, gears) |
+//! | [`powercap`] | Beyond-paper: power-cap levels × BSLD thresholds frontier |
 //!
 //! Every experiment follows the same shape: a `run(&ExpOptions)` entry point
 //! that fans the independent simulations out over [`bsld_par::par_map`],
@@ -17,6 +18,7 @@ pub mod ablation;
 pub mod enlarged;
 pub mod fig6;
 pub mod grid;
+pub mod powercap;
 pub mod table1;
 
 use std::path::PathBuf;
@@ -55,7 +57,12 @@ impl Default for ExpOptions {
 impl ExpOptions {
     /// A reduced-scale configuration for tests and benches.
     pub fn quick(jobs: usize) -> Self {
-        ExpOptions { seed: 2010, jobs, threads: bsld_par::default_threads(), out_dir: None }
+        ExpOptions {
+            seed: 2010,
+            jobs,
+            threads: bsld_par::default_threads(),
+            out_dir: None,
+        }
     }
 }
 
@@ -69,7 +76,11 @@ pub(crate) fn run_cell(
 ) -> RunMetrics {
     let w: Workload = profile.generate(opts.seed, opts.jobs);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    let sim = if size_increase_pct > 0 { sim.enlarged(size_increase_pct) } else { sim };
+    let sim = if size_increase_pct > 0 {
+        sim.enlarged(size_increase_pct)
+    } else {
+        sim
+    };
     let res = match cfg {
         None => sim.run_baseline(&w.jobs),
         Some(c) => sim.run_power_aware(&w.jobs, c),
@@ -121,8 +132,10 @@ mod tests {
         let base = run_cell(&profile, &opts, 0, None);
         assert_eq!(base.jobs, 150);
         assert_eq!(base.reduced_jobs, 0);
-        let cfg =
-            PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: WqThreshold::NoLimit };
+        let cfg = PowerAwareConfig {
+            bsld_threshold: 3.0,
+            wq_threshold: WqThreshold::NoLimit,
+        };
         let dvfs = run_cell(&profile, &opts, 0, Some(&cfg));
         assert!(dvfs.reduced_jobs > 0);
         let bigger = run_cell(&profile, &opts, 50, Some(&cfg));

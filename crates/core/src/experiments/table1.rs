@@ -27,11 +27,36 @@ pub struct PaperRow {
 
 /// The paper's Table 1 + Table 3 baseline column.
 pub const PAPER_BASELINES: [PaperRow; 5] = [
-    PaperRow { name: "CTC", cpus: 430, avg_bsld: 4.66, avg_wait: 7107.0 },
-    PaperRow { name: "SDSC", cpus: 128, avg_bsld: 24.91, avg_wait: 36001.0 },
-    PaperRow { name: "SDSCBlue", cpus: 1152, avg_bsld: 5.15, avg_wait: 4798.0 },
-    PaperRow { name: "LLNLThunder", cpus: 4008, avg_bsld: 1.0, avg_wait: 0.0 },
-    PaperRow { name: "LLNLAtlas", cpus: 9216, avg_bsld: 1.08, avg_wait: 69.0 },
+    PaperRow {
+        name: "CTC",
+        cpus: 430,
+        avg_bsld: 4.66,
+        avg_wait: 7107.0,
+    },
+    PaperRow {
+        name: "SDSC",
+        cpus: 128,
+        avg_bsld: 24.91,
+        avg_wait: 36001.0,
+    },
+    PaperRow {
+        name: "SDSCBlue",
+        cpus: 1152,
+        avg_bsld: 5.15,
+        avg_wait: 4798.0,
+    },
+    PaperRow {
+        name: "LLNLThunder",
+        cpus: 4008,
+        avg_bsld: 1.0,
+        avg_wait: 0.0,
+    },
+    PaperRow {
+        name: "LLNLAtlas",
+        cpus: 9216,
+        avg_bsld: 1.08,
+        avg_wait: 69.0,
+    },
 ];
 
 /// One measured row of Table 1.
@@ -63,7 +88,9 @@ pub struct Table1 {
 /// Runs the five baselines (in parallel) and assembles Table 1.
 pub fn run(opts: &ExpOptions) -> Table1 {
     let profiles = TraceProfile::paper_five();
-    let metrics = par_map(profiles.clone(), opts.threads, |p| super::run_cell(&p, opts, 0, None));
+    let metrics = par_map(profiles.clone(), opts.threads, |p| {
+        super::run_cell(&p, opts, 0, None)
+    });
     let rows = profiles
         .iter()
         .zip(metrics)
@@ -85,7 +112,14 @@ impl Table1 {
     /// Renders the table with paper-vs-measured columns.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(vec![
-            "Workload", "#CPUs", "Jobs", "AvgBSLD", "paper", "AvgWait(s)", "paper", "Util",
+            "Workload",
+            "#CPUs",
+            "Jobs",
+            "AvgBSLD",
+            "paper",
+            "AvgWait(s)",
+            "paper",
+            "Util",
         ]);
         for r in &self.rows {
             t.row(vec![
@@ -99,7 +133,10 @@ impl Table1 {
                 fmt(r.utilization, 3),
             ]);
         }
-        format!("Table 1: workloads, baseline (EASY, no DVFS)\n{}", t.render())
+        format!(
+            "Table 1: workloads, baseline (EASY, no DVFS)\n{}",
+            t.render()
+        )
     }
 
     /// Writes `table1.csv`.
@@ -123,7 +160,16 @@ impl Table1 {
         write_artifact(
             opts,
             "table1",
-            &["workload", "cpus", "jobs", "avg_bsld", "paper_avg_bsld", "avg_wait_s", "paper_avg_wait_s", "utilization"],
+            &[
+                "workload",
+                "cpus",
+                "jobs",
+                "avg_bsld",
+                "paper_avg_bsld",
+                "avg_wait_s",
+                "paper_avg_wait_s",
+                "utilization",
+            ],
             &rows,
         )
     }

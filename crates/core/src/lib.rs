@@ -22,4 +22,4 @@ pub mod policy;
 pub mod sim;
 
 pub use policy::{BsldThresholdPolicy, PowerAwareConfig, WqThreshold};
-pub use sim::{RunResult, Simulator};
+pub use sim::{PowerCapConfig, PowerCappedResult, RunResult, Simulator};

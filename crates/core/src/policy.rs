@@ -54,7 +54,10 @@ pub struct PowerAwareConfig {
 impl PowerAwareConfig {
     /// The paper's "medium" configuration: threshold 2, no queue limit.
     pub fn medium() -> Self {
-        PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::NoLimit }
+        PowerAwareConfig {
+            bsld_threshold: 2.0,
+            wq_threshold: WqThreshold::NoLimit,
+        }
     }
 
     /// Compact label like `"2/NO"` for tables.
@@ -87,7 +90,10 @@ pub struct BsldThresholdPolicy {
 impl BsldThresholdPolicy {
     /// A policy with the paper's 600 s short-job threshold.
     pub fn new(cfg: PowerAwareConfig) -> Self {
-        BsldThresholdPolicy { cfg, short_job_th: BSLD_SHORT_JOB_THRESHOLD_SECS }
+        BsldThresholdPolicy {
+            cfg,
+            short_job_th: BSLD_SHORT_JOB_THRESHOLD_SECS,
+        }
     }
 
     /// Overrides the short-job threshold (for sensitivity studies).
@@ -175,11 +181,19 @@ mod tests {
     use bsld_power::BetaModel;
 
     fn ctx<'a>(job: &'a Job, tm: &'a BetaModel, now: u64, wq: usize) -> DecisionCtx<'a> {
-        DecisionCtx { now: Time(now), job, wq_others: wq, time_model: tm }
+        DecisionCtx {
+            now: Time(now),
+            job,
+            wq_others: wq,
+            time_model: tm,
+        }
     }
 
     fn policy(th: f64, wq: WqThreshold) -> BsldThresholdPolicy {
-        BsldThresholdPolicy::new(PowerAwareConfig { bsld_threshold: th, wq_threshold: wq })
+        BsldThresholdPolicy::new(PowerAwareConfig {
+            bsld_threshold: th,
+            wq_threshold: wq,
+        })
     }
 
     #[test]
@@ -213,7 +227,10 @@ mod tests {
         let job = Job::new(0, Time(0), 4, 10_000, 10_000);
         let p = policy(1.5, WqThreshold::NoLimit);
         // wait 20000 ⇒ pred ≥ 3 at every gear → top.
-        assert_eq!(p.head_gear(&ctx(&job, &tm, 20_000, 0), Time(20_000)), GearId(5));
+        assert_eq!(
+            p.head_gear(&ctx(&job, &tm, 20_000, 0), Time(20_000)),
+            GearId(5)
+        );
     }
 
     #[test]
@@ -221,8 +238,16 @@ mod tests {
         let tm = BetaModel::new(GearSet::paper());
         let job = Job::new(0, Time(0), 4, 10_000, 10_000);
         let p = policy(3.0, WqThreshold::Limit(0));
-        assert_eq!(p.head_gear(&ctx(&job, &tm, 0, 0), Time(0)), GearId(0), "empty queue admits");
-        assert_eq!(p.head_gear(&ctx(&job, &tm, 0, 1), Time(0)), GearId(5), "one waiter blocks");
+        assert_eq!(
+            p.head_gear(&ctx(&job, &tm, 0, 0), Time(0)),
+            GearId(0),
+            "empty queue admits"
+        );
+        assert_eq!(
+            p.head_gear(&ctx(&job, &tm, 0, 1), Time(0)),
+            GearId(5),
+            "one waiter blocks"
+        );
         let p4 = policy(3.0, WqThreshold::Limit(4));
         assert_eq!(p4.head_gear(&ctx(&job, &tm, 0, 4), Time(0)), GearId(0));
         assert_eq!(p4.head_gear(&ctx(&job, &tm, 0, 5), Time(0)), GearId(5));
@@ -284,7 +309,11 @@ mod tests {
         assert_eq!(WqThreshold::Limit(4).label(), "4");
         assert_eq!(WqThreshold::NoLimit.label(), "NO");
         assert_eq!(
-            PowerAwareConfig { bsld_threshold: 1.5, wq_threshold: WqThreshold::Limit(16) }.label(),
+            PowerAwareConfig {
+                bsld_threshold: 1.5,
+                wq_threshold: WqThreshold::Limit(16)
+            }
+            .label(),
             "1.5/16"
         );
         assert_eq!(PowerAwareConfig::medium().label(), "2/NO");

@@ -1,15 +1,19 @@
 //! The simulator facade.
 //!
 //! Bundles a cluster, the paper's power and time models and the scheduling
-//! engine behind two calls: [`Simulator::run_baseline`] (EASY, no DVFS) and
-//! [`Simulator::run_power_aware`] (EASY + the BSLD-threshold policy).
+//! engine behind three calls: [`Simulator::run_baseline`] (EASY, no DVFS),
+//! [`Simulator::run_power_aware`] (EASY + the BSLD-threshold policy) and
+//! [`Simulator::run_power_capped`] (either policy under a cluster power
+//! budget with idle sleep states, via `bsld-powercap`).
 
 use bsld_cluster::{Cluster, GearSet};
 use bsld_metrics::RunMetrics;
 use bsld_model::{Job, JobOutcome};
 use bsld_power::{BetaModel, PowerModel};
+use bsld_powercap::{PowerCap, PowerCapPolicy, PowerReport, SleepConfig};
 use bsld_sched::{
-    simulate, BoostConfig, EngineConfig, FixedGearPolicy, FrequencyPolicy, SimError, TraceEvent,
+    simulate, simulate_with_hook, BoostConfig, EngineConfig, FixedGearPolicy, FrequencyPolicy,
+    SimError, TraceEvent,
 };
 
 use crate::policy::{BsldThresholdPolicy, PowerAwareConfig};
@@ -23,6 +27,74 @@ pub struct RunResult {
     pub outcomes: Vec<JobOutcome>,
     /// Scheduling trace (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+}
+
+/// Configuration of a power-capped run ([`Simulator::run_power_capped`]).
+#[derive(Debug, Clone)]
+pub struct PowerCapConfig {
+    /// Cluster power budget as a fraction of the machine's peak draw
+    /// (every processor busy at the top gear). `None` = no budget: the
+    /// run only *observes* power (ledger + sleep states).
+    pub cap_fraction: Option<f64>,
+    /// `Some(n)`: soft cap — once more than `n` other jobs wait, an
+    /// over-budget start is admitted (at the most frugal gear) and
+    /// recorded as a violation. `None`: hard cap.
+    pub soft_wq_escape: Option<usize>,
+    /// The idle sleep-state ladder ([`SleepConfig::none`] to disable).
+    pub sleep: SleepConfig,
+    /// `Some`: run the paper's BSLD-threshold frequency policy under the
+    /// cap. `None`: fixed top gear (the no-DVFS baseline, capped).
+    pub policy: Option<PowerAwareConfig>,
+}
+
+impl PowerCapConfig {
+    /// No budget, no sleeping, no DVFS: baseline scheduling with the
+    /// power ledger recording.
+    pub fn observe_only() -> Self {
+        PowerCapConfig {
+            cap_fraction: None,
+            soft_wq_escape: None,
+            sleep: SleepConfig::none(),
+            policy: None,
+        }
+    }
+
+    /// A hard cap at `fraction` of peak draw (no sleeping, no DVFS).
+    pub fn hard(fraction: f64) -> Self {
+        PowerCapConfig {
+            cap_fraction: Some(fraction),
+            ..Self::observe_only()
+        }
+    }
+
+    /// Adds a sleep ladder (builder style).
+    pub fn with_sleep(mut self, sleep: SleepConfig) -> Self {
+        self.sleep = sleep;
+        self
+    }
+
+    /// Runs the BSLD-threshold policy under the cap (builder style).
+    pub fn with_policy(mut self, policy: PowerAwareConfig) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Turns the cap soft with the given queue-depth escape (builder
+    /// style).
+    pub fn with_soft_escape(mut self, wq_escape: usize) -> Self {
+        self.soft_wq_escape = Some(wq_escape);
+        self
+    }
+}
+
+/// A power-capped simulation result: the usual metrics plus the power
+/// report (series, energy integral, enforcement and sleep counters).
+#[derive(Debug, Clone)]
+pub struct PowerCappedResult {
+    /// Metrics, outcomes and trace, as from any other run.
+    pub run: RunResult,
+    /// The power side: step series, integral, peak, counters.
+    pub power: PowerReport,
 }
 
 /// A configured machine + models, ready to run workloads.
@@ -120,7 +192,11 @@ impl Simulator {
             self.cluster.cpus,
             self.time_model.gears().len(),
         );
-        Ok(RunResult { metrics, outcomes: res.outcomes, trace: res.trace })
+        Ok(RunResult {
+            metrics,
+            outcomes: res.outcomes,
+            trace: res.trace,
+        })
     }
 
     /// EASY backfilling with every job at the top gear — the paper's
@@ -139,6 +215,71 @@ impl Simulator {
     ) -> Result<RunResult, SimError> {
         let policy = BsldThresholdPolicy::new(*cfg);
         self.run_with_policy(jobs, &policy)
+    }
+
+    /// Runs `jobs` with cluster power as a first-class signal: a
+    /// [`bsld_powercap::PowerLedger`] tracks instantaneous draw, an idle
+    /// manager applies `cfg.sleep`, and `cfg.cap_fraction` (if any) is
+    /// enforced on every start and boost decision.
+    ///
+    /// Fails with [`SimError::Stalled`] when a hard budget is infeasible
+    /// for the workload (some job cannot run even alone, down-geared, on
+    /// an otherwise sleeping machine).
+    pub fn run_power_capped(
+        &self,
+        jobs: &[Job],
+        cfg: &PowerCapConfig,
+    ) -> Result<PowerCappedResult, SimError> {
+        let cap = match (cfg.cap_fraction, cfg.soft_wq_escape) {
+            (None, _) => PowerCap::Uncapped,
+            (Some(f), None) => PowerCap::Hard {
+                budget: f * PowerCapPolicy::peak_draw(&self.power, self.cluster.cpus),
+            },
+            (Some(f), Some(wq_escape)) => PowerCap::Soft {
+                budget: f * PowerCapPolicy::peak_draw(&self.power, self.cluster.cpus),
+                wq_escape,
+            },
+        };
+        let mut hook = PowerCapPolicy::new(&self.power, self.cluster.cpus, cap, cfg.sleep.clone());
+        let res = match &cfg.policy {
+            None => {
+                let policy = FixedGearPolicy::new(self.time_model.gears().top());
+                simulate_with_hook(
+                    &self.cluster,
+                    jobs,
+                    &policy,
+                    &self.time_model,
+                    &self.engine,
+                    &mut hook,
+                )
+            }
+            Some(pa) => {
+                let policy = BsldThresholdPolicy::new(*pa);
+                simulate_with_hook(
+                    &self.cluster,
+                    jobs,
+                    &policy,
+                    &self.time_model,
+                    &self.engine,
+                    &mut hook,
+                )
+            }
+        }?;
+        let metrics = RunMetrics::compute(
+            &res.outcomes,
+            &self.power,
+            self.cluster.cpus,
+            self.time_model.gears().len(),
+        );
+        let power = hook.into_report(res.makespan.as_secs());
+        Ok(PowerCappedResult {
+            run: RunResult {
+                metrics,
+                outcomes: res.outcomes,
+                trace: res.trace,
+            },
+            power,
+        })
     }
 }
 
@@ -169,7 +310,10 @@ mod tests {
         let w = small_workload();
         let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
         let base = sim.run_baseline(&w.jobs).unwrap();
-        let cfg = PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: WqThreshold::NoLimit };
+        let cfg = PowerAwareConfig {
+            bsld_threshold: 3.0,
+            wq_threshold: WqThreshold::NoLimit,
+        };
         let dvfs = sim.run_power_aware(&w.jobs, &cfg).unwrap();
         validate_schedule(&dvfs.outcomes, w.cpus).unwrap();
         assert!(dvfs.metrics.reduced_jobs > 0, "some jobs must be reduced");
@@ -192,13 +336,19 @@ mod tests {
         let strict = sim
             .run_power_aware(
                 &w.jobs,
-                &PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::Limit(0) },
+                &PowerAwareConfig {
+                    bsld_threshold: 2.0,
+                    wq_threshold: WqThreshold::Limit(0),
+                },
             )
             .unwrap();
         let loose = sim
             .run_power_aware(
                 &w.jobs,
-                &PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::NoLimit },
+                &PowerAwareConfig {
+                    bsld_threshold: 2.0,
+                    wq_threshold: WqThreshold::NoLimit,
+                },
             )
             .unwrap();
         assert!(strict.metrics.reduced_jobs <= loose.metrics.reduced_jobs);
@@ -228,7 +378,11 @@ mod tests {
         let w = small_workload();
         let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
         let easy = sim.run_baseline(&w.jobs).unwrap();
-        let fcfs = sim.clone().without_backfill().run_baseline(&w.jobs).unwrap();
+        let fcfs = sim
+            .clone()
+            .without_backfill()
+            .run_baseline(&w.jobs)
+            .unwrap();
         assert!(
             fcfs.metrics.avg_wait_secs >= easy.metrics.avg_wait_secs,
             "backfilling must not hurt average wait: {} vs {}",
@@ -238,12 +392,97 @@ mod tests {
     }
 
     #[test]
+    fn power_capped_observe_only_matches_baseline_schedule() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let base = sim.run_baseline(&w.jobs).unwrap();
+        let capped = sim
+            .run_power_capped(&w.jobs, &PowerCapConfig::observe_only())
+            .unwrap();
+        // No budget, no sleeping, no DVFS: the schedule must be identical,
+        // and the ledger's integral must equal the post-hoc idle-aware
+        // energy report.
+        assert_eq!(capped.run.outcomes, base.outcomes);
+        let rel = capped.power.energy / base.metrics.energy.with_idle;
+        assert!((rel - 1.0).abs() < 1e-9, "ledger vs post-hoc energy: {rel}");
+        assert!(capped.power.peak > 0.0);
+        assert_eq!(capped.power.budget, None);
+        assert_eq!(capped.power.cap.deferrals, 0);
+    }
+
+    #[test]
+    fn hard_cap_is_respected_at_every_step() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let cfg = PowerCapConfig::hard(0.6).with_policy(PowerAwareConfig {
+            bsld_threshold: 2.0,
+            wq_threshold: WqThreshold::NoLimit,
+        });
+        let capped = sim.run_power_capped(&w.jobs, &cfg).unwrap();
+        validate_schedule(&capped.run.outcomes, w.cpus).unwrap();
+        let budget = capped.power.budget.unwrap();
+        for &(t, p) in &capped.power.series {
+            assert!(p <= budget + 1e-6, "draw {p} over budget {budget} at t={t}");
+        }
+        assert!(capped.power.peak <= budget + 1e-6);
+    }
+
+    #[test]
+    fn sleep_states_cut_idle_energy() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let plain = sim
+            .run_power_capped(&w.jobs, &PowerCapConfig::observe_only())
+            .unwrap();
+        let sleeping = sim
+            .run_power_capped(
+                &w.jobs,
+                &PowerCapConfig::observe_only()
+                    .with_sleep(bsld_powercap::SleepConfig::paper_default()),
+            )
+            .unwrap();
+        // Same schedule (sleeping never defers anything)...
+        assert_eq!(sleeping.run.outcomes, plain.run.outcomes);
+        // ...but idle stretches now draw less despite wake penalties.
+        assert!(
+            sleeping.power.energy < plain.power.energy,
+            "sleep must save energy: {} vs {}",
+            sleeping.power.energy,
+            plain.power.energy
+        );
+        assert!(sleeping.power.sleep.sleeps > 0);
+        // Every wake corresponds to an earlier sleep transition.
+        assert!(sleeping.power.sleep.wakes <= sleeping.power.sleep.sleeps);
+    }
+
+    #[test]
+    fn infeasible_hard_cap_stalls() {
+        let w = small_workload();
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        // A budget below the idle floor can never admit anything.
+        let err = sim
+            .run_power_capped(&w.jobs, &PowerCapConfig::hard(0.05))
+            .unwrap_err();
+        assert!(
+            matches!(err, bsld_sched::SimError::Stalled { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
     fn boost_limits_bsld_damage() {
         let w = small_workload();
         let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-        let cfg = PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: WqThreshold::NoLimit };
+        let cfg = PowerAwareConfig {
+            bsld_threshold: 3.0,
+            wq_threshold: WqThreshold::NoLimit,
+        };
         let plain = sim.run_power_aware(&w.jobs, &cfg).unwrap();
-        let boosted = sim.clone().with_boost(4).run_power_aware(&w.jobs, &cfg).unwrap();
+        let boosted = sim
+            .clone()
+            .with_boost(4)
+            .run_power_aware(&w.jobs, &cfg)
+            .unwrap();
         validate_schedule(&boosted.outcomes, w.cpus).unwrap();
         // Boosting can only shorten runtimes of reduced jobs, so energy
         // goes up and performance improves (or stays).

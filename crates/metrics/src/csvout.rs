@@ -22,11 +22,7 @@ pub fn csv_escape(field: &str) -> String {
 }
 
 /// Writes a header row and data rows as CSV.
-pub fn write_csv<W: Write>(
-    w: &mut W,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv<W: Write>(w: &mut W, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     let mut line = String::new();
     for (i, h) in headers.iter().enumerate() {
         if i > 0 {

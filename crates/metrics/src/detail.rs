@@ -65,8 +65,12 @@ impl SizeClass {
     }
 
     /// All classes in display order.
-    pub const ALL: [SizeClass; 4] =
-        [SizeClass::Serial, SizeClass::Small, SizeClass::Medium, SizeClass::Large];
+    pub const ALL: [SizeClass; 4] = [
+        SizeClass::Serial,
+        SizeClass::Small,
+        SizeClass::Medium,
+        SizeClass::Large,
+    ];
 
     /// Human label.
     pub fn label(&self) -> &'static str {
@@ -119,8 +123,10 @@ impl RunDetails {
 
         let mut by_class = Vec::with_capacity(4);
         for class in SizeClass::ALL {
-            let members: Vec<&JobOutcome> =
-                outcomes.iter().filter(|o| SizeClass::of(o.cpus) == class).collect();
+            let members: Vec<&JobOutcome> = outcomes
+                .iter()
+                .filter(|o| SizeClass::of(o.cpus) == class)
+                .collect();
             let jobs = members.len();
             let (mut bsld_sum, mut wait_sum, mut reduced) = (0.0, 0.0, 0usize);
             for o in &members {
@@ -134,8 +140,16 @@ impl RunDetails {
                 class,
                 ClassMetrics {
                     jobs,
-                    avg_bsld: if jobs > 0 { bsld_sum / jobs as f64 } else { 0.0 },
-                    avg_wait: if jobs > 0 { wait_sum / jobs as f64 } else { 0.0 },
+                    avg_bsld: if jobs > 0 {
+                        bsld_sum / jobs as f64
+                    } else {
+                        0.0
+                    },
+                    avg_wait: if jobs > 0 {
+                        wait_sum / jobs as f64
+                    } else {
+                        0.0
+                    },
                     reduced,
                 },
             ));
@@ -171,7 +185,8 @@ impl RunDetails {
             "BSLD     : p50 {:>10.2}  p90 {:>10.2}  p99 {:>10.2}  max {:>10.2}",
             self.bsld.p50, self.bsld.p90, self.bsld.p99, self.bsld.max
         );
-        let mut t = crate::TextTable::new(vec!["class", "jobs", "avg BSLD", "avg wait(s)", "reduced"]);
+        let mut t =
+            crate::TextTable::new(vec!["class", "jobs", "avg BSLD", "avg wait(s)", "reduced"]);
         for (class, m) in &self.by_class {
             if m.jobs == 0 {
                 continue;
@@ -212,7 +227,10 @@ mod tests {
             start: Time(wait),
             finish: Time(wait + runtime),
             gear: GearId(gear),
-            phases: vec![Phase { gear: GearId(gear), seconds: runtime }],
+            phases: vec![Phase {
+                gear: GearId(gear),
+                seconds: runtime,
+            }],
             nominal_runtime: runtime,
             requested: runtime,
         }
@@ -240,8 +258,18 @@ mod tests {
         let d = RunDetails::compute(&outcomes, &pm());
         assert!((d.wait.p50 - 495.0).abs() < 10.0, "p50 = {}", d.wait.p50);
         assert_eq!(d.wait.max, 990.0);
-        let serial = d.by_class.iter().find(|(c, _)| *c == SizeClass::Serial).unwrap().1;
-        let medium = d.by_class.iter().find(|(c, _)| *c == SizeClass::Medium).unwrap().1;
+        let serial = d
+            .by_class
+            .iter()
+            .find(|(c, _)| *c == SizeClass::Serial)
+            .unwrap()
+            .1;
+        let medium = d
+            .by_class
+            .iter()
+            .find(|(c, _)| *c == SizeClass::Medium)
+            .unwrap()
+            .1;
         assert_eq!(serial.jobs, 50);
         assert_eq!(medium.jobs, 50);
         assert_eq!(serial.reduced, 0);
@@ -253,8 +281,7 @@ mod tests {
         let outcomes = vec![outcome(0, 4, 0, 100, 0), outcome(1, 2, 0, 200, 5)];
         let d = RunDetails::compute(&outcomes, &pm);
         let total: f64 = d.energy_by_gear.iter().sum();
-        let expected =
-            4.0 * 100.0 * pm.p_active(GearId(0)) + 2.0 * 200.0 * pm.p_active(GearId(5));
+        let expected = 4.0 * 100.0 * pm.p_active(GearId(0)) + 2.0 * 200.0 * pm.p_active(GearId(5));
         assert!((total - expected).abs() < 1e-9);
         assert!(d.energy_by_gear[1] == 0.0 && d.energy_by_gear[3] == 0.0);
     }

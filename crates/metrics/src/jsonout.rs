@@ -150,7 +150,10 @@ mod tests {
     fn nested_structures() {
         let v = Json::obj(vec![
             ("workload", Json::str("CTC")),
-            ("grid", Json::Arr(vec![Json::Num(1.5), Json::Num(2.0), Json::Num(3.0)])),
+            (
+                "grid",
+                Json::Arr(vec![Json::Num(1.5), Json::Num(2.0), Json::Num(3.0)]),
+            ),
             ("nested", Json::obj(vec![("ok", Json::Bool(true))])),
         ]);
         assert_eq!(

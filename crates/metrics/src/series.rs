@@ -7,8 +7,10 @@ use bsld_model::JobOutcome;
 /// Figure 6 of the paper plots exactly this series (zoomed) for SDSC-Blue
 /// with and without frequency scaling.
 pub fn wait_series(outcomes: &[JobOutcome]) -> Vec<(u64, u64)> {
-    let mut v: Vec<(u64, u64)> =
-        outcomes.iter().map(|o| (o.arrival.as_secs(), o.wait())).collect();
+    let mut v: Vec<(u64, u64)> = outcomes
+        .iter()
+        .map(|o| (o.arrival.as_secs(), o.wait()))
+        .collect();
     v.sort_unstable();
     v
 }
@@ -66,6 +68,60 @@ pub fn queue_depth_series(outcomes: &[JobOutcome]) -> Vec<(u64, u32)> {
     out
 }
 
+/// Writes a cluster power step series — `(time_s, power)` pairs as
+/// produced by `bsld-powercap`'s ledger — as CSV. Each row holds from its
+/// instant until the next row's.
+pub fn write_power_series<W: std::io::Write>(
+    w: &mut W,
+    series: &[(u64, f64)],
+) -> std::io::Result<()> {
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|&(t, p)| vec![t.to_string(), format!("{p:.6}")])
+        .collect();
+    crate::csvout::write_csv(w, &["time_s", "power"], &rows)
+}
+
+/// Resamples a step series onto a regular grid of `step_s` seconds
+/// (time-weighted mean per bucket) — the practical form for plotting long
+/// runs whose event-resolution series has millions of points. Time before
+/// the series' first instant counts as zero power.
+pub fn resample_power_series(series: &[(u64, f64)], end_s: u64, step_s: u64) -> Vec<(u64, f64)> {
+    assert!(step_s > 0, "resample step must be positive");
+    if series.is_empty() || end_s == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity((end_s / step_s + 1) as usize);
+    let mut j = 0usize;
+    let mut bucket_start = 0u64;
+    while bucket_start < end_s {
+        let bucket_end = (bucket_start + step_s).min(end_s);
+        let mut acc = 0.0f64;
+        let mut t = bucket_start;
+        while t < bucket_end {
+            let (value, seg_end) = if t < series[0].0 {
+                (0.0, series[0].0)
+            } else {
+                while j + 1 < series.len() && series[j + 1].0 <= t {
+                    j += 1;
+                }
+                let seg_end = if j + 1 < series.len() {
+                    series[j + 1].0
+                } else {
+                    u64::MAX
+                };
+                (series[j].1, seg_end)
+            };
+            let upto = seg_end.min(bucket_end);
+            acc += value * (upto - t) as f64;
+            t = upto;
+        }
+        out.push((bucket_start, acc / (bucket_end - bucket_start) as f64));
+        bucket_start = bucket_end;
+    }
+    out
+}
+
 /// Centred moving average with the given window (odd windows recommended).
 /// Returns one smoothed value per input value.
 pub fn moving_average(values: &[f64], window: usize) -> Vec<f64> {
@@ -97,7 +153,10 @@ mod tests {
             start: Time(start),
             finish: Time(start + 10),
             gear: GearId(0),
-            phases: vec![Phase { gear: GearId(0), seconds: 10 }],
+            phases: vec![Phase {
+                gear: GearId(0),
+                seconds: 10,
+            }],
             nominal_runtime: 10,
             requested: 10,
         }
@@ -127,6 +186,30 @@ mod tests {
         assert_eq!(moving_average(&[], 5), Vec::<f64>::new());
     }
 
+    #[test]
+    fn resample_counts_pre_series_time_as_zero() {
+        let s = vec![(100u64, 5.0f64)];
+        let r = resample_power_series(&s, 200, 100);
+        assert_eq!(r.len(), 2);
+        assert!(
+            r[0].1.abs() < 1e-12,
+            "bucket before the series starts must be zero"
+        );
+        assert!((r[1].1 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_takes_time_weighted_means() {
+        let s = vec![(0u64, 2.0f64), (50, 4.0)];
+        let r = resample_power_series(&s, 100, 100);
+        assert_eq!(r.len(), 1);
+        assert!((r[0].1 - 3.0).abs() < 1e-12);
+        // Finer grid reproduces the steps exactly.
+        let fine = resample_power_series(&s, 100, 50);
+        assert!((fine[0].1 - 2.0).abs() < 1e-12);
+        assert!((fine[1].1 - 4.0).abs() < 1e-12);
+    }
+
     fn outcome_span(id: u32, cpus: u32, arrival: u64, start: u64, finish: u64) -> JobOutcome {
         JobOutcome {
             id: JobId(id),
@@ -135,7 +218,10 @@ mod tests {
             start: Time(start),
             finish: Time(finish),
             gear: GearId(5),
-            phases: vec![Phase { gear: GearId(5), seconds: finish - start }],
+            phases: vec![Phase {
+                gear: GearId(5),
+                seconds: finish - start,
+            }],
             nominal_runtime: finish - start,
             requested: finish - start,
         }
@@ -153,8 +239,9 @@ mod tests {
 
     #[test]
     fn utilization_series_ends_at_zero() {
-        let outcomes: Vec<JobOutcome> =
-            (0..20).map(|i| outcome_span(i, 1 + i % 3, 0, (i as u64) * 5, (i as u64) * 5 + 40)).collect();
+        let outcomes: Vec<JobOutcome> = (0..20)
+            .map(|i| outcome_span(i, 1 + i % 3, 0, (i as u64) * 5, (i as u64) * 5 + 40))
+            .collect();
         let s = utilization_series(&outcomes);
         assert_eq!(s.last().unwrap().1, 0);
     }

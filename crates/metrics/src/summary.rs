@@ -95,7 +95,10 @@ mod tests {
             start: Time(start),
             finish: Time(start + runtime),
             gear: GearId(gear),
-            phases: vec![Phase { gear: GearId(gear), seconds: runtime }],
+            phases: vec![Phase {
+                gear: GearId(gear),
+                seconds: runtime,
+            }],
             nominal_runtime: runtime,
             requested: runtime,
         }
@@ -105,7 +108,7 @@ mod tests {
     fn summary_of_two_jobs() {
         let pm = PowerModel::paper(GearSet::paper());
         let outcomes = vec![
-            outcome(0, 4, 0, 0, 1200, 5),     // BSLD 1, no wait
+            outcome(0, 4, 0, 0, 1200, 5),    // BSLD 1, no wait
             outcome(1, 2, 0, 1200, 1200, 2), // BSLD 2, wait 1200, reduced
         ];
         let m = RunMetrics::compute(&outcomes, &pm, 4, 6);
@@ -142,8 +145,14 @@ mod tests {
             finish: Time(100),
             gear: GearId(0),
             phases: vec![
-                Phase { gear: GearId(0), seconds: 50 },
-                Phase { gear: GearId(5), seconds: 50 },
+                Phase {
+                    gear: GearId(0),
+                    seconds: 50,
+                },
+                Phase {
+                    gear: GearId(5),
+                    seconds: 50,
+                },
             ],
             nominal_runtime: 80,
             requested: 80,

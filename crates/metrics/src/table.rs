@@ -26,7 +26,11 @@ impl TextTable {
         if !aligns.is_empty() {
             aligns[0] = Align::Left;
         }
-        TextTable { headers, aligns, rows: Vec::new() }
+        TextTable {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
     }
 
     /// Overrides the alignment of column `idx`.

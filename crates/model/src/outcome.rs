@@ -57,7 +57,12 @@ impl JobOutcome {
     /// Observed BSLD (Eq. 6 of the paper) with short-job threshold `th`.
     #[inline]
     pub fn bsld(&self, th: u64) -> f64 {
-        bsld_observed(self.wait(), self.penalized_runtime(), self.nominal_runtime, th)
+        bsld_observed(
+            self.wait(),
+            self.penalized_runtime(),
+            self.nominal_runtime,
+            th,
+        )
     }
 
     /// Whether the job ran below the given top gear at any point.
@@ -93,7 +98,10 @@ impl JobOutcome {
             return Err(format!("{}: no executed phases", self.id));
         }
         if self.phases[0].gear != self.gear {
-            return Err(format!("{}: first phase gear differs from assigned gear", self.id));
+            return Err(format!(
+                "{}: first phase gear differs from assigned gear",
+                self.id
+            ));
         }
         Ok(())
     }
@@ -111,7 +119,10 @@ mod tests {
             start: Time(100 + wait),
             finish: Time(100 + wait + runtime),
             gear: GearId(5),
-            phases: vec![Phase { gear: GearId(5), seconds: runtime }],
+            phases: vec![Phase {
+                gear: GearId(5),
+                seconds: runtime,
+            }],
             nominal_runtime: runtime,
             requested: runtime,
         }
@@ -137,7 +148,10 @@ mod tests {
     fn reduced_detection() {
         let mut o = outcome(0, 1500);
         o.gear = GearId(2);
-        o.phases = vec![Phase { gear: GearId(2), seconds: 1500 }];
+        o.phases = vec![Phase {
+            gear: GearId(2),
+            seconds: 1500,
+        }];
         assert!(o.was_reduced(GearId(5)));
         assert!(!o.was_reduced(GearId(2)));
     }

@@ -1,34 +1,37 @@
-//! Order-preserving parallel map over a crossbeam work pool.
+//! Order-preserving parallel map over a scoped thread pool.
 //!
 //! The reproduction's experiment grids (workload × `BSLD_threshold` ×
 //! `WQ_threshold` × system size) are embarrassingly parallel: every cell is
 //! an independent, deterministic simulation. [`par_map`] fans the cells out
-//! over a fixed pool of scoped worker threads fed by a crossbeam channel and
-//! returns results **in input order**, so parallel sweeps are bit-for-bit
-//! identical to sequential ones.
+//! over a fixed pool of scoped worker threads pulling from a shared work
+//! queue and returns results **in input order**, so parallel sweeps are
+//! bit-for-bit identical to sequential ones.
 //!
-//! Following the HPC-parallel guidance: crossbeam for thread-based
-//! parallelism and work distribution; `parking_lot` for the shared result
-//! slots.
+//! Built entirely on `std` (`std::thread::scope` + mutex-guarded queue and
+//! result slots): the offline build environment has no third-party thread
+//! pool, and the sweep granularity — whole simulations, milliseconds each —
+//! makes lock contention on the queue irrelevant.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Number of worker threads [`par_map`] uses by default: the available
 /// parallelism, capped at 16 (the grids rarely have more useful width).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
 }
 
 /// Applies `f` to every item on a pool of `threads` workers, returning the
 /// results in input order.
 ///
-/// Items are distributed dynamically (a shared channel acts as the work
-/// queue), so heterogeneous cell costs — e.g. the SDSC grid cell simulating
-/// a saturated machine — do not serialise the sweep.
+/// Items are distributed dynamically (a shared queue), so heterogeneous
+/// cell costs — e.g. the SDSC grid cell simulating a saturated machine —
+/// do not serialise the sweep.
 ///
 /// Panics in workers propagate: if any invocation of `f` panics, `par_map`
 /// panics after the pool drains.
@@ -47,31 +50,35 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
-    for pair in items.into_iter().enumerate() {
-        tx.send(pair).expect("channel open");
-    }
-    drop(tx);
-
+    let queue = Mutex::new(items.into_iter().enumerate());
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            let rx = rx.clone();
-            let slots = &slots;
-            let f = &f;
-            scope.spawn(move |_| {
-                while let Ok((idx, item)) = rx.recv() {
-                    let out = f(item);
-                    *slots[idx].lock() = Some(out);
+            scope.spawn(|| loop {
+                // Take the lock only to pop; run `f` outside it.
+                let next = queue.lock().map(|mut q| q.next());
+                match next {
+                    Ok(Some((idx, item))) => {
+                        let out = f(item);
+                        if let Ok(mut slot) = slots[idx].lock() {
+                            *slot = Some(out);
+                        }
+                    }
+                    // Queue drained, or poisoned by a panicking sibling:
+                    // either way this worker is done.
+                    Ok(None) | Err(_) => break,
                 }
             });
         }
-    })
-    .expect("a parallel worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked (scope would have propagated it)")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 
@@ -88,7 +95,10 @@ pub struct Progress {
 impl Progress {
     /// A counter expecting `total` ticks.
     pub fn new(total: usize) -> Self {
-        Progress { done: std::sync::atomic::AtomicUsize::new(0), total }
+        Progress {
+            done: std::sync::atomic::AtomicUsize::new(0),
+            total,
+        }
     }
 
     /// Records one completed unit and returns the new count.

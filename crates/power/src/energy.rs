@@ -138,8 +138,14 @@ mod tests {
             finish: Time(300),
             gear: GearId(0),
             phases: vec![
-                Phase { gear: GearId(0), seconds: 200 },
-                Phase { gear: GearId(5), seconds: 100 },
+                Phase {
+                    gear: GearId(0),
+                    seconds: 200,
+                },
+                Phase {
+                    gear: GearId(5),
+                    seconds: 100,
+                },
             ],
             nominal_runtime: 250,
             requested: 250,
@@ -189,5 +195,61 @@ mod tests {
         assert_eq!(rep.computational, 0.0);
         assert_eq!(rep.with_idle, 0.0);
         assert_eq!(rep.utilization(), 0.0);
+    }
+
+    #[test]
+    fn idle_time_clamps_at_zero_when_busy_exceeds_capacity() {
+        // A caller passing a makespan shorter than the busy time (or a
+        // machine size smaller than the allocation) must not produce
+        // negative idle energy: the guard clamps idle processor-seconds
+        // at zero and the idle-aware scenario degenerates to the
+        // computational one.
+        let pm = pm();
+        let mut acc = EnergyAccount::new();
+        acc.add_phase(&pm, 8, 100, GearId(5)); // 800 busy cpu·s
+        let rep = acc.finish(&pm, 4, 100); // capacity only 400 cpu·s
+        assert_eq!(rep.idle_cpu_secs, 0.0);
+        assert!((rep.with_idle - rep.computational).abs() < 1e-12);
+        assert!(
+            rep.utilization() > 1.0,
+            "overcommit shows up as >1 utilisation"
+        );
+    }
+
+    #[test]
+    fn scenarios_differ_by_exactly_the_idle_term() {
+        let pm = pm();
+        let mut acc = EnergyAccount::new();
+        acc.add_phase(&pm, 3, 500, GearId(4));
+        acc.add_phase(&pm, 2, 250, GearId(1));
+        let rep = acc.finish(&pm, 8, 1000);
+        let expected_idle_cpu_secs = 8.0 * 1000.0 - (3.0 * 500.0 + 2.0 * 250.0);
+        assert!((rep.idle_cpu_secs - expected_idle_cpu_secs).abs() < 1e-9);
+        let idle_term = rep.idle_cpu_secs * pm.p_idle();
+        assert!((rep.with_idle - rep.computational - idle_term).abs() < 1e-9);
+        // The computational scenario is independent of machine size and
+        // makespan; the idle-aware one is not.
+        let rep_wider = {
+            let mut acc = EnergyAccount::new();
+            acc.add_phase(&pm, 3, 500, GearId(4));
+            acc.add_phase(&pm, 2, 250, GearId(1));
+            acc.finish(&pm, 16, 2000)
+        };
+        assert!((rep_wider.computational - rep.computational).abs() < 1e-12);
+        assert!(rep_wider.with_idle > rep.with_idle);
+    }
+
+    #[test]
+    fn normalization_identities() {
+        let pm = pm();
+        let mut a = EnergyAccount::new();
+        a.add_phase(&pm, 4, 100, GearId(5));
+        let base = a.finish(&pm, 4, 200);
+        let mut b = EnergyAccount::new();
+        b.add_phase(&pm, 4, 100, GearId(0));
+        let low = b.finish(&pm, 4, 200);
+        assert!((base.normalized_computational(&base) - 1.0).abs() < 1e-12);
+        assert!((base.normalized_with_idle(&base) - 1.0).abs() < 1e-12);
+        assert!(low.normalized_computational(&base) < 1.0);
     }
 }

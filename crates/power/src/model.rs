@@ -45,8 +45,14 @@ impl PowerModel {
         activity_ratio: f64,
         act_idle_c: f64,
     ) -> Self {
-        assert!((0.0..1.0).contains(&static_fraction), "static fraction must be in [0,1)");
-        assert!(activity_ratio >= 1.0, "running activity must be >= idle activity");
+        assert!(
+            (0.0..1.0).contains(&static_fraction),
+            "static fraction must be in [0,1)"
+        );
+        assert!(
+            activity_ratio >= 1.0,
+            "running activity must be >= idle activity"
+        );
         assert!(act_idle_c > 0.0, "A_idle·C must be positive");
         let top = gears.get(gears.top());
         // P_static(top) = sf · (P_dyn_run(top) + P_static(top))
@@ -55,7 +61,12 @@ impl PowerModel {
         let act_run_c = act_idle_c * activity_ratio;
         let alpha =
             static_fraction / (1.0 - static_fraction) * act_run_c * top.freq_ghz * top.voltage;
-        PowerModel { gears, act_idle_c, activity_ratio, alpha }
+        PowerModel {
+            gears,
+            act_idle_c,
+            activity_ratio,
+            alpha,
+        }
     }
 
     /// The gear set this model prices.

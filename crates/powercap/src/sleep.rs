@@ -1,0 +1,491 @@
+//! Idle sleep-state management (SleepScale-style).
+//!
+//! Free processors descend a ladder of progressively deeper sleep states
+//! as their idle time grows; the scheduler transparently wakes them
+//! (shallowest — cheapest — first) when it needs processors. Waking
+//! charges a per-processor wake-energy impulse and a wake-latency
+//! statistic **exactly once per wake**. Wake latency is accounted as
+//! energy/statistics only; it does not perturb the schedule, so capped and
+//! uncapped runs remain comparable on identical job timelines.
+
+use std::collections::VecDeque;
+
+use crate::ledger::PowerLedger;
+
+/// One sleep state of the ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepState {
+    /// A free processor enters this state after this much idle time, in
+    /// seconds (measured from when it became free, not from the previous
+    /// state).
+    pub idle_timeout_s: u64,
+    /// Seconds a wake from this state takes (statistic + energy charge).
+    pub wake_latency_s: u64,
+    /// Energy charged per processor woken from this state (normalised
+    /// power units × seconds).
+    pub wake_energy: f64,
+    /// Power drawn in this state, as a fraction of `P_idle` in `[0, 1]`.
+    pub power_fraction: f64,
+}
+
+/// The configured sleep ladder (possibly empty = sleeping disabled).
+#[derive(Debug, Clone, Default)]
+pub struct SleepConfig {
+    states: Vec<SleepState>,
+}
+
+impl SleepConfig {
+    /// No sleep states: free processors always draw full idle power.
+    pub fn none() -> SleepConfig {
+        SleepConfig { states: Vec::new() }
+    }
+
+    /// A single-state configuration.
+    pub fn single(state: SleepState) -> SleepConfig {
+        SleepConfig::new(vec![state]).expect("one state is always a valid ladder")
+    }
+
+    /// A two-state default ladder: a shallow nap after 60 s idle (40 % of
+    /// idle power, 1 s / 0.5 units to wake) and a deep sleep after 600 s
+    /// (5 % of idle power, 10 s / 5 units to wake). Loosely follows the
+    /// C-state-style latency/power trade-off SleepScale manages.
+    pub fn paper_default() -> SleepConfig {
+        SleepConfig::new(vec![
+            SleepState {
+                idle_timeout_s: 60,
+                wake_latency_s: 1,
+                wake_energy: 0.5,
+                power_fraction: 0.4,
+            },
+            SleepState {
+                idle_timeout_s: 600,
+                wake_latency_s: 10,
+                wake_energy: 5.0,
+                power_fraction: 0.05,
+            },
+        ])
+        .expect("default ladder is valid")
+    }
+
+    /// Validates and wraps a ladder: timeouts strictly increasing, power
+    /// fractions in `[0, 1]` and non-increasing with depth, wake costs
+    /// non-negative.
+    pub fn new(states: Vec<SleepState>) -> Result<SleepConfig, String> {
+        for s in &states {
+            if !(0.0..=1.0).contains(&s.power_fraction) {
+                return Err(format!("power fraction {} out of [0, 1]", s.power_fraction));
+            }
+            if s.wake_energy < 0.0 || !s.wake_energy.is_finite() {
+                return Err(format!(
+                    "wake energy {} must be finite and >= 0",
+                    s.wake_energy
+                ));
+            }
+        }
+        for w in states.windows(2) {
+            if w[1].idle_timeout_s <= w[0].idle_timeout_s {
+                return Err("sleep timeouts must be strictly increasing".into());
+            }
+            if w[1].power_fraction > w[0].power_fraction {
+                return Err("deeper sleep states must not draw more power".into());
+            }
+        }
+        Ok(SleepConfig { states })
+    }
+
+    /// The ladder, shallowest first.
+    pub fn states(&self) -> &[SleepState] {
+        &self.states
+    }
+
+    /// Whether any sleeping can happen.
+    pub fn is_enabled(&self) -> bool {
+        !self.states.is_empty()
+    }
+}
+
+/// Counters the idle manager accumulates over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SleepStats {
+    /// Processor transitions into the first sleep state.
+    pub sleeps: u64,
+    /// Processor wakes (each charged exactly once).
+    pub wakes: u64,
+    /// Total wake energy charged, normalised units.
+    pub wake_energy: f64,
+    /// Total wake latency accumulated, processor-seconds.
+    pub wake_latency_s: u64,
+}
+
+/// A group of processors that became free at the same instant and have
+/// descended to the same ladder level.
+#[derive(Debug, Clone, Copy)]
+struct Cohort {
+    since: u64,
+    count: u32,
+    /// `None` = awake-idle; `Some(i)` = in `states[i]`.
+    level: Option<usize>,
+}
+
+/// Tracks every free processor's idle age and sleep level, count-based.
+///
+/// The scheduler's processor pool is count-based for power purposes
+/// (processors are interchangeable wattage-wise), so the manager tracks
+/// *cohorts* — groups freed at the same instant — instead of individual
+/// processor identities.
+#[derive(Debug, Clone)]
+pub struct IdleManager {
+    cfg: SleepConfig,
+    p_idle: f64,
+    cohorts: VecDeque<Cohort>,
+    stats: SleepStats,
+}
+
+impl IdleManager {
+    /// A manager for a machine of `total` processors, all free (and awake)
+    /// at time 0, drawing `p_idle` each while awake-idle.
+    pub fn new(cfg: SleepConfig, total: u32, p_idle: f64) -> IdleManager {
+        let mut cohorts = VecDeque::new();
+        if total > 0 {
+            cohorts.push_back(Cohort {
+                since: 0,
+                count: total,
+                level: None,
+            });
+        }
+        IdleManager {
+            cfg,
+            p_idle,
+            cohorts,
+            stats: SleepStats::default(),
+        }
+    }
+
+    /// Accumulated sleep/wake counters.
+    pub fn stats(&self) -> SleepStats {
+        self.stats
+    }
+
+    /// Free processors currently awake (drawing full idle power).
+    pub fn awake_idle(&self) -> u32 {
+        self.cohorts
+            .iter()
+            .filter(|c| c.level.is_none())
+            .map(|c| c.count)
+            .sum()
+    }
+
+    /// Free processors currently in any sleep state.
+    pub fn sleeping(&self) -> u32 {
+        self.cohorts
+            .iter()
+            .filter(|c| c.level.is_some())
+            .map(|c| c.count)
+            .sum()
+    }
+
+    /// All free processors tracked (awake + sleeping).
+    pub fn total_free(&self) -> u32 {
+        self.cohorts.iter().map(|c| c.count).sum()
+    }
+
+    fn p_state(&self, level: usize) -> f64 {
+        self.cfg.states()[level].power_fraction * self.p_idle
+    }
+
+    /// Applies every sleep transition due by `t`, in chronological order,
+    /// recording each at its exact transition time in `ledger`.
+    pub fn advance(&mut self, t: u64, ledger: &mut PowerLedger) {
+        if !self.cfg.is_enabled() {
+            return;
+        }
+        loop {
+            // The globally earliest due transition across cohorts keeps
+            // the ledger's time order exact.
+            let mut best: Option<(usize, usize, u64)> = None; // (cohort, next_level, due)
+            for (i, c) in self.cohorts.iter().enumerate() {
+                let next = c.level.map_or(0, |l| l + 1);
+                if next >= self.cfg.states().len() {
+                    continue;
+                }
+                let due = c
+                    .since
+                    .saturating_add(self.cfg.states()[next].idle_timeout_s);
+                if due <= t && best.is_none_or(|(_, _, d)| due < d) {
+                    best = Some((i, next, due));
+                }
+            }
+            let Some((i, next, due)) = best else {
+                break;
+            };
+            let count = self.cohorts[i].count;
+            match self.cohorts[i].level {
+                None => {
+                    ledger.sleep_enter(due, count, self.p_state(next));
+                    self.stats.sleeps += count as u64;
+                }
+                Some(prev) => {
+                    ledger.sleep_deepen(due, count, self.p_state(prev), self.p_state(next));
+                }
+            }
+            self.cohorts[i].level = Some(next);
+        }
+    }
+
+    /// The earliest instant strictly after `now` at which some cohort is
+    /// due to enter or deepen a sleep state, or `None` when every free
+    /// processor has already reached the deepest state (or sleeping is
+    /// disabled).
+    pub fn next_transition_due(&self, now: u64) -> Option<u64> {
+        let states = self.cfg.states();
+        self.cohorts
+            .iter()
+            .filter_map(|c| {
+                let next = c.level.map_or(0, |l| l + 1);
+                states
+                    .get(next)
+                    .map(|s| c.since.saturating_add(s.idle_timeout_s))
+            })
+            .filter(|&due| due > now)
+            .min()
+    }
+
+    /// `n` processors were released back to the free pool at `t`.
+    pub fn release(&mut self, t: u64, n: u32) {
+        if n == 0 {
+            return;
+        }
+        match self.cohorts.back_mut() {
+            Some(c) if c.since == t && c.level.is_none() => c.count += n,
+            _ => self.cohorts.push_back(Cohort {
+                since: t,
+                count: n,
+                level: None,
+            }),
+        }
+    }
+
+    /// Draw currently attributable to the `n` processors [`Self::allocate`]
+    /// would take at this instant: awake-idle first (most recently freed
+    /// first), then sleeping shallowest-first. Returns
+    /// `(from_awake, sourced_sleep_power)`.
+    pub fn preview_sources(&self, n: u32) -> (u32, f64) {
+        let awake = self.awake_idle().min(n);
+        let mut need = n - awake;
+        let mut sleep_power = 0.0;
+        let mut level = 0;
+        while need > 0 && level < self.cfg.states().len() {
+            let at_level: u32 = self
+                .cohorts
+                .iter()
+                .filter(|c| c.level == Some(level))
+                .map(|c| c.count)
+                .sum();
+            let take = at_level.min(need);
+            sleep_power += take as f64 * self.p_state(level);
+            need -= take;
+            level += 1;
+        }
+        debug_assert_eq!(need, 0, "preview of more processors than are free");
+        (awake, sleep_power)
+    }
+
+    /// Takes `n` free processors for a job starting at `t`: awake-idle
+    /// first (most recently freed first, so long-idle processors keep
+    /// progressing toward sleep), then sleeping shallowest-first. Each
+    /// woken processor charges its state's wake energy and latency exactly
+    /// once, through `ledger` and [`SleepStats`].
+    pub fn allocate(&mut self, t: u64, n: u32, ledger: &mut PowerLedger) {
+        debug_assert!(
+            self.total_free() >= n,
+            "allocating more processors than are free"
+        );
+        let mut need = n;
+        // Awake-idle, newest cohorts first.
+        let mut i = self.cohorts.len();
+        while need > 0 && i > 0 {
+            i -= 1;
+            if self.cohorts[i].level.is_some() {
+                continue;
+            }
+            let take = self.cohorts[i].count.min(need);
+            self.cohorts[i].count -= take;
+            need -= take;
+        }
+        // Sleeping, shallowest level first: the cheapest wakes.
+        let mut level = 0;
+        while need > 0 && level < self.cfg.states().len() {
+            let state = self.cfg.states()[level];
+            let p_state = self.p_state(level);
+            for c in self.cohorts.iter_mut() {
+                if need == 0 {
+                    break;
+                }
+                if c.level != Some(level) {
+                    continue;
+                }
+                let take = c.count.min(need);
+                c.count -= take;
+                need -= take;
+                self.stats.wakes += take as u64;
+                self.stats.wake_energy += take as f64 * state.wake_energy;
+                self.stats.wake_latency_s += take as u64 * state.wake_latency_s;
+                ledger.wake(t, take, p_state, take as f64 * state.wake_energy);
+            }
+            level += 1;
+        }
+        debug_assert_eq!(
+            need, 0,
+            "engine allocated processors the manager does not track"
+        );
+        self.cohorts.retain(|c| c.count > 0);
+    }
+
+    /// Internal-consistency check: the tracked free count must equal
+    /// `expected_free`, and no cohort may sit past the deepest state.
+    pub fn check_invariants(&self, expected_free: u32) -> Result<(), String> {
+        let free = self.total_free();
+        if free != expected_free {
+            return Err(format!(
+                "manager tracks {free} free processors, pool says {expected_free}"
+            ));
+        }
+        for c in &self.cohorts {
+            if let Some(l) = c.level {
+                if l >= self.cfg.states().len() {
+                    return Err(format!("cohort at nonexistent sleep level {l}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsld_cluster::GearSet;
+    use bsld_power::PowerModel;
+
+    fn pm() -> PowerModel {
+        PowerModel::paper(GearSet::paper())
+    }
+
+    fn mgr(total: u32) -> (IdleManager, PowerLedger) {
+        let pm = pm();
+        let ledger = PowerLedger::new(&pm, total);
+        (
+            IdleManager::new(SleepConfig::paper_default(), total, pm.p_idle()),
+            ledger,
+        )
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SleepConfig::new(vec![]).is_ok());
+        let bad_frac = SleepState {
+            idle_timeout_s: 1,
+            wake_latency_s: 0,
+            wake_energy: 0.0,
+            power_fraction: 1.5,
+        };
+        assert!(SleepConfig::new(vec![bad_frac]).is_err());
+        let a = SleepState {
+            idle_timeout_s: 10,
+            wake_latency_s: 1,
+            wake_energy: 0.1,
+            power_fraction: 0.5,
+        };
+        let same_timeout = SleepState {
+            idle_timeout_s: 10,
+            ..a
+        };
+        assert!(SleepConfig::new(vec![a, same_timeout]).is_err());
+        let deeper_hotter = SleepState {
+            idle_timeout_s: 20,
+            power_fraction: 0.9,
+            ..a
+        };
+        assert!(SleepConfig::new(vec![a, deeper_hotter]).is_err());
+    }
+
+    #[test]
+    fn idle_processors_descend_the_ladder() {
+        let (mut m, mut l) = mgr(4);
+        m.advance(59, &mut l);
+        assert_eq!(m.sleeping(), 0, "before the first timeout");
+        m.advance(60, &mut l);
+        assert_eq!(m.sleeping(), 4, "shallow sleep at 60 s idle");
+        m.advance(600, &mut l);
+        assert_eq!(m.sleeping(), 4);
+        // Deep state draws 5% of idle.
+        let expected = 4.0 * 0.05 * l.p_idle();
+        assert!((l.power_now() - expected).abs() < 1e-9);
+        m.check_invariants(4).unwrap();
+    }
+
+    #[test]
+    fn transitions_recorded_at_exact_times() {
+        let (mut m, mut l) = mgr(2);
+        // Jump straight past both timeouts: the ledger must still see the
+        // transitions at t=60 and t=600, not at the observation time.
+        m.advance(10_000, &mut l);
+        let times: Vec<u64> = l.series().iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![0, 60, 600]);
+    }
+
+    #[test]
+    fn allocate_prefers_awake_then_shallow() {
+        let (mut m, mut l) = mgr(8);
+        m.allocate(0, 2, &mut l); // two processors go busy before any sleep
+        m.advance(60, &mut l); // the remaining six fall shallow-asleep
+        m.release(70, 2); // the two come back, awake
+        m.allocate(80, 3, &mut l);
+        // 2 awake + 1 woken from shallow sleep.
+        assert_eq!(m.stats().wakes, 1);
+        assert_eq!(m.total_free(), 5);
+        m.check_invariants(5).unwrap();
+        let s = m.stats();
+        assert!((s.wake_energy - 0.5).abs() < 1e-12);
+        assert_eq!(s.wake_latency_s, 1);
+    }
+
+    #[test]
+    fn wake_charged_exactly_once_per_wake() {
+        let (mut m, mut l) = mgr(4);
+        m.advance(700, &mut l); // deep sleep
+        m.allocate(700, 4, &mut l);
+        let s = m.stats();
+        assert_eq!(s.wakes, 4);
+        assert!((s.wake_energy - 4.0 * 5.0).abs() < 1e-9);
+        // Release and re-allocate immediately: no new wakes.
+        m.release(800, 4);
+        m.allocate(810, 4, &mut l);
+        assert_eq!(
+            m.stats().wakes,
+            4,
+            "awake processors must not be re-charged"
+        );
+    }
+
+    #[test]
+    fn preview_matches_allocate_sources() {
+        let (mut m, mut l) = mgr(6);
+        m.advance(60, &mut l); // 6 shallow sleepers
+        m.release(100, 2);
+        let (awake, sleep_power) = m.preview_sources(5);
+        assert_eq!(awake, 2);
+        let expected = 3.0 * 0.4 * l.p_idle();
+        assert!((sleep_power - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_config_never_sleeps() {
+        let pm = pm();
+        let mut l = PowerLedger::new(&pm, 4);
+        let mut m = IdleManager::new(SleepConfig::none(), 4, pm.p_idle());
+        m.advance(1_000_000, &mut l);
+        assert_eq!(m.sleeping(), 0);
+        assert_eq!(m.awake_idle(), 4);
+    }
+}

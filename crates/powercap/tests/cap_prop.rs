@@ -1,0 +1,190 @@
+//! Property tests for the power-cap subsystem.
+//!
+//! Over arbitrary job mixes:
+//!
+//! * a **hard-capped** run never exceeds its budget at any event boundary
+//!   (checked on the full ledger step series), and still completes every
+//!   job;
+//! * **sleep transitions never strand a processor**: sleeping never
+//!   perturbs the schedule, every sleeping processor is woken on demand,
+//!   and wake energy/latency are charged exactly once per wake;
+//! * the ledger's `∫ P dt` agrees with the post-hoc
+//!   [`bsld_power::EnergyAccount`] report on the same run.
+
+use bsld_cluster::{Cluster, GearSet};
+use bsld_model::Job;
+use bsld_power::{BetaModel, EnergyAccount, PowerModel};
+use bsld_powercap::{PowerCap, PowerCapPolicy, SleepConfig, SleepState};
+use bsld_sched::{simulate, simulate_with_hook, EngineConfig, FixedGearPolicy};
+use bsld_simkernel::Time;
+use proptest::prelude::*;
+
+const CPUS: u32 = 16;
+
+/// Strategy: a random rigid job (arrival, cpus, runtime, requested).
+fn arb_job() -> impl Strategy<Value = (u64, u32, u64, u64)> {
+    (0u64..20_000, 1u32..=CPUS, 1u64..5_000, 1u64..4)
+        .prop_map(|(arr, cpus, run, infl)| (arr, cpus, run, run.saturating_mul(infl).max(run)))
+}
+
+fn build_jobs(raw: Vec<(u64, u32, u64, u64)>) -> Vec<Job> {
+    let mut arrivals: Vec<u64> = raw.iter().map(|r| r.0).collect();
+    arrivals.sort_unstable();
+    raw.into_iter()
+        .zip(arrivals)
+        .enumerate()
+        .map(|(i, ((_, cpus, run, req), arr))| Job::new(i as u32, Time(arr), cpus, run, req))
+        .collect()
+}
+
+fn pm() -> PowerModel {
+    PowerModel::paper(GearSet::paper())
+}
+
+fn run_hooked(
+    jobs: &[Job],
+    cap: PowerCap,
+    sleep: SleepConfig,
+) -> (Vec<bsld_model::JobOutcome>, PowerCapPolicy) {
+    let gears = GearSet::paper();
+    let tm = BetaModel::new(gears.clone());
+    let policy = FixedGearPolicy::new(gears.top());
+    let mut hook = PowerCapPolicy::new(&pm(), CPUS, cap, sleep);
+    let res = simulate_with_hook(
+        &Cluster::new("prop", CPUS, gears),
+        jobs,
+        &policy,
+        &tm,
+        &EngineConfig::default(),
+        &mut hook,
+    )
+    .expect("budgets in these tests are feasible");
+    (res.outcomes, hook)
+}
+
+/// A hard budget that is infeasible on an awake-idle machine but feasible
+/// once the uninvolved processors sleep: the engine must retry the
+/// deferred start at the sleep transition instead of stalling.
+#[test]
+fn deferred_start_retries_at_sleep_transition() {
+    let pm = pm();
+    let pa0 = pm.p_active(bsld_model::GearId(0));
+    let pi = pm.p_idle();
+    // Above the 16-processor idle floor, below floor + an 8-cpu gear-0
+    // start, and above the post-shallow-sleep draw of that start.
+    let budget = 16.0 * pi + 4.0 * (pa0 - pi);
+    let jobs = vec![Job::new(0, Time(0), 8, 100, 100)];
+    let (outcomes, hook) = run_hooked(
+        &jobs,
+        PowerCap::Hard { budget },
+        SleepConfig::paper_default(),
+    );
+    assert_eq!(outcomes.len(), 1);
+    // paper_default's shallow state kicks in after 60 s idle; the retry
+    // pass at that instant admits the job.
+    assert_eq!(
+        outcomes[0].start,
+        Time(60),
+        "start at the first sleep transition"
+    );
+    for &(t, p) in hook.ledger().series() {
+        assert!(p <= budget + 1e-6, "draw {p} over budget {budget} at t={t}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A hard cap is never violated at any event boundary, with or
+    /// without sleep states, and every job still completes.
+    #[test]
+    fn hard_cap_never_exceeded(
+        raw in proptest::collection::vec(arb_job(), 1..80),
+        cap_fraction in 0.35f64..1.0,
+        with_sleep in proptest::bool::ANY,
+    ) {
+        let jobs = build_jobs(raw);
+        let budget = cap_fraction * PowerCapPolicy::peak_draw(&pm(), CPUS);
+        let sleep = if with_sleep { SleepConfig::paper_default() } else { SleepConfig::none() };
+        let (outcomes, hook) = run_hooked(&jobs, PowerCap::Hard { budget }, sleep);
+        prop_assert_eq!(outcomes.len(), jobs.len());
+        bsld_sched::validate_schedule(&outcomes, CPUS).map_err(TestCaseError::fail)?;
+        for &(t, p) in hook.ledger().series() {
+            prop_assert!(p <= budget + 1e-6, "draw {} over budget {} at t={}", p, budget, t);
+        }
+        prop_assert!(hook.ledger().peak() <= budget + 1e-6);
+    }
+
+    /// Sleeping never strands a processor: the schedule is identical to a
+    /// sleepless run, every needed processor wakes, and wake costs are
+    /// charged exactly once per wake.
+    #[test]
+    fn sleep_never_strands_a_processor(
+        raw in proptest::collection::vec(arb_job(), 1..80),
+        timeout in 1u64..2_000,
+        wake_energy in 0.0f64..10.0,
+        wake_latency in 0u64..30,
+    ) {
+        let jobs = build_jobs(raw);
+        let state = SleepState {
+            idle_timeout_s: timeout,
+            wake_latency_s: wake_latency,
+            wake_energy,
+            power_fraction: 0.1,
+        };
+        let (slept, hook) = run_hooked(&jobs, PowerCap::Uncapped, SleepConfig::single(state));
+        let gears = GearSet::paper();
+        let tm = BetaModel::new(gears.clone());
+        let policy = FixedGearPolicy::new(gears.top());
+        let plain = simulate(
+            &Cluster::new("prop", CPUS, gears),
+            &jobs,
+            &policy,
+            &tm,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(&slept, &plain.outcomes, "sleeping must not perturb the schedule");
+
+        let stats = hook.idle_manager().stats();
+        prop_assert!(stats.wakes <= stats.sleeps, "every wake needs an earlier sleep");
+        // Exactly-once charging: totals are the per-wake cost times the
+        // wake count (single-state ladder).
+        prop_assert!(
+            (stats.wake_energy - stats.wakes as f64 * wake_energy).abs() < 1e-6,
+            "wake energy {} for {} wakes at {} each",
+            stats.wake_energy, stats.wakes, wake_energy
+        );
+        prop_assert_eq!(stats.wake_latency_s, stats.wakes * wake_latency);
+        // Nothing stranded: busy must be 0 at the end, and the manager
+        // still tracks the whole machine.
+        prop_assert_eq!(hook.ledger().busy(), 0);
+        hook.idle_manager()
+            .check_invariants(CPUS)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// The live ledger integral equals the post-hoc energy report
+    /// (idle-aware scenario) on the same uncapped, sleepless run.
+    #[test]
+    fn ledger_agrees_with_post_hoc_energy_report(
+        raw in proptest::collection::vec(arb_job(), 1..80),
+    ) {
+        let jobs = build_jobs(raw);
+        let (outcomes, mut_hook) = run_hooked(&jobs, PowerCap::Uncapped, SleepConfig::none());
+        let makespan = outcomes.iter().map(|o| o.finish.as_secs()).max().unwrap_or(0);
+        let report = mut_hook.into_report(makespan);
+        let pm = pm();
+        let mut acc = EnergyAccount::new();
+        for o in &outcomes {
+            acc.add_outcome(&pm, o);
+        }
+        let post_hoc = acc.finish(&pm, CPUS, makespan);
+        let diff = (report.energy - post_hoc.with_idle).abs();
+        let tol = post_hoc.with_idle.abs() * 1e-9 + 1e-9;
+        prop_assert!(
+            diff <= tol,
+            "ledger {} vs post-hoc {}", report.energy, post_hoc.with_idle
+        );
+    }
+}

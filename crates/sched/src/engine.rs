@@ -40,6 +40,7 @@ use bsld_model::{GearId, Job, JobId, JobOutcome, Phase};
 use bsld_power::BetaModel;
 use bsld_simkernel::{EventQueue, Time};
 
+use crate::hook::PowerHook;
 use crate::policy::{DecisionCtx, FrequencyPolicy};
 
 /// The queueing discipline the engine runs.
@@ -154,6 +155,14 @@ pub enum SimError {
     },
     /// Jobs were not sorted by arrival time.
     ArrivalsNotSorted,
+    /// The simulation ran out of events with jobs still waiting: a power
+    /// hook vetoed every start and nothing is running whose completion
+    /// could free budget — the configured power cap is infeasible for the
+    /// workload.
+    Stalled {
+        /// Jobs left waiting when the event queue drained.
+        waiting: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -163,6 +172,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "{job} requests {cpus} cpus but the machine has {total}")
             }
             SimError::ArrivalsNotSorted => write!(f, "jobs must be sorted by arrival time"),
+            SimError::Stalled { waiting } => write!(
+                f,
+                "simulation stalled with {waiting} jobs waiting: the power cap admits no start"
+            ),
         }
     }
 }
@@ -194,6 +207,10 @@ impl SimResult {
 enum Event {
     Arrive(JobId),
     Finish(JobId, u32),
+    /// A no-op wake-up requested by the power hook: its power state will
+    /// change autonomously at this instant (e.g. an idle sleep transition
+    /// frees budget), so deferred starts deserve a fresh scheduling pass.
+    PowerRetry,
 }
 
 struct RunningJob {
@@ -226,8 +243,11 @@ pub struct Simulation<'a, P: FrequencyPolicy + ?Sized> {
     time_model: &'a BetaModel,
     cfg: EngineConfig,
     top: GearId,
+    hook: Option<&'a mut dyn PowerHook>,
 
     now: Time,
+    /// The latest power-retry instant already scheduled (dedup guard).
+    pending_retry: Option<Time>,
     events: EventQueue<Event>,
     pool: ProcessorPool,
     queue: VecDeque<JobId>,
@@ -248,6 +268,21 @@ pub fn simulate<P: FrequencyPolicy + ?Sized>(
     cfg: &EngineConfig,
 ) -> Result<SimResult, SimError> {
     Simulation::new(cluster, jobs, policy, time_model, cfg.clone())?.run()
+}
+
+/// Runs `jobs` on `cluster` under `policy` with a [`PowerHook`] observing
+/// and gating every power-relevant decision (see `bsld-powercap`).
+pub fn simulate_with_hook<P: FrequencyPolicy + ?Sized>(
+    cluster: &Cluster,
+    jobs: &[Job],
+    policy: &P,
+    time_model: &BetaModel,
+    cfg: &EngineConfig,
+    hook: &mut dyn PowerHook,
+) -> Result<SimResult, SimError> {
+    Simulation::new(cluster, jobs, policy, time_model, cfg.clone())?
+        .with_hook(hook)
+        .run()
 }
 
 impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
@@ -283,7 +318,9 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             time_model,
             cfg,
             top: time_model.gears().top(),
+            hook: None,
             now: Time::ZERO,
+            pending_retry: None,
             events,
             pool: cluster.pool(),
             queue: VecDeque::new(),
@@ -294,29 +331,69 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         })
     }
 
+    /// Attaches a [`PowerHook`] (builder style). The hook observes every
+    /// start/completion/gear change and may veto or down-gear decisions.
+    pub fn with_hook(mut self, hook: &'a mut dyn PowerHook) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
     /// Drives the event loop to completion.
     pub fn run(mut self) -> Result<SimResult, SimError> {
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.now, "event time went backwards");
+            // Discard no-op events *before* advancing the hook's clock: a
+            // stale Finish (from before a re-time) or an obsolete power
+            // retry can sit later than the run's real makespan, and
+            // advancing the ledger there would integrate energy past the
+            // end of the run.
+            match &ev {
+                Event::Finish(id, epoch) => {
+                    if self.running.get(id).is_none_or(|r| r.epoch != *epoch) {
+                        continue;
+                    }
+                }
+                Event::PowerRetry => {
+                    if self.queue.is_empty() {
+                        continue;
+                    }
+                }
+                Event::Arrive(_) => {}
+            }
             self.now = t;
+            if let Some(h) = self.hook.as_deref_mut() {
+                h.on_time(t);
+            }
             match ev {
                 Event::Arrive(id) => {
                     self.queue.push_back(id);
                 }
-                Event::Finish(id, epoch) => {
-                    let valid = self.running.get(&id).is_some_and(|r| r.epoch == epoch);
-                    if !valid {
-                        continue; // stale event from before a re-time
-                    }
+                Event::Finish(id, _) => {
                     self.complete(id);
                 }
+                Event::PowerRetry => {}
             }
             self.schedule_pass();
             self.maybe_boost();
+            self.maybe_schedule_power_retry();
         }
-        debug_assert!(self.queue.is_empty(), "jobs left waiting at end of simulation");
-        debug_assert!(self.running.is_empty(), "jobs left running at end of simulation");
-        let makespan = self.outcomes.iter().map(|o| o.finish).max().unwrap_or(Time::ZERO);
+        if !self.queue.is_empty() {
+            // Only reachable when a power hook vetoes every start with
+            // nothing running: the budget is infeasible for the workload.
+            return Err(SimError::Stalled {
+                waiting: self.queue.len(),
+            });
+        }
+        debug_assert!(
+            self.running.is_empty(),
+            "jobs left running at end of simulation"
+        );
+        let makespan = self
+            .outcomes
+            .iter()
+            .map(|o| o.finish)
+            .max()
+            .unwrap_or(Time::ZERO);
         Ok(SimResult {
             outcomes: self.outcomes,
             makespan,
@@ -333,7 +410,63 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
     }
 
     fn ctx<'b>(&'b self, job: &'b Job, wq_others: usize) -> DecisionCtx<'b> {
-        DecisionCtx { now: self.now, job, wq_others, time_model: self.time_model }
+        DecisionCtx {
+            now: self.now,
+            job,
+            wq_others,
+            time_model: self.time_model,
+        }
+    }
+
+    /// Schedules a wake-up at the hook's next autonomous power-state
+    /// change while jobs wait. Without this, a start deferred on a fully
+    /// idle machine would never be retried even though a pending sleep
+    /// transition will lower draw below the budget — sleep transitions
+    /// generate no job events of their own.
+    fn maybe_schedule_power_retry(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let Some(h) = self.hook.as_deref_mut() else {
+            return;
+        };
+        let Some(at) = h.next_power_event(now) else {
+            return;
+        };
+        if at <= now || self.pending_retry == Some(at) {
+            return;
+        }
+        self.pending_retry = Some(at);
+        self.events.push(at, Event::PowerRetry);
+    }
+
+    /// Tells the power hook (if any) that its last admission was not
+    /// honored — the start it approved did not happen.
+    fn hook_declined(&mut self) {
+        if let Some(h) = self.hook.as_deref_mut() {
+            h.admission_declined();
+        }
+    }
+
+    /// Consults the power hook (if any) about starting `cpus` processors at
+    /// `gear` right now. `None` means the start is deferred.
+    fn hook_admit(
+        &mut self,
+        cpus: u32,
+        gear: GearId,
+        wq_others: usize,
+        head: bool,
+    ) -> Option<GearId> {
+        let now = self.now;
+        match self.hook.as_deref_mut() {
+            None => Some(gear),
+            Some(h) => {
+                let admitted = h.admit_start(now, cpus, gear, wq_others, head)?;
+                debug_assert!(admitted <= gear, "a power hook may only down-gear a start");
+                Some(admitted)
+            }
+        }
     }
 
     /// Attempts to start `id` right now at `gear` under the configured
@@ -374,17 +507,31 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 epoch: 0,
             },
         );
+        let now = self.now;
+        if let Some(h) = self.hook.as_deref_mut() {
+            h.on_job_start(now, job.cpus, gear);
+        }
         true
     }
 
     /// Completes `id` at the current time.
     fn complete(&mut self, id: JobId) {
-        let mut r = self.running.remove(&id).expect("completion of a job that is not running");
+        let mut r = self
+            .running
+            .remove(&id)
+            .expect("completion of a job that is not running");
         self.pool.release(&r.procs);
+        let now = self.now;
+        if let Some(h) = self.hook.as_deref_mut() {
+            h.on_job_finish(now, r.cpus, r.gear);
+        }
         let job = &self.jobs[id.index()];
         let last_secs = self.now - r.phase_start;
         if last_secs > 0 || r.phases.is_empty() {
-            r.phases.push(Phase { gear: r.gear, seconds: last_secs });
+            r.phases.push(Phase {
+                gear: r.gear,
+                seconds: last_secs,
+            });
         }
         let first_gear = r.phases.first().expect("at least one phase").gear;
         let outcome = JobOutcome {
@@ -400,7 +547,10 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         };
         debug_assert_eq!(outcome.validate(), Ok(()));
         if self.cfg.collect_trace {
-            self.trace.push(TraceEvent::Finish { at: self.now, job: id });
+            self.trace.push(TraceEvent::Finish {
+                at: self.now,
+                job: id,
+            });
         }
         self.outcomes.push(outcome);
     }
@@ -426,6 +576,12 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             let gear = {
                 let ctx = self.ctx(job, wq_others);
                 self.policy.head_gear(&ctx, self.now)
+            };
+            // The power hook may down-gear the start or defer the head
+            // entirely (it will be retried at the next event, when a
+            // completion may have freed budget).
+            let Some(gear) = self.hook_admit(job.cpus, gear, wq_others, true) else {
+                break;
             };
             self.queue.pop_front();
             let ok = self.try_start_job(head, gear, false);
@@ -456,7 +612,9 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         // (count-based) reservation legitimately starts "now" and the head
         // retries at the next completion event.
         debug_assert!(
-            res_start > self.now || self.cfg.selection == SelectionPolicy::ContiguousFirstFit,
+            res_start > self.now
+                || self.cfg.selection == SelectionPolicy::ContiguousFirstFit
+                || self.hook.is_some(),
             "head start now is handled in step 1"
         );
         let wq_others = self.queue.len() - 1;
@@ -464,7 +622,9 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             let ctx = self.ctx(head_job, wq_others);
             self.policy.head_gear(&ctx, res_start)
         };
-        let res_dur = self.time_model.dilate(head_job.requested, head_job.beta, res_gear);
+        let res_dur = self
+            .time_model
+            .dilate(head_job.requested, head_job.beta, res_gear);
         profile
             .commit(res_start, res_start.saturating_add(res_dur), head_job.cpus)
             .expect("reservation fits by construction");
@@ -502,12 +662,26 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 self.policy.backfill_gear(&ctx, &mut fits)
             };
             if let Some(gear) = chosen {
-                if self.try_start_job(id, gear, true) {
-                    let dur = self.time_model.dilate(job.requested, job.beta, gear);
+                let Some(admitted) = self.hook_admit(job.cpus, gear, wq_others, false) else {
+                    continue;
+                };
+                if admitted != gear {
+                    // A down-geared backfill runs longer; it must still fit
+                    // in front of the reservation or the job stays queued.
+                    let dur = self.time_model.dilate(job.requested, job.beta, admitted);
+                    if !profile.can_fit(self.now, job.cpus, dur) {
+                        self.hook_declined();
+                        continue;
+                    }
+                }
+                if self.try_start_job(id, admitted, true) {
+                    let dur = self.time_model.dilate(job.requested, job.beta, admitted);
                     profile
                         .commit(self.now, self.now.saturating_add(dur), job.cpus)
                         .expect("policy returned a gear that does not fit");
                     started.push(id);
+                } else {
+                    self.hook_declined();
                 }
             }
         }
@@ -546,9 +720,45 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 };
                 self.policy.reserve_gear(&ctx, &mut find_start)
             };
-            let dur = self.time_model.dilate(job.requested, job.beta, gear);
-            let can_start = start == self.now
-                && self.try_start_job(id, gear, earlier_still_waiting);
+            // The power hook may defer a start-now decision; the job keeps
+            // its reservation (committed below) and is retried next event.
+            // A down-geared admission runs longer than the window priced at
+            // `gear`, so it is honored only if the longer window still fits
+            // the committed profile; otherwise the job waits at its
+            // original reservation.
+            let admitted = if start == self.now {
+                match self.hook_admit(job.cpus, gear, wq_others, !earlier_still_waiting) {
+                    Some(g) if g == gear => Some(g),
+                    Some(g) => {
+                        let dur = self.time_model.dilate(job.requested, job.beta, g);
+                        if profile.can_fit(self.now, job.cpus, dur) {
+                            Some(g)
+                        } else {
+                            self.hook_declined();
+                            None
+                        }
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            };
+            let can_start = match admitted {
+                Some(g) => {
+                    let ok = self.try_start_job(id, g, earlier_still_waiting);
+                    if !ok {
+                        self.hook_declined();
+                    }
+                    ok
+                }
+                None => false,
+            };
+            let commit_gear = if can_start {
+                admitted.expect("start implies admission")
+            } else {
+                gear
+            };
+            let dur = self.time_model.dilate(job.requested, job.beta, commit_gear);
             profile
                 .commit(start, start.saturating_add(dur), job.cpus)
                 .expect("reserve_gear start came from earliest_fit");
@@ -557,7 +767,12 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             } else {
                 earlier_still_waiting = true;
                 if self.cfg.collect_trace {
-                    self.trace.push(TraceEvent::Reserve { at: self.now, job: id, start, gear });
+                    self.trace.push(TraceEvent::Reserve {
+                        at: self.now,
+                        job: id,
+                        start,
+                        gear,
+                    });
                 }
             }
         }
@@ -575,16 +790,28 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         if self.queue.len() <= boost.wq_limit {
             return;
         }
-        let ids: Vec<(JobId, GearId)> = self
+        let ids: Vec<(JobId, GearId, u32)> = self
             .running
             .iter()
             .filter(|(_, r)| r.gear < self.top)
-            .map(|(&id, r)| (id, r.gear))
+            .map(|(&id, r)| (id, r.gear, r.cpus))
             .collect();
-        for (id, from) in ids {
-            self.retime_to(id, self.top);
+        for (id, from, cpus) in ids {
+            let now = self.now;
+            let top = self.top;
+            if let Some(h) = self.hook.as_deref_mut() {
+                // A boost raises draw; the power hook may veto it.
+                if !h.admit_gear_change(now, cpus, from, top) {
+                    continue;
+                }
+            }
+            self.retime_to(id, top);
             if self.cfg.collect_trace {
-                self.trace.push(TraceEvent::Boost { at: self.now, job: id, from });
+                self.trace.push(TraceEvent::Boost {
+                    at: self.now,
+                    job: id,
+                    from,
+                });
             }
         }
     }
@@ -594,7 +821,10 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
     /// completion event.
     fn retime_to(&mut self, id: JobId, gear: GearId) {
         let job = &self.jobs[id.index()];
-        let r = self.running.get_mut(&id).expect("retime of a job that is not running");
+        let r = self
+            .running
+            .get_mut(&id)
+            .expect("retime of a job that is not running");
         if r.gear == gear {
             return;
         }
@@ -603,22 +833,33 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         r.work_done += elapsed as f64 / coef_old;
         r.requested_done += elapsed as f64 / coef_old;
         if elapsed > 0 {
-            r.phases.push(Phase { gear: r.gear, seconds: elapsed });
+            r.phases.push(Phase {
+                gear: r.gear,
+                seconds: elapsed,
+            });
         }
         let remaining_work = (job.runtime as f64 - r.work_done).max(0.0);
-        let remaining_requested =
-            (job.requested as f64 - r.requested_done).max(remaining_work);
-        let wall = self.time_model.wall_for_work(remaining_work, job.beta, gear).max(1);
+        let remaining_requested = (job.requested as f64 - r.requested_done).max(remaining_work);
+        let wall = self
+            .time_model
+            .wall_for_work(remaining_work, job.beta, gear)
+            .max(1);
         let expected_wall = self
             .time_model
             .wall_for_work(remaining_requested, job.beta, gear)
             .max(wall);
+        let from = r.gear;
+        let cpus = r.cpus;
         r.gear = gear;
         r.phase_start = self.now;
         r.expected_end = self.now + expected_wall;
         r.epoch += 1;
         let epoch = r.epoch;
         self.events.push(self.now + wall, Event::Finish(id, epoch));
+        let now = self.now;
+        if let Some(h) = self.hook.as_deref_mut() {
+            h.on_gear_change(now, cpus, from, gear);
+        }
     }
 }
 
@@ -652,13 +893,20 @@ mod tests {
             jobs,
             &top_policy(),
             &tm,
-            &EngineConfig { collect_trace: true, ..Default::default() },
+            &EngineConfig {
+                collect_trace: true,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
 
     fn start_of(res: &SimResult, id: u32) -> Time {
-        res.outcomes.iter().find(|o| o.id == JobId(id)).unwrap().start
+        res.outcomes
+            .iter()
+            .find(|o| o.id == JobId(id))
+            .unwrap()
+            .start
     }
 
     #[test]
@@ -699,7 +947,9 @@ mod tests {
             .trace
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Start { job, backfilled, .. } if *job == JobId(2) => Some(*backfilled),
+                TraceEvent::Start {
+                    job, backfilled, ..
+                } if *job == JobId(2) => Some(*backfilled),
                 _ => None,
             })
             .collect();
@@ -719,10 +969,18 @@ mod tests {
             &jobs,
             &top_policy(),
             &tmm,
-            &EngineConfig { backfill: false, ..Default::default() },
+            &EngineConfig {
+                backfill: false,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let s2 = res.outcomes.iter().find(|o| o.id == JobId(2)).unwrap().start;
+        let s2 = res
+            .outcomes
+            .iter()
+            .find(|o| o.id == JobId(2))
+            .unwrap()
+            .start;
         assert_eq!(s2, Time(200), "without backfilling J2 waits behind J1");
     }
 
@@ -755,7 +1013,7 @@ mod tests {
         // equal its start when backfilling is disabled.
         let jobs = vec![
             j(0, 0, 5, 100, 120),
-            j(1, 1, 8, 200, 250),   // head once J0 runs
+            j(1, 1, 8, 200, 250), // head once J0 runs
             j(2, 2, 2, 40, 60),
             j(3, 3, 3, 90, 100),
             j(4, 4, 1, 500, 700),
@@ -768,11 +1026,24 @@ mod tests {
             &jobs,
             &top_policy(),
             &tmm,
-            &EngineConfig { backfill: false, ..Default::default() },
+            &EngineConfig {
+                backfill: false,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let head_with = with_bf.outcomes.iter().find(|o| o.id == JobId(1)).unwrap().start;
-        let head_without = without_bf.outcomes.iter().find(|o| o.id == JobId(1)).unwrap().start;
+        let head_with = with_bf
+            .outcomes
+            .iter()
+            .find(|o| o.id == JobId(1))
+            .unwrap()
+            .start;
+        let head_without = without_bf
+            .outcomes
+            .iter()
+            .find(|o| o.id == JobId(1))
+            .unwrap()
+            .start;
         assert!(
             head_with <= head_without,
             "backfilling delayed the head: {head_with:?} > {head_without:?}"
@@ -818,7 +1089,14 @@ mod tests {
             &EngineConfig::default(),
         )
         .unwrap_err();
-        assert_eq!(err, SimError::JobTooLarge { job: JobId(0), cpus: 5, total: 4 });
+        assert_eq!(
+            err,
+            SimError::JobTooLarge {
+                job: JobId(0),
+                cpus: 5,
+                total: 4
+            }
+        );
         assert!(err.to_string().contains("5 cpus"));
     }
 
@@ -881,14 +1159,25 @@ mod tests {
         )
         .unwrap();
         let o0 = res.outcomes.iter().find(|o| o.id == JobId(0)).unwrap();
-        assert_eq!(o0.phases.len(), 2, "boost must split execution into two phases");
+        assert_eq!(
+            o0.phases.len(),
+            2,
+            "boost must split execution into two phases"
+        );
         assert_eq!(o0.phases[0].gear, GearId(0));
         assert_eq!(o0.phases[1].gear, GearSet::paper().top());
         // Boosted at t=500: 500 wall s at Coef≈1.9375 ⇒ ≈258 work-s done;
         // remaining ≈742 work-s at top ⇒ finish ≈ 500+742, well before the
         // un-boosted 1937.
-        assert!(o0.finish < Time(1937), "boost must shorten the job: {:?}", o0.finish);
-        assert!(res.trace.iter().any(|e| matches!(e, TraceEvent::Boost { job, .. } if *job == JobId(0))));
+        assert!(
+            o0.finish < Time(1937),
+            "boost must shorten the job: {:?}",
+            o0.finish
+        );
+        assert!(res
+            .trace
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Boost { job, .. } if *job == JobId(0))));
         o0.validate().unwrap();
     }
 
@@ -943,18 +1232,36 @@ mod tests {
         )
         .unwrap();
         assert_eq!(start_of(&easy, 3), Time(3), "EASY backfills the small job");
-        assert_eq!(start_of(&easy, 2), Time(253), "EASY delays the queued wide job");
+        assert_eq!(
+            start_of(&easy, 2),
+            Time(253),
+            "EASY delays the queued wide job"
+        );
         let cons_start = |id: u32| {
-            cons.outcomes.iter().find(|o| o.id == JobId(id)).unwrap().start
+            cons.outcomes
+                .iter()
+                .find(|o| o.id == JobId(id))
+                .unwrap()
+                .start
         };
-        assert_eq!(cons_start(2), Time(200), "conservative protects J2's reservation");
-        assert_eq!(cons_start(3), Time(300), "conservative delays the small job");
+        assert_eq!(
+            cons_start(2),
+            Time(200),
+            "conservative protects J2's reservation"
+        );
+        assert_eq!(
+            cons_start(3),
+            Time(300),
+            "conservative delays the small job"
+        );
         crate::validate::validate_schedule(&cons.outcomes, 4).unwrap();
     }
 
     #[test]
     fn conservative_matches_easy_on_contention_free_load() {
-        let jobs: Vec<Job> = (0..20).map(|i| j(i, (i as u64) * 500, 2, 100, 150)).collect();
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| j(i, (i as u64) * 500, 2, 100, 150))
+            .collect();
         let tmm = tm();
         let easy = run(8, &jobs);
         let cons = simulate(
@@ -962,7 +1269,10 @@ mod tests {
             &jobs,
             &top_policy(),
             &tmm,
-            &EngineConfig { mode: SchedMode::Conservative, ..Default::default() },
+            &EngineConfig {
+                mode: SchedMode::Conservative,
+                ..Default::default()
+            },
         )
         .unwrap();
         for o in &easy.outcomes {
@@ -980,11 +1290,23 @@ mod tests {
             &jobs,
             &top_policy(),
             &tmm,
-            &EngineConfig { mode: SchedMode::Conservative, ..Default::default() },
+            &EngineConfig {
+                mode: SchedMode::Conservative,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let s1 = res.outcomes.iter().find(|o| o.id == JobId(1)).unwrap().start;
-        assert_eq!(s1, Time(10), "reservations must be re-derived on early completion");
+        let s1 = res
+            .outcomes
+            .iter()
+            .find(|o| o.id == JobId(1))
+            .unwrap()
+            .start;
+        assert_eq!(
+            s1,
+            Time(10),
+            "reservations must be re-derived on early completion"
+        );
     }
 
     #[test]
@@ -1015,15 +1337,26 @@ mod tests {
             },
         )
         .unwrap();
-        let s4 = contig.outcomes.iter().find(|o| o.id == JobId(4)).unwrap().start;
-        assert_eq!(s4, Time(1000), "fragmentation must block contiguous selection");
+        let s4 = contig
+            .outcomes
+            .iter()
+            .find(|o| o.id == JobId(4))
+            .unwrap()
+            .start;
+        assert_eq!(
+            s4,
+            Time(1000),
+            "fragmentation must block contiguous selection"
+        );
         crate::validate::validate_schedule(&contig.outcomes, 4).unwrap();
         // The allocation it finally gets is one contiguous range.
         let first_procs: Vec<u32> = contig
             .trace
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Start { job, first_proc, .. } if *job == JobId(4) => Some(*first_proc),
+                TraceEvent::Start {
+                    job, first_proc, ..
+                } if *job == JobId(4) => Some(*first_proc),
                 _ => None,
             })
             .collect();
@@ -1069,12 +1402,102 @@ mod tests {
                 &jobs,
                 &top_policy(),
                 &tmm,
-                &EngineConfig { mode: SchedMode::Conservative, ..Default::default() },
+                &EngineConfig {
+                    mode: SchedMode::Conservative,
+                    ..Default::default()
+                },
             )
             .unwrap()
             .outcomes
         };
         assert_eq!(mk(), mk());
+    }
+
+    /// A hook that down-gears every start to gear 0 (admits nothing at
+    /// the proposed gear).
+    struct DowngearHook {
+        declined: u32,
+    }
+
+    impl crate::hook::PowerHook for DowngearHook {
+        fn on_time(&mut self, _now: Time) {}
+
+        fn admit_start(
+            &mut self,
+            _now: Time,
+            _cpus: u32,
+            _gear: GearId,
+            _wq: usize,
+            _head: bool,
+        ) -> Option<GearId> {
+            Some(GearId(0))
+        }
+
+        fn admission_declined(&mut self) {
+            self.declined += 1;
+        }
+
+        fn admit_gear_change(&mut self, _now: Time, _c: u32, _f: GearId, _t: GearId) -> bool {
+            true
+        }
+
+        fn on_job_start(&mut self, _now: Time, _cpus: u32, _gear: GearId) {}
+
+        fn on_job_finish(&mut self, _now: Time, _cpus: u32, _gear: GearId) {}
+
+        fn on_gear_change(&mut self, _now: Time, _c: u32, _f: GearId, _t: GearId) {}
+    }
+
+    #[test]
+    fn conservative_honors_downgeared_admissions() {
+        // A down-geared start-now must be honored when the longer window
+        // fits the profile — the run completes with every job at gear 0
+        // instead of stalling.
+        let jobs = vec![j(0, 0, 2, 100, 100), j(1, 10, 4, 50, 50)];
+        let tmm = tm();
+        let mut hook = DowngearHook { declined: 0 };
+        let res = crate::engine::simulate_with_hook(
+            &cluster(4),
+            &jobs,
+            &top_policy(),
+            &tmm,
+            &EngineConfig {
+                mode: SchedMode::Conservative,
+                ..Default::default()
+            },
+            &mut hook,
+        )
+        .unwrap();
+        assert_eq!(res.outcomes.len(), 2, "no stall");
+        for o in &res.outcomes {
+            assert_eq!(
+                o.gear,
+                GearId(0),
+                "{}: start must use the admitted gear",
+                o.id
+            );
+        }
+        crate::validate::validate_schedule(&res.outcomes, 4).unwrap();
+    }
+
+    #[test]
+    fn easy_honors_downgeared_admissions() {
+        let jobs = vec![j(0, 0, 4, 100, 100), j(1, 1, 1, 10, 10)];
+        let tmm = tm();
+        let mut hook = DowngearHook { declined: 0 };
+        let res = crate::engine::simulate_with_hook(
+            &cluster(4),
+            &jobs,
+            &top_policy(),
+            &tmm,
+            &EngineConfig::default(),
+            &mut hook,
+        )
+        .unwrap();
+        assert_eq!(res.outcomes.len(), 2);
+        for o in &res.outcomes {
+            assert_eq!(o.gear, GearId(0));
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   at scheduling time — [`FixedGearPolicy`] pins every job to one gear
 //!   (the no-DVFS baseline at the top gear); the paper's BSLD-threshold
 //!   policy lives in `bsld-core`.
+//! * A [`PowerHook`] through which a power manager (see `bsld-powercap`)
+//!   observes every start/completion/gear change and may veto or down-gear
+//!   decisions that would exceed a cluster power budget.
 //! * An optional **dynamic boost** extension (the paper's stated future
 //!   work): running reduced jobs are re-timed to the top gear when the wait
 //!   queue grows beyond a limit.
@@ -22,11 +25,14 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod hook;
 pub mod policy;
 pub mod validate;
 
 pub use engine::{
-    simulate, BoostConfig, EngineConfig, SchedMode, SimError, SimResult, Simulation, TraceEvent,
+    simulate, simulate_with_hook, BoostConfig, EngineConfig, SchedMode, SimError, SimResult,
+    Simulation, TraceEvent,
 };
+pub use hook::{NoopHook, PowerHook};
 pub use policy::{DecisionCtx, FixedGearPolicy, FrequencyPolicy};
 pub use validate::validate_schedule;

@@ -40,7 +40,8 @@ impl<'a> DecisionCtx<'a> {
     /// The job's requested time dilated to `gear`.
     #[inline]
     pub fn dilated_requested(&self, gear: GearId) -> u64 {
-        self.time_model.dilate(self.job.requested, self.job.beta, gear)
+        self.time_model
+            .dilate(self.job.requested, self.job.beta, gear)
     }
 }
 
@@ -141,7 +142,12 @@ mod tests {
     fn ctx_helpers() {
         let tm = BetaModel::new(GearSet::paper());
         let job = Job::new(0, Time(0), 4, 1000, 2000);
-        let ctx = DecisionCtx { now: Time(0), job: &job, wq_others: 0, time_model: &tm };
+        let ctx = DecisionCtx {
+            now: Time(0),
+            job: &job,
+            wq_others: 0,
+            time_model: &tm,
+        };
         assert!((ctx.coef(tm.gears().top()) - 1.0).abs() < 1e-12);
         assert_eq!(ctx.dilated_requested(tm.gears().top()), 2000);
         assert!(ctx.dilated_requested(GearId(0)) > 3000);
@@ -151,7 +157,12 @@ mod tests {
     fn fixed_gear_backfills_only_when_fitting() {
         let tm = BetaModel::new(GearSet::paper());
         let job = Job::new(0, Time(0), 4, 1000, 2000);
-        let ctx = DecisionCtx { now: Time(0), job: &job, wq_others: 3, time_model: &tm };
+        let ctx = DecisionCtx {
+            now: Time(0),
+            job: &job,
+            wq_others: 3,
+            time_model: &tm,
+        };
         let p = FixedGearPolicy::new(tm.gears().top());
         assert_eq!(p.head_gear(&ctx, Time(50)), tm.gears().top());
         assert_eq!(p.backfill_gear(&ctx, &mut |_| true), Some(tm.gears().top()));

@@ -17,7 +17,10 @@ pub fn validate_schedule(outcomes: &[JobOutcome], total_cpus: u32) -> Result<(),
     for o in outcomes {
         o.validate()?;
         if o.cpus > total_cpus {
-            return Err(format!("{} uses {} cpus on a {}-cpu machine", o.id, o.cpus, total_cpus));
+            return Err(format!(
+                "{} uses {} cpus on a {}-cpu machine",
+                o.id, o.cpus, total_cpus
+            ));
         }
     }
     // Sweep usage changes: +cpus at start, -cpus at finish. A job finishing
@@ -59,7 +62,10 @@ mod tests {
             start: Time(start),
             finish: Time(finish),
             gear: GearId(0),
-            phases: vec![Phase { gear: GearId(0), seconds: finish - start }],
+            phases: vec![Phase {
+                gear: GearId(0),
+                seconds: finish - start,
+            }],
             nominal_runtime: finish - start,
             requested: finish - start,
         }
@@ -67,8 +73,11 @@ mod tests {
 
     #[test]
     fn accepts_valid_schedule() {
-        let outcomes =
-            vec![outcome(0, 2, 0, 100), outcome(1, 2, 0, 50), outcome(2, 4, 100, 200)];
+        let outcomes = vec![
+            outcome(0, 2, 0, 100),
+            outcome(1, 2, 0, 50),
+            outcome(2, 4, 100, 200),
+        ];
         validate_schedule(&outcomes, 4).unwrap();
     }
 

@@ -101,12 +101,7 @@ impl Sub<Time> for Time {
 
     #[inline]
     fn sub(self, rhs: Time) -> u64 {
-        debug_assert!(
-            self.0 >= rhs.0,
-            "negative duration: {} - {}",
-            self.0,
-            rhs.0
-        );
+        debug_assert!(self.0 >= rhs.0, "negative duration: {} - {}", self.0, rhs.0);
         self.0.wrapping_sub(rhs.0)
     }
 }

@@ -124,7 +124,13 @@ pub fn clean_trace(trace: &mut SwfTrace, cfg: &CleanConfig) -> CleanSummary {
 /// The paper simulates 5 000-job parts of each workload, "selected so that
 /// they do not have many jobs removed".
 pub fn select_segment(trace: &SwfTrace, start: usize, count: usize) -> SwfTrace {
-    let mut records: Vec<SwfRecord> = trace.records.iter().skip(start).take(count).copied().collect();
+    let mut records: Vec<SwfRecord> = trace
+        .records
+        .iter()
+        .skip(start)
+        .take(count)
+        .copied()
+        .collect();
     if let Some(base) = records.first().map(|r| r.submit) {
         for r in &mut records {
             r.submit -= base;
@@ -142,7 +148,10 @@ mod tests {
 
     fn trace_with(records: Vec<SwfRecord>) -> SwfTrace {
         SwfTrace {
-            header: SwfHeader { max_procs: Some(64), ..Default::default() },
+            header: SwfHeader {
+                max_procs: Some(64),
+                ..Default::default()
+            },
             records,
         }
     }
@@ -151,7 +160,7 @@ mod tests {
     fn drops_invalid_jobs() {
         let mut t = trace_with(vec![
             SwfRecord::simple(1, 0, 100, 4, 100),
-            SwfRecord::simple(2, 0, 0, 4, 100),   // zero runtime
+            SwfRecord::simple(2, 0, 0, 4, 100),    // zero runtime
             SwfRecord::simple(3, 0, 100, -1, 100), // unknown size
             SwfRecord::simple(4, -5, 100, 4, 100), // negative submit
         ]);

@@ -70,6 +70,9 @@ mod tests {
         let mut r = SwfRecord::simple(1, 0, 500, 2, 100);
         r.req_time = 100; // shorter than actual runtime
         let jobs = records_to_jobs(&[r]);
-        assert_eq!(jobs[0].requested, 500, "Job::new clamps requested >= runtime");
+        assert_eq!(
+            jobs[0].requested, 500,
+            "Job::new clamps requested >= runtime"
+        );
     }
 }

@@ -35,7 +35,11 @@ impl std::fmt::Display for ParseError {
                 write!(f, "line {}: expected 18 fields, found {found}", self.line)
             }
             ParseErrorKind::BadInteger { field, token } => {
-                write!(f, "line {}: field {field} is not an integer: {token:?}", self.line)
+                write!(
+                    f,
+                    "line {}: field {field} is not an integer: {token:?}",
+                    self.line
+                )
             }
         }
     }
@@ -113,12 +117,18 @@ fn parse_data_line(line: &str, lineno: usize) -> Result<SwfRecord, ParseError> {
         }
         fields[i] = tok.parse().map_err(|_| ParseError {
             line: lineno,
-            kind: ParseErrorKind::BadInteger { field: i + 1, token: tok.to_string() },
+            kind: ParseErrorKind::BadInteger {
+                field: i + 1,
+                token: tok.to_string(),
+            },
         })?;
         count = i + 1;
     }
     if count < 18 {
-        return Err(ParseError { line: lineno, kind: ParseErrorKind::TooFewFields { found: count } });
+        return Err(ParseError {
+            line: lineno,
+            kind: ParseErrorKind::TooFewFields { found: count },
+        });
     }
     Ok(SwfRecord::from_fields(fields))
 }
@@ -145,7 +155,10 @@ mod tests {
         assert_eq!(t.header.max_runtime, Some(64800));
         assert_eq!(t.header.max_jobs, Some(2));
         assert_eq!(t.header.unix_start_time, Some(832105380));
-        assert_eq!(t.header.extra, vec!["Version: 2.2", "Note: synthetic sample"]);
+        assert_eq!(
+            t.header.extra,
+            vec!["Version: 2.2", "Note: synthetic sample"]
+        );
         assert_eq!(t.records.len(), 2);
         assert_eq!(t.records[0].job_id, 1);
         assert_eq!(t.records[0].run_time, 3600);
@@ -171,7 +184,10 @@ mod tests {
     fn bad_integer_is_an_error() {
         let err = parse_swf("1 x 0 10 1 -1 -1 1 10 -1 1 -1 -1 -1 -1 -1 -1 -1\n").unwrap_err();
         assert_eq!(err.line, 1);
-        assert!(matches!(err.kind, ParseErrorKind::BadInteger { field: 2, .. }));
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::BadInteger { field: 2, .. }
+        ));
         assert!(err.to_string().contains("field 2"));
     }
 

@@ -87,14 +87,22 @@ impl SwfRecord {
     /// The processor count the simulator should use: allocated if known,
     /// otherwise requested.
     pub fn effective_procs(&self) -> Option<u32> {
-        let p = if self.alloc_procs > 0 { self.alloc_procs } else { self.req_procs };
+        let p = if self.alloc_procs > 0 {
+            self.alloc_procs
+        } else {
+            self.req_procs
+        };
         (p > 0).then_some(p as u32)
     }
 
     /// The runtime estimate the simulator should use: the user request if
     /// known, otherwise the actual runtime.
     pub fn effective_req_time(&self) -> Option<u64> {
-        let t = if self.req_time > 0 { self.req_time } else { self.run_time };
+        let t = if self.req_time > 0 {
+            self.req_time
+        } else {
+            self.run_time
+        };
         (t > 0).then_some(t as u64)
     }
 

@@ -59,7 +59,11 @@ impl TraceStats {
             last = last.max(r.submit);
             area += p as f64 * r.run_time as f64;
         }
-        let span_secs = if n > 0 { (last - first).max(0) as u64 } else { 0 };
+        let span_secs = if n > 0 {
+            (last - first).max(0) as u64
+        } else {
+            0
+        };
         let offered_load = match (trace.header.max_procs, span_secs) {
             (Some(m), s) if s > 0 => area / (m as f64 * s as f64),
             _ => 0.0,
@@ -85,9 +89,12 @@ mod tests {
     #[test]
     fn stats_of_simple_trace() {
         let trace = SwfTrace {
-            header: SwfHeader { max_procs: Some(10), ..Default::default() },
+            header: SwfHeader {
+                max_procs: Some(10),
+                ..Default::default()
+            },
             records: vec![
-                SwfRecord::simple(1, 0, 100, 1, 100),    // serial, short
+                SwfRecord::simple(1, 0, 100, 1, 100), // serial, short
                 SwfRecord::simple(2, 500, 1000, 4, 2000),
                 SwfRecord::simple(3, 1000, 2000, 5, 2000),
             ],

@@ -84,6 +84,9 @@ mod tests {
             records: vec![SwfRecord::simple(1, 2, 3, 4, 5)],
         };
         let text = write_swf(&trace);
-        assert_eq!(text.trim(), "1 2 -1 3 4 -1 -1 4 5 -1 1 -1 -1 -1 -1 -1 -1 -1");
+        assert_eq!(
+            text.trim(),
+            "1 2 -1 3 4 -1 -1 4 5 -1 1 -1 -1 -1 -1 -1 -1 -1"
+        );
     }
 }

@@ -85,8 +85,11 @@ impl DailyCycle {
         let day_end = self.day_fraction * p;
         loop {
             let phase = t.rem_euclid(p);
-            let (rate, boundary) =
-                if phase < day_end { (rd, day_end) } else { (rn, p) };
+            let (rate, boundary) = if phase < day_end {
+                (rd, day_end)
+            } else {
+                (rn, p)
+            };
             let span = boundary - phase;
             let capacity = rate * span;
             if target <= capacity {
@@ -105,7 +108,10 @@ impl ArrivalProcess for DailyCycle {
             self.day_fraction > 0.0 && self.day_fraction < 1.0,
             "day fraction must be in (0,1)"
         );
-        assert!(self.day_night_ratio >= 1.0, "day rate must be >= night rate");
+        assert!(
+            self.day_night_ratio >= 1.0,
+            "day rate must be >= night rate"
+        );
         let unit = Exp { rate: 1.0 };
         let mut t = 0.0f64;
         let mut out = Vec::with_capacity(n);
@@ -198,6 +204,9 @@ mod tests {
         let mut rng = stream_rng(4, 0);
         let times = d.generate(&mut rng, 10);
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
-        assert!(*times.last().unwrap() > 86_400, "must span multiple periods");
+        assert!(
+            *times.last().unwrap() > 86_400,
+            "must span multiple periods"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl LogNormal {
     /// Log-normal with the given *median* (`exp(mu)`) and sigma.
     pub fn with_median(median: f64, sigma: f64) -> Self {
         assert!(median > 0.0);
-        LogNormal { mu: median.ln(), sigma }
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
     }
 }
 
@@ -99,7 +102,11 @@ impl Sample for Gamma {
         let k = self.shape;
         if k < 1.0 {
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let boosted = Gamma { shape: k + 1.0, scale: self.scale }.sample(rng);
+            let boosted = Gamma {
+                shape: k + 1.0,
+                scale: self.scale,
+            }
+            .sample(rng);
             return boosted * u.powf(1.0 / k);
         }
         let d = k - 1.0 / 3.0;
@@ -201,7 +208,14 @@ mod tests {
     #[test]
     fn weibull_mean() {
         // k=1 reduces to exponential with mean = scale.
-        let m = mean_of(&Weibull { shape: 1.0, scale: 3.0 }, 200_000, 4);
+        let m = mean_of(
+            &Weibull {
+                shape: 1.0,
+                scale: 3.0,
+            },
+            200_000,
+            4,
+        );
         assert!((m - 3.0).abs() < 0.1, "mean = {m}");
     }
 
@@ -224,7 +238,10 @@ mod tests {
 
     #[test]
     fn loguniform_bounds() {
-        let d = LogUniform { lo: 4.0, hi: 4096.0 };
+        let d = LogUniform {
+            lo: 4.0,
+            hi: 4096.0,
+        };
         let mut rng = stream_rng(6, 0);
         for _ in 0..10_000 {
             let x = d.sample(&mut rng);
@@ -237,7 +254,10 @@ mod tests {
     #[test]
     fn loguniform_is_log_spread() {
         // Median of LogUniform(1, 10000) is 100 (geometric midpoint).
-        let d = LogUniform { lo: 1.0, hi: 10_000.0 };
+        let d = LogUniform {
+            lo: 1.0,
+            hi: 10_000.0,
+        };
         let mut rng = stream_rng(7, 0);
         let n = 100_001;
         let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
@@ -248,7 +268,11 @@ mod tests {
 
     #[test]
     fn mixture_proportion() {
-        let d = Mix { p: 0.25, first: Exp { rate: 1000.0 }, second: Exp { rate: 0.001 } };
+        let d = Mix {
+            p: 0.25,
+            first: Exp { rate: 1000.0 },
+            second: Exp { rate: 0.001 },
+        };
         let mut rng = stream_rng(8, 0);
         let n = 100_000;
         let small = (0..n).filter(|_| d.sample(&mut rng) < 1.0).count();

@@ -70,7 +70,13 @@ mod tests {
     use bsld_simkernel::rng::stream_rng;
 
     fn model() -> EstimateModel {
-        EstimateModel { p_exact: 0.15, p_max: 0.1, factor_median: 3.0, factor_sigma: 1.0, max: 64_800 }
+        EstimateModel {
+            p_exact: 0.15,
+            p_max: 0.1,
+            factor_median: 3.0,
+            factor_sigma: 1.0,
+            max: 64_800,
+        }
     }
 
     #[test]
@@ -104,7 +110,9 @@ mod tests {
         let n = 50_000;
         // Use an off-grid runtime so rounding cannot produce an accidental
         // exact match.
-        let exact = (0..n).filter(|_| m.sample(&mut rng, 1_234) == 1_234).count();
+        let exact = (0..n)
+            .filter(|_| m.sample(&mut rng, 1_234) == 1_234)
+            .count();
         let frac = exact as f64 / n as f64;
         assert!((frac - 0.15).abs() < 0.02, "frac = {frac}");
     }
@@ -114,7 +122,9 @@ mod tests {
         let m = model();
         let mut rng = stream_rng(3, 0);
         let n = 50_000;
-        let maxed = (0..n).filter(|_| m.sample(&mut rng, 1_234) == 64_800).count();
+        let maxed = (0..n)
+            .filter(|_| m.sample(&mut rng, 1_234) == 64_800)
+            .count();
         let frac = maxed as f64 / n as f64;
         // p_max plus the lognormal tail that clamps to max.
         assert!(frac > 0.09 && frac < 0.25, "frac = {frac}");
@@ -133,8 +143,10 @@ mod tests {
         let m = model();
         let mut rng = stream_rng(5, 0);
         let n = 20_000;
-        let mean_factor: f64 =
-            (0..n).map(|_| m.sample(&mut rng, 3_000) as f64 / 3_000.0).sum::<f64>() / n as f64;
+        let mean_factor: f64 = (0..n)
+            .map(|_| m.sample(&mut rng, 3_000) as f64 / 3_000.0)
+            .sum::<f64>()
+            / n as f64;
         // The archive's mean over-estimation is severalfold.
         assert!(mean_factor > 2.0, "mean factor = {mean_factor}");
     }

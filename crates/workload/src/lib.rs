@@ -63,7 +63,11 @@ impl Workload {
             .header
             .max_procs
             .unwrap_or_else(|| jobs.iter().map(|j| j.cpus).max().unwrap_or(1));
-        Workload { cluster_name: name.into(), cpus, jobs }
+        Workload {
+            cluster_name: name.into(),
+            cpus,
+            jobs,
+        }
     }
 
     /// Total work volume (processor-seconds at top frequency).
@@ -129,7 +133,10 @@ mod tests {
     #[test]
     fn from_swf_sorts_and_renumbers() {
         let trace = SwfTrace {
-            header: SwfHeader { max_procs: Some(16), ..Default::default() },
+            header: SwfHeader {
+                max_procs: Some(16),
+                ..Default::default()
+            },
             records: vec![
                 SwfRecord::simple(5, 100, 50, 2, 60),
                 SwfRecord::simple(9, 0, 50, 4, 60),
@@ -147,7 +154,10 @@ mod tests {
     #[test]
     fn offered_load_computation() {
         let trace = SwfTrace {
-            header: SwfHeader { max_procs: Some(10), ..Default::default() },
+            header: SwfHeader {
+                max_procs: Some(10),
+                ..Default::default()
+            },
             records: vec![
                 SwfRecord::simple(1, 0, 100, 5, 100),
                 SwfRecord::simple(2, 100, 100, 5, 100),

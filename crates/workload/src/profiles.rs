@@ -81,7 +81,13 @@ impl TraceProfile {
             name: "CTC".into(),
             cpus: 430,
             target_load: 0.71,
-            sizes: SizeModel { p_serial: 0.35, p_pow2: 0.55, min_parallel: 2, max: 336, multiple_of: 1 },
+            sizes: SizeModel {
+                p_serial: 0.35,
+                p_pow2: 0.55,
+                min_parallel: 2,
+                max: 336,
+                multiple_of: 1,
+            },
             runtimes: RuntimeModel {
                 p_short: 0.20,
                 short_range: (10, 600),
@@ -97,7 +103,10 @@ impl TraceProfile {
                 factor_sigma: 1.0,
                 max: 64_800,
             },
-            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.5 }),
+            daily: Some(DailyPattern {
+                day_fraction: 0.5,
+                day_night_ratio: 1.5,
+            }),
             beta: BetaSpec::Fixed(0.5),
         }
     }
@@ -108,7 +117,13 @@ impl TraceProfile {
             name: "SDSC".into(),
             cpus: 128,
             target_load: 0.96,
-            sizes: SizeModel { p_serial: 0.22, p_pow2: 0.60, min_parallel: 2, max: 64, multiple_of: 1 },
+            sizes: SizeModel {
+                p_serial: 0.22,
+                p_pow2: 0.60,
+                min_parallel: 2,
+                max: 64,
+                multiple_of: 1,
+            },
             runtimes: RuntimeModel {
                 p_short: 0.30,
                 short_range: (10, 600),
@@ -124,7 +139,10 @@ impl TraceProfile {
                 factor_sigma: 1.1,
                 max: 64_800,
             },
-            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.6 }),
+            daily: Some(DailyPattern {
+                day_fraction: 0.5,
+                day_night_ratio: 1.6,
+            }),
             beta: BetaSpec::Fixed(0.5),
         }
     }
@@ -136,7 +154,13 @@ impl TraceProfile {
             name: "SDSCBlue".into(),
             cpus: 1_152,
             target_load: 0.54,
-            sizes: SizeModel { p_serial: 0.0, p_pow2: 0.45, min_parallel: 8, max: 1_152, multiple_of: 8 },
+            sizes: SizeModel {
+                p_serial: 0.0,
+                p_pow2: 0.45,
+                min_parallel: 8,
+                max: 1_152,
+                multiple_of: 8,
+            },
             runtimes: RuntimeModel {
                 p_short: 0.35,
                 short_range: (10, 600),
@@ -152,7 +176,10 @@ impl TraceProfile {
                 factor_sigma: 1.0,
                 max: 64_800,
             },
-            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.6 }),
+            daily: Some(DailyPattern {
+                day_fraction: 0.5,
+                day_night_ratio: 1.6,
+            }),
             beta: BetaSpec::Fixed(0.5),
         }
     }
@@ -164,7 +191,13 @@ impl TraceProfile {
             name: "LLNLThunder".into(),
             cpus: 4_008,
             target_load: 0.66,
-            sizes: SizeModel { p_serial: 0.12, p_pow2: 0.70, min_parallel: 2, max: 512, multiple_of: 1 },
+            sizes: SizeModel {
+                p_serial: 0.12,
+                p_pow2: 0.70,
+                min_parallel: 2,
+                max: 512,
+                multiple_of: 1,
+            },
             runtimes: RuntimeModel {
                 p_short: 0.62,
                 short_range: (5, 600),
@@ -180,7 +213,10 @@ impl TraceProfile {
                 factor_sigma: 0.8,
                 max: 43_200,
             },
-            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.5 }),
+            daily: Some(DailyPattern {
+                day_fraction: 0.5,
+                day_night_ratio: 1.5,
+            }),
             beta: BetaSpec::Fixed(0.5),
         }
     }
@@ -191,7 +227,13 @@ impl TraceProfile {
             name: "LLNLAtlas".into(),
             cpus: 9_216,
             target_load: 0.48,
-            sizes: SizeModel { p_serial: 0.05, p_pow2: 0.80, min_parallel: 64, max: 4_096, multiple_of: 1 },
+            sizes: SizeModel {
+                p_serial: 0.05,
+                p_pow2: 0.80,
+                min_parallel: 64,
+                max: 4_096,
+                multiple_of: 1,
+            },
             runtimes: RuntimeModel {
                 p_short: 0.30,
                 short_range: (10, 600),
@@ -207,7 +249,10 @@ impl TraceProfile {
                 factor_sigma: 0.9,
                 max: 86_400,
             },
-            daily: Some(DailyPattern { day_fraction: 0.5, day_night_ratio: 1.5 }),
+            daily: Some(DailyPattern {
+                day_fraction: 0.5,
+                day_night_ratio: 1.5,
+            }),
             beta: BetaSpec::Fixed(0.5),
         }
     }
@@ -263,8 +308,10 @@ impl TraceProfile {
 
         let sizes: Vec<u32> = (0..n).map(|_| self.sizes.sample(&mut size_rng)).collect();
         let runtimes: Vec<u64> = (0..n).map(|_| self.runtimes.sample(&mut run_rng)).collect();
-        let requests: Vec<u64> =
-            runtimes.iter().map(|&r| self.estimates.sample(&mut est_rng, r)).collect();
+        let requests: Vec<u64> = runtimes
+            .iter()
+            .map(|&r| self.estimates.sample(&mut est_rng, r))
+            .collect();
 
         let area: f64 = sizes
             .iter()
@@ -298,12 +345,22 @@ impl TraceProfile {
                         }
                     }
                 };
-                Job::new(i as u32, Time(arrivals[i]), sizes[i], runtimes[i], requests[i])
-                    .with_beta(beta)
+                Job::new(
+                    i as u32,
+                    Time(arrivals[i]),
+                    sizes[i],
+                    runtimes[i],
+                    requests[i],
+                )
+                .with_beta(beta)
             })
             .collect();
 
-        Workload { cluster_name: self.name.clone(), cpus: self.cpus, jobs }
+        Workload {
+            cluster_name: self.name.clone(),
+            cpus: self.cpus,
+            jobs,
+        }
     }
 }
 
@@ -315,7 +372,10 @@ mod tests {
     fn paper_five_match_table1_sizes() {
         let five = TraceProfile::paper_five();
         let names: Vec<&str> = five.iter().map(|p| p.name.as_str()).collect();
-        assert_eq!(names, ["CTC", "SDSC", "SDSCBlue", "LLNLThunder", "LLNLAtlas"]);
+        assert_eq!(
+            names,
+            ["CTC", "SDSC", "SDSCBlue", "LLNLThunder", "LLNLAtlas"]
+        );
         let cpus: Vec<u32> = five.iter().map(|p| p.cpus).collect();
         assert_eq!(cpus, [430, 128, 1_152, 4_008, 9_216]);
     }
@@ -358,7 +418,13 @@ mod tests {
         for p in TraceProfile::paper_five() {
             let w = p.generate(3, 1_000);
             for j in &w.jobs {
-                assert!(j.cpus <= p.cpus, "{}: job size {} > {}", p.name, j.cpus, p.cpus);
+                assert!(
+                    j.cpus <= p.cpus,
+                    "{}: job size {} > {}",
+                    p.name,
+                    j.cpus,
+                    p.cpus
+                );
                 assert!(j.requested >= j.runtime);
             }
         }
@@ -398,7 +464,10 @@ mod tests {
 
     #[test]
     fn per_job_beta_varies() {
-        let p = TraceProfile::ctc().with_beta(BetaSpec::PerJob { mean: 0.5, spread: 0.3 });
+        let p = TraceProfile::ctc().with_beta(BetaSpec::PerJob {
+            mean: 0.5,
+            spread: 0.3,
+        });
         let w = p.generate(13, 300);
         let betas: Vec<f64> = w.jobs.iter().map(|j| j.beta).collect();
         assert!(betas.iter().any(|&b| b < 0.4));

@@ -33,8 +33,11 @@ impl RuntimeModel {
     pub fn sample(&self, rng: &mut SmallRng) -> u64 {
         debug_assert!(self.min >= 1 && self.max >= self.min);
         let x = if self.p_short > 0.0 && rng.gen_bool(self.p_short.clamp(0.0, 1.0)) {
-            LogUniform { lo: self.short_range.0 as f64, hi: self.short_range.1 as f64 }
-                .sample(rng)
+            LogUniform {
+                lo: self.short_range.0 as f64,
+                hi: self.short_range.1 as f64,
+            }
+            .sample(rng)
         } else {
             LogNormal::with_median(self.body_median as f64, self.body_sigma).sample(rng)
         };
@@ -81,7 +84,10 @@ mod tests {
 
     #[test]
     fn body_median_approximate() {
-        let m = RuntimeModel { p_short: 0.0, ..model() };
+        let m = RuntimeModel {
+            p_short: 0.0,
+            ..model()
+        };
         let mut rng = stream_rng(3, 0);
         let n = 50_001;
         let mut xs: Vec<u64> = (0..n).map(|_| m.sample(&mut rng)).collect();
@@ -92,7 +98,11 @@ mod tests {
 
     #[test]
     fn clamping_to_site_limit() {
-        let m = RuntimeModel { body_median: 60_000, body_sigma: 2.0, ..model() };
+        let m = RuntimeModel {
+            body_median: 60_000,
+            body_sigma: 2.0,
+            ..model()
+        };
         let mut rng = stream_rng(4, 0);
         let capped = (0..10_000).filter(|_| m.sample(&mut rng) == 64_800).count();
         assert!(capped > 100, "heavy tail must hit the site limit");

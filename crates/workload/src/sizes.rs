@@ -33,7 +33,11 @@ impl SizeModel {
         if self.p_serial > 0.0 && rng.gen_bool(self.p_serial.clamp(0.0, 1.0)) {
             return 1;
         }
-        let raw = LogUniform { lo: self.min_parallel as f64, hi: self.max as f64 }.sample(rng);
+        let raw = LogUniform {
+            lo: self.min_parallel as f64,
+            hi: self.max as f64,
+        }
+        .sample(rng);
         let mut size = raw.round().max(self.min_parallel as f64) as u32;
         if self.p_pow2 > 0.0 && rng.gen_bool(self.p_pow2.clamp(0.0, 1.0)) {
             size = nearest_pow2(size);
@@ -78,7 +82,13 @@ mod tests {
 
     #[test]
     fn serial_fraction_respected() {
-        let m = SizeModel { p_serial: 0.4, p_pow2: 0.6, min_parallel: 2, max: 128, multiple_of: 1 };
+        let m = SizeModel {
+            p_serial: 0.4,
+            p_pow2: 0.6,
+            min_parallel: 2,
+            max: 128,
+            multiple_of: 1,
+        };
         let mut rng = stream_rng(1, 0);
         let n = 50_000;
         let serial = (0..n).filter(|_| m.sample(&mut rng) == 1).count();
@@ -88,7 +98,13 @@ mod tests {
 
     #[test]
     fn sizes_within_bounds() {
-        let m = SizeModel { p_serial: 0.1, p_pow2: 0.7, min_parallel: 2, max: 430, multiple_of: 1 };
+        let m = SizeModel {
+            p_serial: 0.1,
+            p_pow2: 0.7,
+            min_parallel: 2,
+            max: 430,
+            multiple_of: 1,
+        };
         let mut rng = stream_rng(2, 0);
         for _ in 0..20_000 {
             let s = m.sample(&mut rng);
@@ -98,7 +114,13 @@ mod tests {
 
     #[test]
     fn multiple_of_constraint() {
-        let m = SizeModel { p_serial: 0.0, p_pow2: 0.3, min_parallel: 8, max: 1152, multiple_of: 8 };
+        let m = SizeModel {
+            p_serial: 0.0,
+            p_pow2: 0.3,
+            min_parallel: 8,
+            max: 1152,
+            multiple_of: 8,
+        };
         let mut rng = stream_rng(3, 0);
         for _ in 0..20_000 {
             let s = m.sample(&mut rng);
@@ -109,7 +131,13 @@ mod tests {
 
     #[test]
     fn pow2_bias_visible() {
-        let m = SizeModel { p_serial: 0.0, p_pow2: 0.9, min_parallel: 2, max: 512, multiple_of: 1 };
+        let m = SizeModel {
+            p_serial: 0.0,
+            p_pow2: 0.9,
+            min_parallel: 2,
+            max: 512,
+            multiple_of: 1,
+        };
         let mut rng = stream_rng(4, 0);
         let n = 50_000;
         let pow2 = (0..n)
@@ -123,7 +151,13 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let m = SizeModel { p_serial: 0.2, p_pow2: 0.5, min_parallel: 2, max: 64, multiple_of: 1 };
+        let m = SizeModel {
+            p_serial: 0.2,
+            p_pow2: 0.5,
+            min_parallel: 2,
+            max: 64,
+            multiple_of: 1,
+        };
         let a: Vec<u32> = {
             let mut rng = stream_rng(5, 0);
             (0..32).map(|_| m.sample(&mut rng)).collect()

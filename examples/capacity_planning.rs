@@ -27,14 +27,22 @@ fn main() {
     );
 
     let sizes = [0u32, 10, 20, 50, 75, 100, 125];
-    let cfg = PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::Limit(0) };
+    let cfg = PowerAwareConfig {
+        bsld_threshold: 2.0,
+        wq_threshold: WqThreshold::Limit(0),
+    };
     let results = par_map(sizes.to_vec(), bsld::par::default_threads(), |pct| {
         let sim = Simulator::paper_default(&w.cluster_name, w.cpus).enlarged(pct);
         (pct, sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics)
     });
 
     let mut t = TextTable::new(vec![
-        "size", "cpus", "E(idle=0)", "E(idle=low)", "avg BSLD", "avg wait(s)",
+        "size",
+        "cpus",
+        "E(idle=0)",
+        "E(idle=low)",
+        "avg BSLD",
+        "avg wait(s)",
     ]);
     for (pct, m) in &results {
         let cpus = (w.cpus as u64 * (100 + *pct as u64) + 50) / 100;

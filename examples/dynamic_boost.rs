@@ -18,7 +18,10 @@ fn main() {
     let w = TraceProfile::llnl_thunder().generate(2010, 3000);
     let sim0 = Simulator::paper_default(&w.cluster_name, w.cpus);
     let base = sim0.run_baseline(&w.jobs).unwrap().metrics;
-    let cfg = PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: WqThreshold::NoLimit };
+    let cfg = PowerAwareConfig {
+        bsld_threshold: 3.0,
+        wq_threshold: WqThreshold::NoLimit,
+    };
 
     println!(
         "{}: {} cpus, baseline avg BSLD {:.2}, avg wait {:.0} s\n",
@@ -36,7 +39,11 @@ fn main() {
     });
 
     let mut t = TextTable::new(vec![
-        "variant", "E(idle=0)", "avg BSLD", "avg wait(s)", "reduced jobs",
+        "variant",
+        "E(idle=0)",
+        "avg BSLD",
+        "avg wait(s)",
+        "reduced jobs",
     ]);
     for (boost, m) in rows {
         let label = match boost {

@@ -12,7 +12,9 @@ use bsld::metrics::TextTable;
 use bsld::workload::profiles::TraceProfile;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "blue".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "blue".to_string());
     let profile = match which.as_str() {
         "ctc" => TraceProfile::ctc(),
         "sdsc" => TraceProfile::sdsc(),
@@ -33,7 +35,12 @@ fn main() {
     );
 
     let mut t = TextTable::new(vec![
-        "BSLDth/WQth", "E(idle=0)", "E(idle=low)", "avg BSLD", "avg wait(s)", "reduced",
+        "BSLDth/WQth",
+        "E(idle=0)",
+        "E(idle=low)",
+        "avg BSLD",
+        "avg wait(s)",
+        "reduced",
     ]);
     for bsld_th in [1.5, 2.0, 3.0] {
         for wq in [
@@ -42,15 +49,25 @@ fn main() {
             WqThreshold::Limit(16),
             WqThreshold::NoLimit,
         ] {
-            let cfg = PowerAwareConfig { bsld_threshold: bsld_th, wq_threshold: wq };
+            let cfg = PowerAwareConfig {
+                bsld_threshold: bsld_th,
+                wq_threshold: wq,
+            };
             let run = sim.run_power_aware(&w.jobs, &cfg).unwrap();
             t.row(vec![
                 cfg.label(),
                 format!(
                     "{:.3}",
-                    run.metrics.energy.normalized_computational(&base.metrics.energy)
+                    run.metrics
+                        .energy
+                        .normalized_computational(&base.metrics.energy)
                 ),
-                format!("{:.3}", run.metrics.energy.normalized_with_idle(&base.metrics.energy)),
+                format!(
+                    "{:.3}",
+                    run.metrics
+                        .energy
+                        .normalized_with_idle(&base.metrics.energy)
+                ),
                 format!("{:.2}", run.metrics.avg_bsld),
                 format!("{:.0}", run.metrics.avg_wait_secs),
                 run.metrics.reduced_jobs.to_string(),

@@ -27,9 +27,16 @@ fn main() {
 
     let sim = Simulator::paper_default(&workload.cluster_name, workload.cpus);
 
-    let base = sim.run_baseline(&workload.jobs).expect("workload fits the machine");
-    let cfg = PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::NoLimit };
-    let dvfs = sim.run_power_aware(&workload.jobs, &cfg).expect("workload fits the machine");
+    let base = sim
+        .run_baseline(&workload.jobs)
+        .expect("workload fits the machine");
+    let cfg = PowerAwareConfig {
+        bsld_threshold: 2.0,
+        wq_threshold: WqThreshold::NoLimit,
+    };
+    let dvfs = sim
+        .run_power_aware(&workload.jobs, &cfg)
+        .expect("workload fits the machine");
 
     let mut t = TextTable::new(vec!["metric", "EASY (no DVFS)", "power-aware 2/NO"]);
     t.row(vec![
@@ -50,12 +57,22 @@ fn main() {
     t.row(vec![
         "energy, idle=0 (normalized)".to_string(),
         "1.000".to_string(),
-        format!("{:.3}", dvfs.metrics.energy.normalized_computational(&base.metrics.energy)),
+        format!(
+            "{:.3}",
+            dvfs.metrics
+                .energy
+                .normalized_computational(&base.metrics.energy)
+        ),
     ]);
     t.row(vec![
         "energy, idle=low (normalized)".to_string(),
         "1.000".to_string(),
-        format!("{:.3}", dvfs.metrics.energy.normalized_with_idle(&base.metrics.energy)),
+        format!(
+            "{:.3}",
+            dvfs.metrics
+                .energy
+                .normalized_with_idle(&base.metrics.energy)
+        ),
     ]);
     t.row(vec![
         "utilization".to_string(),
@@ -64,7 +81,11 @@ fn main() {
     ]);
     println!("\n{}", t.render());
 
-    let saving = 1.0 - dvfs.metrics.energy.normalized_computational(&base.metrics.energy);
+    let saving = 1.0
+        - dvfs
+            .metrics
+            .energy
+            .normalized_computational(&base.metrics.energy);
     println!(
         "the power-aware scheduler saved {:.1}% CPU energy at a BSLD cost of {:.2} → {:.2}",
         saving * 100.0,

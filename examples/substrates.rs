@@ -41,8 +41,14 @@ fn main() {
         ("Conservative + DVFS", Variant::Conservative(true)),
         ("FCFS (no backfill)", Variant::Fcfs(false)),
         ("FCFS + DVFS", Variant::Fcfs(true)),
-        ("EASY, contiguous alloc", Variant::Selection(SelectionPolicy::ContiguousFirstFit, false)),
-        ("EASY, contiguous + DVFS", Variant::Selection(SelectionPolicy::ContiguousFirstFit, true)),
+        (
+            "EASY, contiguous alloc",
+            Variant::Selection(SelectionPolicy::ContiguousFirstFit, false),
+        ),
+        (
+            "EASY, contiguous + DVFS",
+            Variant::Selection(SelectionPolicy::ContiguousFirstFit, true),
+        ),
     ];
 
     let results = par_map(variants.clone(), bsld::par::default_threads(), |(_, v)| {
@@ -62,15 +68,25 @@ fn main() {
 
     let easy_base = &results[0];
     let mut t = TextTable::new(vec![
-        "substrate", "E(idle=0)", "avg BSLD", "avg wait(s)", "p-reduced",
+        "substrate",
+        "E(idle=0)",
+        "avg BSLD",
+        "avg wait(s)",
+        "p-reduced",
     ]);
     for ((label, _), m) in variants.iter().zip(&results) {
         t.row(vec![
             label.to_string(),
-            format!("{:.3}", m.energy.normalized_computational(&easy_base.energy)),
+            format!(
+                "{:.3}",
+                m.energy.normalized_computational(&easy_base.energy)
+            ),
             format!("{:.2}", m.avg_bsld),
             format!("{:.0}", m.avg_wait_secs),
-            format!("{:.0}%", m.reduced_jobs as f64 / m.jobs.max(1) as f64 * 100.0),
+            format!(
+                "{:.0}%",
+                m.reduced_jobs as f64 / m.jobs.max(1) as f64 * 100.0
+            ),
         ]);
     }
     println!("{}", t.render());

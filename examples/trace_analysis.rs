@@ -12,8 +12,8 @@
 
 use bsld::core::Simulator;
 use bsld::swf::{
-    clean_trace, parse_swf, select_segment, write_swf, CleanConfig, SwfHeader, SwfRecord,
-    SwfTrace, TraceStats,
+    clean_trace, parse_swf, select_segment, write_swf, CleanConfig, SwfHeader, SwfRecord, SwfTrace,
+    TraceStats,
 };
 use bsld::workload::Workload;
 

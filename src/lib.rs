@@ -13,7 +13,10 @@
 //! * [`swf`] — Standard Workload Format parsing/cleaning;
 //! * [`workload`] — synthetic workloads calibrated to the paper's five
 //!   traces;
-//! * [`sched`] — the EASY backfilling engine with the frequency-policy hook;
+//! * [`sched`] — the EASY backfilling engine with the frequency-policy and
+//!   power hooks;
+//! * [`powercap`] — the cluster power ledger, idle sleep states and
+//!   power-cap enforcement;
 //! * [`metrics`] — run summaries and report writers;
 //! * [`core`] — the paper's BSLD-threshold policy, simulator facade and the
 //!   experiment harness reproducing every table and figure;
@@ -48,6 +51,7 @@ pub use bsld_metrics as metrics;
 pub use bsld_model as model;
 pub use bsld_par as par;
 pub use bsld_power as power;
+pub use bsld_powercap as powercap;
 pub use bsld_sched as sched;
 pub use bsld_simkernel as simkernel;
 pub use bsld_swf as swf;

@@ -27,17 +27,29 @@ fn seeds_actually_differ() {
 fn simulation_metrics_reproducible() {
     let w = TraceProfile::sdsc_blue().scaled_cpus(64).generate(17, 400);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    let m1 = sim.run_power_aware(&w.jobs, &PowerAwareConfig::medium()).unwrap().metrics;
-    let m2 = sim.run_power_aware(&w.jobs, &PowerAwareConfig::medium()).unwrap().metrics;
+    let m1 = sim
+        .run_power_aware(&w.jobs, &PowerAwareConfig::medium())
+        .unwrap()
+        .metrics;
+    let m2 = sim
+        .run_power_aware(&w.jobs, &PowerAwareConfig::medium())
+        .unwrap()
+        .metrics;
     assert_eq!(m1.avg_bsld.to_bits(), m2.avg_bsld.to_bits());
-    assert_eq!(m1.energy.computational.to_bits(), m2.energy.computational.to_bits());
+    assert_eq!(
+        m1.energy.computational.to_bits(),
+        m2.energy.computational.to_bits()
+    );
     assert_eq!(m1.reduced_jobs, m2.reduced_jobs);
 }
 
 #[test]
 fn sweep_results_independent_of_thread_count() {
     let mk = |threads: usize| {
-        let opts = ExpOptions { threads, ..ExpOptions::quick(60) };
+        let opts = ExpOptions {
+            threads,
+            ..ExpOptions::quick(60)
+        };
         let g = grid::run(&opts);
         g.cells
             .iter()

@@ -118,18 +118,25 @@ fn fcfs_vs_easy_differ_only_by_backfilling() {
     let tm = BetaModel::new(gears.clone());
     let cluster = Cluster::new("t", 4, gears.clone());
     let top = FixedGearPolicy::new(gears.top());
-    let easy =
-        simulate(&cluster, &jobs, &top, &tm, &EngineConfig::default()).unwrap();
+    let easy = simulate(&cluster, &jobs, &top, &tm, &EngineConfig::default()).unwrap();
     let fcfs = simulate(
         &cluster,
         &jobs,
         &top,
         &tm,
-        &EngineConfig { backfill: false, ..Default::default() },
+        &EngineConfig {
+            backfill: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let start = |res: &bsld::sched::SimResult, id: u32| {
-        res.outcomes.iter().find(|o| o.id == JobId(id)).unwrap().start.as_secs()
+        res.outcomes
+            .iter()
+            .find(|o| o.id == JobId(id))
+            .unwrap()
+            .start
+            .as_secs()
     };
     // Head and first job identical in both.
     assert_eq!(start(&easy, 0), start(&fcfs, 0));
@@ -142,8 +149,9 @@ fn fcfs_vs_easy_differ_only_by_backfilling() {
 #[test]
 fn makespan_lower_bound_holds() {
     // Makespan can never beat total work / machine size.
-    let jobs: Vec<Job> =
-        (0..40).map(|i| j(i, (i as u64) * 10, 1 + (i % 8), 100 + (i as u64 % 300), 600)).collect();
+    let jobs: Vec<Job> = (0..40)
+        .map(|i| j(i, (i as u64) * 10, 1 + (i % 8), 100 + (i as u64 % 300), 600))
+        .collect();
     let gears = GearSet::paper();
     let tm = BetaModel::new(gears.clone());
     let res = simulate(

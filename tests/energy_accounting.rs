@@ -35,7 +35,10 @@ fn policy_energy_recomputable_from_outcomes() {
     let res = sim
         .run_power_aware(
             &w.jobs,
-            &PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: WqThreshold::NoLimit },
+            &PowerAwareConfig {
+                bsld_threshold: 3.0,
+                wq_threshold: WqThreshold::NoLimit,
+            },
         )
         .unwrap();
     let pm = PowerModel::paper(GearSet::paper());
@@ -55,7 +58,9 @@ fn policy_energy_recomputable_from_outcomes() {
 
 #[test]
 fn idle_energy_identity() {
-    let w = TraceProfile::llnl_thunder().scaled_cpus(64).generate(35, 300);
+    let w = TraceProfile::llnl_thunder()
+        .scaled_cpus(64)
+        .generate(35, 300);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let res = sim.run_baseline(&w.jobs).unwrap();
     let pm = PowerModel::paper(GearSet::paper());
@@ -75,7 +80,10 @@ fn dilated_runtime_matches_beta_model_per_job() {
     let res = sim
         .run_power_aware(
             &w.jobs,
-            &PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: WqThreshold::NoLimit },
+            &PowerAwareConfig {
+                bsld_threshold: 3.0,
+                wq_threshold: WqThreshold::NoLimit,
+            },
         )
         .unwrap();
     let tm = BetaModel::new(GearSet::paper());
@@ -99,7 +107,9 @@ fn dilated_runtime_matches_beta_model_per_job() {
 fn bsld_metric_recomputable_from_outcomes() {
     let w = TraceProfile::ctc().scaled_cpus(32).generate(39, 300);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    let res = sim.run_power_aware(&w.jobs, &PowerAwareConfig::medium()).unwrap();
+    let res = sim
+        .run_power_aware(&w.jobs, &PowerAwareConfig::medium())
+        .unwrap();
     let manual: f64 =
         res.outcomes.iter().map(|o| o.bsld(600)).sum::<f64>() / res.outcomes.len() as f64;
     assert!((res.metrics.avg_bsld / manual - 1.0).abs() < 1e-12);
@@ -118,7 +128,11 @@ fn utilization_in_unit_interval_and_consistent() {
         let w = profile.scaled_cpus(32).generate(seed, 300);
         let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
         let m = sim.run_baseline(&w.jobs).unwrap().metrics;
-        assert!(m.utilization > 0.0 && m.utilization <= 1.0, "util = {}", m.utilization);
+        assert!(
+            m.utilization > 0.0 && m.utilization <= 1.0,
+            "util = {}",
+            m.utilization
+        );
         let manual = m.energy.busy_cpu_secs / (w.cpus as f64 * m.makespan_secs as f64);
         assert!((m.utilization - manual).abs() < 1e-12);
     }
@@ -128,7 +142,10 @@ fn utilization_in_unit_interval_and_consistent() {
 fn gear_histogram_sums_to_job_count() {
     let w = TraceProfile::sdsc_blue().scaled_cpus(64).generate(45, 350);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    let m = sim.run_power_aware(&w.jobs, &PowerAwareConfig::medium()).unwrap().metrics;
+    let m = sim
+        .run_power_aware(&w.jobs, &PowerAwareConfig::medium())
+        .unwrap()
+        .metrics;
     let total: usize = m.gear_histogram.iter().sum();
     assert_eq!(total, w.jobs.len());
     // Reduced = everything not initially at top... unless boosted (no boost

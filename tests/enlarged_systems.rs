@@ -42,8 +42,14 @@ fn computational_energy_decreases_with_size() {
     let e0 = energy(0);
     let e50 = energy(50);
     let e125 = energy(125);
-    assert!(e50 <= e0 * 1.02, "+50% must not raise computational energy: {e50} vs {e0}");
-    assert!(e125 <= e50 * 1.02, "+125% must not raise it further: {e125} vs {e50}");
+    assert!(
+        e50 <= e0 * 1.02,
+        "+50% must not raise computational energy: {e50} vs {e0}"
+    );
+    assert!(
+        e125 <= e50 * 1.02,
+        "+125% must not raise it further: {e125} vs {e50}"
+    );
 }
 
 #[test]
@@ -52,7 +58,9 @@ fn idle_aware_energy_eventually_grows_with_size() {
     // increase in system size results in higher energy consumption".
     // Idle power of the extra processors must eventually dominate. Compare
     // the idle components directly: capacity grows linearly with size.
-    let w = TraceProfile::llnl_thunder().scaled_cpus(128).generate(25, 400);
+    let w = TraceProfile::llnl_thunder()
+        .scaled_cpus(128)
+        .generate(25, 400);
     let cfg = PowerAwareConfig::medium();
     let run = |pct: u32| {
         Simulator::paper_default(&w.cluster_name, w.cpus)
@@ -102,16 +110,30 @@ fn enlarged_dvfs_beats_baseline_energy_at_20_percent() {
     // The headline claim: +20 % machine + power-aware scheduling can cut
     // computational energy substantially while holding performance.
     let w = TraceProfile::sdsc_blue().generate(27, 1200);
-    let cfg = PowerAwareConfig { bsld_threshold: 2.0, wq_threshold: WqThreshold::Limit(0) };
+    let cfg = PowerAwareConfig {
+        bsld_threshold: 2.0,
+        wq_threshold: WqThreshold::Limit(0),
+    };
     let sim0 = Simulator::paper_default(&w.cluster_name, w.cpus);
     let base = sim0.run_baseline(&w.jobs).unwrap().metrics;
-    let dvfs20 = sim0.enlarged(20).run_power_aware(&w.jobs, &cfg).unwrap().metrics;
+    let dvfs20 = sim0
+        .enlarged(20)
+        .run_power_aware(&w.jobs, &cfg)
+        .unwrap()
+        .metrics;
     let norm = dvfs20.energy.normalized_computational(&base.energy);
-    assert!(norm < 0.95, "+20% DVFS must save energy, normalized = {norm}");
+    assert!(
+        norm < 0.95,
+        "+20% DVFS must save energy, normalized = {norm}"
+    );
     // The performance crossover: by +50% the power-aware run must beat the
     // original-size baseline (the paper reports the crossover at +10–20 %;
     // our synthetic SDSC-Blue sits closer to saturation and crosses later).
-    let dvfs50 = sim0.enlarged(50).run_power_aware(&w.jobs, &cfg).unwrap().metrics;
+    let dvfs50 = sim0
+        .enlarged(50)
+        .run_power_aware(&w.jobs, &cfg)
+        .unwrap()
+        .metrics;
     assert!(
         dvfs50.avg_bsld <= base.avg_bsld,
         "+50% DVFS must beat the original baseline: {} vs {}",

@@ -15,10 +15,10 @@ use proptest::prelude::*;
 /// Strategy: a random rigid job with arrival jitter, bounded size/runtime.
 fn arb_job(max_cpus: u32) -> impl Strategy<Value = (u64, u32, u64, u64)> {
     (
-        0u64..20_000,              // arrival offset
-        1u32..=max_cpus,           // cpus
-        1u64..5_000,               // runtime
-        proptest::num::u64::ANY,   // estimate inflation source
+        0u64..20_000,            // arrival offset
+        1u32..=max_cpus,         // cpus
+        1u64..5_000,             // runtime
+        proptest::num::u64::ANY, // estimate inflation source
     )
         .prop_map(|(arr, cpus, run, infl)| {
             let factor = 1 + (infl % 8); // requested in [runtime, 8×runtime]

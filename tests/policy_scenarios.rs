@@ -10,7 +10,10 @@ use bsld::sched::validate_schedule;
 use bsld::workload::profiles::TraceProfile;
 
 fn cfg(bsld: f64, wq: WqThreshold) -> PowerAwareConfig {
-    PowerAwareConfig { bsld_threshold: bsld, wq_threshold: wq }
+    PowerAwareConfig {
+        bsld_threshold: bsld,
+        wq_threshold: wq,
+    }
 }
 
 #[test]
@@ -19,7 +22,9 @@ fn single_idle_job_runs_at_lowest_gear() {
     // is Coef(0.8 GHz) ≈ 1.94 ≤ 2 → the policy must pick gear 0.
     let w = TraceProfile::sdsc_blue().scaled_cpus(32).generate(1, 1);
     let sim = Simulator::paper_default("t", 32);
-    let res = sim.run_power_aware(&w.jobs, &cfg(2.0, WqThreshold::NoLimit)).unwrap();
+    let res = sim
+        .run_power_aware(&w.jobs, &cfg(2.0, WqThreshold::NoLimit))
+        .unwrap();
     assert_eq!(res.outcomes[0].gear, GearId(0));
     assert_eq!(res.metrics.reduced_jobs, 1);
 }
@@ -28,8 +33,12 @@ fn single_idle_job_runs_at_lowest_gear() {
 fn tight_threshold_reduces_fewer_jobs() {
     let w = TraceProfile::sdsc_blue().scaled_cpus(64).generate(3, 400);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    let strict = sim.run_power_aware(&w.jobs, &cfg(1.2, WqThreshold::NoLimit)).unwrap();
-    let loose = sim.run_power_aware(&w.jobs, &cfg(3.0, WqThreshold::NoLimit)).unwrap();
+    let strict = sim
+        .run_power_aware(&w.jobs, &cfg(1.2, WqThreshold::NoLimit))
+        .unwrap();
+    let loose = sim
+        .run_power_aware(&w.jobs, &cfg(3.0, WqThreshold::NoLimit))
+        .unwrap();
     assert!(
         strict.metrics.reduced_jobs <= loose.metrics.reduced_jobs,
         "{} > {}",
@@ -47,11 +56,18 @@ fn wq_limit_ordering_on_energy() {
     let w = TraceProfile::sdsc_blue().scaled_cpus(64).generate(5, 500);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let e = |wq| {
-        sim.run_power_aware(&w.jobs, &cfg(2.0, wq)).unwrap().metrics.energy.computational
+        sim.run_power_aware(&w.jobs, &cfg(2.0, wq))
+            .unwrap()
+            .metrics
+            .energy
+            .computational
     };
     let e0 = e(WqThreshold::Limit(0));
     let eno = e(WqThreshold::NoLimit);
-    assert!(eno <= e0 * 1.02, "no-limit {eno} should not exceed WQ0 {e0}");
+    assert!(
+        eno <= e0 * 1.02,
+        "no-limit {eno} should not exceed WQ0 {e0}"
+    );
 }
 
 #[test]
@@ -62,22 +78,38 @@ fn saturated_machine_gets_no_savings() {
     let w = TraceProfile::sdsc().generate(2010, 4000);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let base = sim.run_baseline(&w.jobs).unwrap();
-    assert!(base.metrics.avg_bsld > 10.0, "workload must be saturated, got {}", base.metrics.avg_bsld);
-    let dvfs = sim.run_power_aware(&w.jobs, &cfg(2.0, WqThreshold::Limit(16))).unwrap();
-    let norm = dvfs.metrics.energy.normalized_computational(&base.metrics.energy);
+    assert!(
+        base.metrics.avg_bsld > 10.0,
+        "workload must be saturated, got {}",
+        base.metrics.avg_bsld
+    );
+    let dvfs = sim
+        .run_power_aware(&w.jobs, &cfg(2.0, WqThreshold::Limit(16)))
+        .unwrap();
+    let norm = dvfs
+        .metrics
+        .energy
+        .normalized_computational(&base.metrics.energy);
     assert!(
         norm > 0.9,
         "saturated workloads should save almost nothing, normalized = {norm}"
     );
     let frac = dvfs.metrics.reduced_jobs as f64 / w.jobs.len() as f64;
-    assert!(frac < 0.5, "most jobs must stay at top frequency, reduced {frac}");
+    assert!(
+        frac < 0.5,
+        "most jobs must stay at top frequency, reduced {frac}"
+    );
 }
 
 #[test]
 fn reduced_jobs_run_longer_but_schedule_stays_valid() {
-    let w = TraceProfile::llnl_thunder().scaled_cpus(128).generate(9, 400);
+    let w = TraceProfile::llnl_thunder()
+        .scaled_cpus(128)
+        .generate(9, 400);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    let res = sim.run_power_aware(&w.jobs, &cfg(3.0, WqThreshold::NoLimit)).unwrap();
+    let res = sim
+        .run_power_aware(&w.jobs, &cfg(3.0, WqThreshold::NoLimit))
+        .unwrap();
     validate_schedule(&res.outcomes, w.cpus).unwrap();
     let top = GearId(5);
     for o in &res.outcomes {
@@ -99,7 +131,9 @@ fn policy_never_starts_jobs_early_or_shrinks_work() {
     let w = TraceProfile::ctc().scaled_cpus(64).generate(11, 500);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let base = sim.run_baseline(&w.jobs).unwrap();
-    let dvfs = sim.run_power_aware(&w.jobs, &cfg(2.0, WqThreshold::NoLimit)).unwrap();
+    let dvfs = sim
+        .run_power_aware(&w.jobs, &cfg(2.0, WqThreshold::NoLimit))
+        .unwrap();
     // Aggregate dilation: total busy time under DVFS >= baseline.
     assert!(dvfs.metrics.energy.busy_cpu_secs >= base.metrics.energy.busy_cpu_secs);
     // Per-job arrival sanity under both.
@@ -116,8 +150,14 @@ fn energy_saving_band_matches_paper_on_midload_workload() {
     let w = TraceProfile::sdsc_blue().generate(2010, 1500);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let base = sim.run_baseline(&w.jobs).unwrap();
-    let dvfs = sim.run_power_aware(&w.jobs, &PowerAwareConfig::medium()).unwrap();
-    let saving = 1.0 - dvfs.metrics.energy.normalized_computational(&base.metrics.energy);
+    let dvfs = sim
+        .run_power_aware(&w.jobs, &PowerAwareConfig::medium())
+        .unwrap();
+    let saving = 1.0
+        - dvfs
+            .metrics
+            .energy
+            .normalized_computational(&base.metrics.energy);
     assert!(
         (0.04..=0.35).contains(&saving),
         "mid-load saving out of band: {saving}"
@@ -128,11 +168,17 @@ fn energy_saving_band_matches_paper_on_midload_workload() {
 fn boost_extension_bounds_wait_inflation() {
     // With dynamic boost at a tight queue limit, the DVFS-induced wait
     // inflation must shrink relative to the un-boosted policy.
-    let w = TraceProfile::llnl_thunder().scaled_cpus(96).generate(13, 500);
+    let w = TraceProfile::llnl_thunder()
+        .scaled_cpus(96)
+        .generate(13, 500);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let c = cfg(3.0, WqThreshold::NoLimit);
     let plain = sim.run_power_aware(&w.jobs, &c).unwrap();
-    let boosted = sim.clone().with_boost(2).run_power_aware(&w.jobs, &c).unwrap();
+    let boosted = sim
+        .clone()
+        .with_boost(2)
+        .run_power_aware(&w.jobs, &c)
+        .unwrap();
     validate_schedule(&boosted.outcomes, w.cpus).unwrap();
     assert!(
         boosted.metrics.avg_wait_secs <= plain.metrics.avg_wait_secs + 1.0,

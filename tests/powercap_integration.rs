@@ -1,0 +1,183 @@
+//! Integration tests: the powercap subsystem end to end through the
+//! facade — ledger vs post-hoc energy cross-validation, hard-cap
+//! enforcement on calibrated workloads, sleep-state savings, and the
+//! power-series writers.
+
+use bsld::core::{PowerAwareConfig, PowerCapConfig, Simulator, WqThreshold};
+use bsld::metrics::series::{resample_power_series, write_power_series};
+use bsld::powercap::SleepConfig;
+use bsld::sched::validate_schedule;
+use bsld::workload::profiles::TraceProfile;
+
+fn workload() -> bsld::workload::Workload {
+    TraceProfile::sdsc_blue().scaled_cpus(64).generate(47, 300)
+}
+
+#[test]
+fn ledger_cross_validates_against_energy_report() {
+    let w = workload();
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    for cfg in [
+        PowerCapConfig::observe_only(),
+        PowerCapConfig::observe_only().with_policy(PowerAwareConfig::medium()),
+    ] {
+        let r = sim.run_power_capped(&w.jobs, &cfg).unwrap();
+        // With no sleeping, the ledger integral over [0, makespan] is the
+        // idle-aware energy scenario computed post hoc from the outcomes.
+        let rel = r.power.energy / r.run.metrics.energy.with_idle;
+        assert!((rel - 1.0).abs() < 1e-9, "ledger/post-hoc = {rel}");
+    }
+}
+
+#[test]
+fn hard_cap_holds_for_dvfs_and_baseline() {
+    let w = workload();
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    for (fraction, policy) in [(0.5, None), (0.7, Some(PowerAwareConfig::medium()))] {
+        let mut cfg = PowerCapConfig::hard(fraction).with_sleep(SleepConfig::paper_default());
+        cfg.policy = policy;
+        let r = sim.run_power_capped(&w.jobs, &cfg).unwrap();
+        assert_eq!(r.run.outcomes.len(), w.jobs.len());
+        validate_schedule(&r.run.outcomes, w.cpus).unwrap();
+        let budget = r.power.budget.unwrap();
+        for &(t, p) in &r.power.series {
+            assert!(p <= budget + 1e-6, "{p} > {budget} at t={t}");
+        }
+    }
+}
+
+#[test]
+fn soft_cap_records_violations_instead_of_stalling() {
+    let w = workload();
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    // A budget at the idle floor is infeasible for a hard cap…
+    let hard = PowerCapConfig::hard(0.15);
+    assert!(sim.run_power_capped(&w.jobs, &hard).is_err());
+    // …but a soft cap escapes through the queue-depth hatch and finishes.
+    let soft = PowerCapConfig::hard(0.15).with_soft_escape(4);
+    let r = sim.run_power_capped(&w.jobs, &soft).unwrap();
+    assert_eq!(r.run.outcomes.len(), w.jobs.len());
+    assert!(r.power.cap.soft_violations > 0);
+    let budget = r.power.budget.unwrap();
+    assert!(
+        r.power.peak > budget,
+        "violations imply an over-budget peak"
+    );
+}
+
+#[test]
+fn conservative_mode_caps_without_stalling() {
+    let w = workload();
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus).with_conservative();
+    // Hard cap with room for down-gearing: must complete and hold.
+    let hard = sim
+        .run_power_capped(
+            &w.jobs,
+            &PowerCapConfig::hard(0.5).with_policy(PowerAwareConfig::medium()),
+        )
+        .unwrap();
+    assert_eq!(hard.run.outcomes.len(), w.jobs.len());
+    let budget = hard.power.budget.unwrap();
+    for &(t, p) in &hard.power.series {
+        assert!(p <= budget + 1e-6, "{p} > {budget} at t={t}");
+    }
+    // A soft cap never stalls, even at an infeasible budget.
+    let soft = sim
+        .run_power_capped(&w.jobs, &PowerCapConfig::hard(0.15).with_soft_escape(4))
+        .unwrap();
+    assert_eq!(soft.run.outcomes.len(), w.jobs.len());
+    assert!(soft.power.cap.soft_violations > 0);
+}
+
+#[test]
+fn boost_with_cap_and_sleep_keeps_ledger_within_makespan() {
+    // Boost re-times running jobs, leaving stale completion events later
+    // than the real makespan; the ledger must never advance past the end
+    // of the run on their account.
+    let w = workload();
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus).with_boost(2);
+    let cfg = PowerCapConfig::hard(0.8)
+        .with_sleep(SleepConfig::paper_default())
+        .with_policy(PowerAwareConfig {
+            bsld_threshold: 3.0,
+            wq_threshold: WqThreshold::NoLimit,
+        });
+    let r = sim.run_power_capped(&w.jobs, &cfg).unwrap();
+    assert_eq!(r.run.outcomes.len(), w.jobs.len());
+    let makespan = r.run.metrics.makespan_secs;
+    let last = r.power.series.last().unwrap().0;
+    assert!(
+        last <= makespan,
+        "series entry at t={last} past makespan {makespan}"
+    );
+}
+
+#[test]
+fn capping_trades_bsld_for_power() {
+    let w = workload();
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    let loose = sim
+        .run_power_capped(&w.jobs, &PowerCapConfig::hard(1.0))
+        .unwrap();
+    let tight = sim
+        .run_power_capped(&w.jobs, &PowerCapConfig::hard(0.45))
+        .unwrap();
+    assert!(
+        tight.power.peak <= loose.power.peak + 1e-9,
+        "a tighter cap cannot raise peak draw"
+    );
+    assert!(
+        tight.run.metrics.avg_bsld >= loose.run.metrics.avg_bsld - 1e-9,
+        "power capping cannot improve BSLD: {} vs {}",
+        tight.run.metrics.avg_bsld,
+        loose.run.metrics.avg_bsld
+    );
+}
+
+#[test]
+fn power_series_is_a_well_formed_step_function() {
+    let w = workload();
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    let r = sim
+        .run_power_capped(
+            &w.jobs,
+            &PowerCapConfig::observe_only().with_sleep(SleepConfig::paper_default()),
+        )
+        .unwrap();
+    let series = &r.power.series;
+    assert!(!series.is_empty());
+    assert_eq!(series[0].0, 0, "series starts at t=0");
+    for w2 in series.windows(2) {
+        assert!(w2[0].0 < w2[1].0, "instants strictly increasing");
+    }
+    for &(_, p) in series {
+        assert!(p >= 0.0 && p.is_finite());
+    }
+
+    // The CSV writer emits one row per step plus a header.
+    let mut buf = Vec::new();
+    write_power_series(&mut buf, series).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert_eq!(text.lines().count(), series.len() + 1);
+    assert!(text.starts_with("time_s,power"));
+
+    // Resampling preserves the integral over the covered span.
+    let end = r.run.metrics.makespan_secs;
+    let step = (end / 50).max(1);
+    let coarse = resample_power_series(series, end, step);
+    let coarse_integral: f64 = coarse
+        .iter()
+        .map(|&(t, p)| {
+            let width = step.min(end - t);
+            p * width as f64
+        })
+        .sum();
+    // `energy` includes wake impulses, which the power-level series does
+    // not carry; add them back for the comparison.
+    let exact_integral = r.power.energy;
+    let wake = r.power.sleep.wake_energy;
+    assert!(
+        ((coarse_integral + wake) / exact_integral - 1.0).abs() < 1e-9,
+        "resampled integral {coarse_integral} + wake {wake} vs exact {exact_integral}"
+    );
+}

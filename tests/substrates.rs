@@ -17,7 +17,12 @@ fn conservative_absorbs_dvfs_feedback_better_than_easy() {
     let cfg = PowerAwareConfig::medium();
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let easy = sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics;
-    let cons = sim.clone().with_conservative().run_power_aware(&w.jobs, &cfg).unwrap().metrics;
+    let cons = sim
+        .clone()
+        .with_conservative()
+        .run_power_aware(&w.jobs, &cfg)
+        .unwrap()
+        .metrics;
     assert!(
         cons.avg_bsld <= easy.avg_bsld,
         "conservative should absorb the feedback: {} vs {}",
@@ -34,7 +39,11 @@ fn conservative_baseline_close_to_easy_on_moderate_load() {
     let w = TraceProfile::ctc().generate(7, 1200);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let easy = sim.run_baseline(&w.jobs).unwrap();
-    let cons = sim.clone().with_conservative().run_baseline(&w.jobs).unwrap();
+    let cons = sim
+        .clone()
+        .with_conservative()
+        .run_baseline(&w.jobs)
+        .unwrap();
     validate_schedule(&cons.outcomes, w.cpus).unwrap();
     // Conservative sacrifices some backfilling; waits may rise, but the
     // schedules live in the same regime (classic EASY-vs-conservative
@@ -70,7 +79,10 @@ fn selection_policy_does_not_change_energy_accounting() {
     // and to the homogeneous power model).
     let w = TraceProfile::sdsc_blue().scaled_cpus(64).generate(13, 400);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    let ff = sim.run_power_aware(&w.jobs, &PowerAwareConfig::medium()).unwrap().metrics;
+    let ff = sim
+        .run_power_aware(&w.jobs, &PowerAwareConfig::medium())
+        .unwrap()
+        .metrics;
     let lf = sim
         .clone()
         .with_selection(SelectionPolicy::LastFit)
@@ -78,17 +90,29 @@ fn selection_policy_does_not_change_energy_accounting() {
         .unwrap()
         .metrics;
     assert_eq!(ff.avg_bsld.to_bits(), lf.avg_bsld.to_bits());
-    assert_eq!(ff.energy.computational.to_bits(), lf.energy.computational.to_bits());
+    assert_eq!(
+        ff.energy.computational.to_bits(),
+        lf.energy.computational.to_bits()
+    );
     assert_eq!(ff.reduced_jobs, lf.reduced_jobs);
 }
 
 #[test]
 fn conservative_composes_with_boost() {
-    let w = TraceProfile::llnl_thunder().scaled_cpus(96).generate(17, 400);
-    let cfg = PowerAwareConfig { bsld_threshold: 3.0, wq_threshold: bsld::core::WqThreshold::NoLimit };
+    let w = TraceProfile::llnl_thunder()
+        .scaled_cpus(96)
+        .generate(17, 400);
+    let cfg = PowerAwareConfig {
+        bsld_threshold: 3.0,
+        wq_threshold: bsld::core::WqThreshold::NoLimit,
+    };
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus).with_conservative();
     let plain = sim.run_power_aware(&w.jobs, &cfg).unwrap();
-    let boosted = sim.clone().with_boost(2).run_power_aware(&w.jobs, &cfg).unwrap();
+    let boosted = sim
+        .clone()
+        .with_boost(2)
+        .run_power_aware(&w.jobs, &cfg)
+        .unwrap();
     validate_schedule(&boosted.outcomes, w.cpus).unwrap();
     assert!(boosted.metrics.avg_wait_secs <= plain.metrics.avg_wait_secs + 1.0);
     assert!(boosted.metrics.energy.computational >= plain.metrics.energy.computational - 1e-9);

@@ -4,8 +4,8 @@
 use bsld::core::Simulator;
 use bsld::sched::validate_schedule;
 use bsld::swf::{
-    clean_trace, parse_swf, select_segment, write_swf, CleanConfig, SwfHeader, SwfRecord,
-    SwfTrace, TraceStats,
+    clean_trace, parse_swf, select_segment, write_swf, CleanConfig, SwfHeader, SwfRecord, SwfTrace,
+    TraceStats,
 };
 use bsld::workload::Workload;
 use proptest::prelude::*;

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! provides the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a simple
+//! mean/min timing loop instead of criterion's statistical machinery.
+//!
+//! Each benchmark warms up once, then runs batches until either
+//! `sample_size` batches or the time budget (`BSLD_BENCH_SECS` seconds per
+//! benchmark, default 3) is exhausted, and prints `mean`/`min` per
+//! iteration. Passing `--test` (as `cargo test --benches` does) runs every
+//! benchmark exactly once for a smoke check.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let budget = std::env::var("BSLD_BENCH_SECS")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Duration::from_secs_f64)
+            .unwrap_or(Duration::from_secs(3));
+        Criterion { test_mode, budget }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            crit: self,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, 20, &id.to_string(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing batches each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        run_bench(self.crit, samples, &id.to_string(), f);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under measurement.
+pub struct Bencher {
+    iters_per_batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `iters_per_batch` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(crit: &Criterion, samples: usize, id: &str, mut f: F) {
+    // Warm-up / calibration batch (a single iteration).
+    let mut b = Bencher {
+        iters_per_batch: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    if crit.test_mode {
+        println!("  {id}: ok (test mode, 1 iter, {:?})", once);
+        return;
+    }
+    // Aim each batch at ~budget/samples so the whole benchmark respects
+    // the time budget even for slow bodies.
+    let per_batch = crit.budget.as_secs_f64() / samples as f64;
+    let iters = ((per_batch / once.as_secs_f64()).floor() as u64).clamp(1, 1_000_000);
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut batches = 0u64;
+    let started = Instant::now();
+    for _ in 0..samples {
+        b.iters_per_batch = iters;
+        f(&mut b);
+        let per_iter = b.elapsed / iters as u32;
+        total += b.elapsed;
+        min = min.min(per_iter);
+        batches += 1;
+        if started.elapsed() > crit.budget {
+            break;
+        }
+    }
+    let mean = total / (batches as u32 * iters as u32).max(1);
+    println!("  {id}: mean {mean:?}  min {min:?}  ({batches} batches x {iters} iters)");
+}
+
+/// Groups benchmark functions under one runner, as real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// The benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion {
+            test_mode: true,
+            budget: Duration::from_millis(10),
+        };
+        sample_bench(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| black_box(3u64) * 7));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles() {
+        // `benches` must be a plain fn; calling it in test mode would run
+        // with real timing budgets, so only take its address here.
+        let _: fn() = benches;
+    }
+}
