@@ -63,6 +63,18 @@ impl ProfileBuilder {
         }
     }
 
+    /// Re-initialises the builder for a fresh profile, keeping the release
+    /// buffer's allocation. This is the hot-path entry point: a scheduler
+    /// that rebuilds a profile on every event reuses one builder instead of
+    /// allocating a new release vector per pass.
+    pub fn reset(&mut self, origin: Time, total: u32, free_now: u32) {
+        assert!(free_now <= total, "free count exceeds machine size");
+        self.origin = origin;
+        self.total = total;
+        self.free_now = free_now;
+        self.releases.clear();
+    }
+
     /// Registers that `cpus` processors become free at time `at` (a running
     /// job's expected completion). Times at or before the origin are folded
     /// into the current free count.
@@ -80,21 +92,30 @@ impl ProfileBuilder {
 
     /// Finalises the profile.
     pub fn build(mut self) -> Profile {
+        let mut out = Profile {
+            total: self.total,
+            segs: Vec::with_capacity(self.releases.len() + 1),
+        };
+        self.build_into(&mut out);
+        out
+    }
+
+    /// Finalises the profile into an existing [`Profile`], reusing its
+    /// segment allocation. The builder stays usable (call
+    /// [`ProfileBuilder::reset`] before the next pass).
+    pub fn build_into(&mut self, out: &mut Profile) {
         self.releases.sort_unstable_by_key(|&(t, _)| t);
-        let mut segs: Vec<(Time, u32)> = Vec::with_capacity(self.releases.len() + 1);
-        segs.push((self.origin, self.free_now));
+        out.total = self.total;
+        out.segs.clear();
+        out.segs.push((self.origin, self.free_now));
         let mut avail = self.free_now;
-        for (t, cpus) in self.releases {
+        for &(t, cpus) in &self.releases {
             avail += cpus;
             assert!(avail <= self.total, "releases exceed machine size");
-            match segs.last_mut() {
+            match out.segs.last_mut() {
                 Some(last) if last.0 == t => last.1 = avail,
-                _ => segs.push((t, avail)),
+                _ => out.segs.push((t, avail)),
             }
-        }
-        Profile {
-            total: self.total,
-            segs,
         }
     }
 }
@@ -248,6 +269,70 @@ impl Profile {
         }
         self.coalesce();
         Ok(())
+    }
+
+    /// Raises availability by `cpus` over `[start, end)` — the exact
+    /// inverse of [`Profile::commit`]. An empty window is a no-op.
+    ///
+    /// This is the incremental-update primitive: when a running job
+    /// finishes early, its pending release at the *requested* end can be
+    /// pulled forward by releasing the remaining window in place instead of
+    /// rebuilding the whole profile; likewise an obsolete reservation is
+    /// removed by releasing its committed window.
+    ///
+    /// # Panics
+    /// Panics if the release would drive availability above the machine
+    /// size — that means the window was never committed, a caller bug.
+    pub fn release_over(&mut self, start: Time, end: Time, cpus: u32) -> Result<(), ProfileError> {
+        if start < self.origin() {
+            return Err(ProfileError::BeforeOrigin);
+        }
+        if end <= start || cpus == 0 {
+            return Ok(());
+        }
+        // Split segment boundaries at `start` and `end` (same scheme as
+        // `commit`, without the underflow validation).
+        let mut i = self.seg_index(start);
+        if self.segs[i].0 < start {
+            let avail = self.segs[i].1;
+            self.segs.insert(i + 1, (start, avail));
+            i += 1;
+        }
+        let mut j = i;
+        while j < self.segs.len() && self.segs[j].0 < end {
+            j += 1;
+        }
+        if end < Time::MAX {
+            let prev_avail = self.segs[j - 1].1;
+            if j == self.segs.len() || self.segs[j].0 > end {
+                self.segs.insert(j, (end, prev_avail));
+            }
+        }
+        for seg in &mut self.segs[i..j] {
+            seg.1 += cpus;
+            assert!(
+                seg.1 <= self.total,
+                "release_over exceeds machine size at {:?}",
+                seg.0
+            );
+        }
+        self.coalesce();
+        Ok(())
+    }
+
+    /// Advances the profile origin to `now`, discarding fully-elapsed
+    /// segments. A long-lived, incrementally-updated profile must call
+    /// this as simulation time moves forward or its segment list grows
+    /// with history instead of with the number of running jobs. `now`
+    /// earlier than the current origin is a no-op.
+    pub fn advance_origin(&mut self, now: Time) {
+        let i = self.seg_index(now);
+        if i > 0 {
+            self.segs.drain(..i);
+        }
+        if self.segs[0].0 < now {
+            self.segs[0].0 = now;
+        }
     }
 
     /// Merges adjacent segments with equal availability.
@@ -431,6 +516,114 @@ mod tests {
         p.commit(Time(200), Time(300), 5).unwrap();
         assert_eq!(p.available_at(Time(200)), 0);
         assert_eq!(p.available_at(Time(300)), 10);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn builder_reset_reuses_allocation() {
+        let mut b = ProfileBuilder::new(Time(0), 10, 2);
+        b.release(Time(50), 3);
+        let first = b.build_into_fresh();
+        assert_eq!(first.segments(), &[(Time(0), 2), (Time(50), 5)]);
+        // Reset and rebuild a different profile into the same buffer.
+        b.reset(Time(100), 8, 1);
+        b.release(Time(200), 7);
+        let mut out = first;
+        b.build_into(&mut out);
+        assert_eq!(out.segments(), &[(Time(100), 1), (Time(200), 8)]);
+        assert_eq!(out.total(), 8);
+        out.check_invariants().unwrap();
+    }
+
+    impl ProfileBuilder {
+        /// Test helper: build into a fresh profile without consuming self.
+        fn build_into_fresh(&mut self) -> Profile {
+            let mut p = Profile::flat(Time(0), 1, 1);
+            self.build_into(&mut p);
+            p
+        }
+    }
+
+    #[test]
+    fn build_into_matches_build() {
+        let mut b1 = ProfileBuilder::new(Time(100), 10, 1);
+        let mut b2 = ProfileBuilder::new(Time(100), 10, 1);
+        for (t, c) in [(300u64, 5u32), (200, 3), (50, 1)] {
+            b1.release(Time(t), c);
+            b2.release(Time(t), c);
+        }
+        let built = b1.build();
+        let mut reused = Profile::flat(Time(0), 1, 1);
+        b2.build_into(&mut reused);
+        assert_eq!(built, reused);
+    }
+
+    #[test]
+    fn release_over_inverts_commit() {
+        let mut p = sample();
+        let before = p.clone();
+        p.commit(Time(150), Time(250), 2).unwrap();
+        assert_ne!(p, before);
+        p.release_over(Time(150), Time(250), 2).unwrap();
+        assert_eq!(p, before, "release_over must exactly invert commit");
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_over_pulls_a_release_forward() {
+        // A job expected to free 3 cpus at t=200 finishes early at t=120:
+        // releasing [120, 200) makes the availability what a full rebuild
+        // from the remaining jobs would produce.
+        let p0 = sample();
+        let mut p = p0.clone();
+        p.release_over(Time(120), Time(200), 3).unwrap();
+        assert_eq!(p.available_at(Time(119)), 2);
+        assert_eq!(p.available_at(Time(120)), 5);
+        assert_eq!(p.available_at(Time(200)), 5);
+        assert_eq!(p.available_at(Time(300)), 10);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_over_edge_windows() {
+        let mut p = Profile::flat(Time(0), 8, 8);
+        p.commit(Time(10), Time::MAX, 8).unwrap();
+        // Empty window is a no-op.
+        p.release_over(Time(20), Time(20), 3).unwrap();
+        assert_eq!(p.available_at(Time(20)), 0);
+        // Unbounded windows release to the horizon.
+        p.release_over(Time(20), Time::MAX, 8).unwrap();
+        assert_eq!(p.available_at(Time(15)), 0);
+        assert_eq!(p.available_at(Time(20)), 8);
+        p.check_invariants().unwrap();
+        let mut shifted = Profile::flat(Time(10), 8, 8);
+        assert_eq!(
+            shifted.release_over(Time(0), Time(5), 1),
+            Err(ProfileError::BeforeOrigin)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "release_over exceeds machine size")]
+    fn release_over_rejects_uncommitted_window() {
+        let mut p = Profile::flat(Time(0), 8, 8);
+        let _ = p.release_over(Time(10), Time(20), 1);
+    }
+
+    #[test]
+    fn advance_origin_drops_elapsed_segments() {
+        let mut p = sample(); // origin 100, steps at 200 and 300
+        p.advance_origin(Time(250));
+        assert_eq!(p.segments(), &[(Time(250), 5), (Time(300), 10)]);
+        assert_eq!(p.origin(), Time(250));
+        assert_eq!(p.available_at(Time(250)), 5);
+        assert_eq!(p.available_at(Time(400)), 10);
+        p.check_invariants().unwrap();
+        // No-op when earlier than the origin or on a boundary.
+        p.advance_origin(Time(100));
+        assert_eq!(p.origin(), Time(250));
+        p.advance_origin(Time(300));
+        assert_eq!(p.segments(), &[(Time(300), 10)]);
         p.check_invariants().unwrap();
     }
 

@@ -370,6 +370,7 @@ fn main() -> ExitCode {
                 ablation::fcfs(opts),
                 ablation::gears(opts),
                 ablation::selection(opts),
+                ablation::engine(opts),
             ] {
                 println!("{}", a.render());
                 report_csv(a.write_csv(opts).map(|p| p.into_iter().collect()));
@@ -414,6 +415,7 @@ fn main() -> ExitCode {
                 ablation::fcfs(opts),
                 ablation::gears(opts),
                 ablation::selection(opts),
+                ablation::engine(opts),
             ] {
                 println!("{}", a.render());
                 report_csv(a.write_csv(opts).map(|p| p.into_iter().collect()));

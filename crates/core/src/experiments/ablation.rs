@@ -315,6 +315,42 @@ pub fn gears(opts: &ExpOptions) -> Ablation {
     }
 }
 
+/// Engine A/B: the incremental scheduling hot path against the full
+/// re-scheduling oracle, under both substrates with the medium policy.
+/// Every INC row must equal its FULL twin — the outcome streams are
+/// bit-identical by construction (see `tests/incremental_ab.rs`); the
+/// table is the experiment-level witness.
+pub fn engine(opts: &ExpOptions) -> Ablation {
+    let w = TraceProfile::sdsc_blue().generate(opts.seed, opts.jobs);
+    let cfg = PowerAwareConfig::medium();
+    let tasks: Vec<(bool, bool, &str)> = vec![
+        (false, false, "EASY-INC"),
+        (false, true, "EASY-FULL"),
+        (true, false, "CONS-INC"),
+        (true, true, "CONS-FULL"),
+    ];
+    let runs = par_map(tasks.clone(), opts.threads, |(conservative, full, _)| {
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let sim = if conservative {
+            sim.with_conservative()
+        } else {
+            sim
+        };
+        let sim = if full { sim.with_full_rescan() } else { sim };
+        sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
+    });
+    let base = runs[0].clone();
+    let rows = tasks
+        .iter()
+        .zip(&runs)
+        .map(|((_, _, label), m)| row_from(label.to_string(), m, &base))
+        .collect();
+    Ablation {
+        name: "engine".into(),
+        rows,
+    }
+}
+
 /// A gear set of `n` points linearly interpolating the paper's range
 /// (0.8 GHz @ 1.0 V … 2.3 GHz @ 1.5 V).
 fn interpolated_gears(n: usize) -> GearSet {
@@ -359,6 +395,22 @@ mod tests {
             no.avg_bsld
         );
         assert!(aggressive.norm_e_comp >= no.norm_e_comp - 1e-9);
+    }
+
+    #[test]
+    fn engine_ab_rows_are_twins() {
+        // The incremental engine and the full re-scan oracle must agree to
+        // the bit, under both substrates.
+        let a = engine(&ExpOptions::quick(200));
+        assert_eq!(a.rows.len(), 4);
+        for (inc, full) in [("EASY-INC", "EASY-FULL"), ("CONS-INC", "CONS-FULL")] {
+            let i = a.row(inc).unwrap();
+            let f = a.row(full).unwrap();
+            assert_eq!(i.avg_bsld.to_bits(), f.avg_bsld.to_bits(), "{inc}");
+            assert_eq!(i.avg_wait.to_bits(), f.avg_wait.to_bits(), "{inc}");
+            assert_eq!(i.norm_e_comp.to_bits(), f.norm_e_comp.to_bits(), "{inc}");
+            assert_eq!(i.reduced_jobs, f.reduced_jobs, "{inc}");
+        }
     }
 
     #[test]

@@ -171,6 +171,16 @@ impl FrequencyPolicy for BsldThresholdPolicy {
         }
         (top, find_start(top))
     }
+
+    fn pass_elision_safe(&self) -> bool {
+        // With no queue limit, `head_gear` depends only on the job and the
+        // reservation start, and `backfill_gear` is monotone: predicted
+        // BSLD grows with wait, so a declined job stays declined until a
+        // completion improves the profile. A `WQ_threshold` limit breaks
+        // both properties (a deepening queue flips decisions to the top
+        // gear), so it must take the full re-scheduling path.
+        matches!(self.cfg.wq_threshold, WqThreshold::NoLimit)
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use bsld_power::{BetaModel, PowerModel};
 use bsld_powercap::{PowerCap, PowerCapPolicy, PowerReport, SleepConfig};
 use bsld_sched::{
     simulate, simulate_with_hook, BoostConfig, EngineConfig, FixedGearPolicy, FrequencyPolicy,
-    SimError, TraceEvent,
+    PassStats, SimError, TraceEvent,
 };
 
 use crate::policy::{BsldThresholdPolicy, PowerAwareConfig};
@@ -27,6 +27,8 @@ pub struct RunResult {
     pub outcomes: Vec<JobOutcome>,
     /// Scheduling trace (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+    /// Engine pass/rebuild/skip counters (incremental-engine diagnostics).
+    pub pass_stats: PassStats,
 }
 
 /// Configuration of a power-capped run ([`Simulator::run_power_capped`]).
@@ -179,6 +181,15 @@ impl Simulator {
         self
     }
 
+    /// Disables the incremental scheduling hot path (builder style),
+    /// forcing a full profile rebuild on every pass. Outcomes are
+    /// bit-identical either way; this is the A/B oracle for verification
+    /// and benchmarking.
+    pub fn with_full_rescan(mut self) -> Simulator {
+        self.engine.incremental = false;
+        self
+    }
+
     /// Runs `jobs` under an arbitrary frequency policy.
     pub fn run_with_policy<P: FrequencyPolicy + ?Sized>(
         &self,
@@ -196,6 +207,7 @@ impl Simulator {
             metrics,
             outcomes: res.outcomes,
             trace: res.trace,
+            pass_stats: res.stats,
         })
     }
 
@@ -277,6 +289,7 @@ impl Simulator {
                 metrics,
                 outcomes: res.outcomes,
                 trace: res.trace,
+                pass_stats: res.stats,
             },
             power,
         })

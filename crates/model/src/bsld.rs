@@ -33,7 +33,10 @@ pub const BSLD_SHORT_JOB_THRESHOLD_SECS: u64 = 600;
 ///   [`BSLD_SHORT_JOB_THRESHOLD_SECS`].
 #[inline]
 pub fn bsld_observed(wait: u64, penalized_runtime: u64, nominal_runtime: u64, th: u64) -> f64 {
-    let denom = th.max(nominal_runtime) as f64;
+    // `th == 0` (a sensitivity study disabling the short-job clamp) with a
+    // zero runtime would otherwise divide by zero (NaN/inf); one second is
+    // the smallest meaningful denominator in whole-second scheduling.
+    let denom = th.max(nominal_runtime).max(1) as f64;
     let slowdown = (wait + penalized_runtime) as f64 / denom;
     slowdown.max(1.0)
 }
@@ -47,7 +50,8 @@ pub fn bsld_observed(wait: u64, penalized_runtime: u64, nominal_runtime: u64, th
 /// * `th` — the short-job threshold.
 #[inline]
 pub fn bsld_predicted(wait: u64, requested: u64, coef: f64, th: u64) -> f64 {
-    let denom = th.max(requested) as f64;
+    // Same zero-denominator guard as `bsld_observed`.
+    let denom = th.max(requested).max(1) as f64;
     let slowdown = (wait as f64 + requested as f64 * coef) / denom;
     slowdown.max(1.0)
 }
@@ -83,6 +87,29 @@ mod tests {
     fn never_below_one() {
         assert_eq!(bsld_observed(0, 1, 1, 600), 1.0);
         assert_eq!(bsld_predicted(0, 1, 1.0, 600), 1.0);
+    }
+
+    #[test]
+    fn zero_threshold_zero_runtime_is_finite() {
+        // th = 0 with a zero-length job must not produce NaN or infinity.
+        let v = bsld_observed(0, 0, 0, 0);
+        assert!(v.is_finite(), "got {v}");
+        assert_eq!(v, 1.0);
+        let v = bsld_observed(10, 0, 0, 0);
+        assert!(v.is_finite());
+        assert_eq!(v, 10.0, "denominator clamps to one second");
+        let v = bsld_predicted(0, 0, 1.5, 0);
+        assert!(v.is_finite());
+        assert_eq!(v, 1.0);
+        let v = bsld_predicted(5, 0, 1.0, 0);
+        assert_eq!(v, 5.0);
+    }
+
+    #[test]
+    fn zero_threshold_with_real_runtime_unaffected() {
+        // The guard must not change any case with a positive denominator.
+        assert_eq!(bsld_observed(100, 100, 100, 0), 2.0);
+        assert_eq!(bsld_predicted(100, 100, 1.0, 0), 2.0);
     }
 
     #[test]

@@ -23,6 +23,49 @@
 //! re-derived each pass and can only move earlier, preserving the EASY
 //! no-delay guarantee.
 //!
+//! # Incremental pass pipeline
+//!
+//! Naively, every event rebuilds the availability profile from *all*
+//! running jobs and re-runs the whole pass — O(events × running jobs) of
+//! pure re-derivation. With [`EngineConfig::incremental`] (the default)
+//! the engine instead maintains:
+//!
+//! * a **sorted running-jobs index** (`expected_end → cpus`), so a rebuild
+//!   is a merged in-order iteration instead of a scan-and-sort, feeding a
+//!   **reusable** [`ProfileBuilder`]/profile buffer (no per-pass
+//!   allocation);
+//! * a **cached head reservation** plus the committed profile it lives in,
+//!   kept alive across events and updated *in place*: a completion releases
+//!   the finished job's remaining `[now, expected_end)` window
+//!   ([`bsld_cluster::Profile::release_over`]), the stale reservation is
+//!   released, the reservation is re-derived (it can only move earlier) and
+//!   re-committed — no rebuild;
+//! * **pass skipping** for arrival events that provably cannot change the
+//!   schedule, and **batching** of same-instant arrivals (via the event
+//!   queue's peek) into a single pass.
+//!
+//! A full rebuild only happens when the cache is genuinely invalidated: a
+//! running job's *requested* end has been reached without its completion
+//! event (same-instant ordering), a mid-run re-time (boost), a reservation
+//! that starts "now" (contiguous-selection fragmentation), or a pass that
+//! started the cached head.
+//!
+//! ## Pass-skip conditions
+//!
+//! An arrival event is skipped (no pass at all) only when **all** hold:
+//! the engine runs EASY mode with no [`PowerHook`], no trace collection and
+//! no boost; the policy declares itself elision-safe
+//! ([`crate::FrequencyPolicy::pass_elision_safe`]) or backfilling is off;
+//! the queue was non-empty (so the head — which could not start at the
+//! previous pass, and nothing has freed processors since — is unchanged);
+//! and the arriving job either needs more processors than are free or is
+//! declined by `backfill_gear` against the cached committed profile. Under
+//! the elision-safety contract every *older* queued job keeps failing too
+//! (its wait only grew and the profile only weakened), so outcomes are
+//! bit-identical to the full re-scheduling engine —
+//! `EngineConfig { incremental: false, .. }` keeps the always-rebuild path
+//! as an A/B oracle, and [`SimResult::stats`] exposes rebuild/skip counters.
+//!
 //! # Dynamic boost (paper future work)
 //!
 //! With [`BoostConfig`] enabled, whenever the wait queue is deeper than
@@ -35,7 +78,7 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
-use bsld_cluster::{Cluster, ProcSet, ProcessorPool, ProfileBuilder, SelectionPolicy};
+use bsld_cluster::{Cluster, ProcSet, ProcessorPool, Profile, ProfileBuilder, SelectionPolicy};
 use bsld_model::{GearId, Job, JobId, JobOutcome, Phase};
 use bsld_power::BetaModel;
 use bsld_simkernel::{EventQueue, Time};
@@ -73,6 +116,12 @@ pub struct EngineConfig {
     pub collect_trace: bool,
     /// Enable the dynamic-boost extension.
     pub boost: Option<BoostConfig>,
+    /// Run the incremental hot path (cached reservation, in-place profile
+    /// updates, pass skipping — see the module docs). `false` forces the
+    /// reference behaviour: a full profile rebuild on every pass. Outcomes
+    /// are bit-identical either way; the toggle exists for A/B verification
+    /// and benchmarking.
+    pub incremental: bool,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +132,7 @@ impl Default for EngineConfig {
             selection: SelectionPolicy::FirstFit,
             collect_trace: false,
             boost: None,
+            incremental: true,
         }
     }
 }
@@ -182,6 +232,25 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Scheduling-pass statistics (diagnostics for the incremental engine).
+///
+/// Counter semantics: every *executed* pass increments `passes`; a pass
+/// that rebuilt the availability profile from the running-jobs index also
+/// increments `profile_rebuilds`; an event (or same-instant arrival batch)
+/// whose pass was proven a no-op and skipped outright increments
+/// `passes_skipped` and nothing else. With
+/// [`EngineConfig::incremental`]` = false`, `passes_skipped` stays 0 and
+/// every pass that reaches the reservation step rebuilds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Scheduling passes executed.
+    pub passes: u64,
+    /// Passes that rebuilt the availability profile from scratch.
+    pub profile_rebuilds: u64,
+    /// Events whose scheduling pass was provably a no-op and skipped.
+    pub passes_skipped: u64,
+}
+
 /// The result of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -191,8 +260,8 @@ pub struct SimResult {
     pub makespan: Time,
     /// Scheduling-action log (when `collect_trace` was set).
     pub trace: Vec<TraceEvent>,
-    /// Number of scheduling passes executed (diagnostics).
-    pub passes: u64,
+    /// Pass/rebuild/skip counters of the incremental engine.
+    pub stats: PassStats,
 }
 
 impl SimResult {
@@ -236,6 +305,16 @@ struct RunningJob {
     epoch: u32,
 }
 
+/// The cached head-of-queue reservation (see the module docs): the window
+/// committed into the live profile, remembered so later passes can release
+/// and re-derive it in place.
+#[derive(Debug, Clone, Copy)]
+struct HeadReservation {
+    head: JobId,
+    start: Time,
+    end: Time,
+}
+
 /// An in-flight simulation. Use [`simulate`] unless you need stepping.
 pub struct Simulation<'a, P: FrequencyPolicy + ?Sized> {
     jobs: &'a [Job],
@@ -252,9 +331,28 @@ pub struct Simulation<'a, P: FrequencyPolicy + ?Sized> {
     pool: ProcessorPool,
     queue: VecDeque<JobId>,
     running: BTreeMap<JobId, RunningJob>,
+    /// Sorted running-jobs index: expected (requested) end → cpus freed
+    /// there. Rebuilding the profile is a merged in-order iteration of this
+    /// map; completions/boosts keep it current.
+    end_index: BTreeMap<Time, u32>,
+    /// Reusable profile-construction buffers (no per-pass allocation).
+    builder: ProfileBuilder,
+    profile: Profile,
+    /// The reservation currently committed into `profile`, if the cache is
+    /// live.
+    cache: Option<HeadReservation>,
+    /// `(expected_end, cpus)` of the job completed by the current event,
+    /// consumed by the next pass's in-place profile update.
+    last_completion: Option<(Time, u32)>,
+    /// Whether pass elision (cache + skip + batching) is permitted for this
+    /// run; see the module docs for the exact conditions.
+    elide: bool,
+    /// Scratch buffers reused across passes.
+    scratch_candidates: Vec<JobId>,
+    scratch_started: Vec<JobId>,
     outcomes: Vec<JobOutcome>,
     trace: Vec<TraceEvent>,
-    passes: u64,
+    stats: PassStats,
 }
 
 /// Runs `jobs` (sorted by arrival) on `cluster` under `policy`.
@@ -312,6 +410,15 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         for job in jobs {
             events.push(job.arrival, Event::Arrive(job.id));
         }
+        // Pass elision is only provably outcome-preserving under EASY with
+        // no hook/trace/boost and an elision-safe policy (or no
+        // backfilling, where an arrival behind a blocked head is inert).
+        let elide = cfg.incremental
+            && cfg.mode == SchedMode::Easy
+            && !cfg.collect_trace
+            && cfg.boost.is_none()
+            && (policy.pass_elision_safe() || !cfg.backfill);
+        let pool = cluster.pool();
         Ok(Simulation {
             jobs,
             policy,
@@ -322,12 +429,20 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             now: Time::ZERO,
             pending_retry: None,
             events,
-            pool: cluster.pool(),
+            builder: ProfileBuilder::new(Time::ZERO, pool.total(), pool.total()),
+            profile: Profile::flat(Time::ZERO, pool.total(), pool.total()),
+            pool,
             queue: VecDeque::new(),
             running: BTreeMap::new(),
+            end_index: BTreeMap::new(),
+            cache: None,
+            last_completion: None,
+            elide,
+            scratch_candidates: Vec::new(),
+            scratch_started: Vec::new(),
             outcomes: Vec::with_capacity(jobs.len()),
             trace: Vec::new(),
-            passes: 0,
+            stats: PassStats::default(),
         })
     }
 
@@ -335,11 +450,15 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
     /// start/completion/gear change and may veto or down-gear decisions.
     pub fn with_hook(mut self, hook: &'a mut dyn PowerHook) -> Self {
         self.hook = Some(hook);
+        // A hook's admissions depend on power state the elision proofs do
+        // not model — every event takes the full pass.
+        self.elide = false;
         self
     }
 
     /// Drives the event loop to completion.
     pub fn run(mut self) -> Result<SimResult, SimError> {
+        let mut batch: Vec<JobId> = Vec::new();
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.now, "event time went backwards");
             // Discard no-op events *before* advancing the hook's clock: a
@@ -354,6 +473,13 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                     }
                 }
                 Event::PowerRetry => {
+                    // The wake-up is being delivered (or is obsolete):
+                    // clear the dedup guard either way, so a hook that
+                    // re-reports the same future instant is not swallowed
+                    // by bookkeeping for an event that no longer exists.
+                    if self.pending_retry == Some(t) {
+                        self.pending_retry = None;
+                    }
                     if self.queue.is_empty() {
                         continue;
                     }
@@ -367,13 +493,37 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             match ev {
                 Event::Arrive(id) => {
                     self.queue.push_back(id);
+                    if self.elide {
+                        // Batch-peek: workload arrivals are enqueued before
+                        // any completion, so same-instant arrivals are
+                        // delivered back to back; coalesce them into one
+                        // pass (provably identical under elision — see the
+                        // module docs).
+                        batch.clear();
+                        batch.push(id);
+                        while matches!(self.events.peek(), Some((t2, Event::Arrive(_))) if t2 == t)
+                        {
+                            match self.events.pop() {
+                                Some((_, Event::Arrive(id2))) => {
+                                    self.queue.push_back(id2);
+                                    batch.push(id2);
+                                }
+                                _ => unreachable!("peeked arrival must pop"),
+                            }
+                        }
+                        self.pass_after_arrivals(&batch);
+                    } else {
+                        self.schedule_pass();
+                    }
                 }
                 Event::Finish(id, _) => {
                     self.complete(id);
+                    self.schedule_pass();
                 }
-                Event::PowerRetry => {}
+                Event::PowerRetry => {
+                    self.schedule_pass();
+                }
             }
-            self.schedule_pass();
             self.maybe_boost();
             self.maybe_schedule_power_retry();
         }
@@ -398,7 +548,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             outcomes: self.outcomes,
             makespan,
             trace: self.trace,
-            passes: self.passes,
+            stats: self.stats,
         })
     }
 
@@ -480,7 +630,11 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         };
         let wall = self.time_model.dilate(job.runtime, job.beta, gear);
         let expected = self.time_model.dilate(job.requested, job.beta, gear);
-        debug_assert!(wall <= expected);
+        // Real traces contain jobs whose runtime exceeds the user estimate.
+        // EASY's reservation bookkeeping treats the estimate as binding, so
+        // an overrunning job is killed at its (dilated) requested time —
+        // kill-at-request semantics, matching production batch systems.
+        let wall = wall.min(expected);
         let finish_at = self.now + wall;
         self.events.push(finish_at, Event::Finish(id, 0));
         if self.cfg.collect_trace {
@@ -492,13 +646,14 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 first_proc: procs.first().unwrap_or(0),
             });
         }
+        let expected_end = self.now + expected;
         self.running.insert(
             id,
             RunningJob {
                 cpus: job.cpus,
                 procs,
                 start: self.now,
-                expected_end: self.now + expected,
+                expected_end,
                 gear,
                 phase_start: self.now,
                 phases: Vec::new(),
@@ -507,6 +662,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 epoch: 0,
             },
         );
+        *self.end_index.entry(expected_end).or_insert(0) += job.cpus;
         let now = self.now;
         if let Some(h) = self.hook.as_deref_mut() {
             h.on_job_start(now, job.cpus, gear);
@@ -521,6 +677,11 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             .remove(&id)
             .expect("completion of a job that is not running");
         self.pool.release(&r.procs);
+        self.end_index_remove(r.expected_end, r.cpus);
+        // Remember the freed window: the next pass pulls the pending
+        // release at `expected_end` forward to "now" in place instead of
+        // rebuilding the profile.
+        self.last_completion = Some((r.expected_end, r.cpus));
         let now = self.now;
         if let Some(h) = self.hook.as_deref_mut() {
             h.on_job_finish(now, r.cpus, r.gear);
@@ -557,15 +718,224 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
 
     /// One scheduling pass under the configured discipline.
     fn schedule_pass(&mut self) {
-        self.passes += 1;
+        self.stats.passes += 1;
         match self.cfg.mode {
             SchedMode::Easy => self.schedule_pass_easy(),
             SchedMode::Conservative => self.schedule_pass_conservative(),
         }
     }
 
+    /// Removes `cpus` freed at `at` from the sorted running-jobs index.
+    fn end_index_remove(&mut self, at: Time, cpus: u32) {
+        let entry = self
+            .end_index
+            .get_mut(&at)
+            .expect("end_index entry for a running job");
+        *entry -= cpus;
+        if *entry == 0 {
+            self.end_index.remove(&at);
+        }
+    }
+
+    /// Whether the cached committed profile may serve the current instant:
+    /// the cache is live, the cached reservation still lies in the future
+    /// (a reservation "now" — contiguous-selection fragmentation — must be
+    /// re-derived because it would drift as time advances), and no running
+    /// job's requested end has been reached (such a release would need to
+    /// be pushed to `now + 1`, which only a rebuild does).
+    fn cache_usable(&self) -> bool {
+        match &self.cache {
+            None => false,
+            Some(c) => {
+                c.start > self.now
+                    && self
+                        .end_index
+                        .keys()
+                        .next()
+                        .is_none_or(|&first| first > self.now)
+            }
+        }
+    }
+
+    /// Rebuilds the availability profile from the sorted running-jobs
+    /// index into the reusable buffer.
+    fn rebuild_profile(&mut self) {
+        self.stats.profile_rebuilds += 1;
+        self.builder
+            .reset(self.now, self.pool.total(), self.pool.free_count());
+        // A job whose expected end is at or before `now` is still
+        // physically running (its completion event sits later in this
+        // instant's event batch), so its processors become available
+        // strictly after `now`.
+        let floor = self.now + 1;
+        for (&t, &cpus) in &self.end_index {
+            self.builder.release(t.max(floor), cpus);
+        }
+        self.builder.build_into(&mut self.profile);
+    }
+
+    /// Removes `started` — a subsequence of the queue in queue order — in
+    /// one O(queue) sweep.
+    fn remove_started(&mut self, started: &[JobId]) {
+        if started.is_empty() {
+            return;
+        }
+        let mut next = 0;
+        self.queue.retain(|&id| {
+            if next < started.len() && id == started[next] {
+                next += 1;
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert_eq!(next, started.len(), "every started job was queued");
+    }
+
+    /// Handles a batch of same-instant arrivals under pass elision: skip
+    /// the pass when provably a no-op, evaluate only the new jobs against
+    /// the cached committed profile when possible, and fall back to a full
+    /// pass otherwise. See the module docs for the safety argument.
+    fn pass_after_arrivals(&mut self, batch: &[JobId]) {
+        debug_assert!(self.elide && self.hook.is_none());
+        let prev_len = self.queue.len() - batch.len();
+        if prev_len == 0 {
+            // The new head may be able to start immediately: full pass
+            // (which also re-establishes the cache).
+            self.schedule_pass();
+            return;
+        }
+        // The head is unchanged and still cannot start: nothing has freed
+        // processors since the pass that left it queued.
+        if !self.cfg.backfill {
+            // Without backfilling, an arrival behind a blocked head is
+            // inert (the reservation is bookkeeping only).
+            self.stats.passes_skipped += 1;
+            return;
+        }
+        if !self.cache_usable() {
+            self.schedule_pass();
+            return;
+        }
+        debug_assert_eq!(
+            self.cache.map(|c| c.head),
+            self.queue.front().copied(),
+            "live cache must describe the current head"
+        );
+        self.profile.advance_origin(self.now);
+        // Evaluate only the new arrivals; every older candidate failed
+        // against a profile that was no stronger and a wait that was no
+        // longer, so by the elision-safety contract it keeps failing.
+        let mut started = std::mem::take(&mut self.scratch_started);
+        started.clear();
+        for &id in batch {
+            let job = self.job(id);
+            if job.cpus > self.pool.free_count() {
+                continue;
+            }
+            let wq_others = self.queue.len() - 1 - started.len();
+            let chosen = {
+                let ctx = self.ctx(job, wq_others);
+                let tm = self.time_model;
+                let now = self.now;
+                let profile_ref = &self.profile;
+                let mut fits = |gear: GearId| {
+                    let dur = tm.dilate(job.requested, job.beta, gear);
+                    profile_ref.can_fit(now, job.cpus, dur)
+                };
+                self.policy.backfill_gear(&ctx, &mut fits)
+            };
+            if let Some(gear) = chosen {
+                if self.try_start_job(id, gear, true) {
+                    let dur = self.time_model.dilate(job.requested, job.beta, gear);
+                    self.profile
+                        .commit(self.now, self.now.saturating_add(dur), job.cpus)
+                        .expect("policy returned a gear that does not fit");
+                    started.push(id);
+                }
+            }
+        }
+        if started.is_empty() {
+            self.stats.passes_skipped += 1;
+        } else {
+            self.stats.passes += 1;
+            self.remove_started(&started);
+            self.debug_check_profile();
+        }
+        started.clear();
+        self.scratch_started = started;
+    }
+
+    /// Debug-build parity check: the incrementally maintained committed
+    /// profile must be extensionally equal (for `t >= now`) to a fresh
+    /// rebuild plus the cached reservation.
+    #[cfg(debug_assertions)]
+    fn debug_check_profile(&self) {
+        let Some(c) = &self.cache else { return };
+        let mut b = ProfileBuilder::new(self.now, self.pool.total(), self.pool.free_count());
+        let floor = self.now + 1;
+        for (&t, &cpus) in &self.end_index {
+            b.release(t.max(floor), cpus);
+        }
+        let mut fresh = b.build();
+        fresh
+            .commit(c.start, c.end, self.jobs[c.head.index()].cpus)
+            .expect("cached reservation must fit a fresh profile");
+        let points = std::iter::once(self.now)
+            .chain(fresh.segments().iter().map(|&(t, _)| t))
+            .chain(self.profile.segments().iter().map(|&(t, _)| t))
+            .filter(|&t| t >= self.now);
+        for t in points {
+            debug_assert_eq!(
+                self.profile.available_at(t),
+                fresh.available_at(t),
+                "incremental profile diverged at {t:?}\nnow={:?}\ncache={:?}\nincr={:?}\nfresh={:?}\nend_index={:?}",
+                self.now,
+                c,
+                self.profile.segments(),
+                fresh.segments(),
+                self.end_index,
+            );
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_profile(&self) {}
+
     /// One EASY scheduling pass (see module docs).
     fn schedule_pass_easy(&mut self) {
+        // Take the completion delta recorded by `complete` (if this pass
+        // was triggered by one); it feeds the in-place profile update.
+        let completion = self.last_completion.take();
+        // Decide up front whether this pass may update the cached profile
+        // in place; the guard must be evaluated before step 1 mutates the
+        // pool (new running jobs always end strictly after `now`, so the
+        // verdict stays valid through the pass). A job that completed
+        // exactly at its expected end needs a rebuild: its pending release
+        // may sit floored at `now + 1` (same-instant rebuild) while the
+        // freed processors belong in the present.
+        let in_place = self.elide
+            && self.cache_usable()
+            && completion.is_none_or(|(expected_end, _)| expected_end > self.now);
+        if in_place {
+            // Drop fully-elapsed history so the profile stays proportional
+            // to the number of running jobs, then release the stale
+            // reservation — it is re-derived below — and pull the completed
+            // job's pending release forward to the present.
+            self.profile.advance_origin(self.now);
+            let c = self.cache.take().expect("cache_usable implies cache");
+            self.profile
+                .release_over(c.start, c.end, self.jobs[c.head.index()].cpus)
+                .expect("cached reservation lies within the profile");
+            if let Some((expected_end, cpus)) = completion {
+                self.profile
+                    .release_over(self.now, expected_end, cpus)
+                    .expect("completed job's window lies within the profile");
+            }
+        } else {
+            self.cache = None;
+        }
+
         // Step 1: start head jobs that fit right now.
         while let Some(&head) = self.queue.front() {
             let job = self.job(head);
@@ -586,24 +956,36 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             self.queue.pop_front();
             let ok = self.try_start_job(head, gear, false);
             debug_assert!(ok, "can_allocate promised the head would fit");
+            if in_place {
+                // Mirror the start into the live profile: busy until the
+                // job's expected (requested) end, exactly what a rebuild
+                // would derive.
+                let end = self.running[&head].expected_end;
+                self.profile
+                    .commit(self.now, end, job.cpus)
+                    .expect("started job's window fits the profile");
+            }
         }
         let Some(&head) = self.queue.front() else {
+            self.cache = None;
             return;
         };
 
-        // Step 2: reserve for the head on the profile of running jobs.
-        let mut builder = ProfileBuilder::new(self.now, self.pool.total(), self.pool.free_count());
-        for r in self.running.values() {
-            // A job whose expected end equals `now` is still physically
-            // running (its completion event sits later in this instant's
-            // event batch), so its processors become available strictly
-            // after `now`.
-            builder.release(r.expected_end.max(self.now + 1), r.cpus);
+        if !self.cfg.backfill && !self.cfg.collect_trace && self.cfg.incremental {
+            // Without backfilling the reservation constrains nothing (the
+            // head's actual start happens in step 1 of a later pass), so
+            // deriving it would be bookkeeping for no observer.
+            self.cache = None;
+            return;
         }
-        let mut profile = builder.build();
 
+        // Step 2: reserve for the head on the profile of running jobs.
+        if !in_place {
+            self.rebuild_profile();
+        }
         let head_job = self.job(head);
-        let res_start = profile
+        let res_start = self
+            .profile
             .earliest_fit(head_job.cpus, 1, self.now)
             .expect("head job fits an empty machine");
         // Under count-complete selection policies step 1 already started
@@ -625,9 +1007,17 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         let res_dur = self
             .time_model
             .dilate(head_job.requested, head_job.beta, res_gear);
-        profile
-            .commit(res_start, res_start.saturating_add(res_dur), head_job.cpus)
+        let res_end = res_start.saturating_add(res_dur);
+        self.profile
+            .commit(res_start, res_end, head_job.cpus)
             .expect("reservation fits by construction");
+        if self.elide {
+            self.cache = Some(HeadReservation {
+                head,
+                start: res_start,
+                end: res_end,
+            });
+        }
         if self.cfg.collect_trace {
             self.trace.push(TraceEvent::Reserve {
                 at: self.now,
@@ -642,9 +1032,12 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         }
 
         // Step 3: backfill the rest of the queue in arrival order.
-        let candidates: Vec<JobId> = self.queue.iter().skip(1).copied().collect();
-        let mut started: Vec<JobId> = Vec::new();
-        for id in candidates {
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend(self.queue.iter().skip(1).copied());
+        let mut started = std::mem::take(&mut self.scratch_started);
+        started.clear();
+        for &id in &candidates {
             let job = self.job(id);
             if job.cpus > self.pool.free_count() {
                 continue;
@@ -654,7 +1047,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 let ctx = self.ctx(job, wq_others);
                 let tm = self.time_model;
                 let now = self.now;
-                let profile_ref = &profile;
+                let profile_ref = &self.profile;
                 let mut fits = |gear: GearId| {
                     let dur = tm.dilate(job.requested, job.beta, gear);
                     profile_ref.can_fit(now, job.cpus, dur)
@@ -669,14 +1062,14 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                     // A down-geared backfill runs longer; it must still fit
                     // in front of the reservation or the job stays queued.
                     let dur = self.time_model.dilate(job.requested, job.beta, admitted);
-                    if !profile.can_fit(self.now, job.cpus, dur) {
+                    if !self.profile.can_fit(self.now, job.cpus, dur) {
                         self.hook_declined();
                         continue;
                     }
                 }
                 if self.try_start_job(id, admitted, true) {
                     let dur = self.time_model.dilate(job.requested, job.beta, admitted);
-                    profile
+                    self.profile
                         .commit(self.now, self.now.saturating_add(dur), job.cpus)
                         .expect("policy returned a gear that does not fit");
                     started.push(id);
@@ -685,33 +1078,41 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 }
             }
         }
-        if !started.is_empty() {
-            self.queue.retain(|id| !started.contains(id));
+        self.remove_started(&started);
+        if in_place {
+            self.debug_check_profile();
         }
+        candidates.clear();
+        started.clear();
+        self.scratch_candidates = candidates;
+        self.scratch_started = started;
     }
 
     /// One conservative-backfilling pass: every queued job receives an
     /// earliest-fit reservation in arrival order (duration-aware per gear,
     /// via [`FrequencyPolicy::reserve_gear`]); jobs whose reservation
-    /// starts now begin executing.
+    /// starts now begin executing. Conservative passes always rebuild the
+    /// profile (every queued job's reservation depends on every other), but
+    /// share the incremental engine's sorted index, reusable buffers and
+    /// O(queue) removal.
     fn schedule_pass_conservative(&mut self) {
-        let mut builder = ProfileBuilder::new(self.now, self.pool.total(), self.pool.free_count());
-        for r in self.running.values() {
-            builder.release(r.expected_end.max(self.now + 1), r.cpus);
-        }
-        let mut profile = builder.build();
+        self.last_completion = None;
+        self.rebuild_profile();
 
-        let snapshot: Vec<JobId> = self.queue.iter().copied().collect();
-        let mut started: Vec<JobId> = Vec::new();
+        let mut snapshot = std::mem::take(&mut self.scratch_candidates);
+        snapshot.clear();
+        snapshot.extend(self.queue.iter().copied());
+        let mut started = std::mem::take(&mut self.scratch_started);
+        started.clear();
         let mut earlier_still_waiting = false;
-        for id in snapshot {
+        for &id in &snapshot {
             let job = self.job(id);
             let wq_others = self.queue.len() - 1 - started.len();
             let (gear, start) = {
                 let ctx = self.ctx(job, wq_others);
                 let tm = self.time_model;
                 let now = self.now;
-                let profile_ref = &profile;
+                let profile_ref = &self.profile;
                 let mut find_start = |g: GearId| {
                     let dur = tm.dilate(job.requested, job.beta, g);
                     profile_ref
@@ -731,7 +1132,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                     Some(g) if g == gear => Some(g),
                     Some(g) => {
                         let dur = self.time_model.dilate(job.requested, job.beta, g);
-                        if profile.can_fit(self.now, job.cpus, dur) {
+                        if self.profile.can_fit(self.now, job.cpus, dur) {
                             Some(g)
                         } else {
                             self.hook_declined();
@@ -759,7 +1160,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 gear
             };
             let dur = self.time_model.dilate(job.requested, job.beta, commit_gear);
-            profile
+            self.profile
                 .commit(start, start.saturating_add(dur), job.cpus)
                 .expect("reserve_gear start came from earliest_fit");
             if can_start {
@@ -776,9 +1177,11 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 }
             }
         }
-        if !started.is_empty() {
-            self.queue.retain(|id| !started.contains(id));
-        }
+        self.remove_started(&started);
+        snapshot.clear();
+        started.clear();
+        self.scratch_candidates = snapshot;
+        self.scratch_started = started;
     }
 
     /// Dynamic-boost extension: re-time running reduced jobs to the top
@@ -850,11 +1253,18 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             .max(wall);
         let from = r.gear;
         let cpus = r.cpus;
+        let old_expected_end = r.expected_end;
         r.gear = gear;
         r.phase_start = self.now;
         r.expected_end = self.now + expected_wall;
         r.epoch += 1;
         let epoch = r.epoch;
+        let new_expected_end = r.expected_end;
+        self.end_index_remove(old_expected_end, cpus);
+        *self.end_index.entry(new_expected_end).or_insert(0) += cpus;
+        // A re-time moves the job's pending release; the cached profile no
+        // longer matches (boost disables elision, but stay defensive).
+        self.cache = None;
         self.events.push(self.now + wall, Event::Finish(id, epoch));
         let now = self.now;
         if let Some(h) = self.hook.as_deref_mut() {
@@ -1498,6 +1908,171 @@ mod tests {
         for o in &res.outcomes {
             assert_eq!(o.gear, GearId(0));
         }
+    }
+
+    #[test]
+    fn overrunning_job_killed_at_request() {
+        // A directly constructed job whose runtime exceeds the estimate
+        // (real traces contain these) is killed at its requested time.
+        let mut job = j(0, 0, 2, 100, 100);
+        job.runtime = 500; // overrun past the 100 s estimate
+        let res = run(4, &[job]);
+        let o = &res.outcomes[0];
+        assert_eq!(o.finish, Time(100), "killed at the dilated request");
+        o.validate().unwrap();
+        // A later job sees the processors free at the kill time.
+        let mut over = j(0, 0, 4, 100, 100);
+        over.runtime = 999;
+        let jobs = vec![over, j(1, 10, 4, 50, 50)];
+        let res = run(4, &jobs);
+        assert_eq!(start_of(&res, 1), Time(100));
+    }
+
+    /// A workload mixing bursts, contention, exact estimates, overruns and
+    /// early finishes — the A/B stress shape.
+    fn ab_workload(n: u32) -> Vec<Job> {
+        (0..n)
+            .map(|i| {
+                let arrival = (i as u64 / 3) * 7; // same-instant bursts of 3
+                let cpus = 1 + i % 7;
+                let runtime = 20 + (i as u64 * 37) % 400;
+                let requested = if i % 5 == 0 {
+                    runtime // exact estimate
+                } else {
+                    runtime + (i as u64 * 13) % 600
+                };
+                j(i, arrival, cpus, runtime, requested)
+            })
+            .collect()
+    }
+
+    fn run_with(jobs: &[Job], cpus: u32, cfg: &EngineConfig) -> SimResult {
+        let tmm = tm();
+        simulate(&cluster(cpus), jobs, &top_policy(), &tmm, cfg).unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_full_rescan_easy() {
+        let jobs = ab_workload(120);
+        let incr = run_with(&jobs, 8, &EngineConfig::default());
+        let full = run_with(
+            &jobs,
+            8,
+            &EngineConfig {
+                incremental: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            incr.outcomes, full.outcomes,
+            "outcomes must be bit-identical"
+        );
+        assert_eq!(full.stats.passes_skipped, 0);
+        assert!(
+            incr.stats.profile_rebuilds < full.stats.profile_rebuilds,
+            "incremental must rebuild less: {} vs {}",
+            incr.stats.profile_rebuilds,
+            full.stats.profile_rebuilds
+        );
+        assert!(incr.stats.passes_skipped > 0, "saturation must skip passes");
+    }
+
+    #[test]
+    fn incremental_matches_full_rescan_conservative() {
+        let jobs = ab_workload(100);
+        let mk = |incremental| {
+            run_with(
+                &jobs,
+                8,
+                &EngineConfig {
+                    mode: SchedMode::Conservative,
+                    incremental,
+                    ..Default::default()
+                },
+            )
+        };
+        assert_eq!(mk(true).outcomes, mk(false).outcomes);
+    }
+
+    #[test]
+    fn incremental_matches_full_rescan_without_backfill() {
+        let jobs = ab_workload(90);
+        let mk = |incremental| {
+            run_with(
+                &jobs,
+                8,
+                &EngineConfig {
+                    backfill: false,
+                    incremental,
+                    ..Default::default()
+                },
+            )
+        };
+        let incr = mk(true);
+        let full = mk(false);
+        assert_eq!(incr.outcomes, full.outcomes);
+        assert_eq!(
+            incr.stats.profile_rebuilds, 0,
+            "FCFS reservations are bookkeeping only; no rebuild needed"
+        );
+        assert!(full.stats.profile_rebuilds > 0);
+    }
+
+    #[test]
+    fn incremental_matches_full_under_reduced_gear_policy() {
+        // A fixed reduced gear dilates every duration; elision still holds.
+        let jobs = ab_workload(80);
+        let tmm = tm();
+        let low = FixedGearPolicy::new(GearId(1));
+        let mk = |incremental| {
+            simulate(
+                &cluster(8),
+                &jobs,
+                &low,
+                &tmm,
+                &EngineConfig {
+                    incremental,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .outcomes
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn contiguous_selection_disables_stale_reservations() {
+        // Fragmentation forces reservations that start "now"; the cache
+        // must refuse to reuse them and outcomes must stay identical.
+        let jobs = ab_workload(60);
+        let mk = |incremental| {
+            run_with(
+                &jobs,
+                8,
+                &EngineConfig {
+                    selection: SelectionPolicy::ContiguousFirstFit,
+                    incremental,
+                    ..Default::default()
+                },
+            )
+        };
+        assert_eq!(mk(true).outcomes, mk(false).outcomes);
+    }
+
+    #[test]
+    fn trace_collection_forces_full_passes() {
+        // collect_trace must keep per-event Reserve records: no elision.
+        let jobs = ab_workload(40);
+        let res = run_with(
+            &jobs,
+            8,
+            &EngineConfig {
+                collect_trace: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.stats.passes_skipped, 0);
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod policy;
 pub mod validate;
 
 pub use engine::{
-    simulate, simulate_with_hook, BoostConfig, EngineConfig, SchedMode, SimError, SimResult,
-    Simulation, TraceEvent,
+    simulate, simulate_with_hook, BoostConfig, EngineConfig, PassStats, SchedMode, SimError,
+    SimResult, Simulation, TraceEvent,
 };
 pub use hook::{NoopHook, PowerHook};
 pub use policy::{DecisionCtx, FixedGearPolicy, FrequencyPolicy};

@@ -91,6 +91,30 @@ pub trait FrequencyPolicy {
             (gear, find_start(gear))
         }
     }
+
+    /// Whether the engine may *elide* provably no-op scheduling passes and
+    /// reuse a cached head reservation under this policy (the incremental
+    /// hot path). Defaults to `false` — opting in is a promise about the
+    /// policy's decision structure:
+    ///
+    /// 1. [`FrequencyPolicy::head_gear`] depends only on the job and the
+    ///    proposed start time — not on `ctx.now` or `ctx.wq_others` — so a
+    ///    cached reservation stays correct while the availability profile
+    ///    is unchanged;
+    /// 2. [`FrequencyPolicy::backfill_gear`] is *monotone*: once it returns
+    ///    `None` for a job, it keeps returning `None` when the job's wait
+    ///    grows, the wait queue deepens, or the `fits` oracle weakens
+    ///    pointwise (fewer gears fit). Under that property a candidate that
+    ///    failed to backfill cannot start until a completion changes the
+    ///    profile, so arrival events that add non-starting jobs need no
+    ///    full pass.
+    ///
+    /// Policies that use `wq_others` as a *gate that can re-enable lower
+    /// gears* (e.g. a `WQ_threshold` limit flipping the head gear to top)
+    /// must return `false`.
+    fn pass_elision_safe(&self) -> bool {
+        false
+    }
 }
 
 /// Pins every job to a single gear.
@@ -130,6 +154,12 @@ impl FrequencyPolicy for FixedGearPolicy {
         find_start: &mut dyn FnMut(GearId) -> Time,
     ) -> (GearId, Time) {
         (self.gear, find_start(self.gear))
+    }
+
+    fn pass_elision_safe(&self) -> bool {
+        // The gear is constant and backfilling only asks `fits(gear)`:
+        // trivially start-time-pure and monotone.
+        true
     }
 }
 

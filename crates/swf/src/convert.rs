@@ -10,8 +10,15 @@ use crate::record::SwfRecord;
 /// Records without a usable size or runtime are skipped (cleaning normally
 /// removes them first). Jobs are re-identified densely in input order, which
 /// is also arrival order after cleaning. The user estimate falls back to the
-/// actual runtime when the log has none, and is clamped to be at least the
-/// runtime (see [`Job::new`]).
+/// actual runtime when the log has none.
+///
+/// Real logs contain jobs whose recorded runtime *exceeds* the user
+/// estimate (runs that overran and were killed at the requested limit, with
+/// teardown time logged on top). EASY's reservation bookkeeping treats the
+/// estimate as binding, so such runtimes are clamped down to the estimate —
+/// kill-at-request semantics, mirroring what the batch system actually did.
+/// The engine applies the same clamp defensively for directly constructed
+/// jobs.
 pub fn records_to_jobs(records: &[SwfRecord]) -> Vec<Job> {
     let mut jobs = Vec::with_capacity(records.len());
     for r in records {
@@ -21,11 +28,12 @@ pub fn records_to_jobs(records: &[SwfRecord]) -> Vec<Job> {
         if r.run_time <= 0 || r.submit < 0 {
             continue;
         }
+        let runtime = (r.run_time as u64).min(req);
         jobs.push(Job::new(
             jobs.len() as u32,
             Time(r.submit as u64),
             procs,
-            r.run_time as u64,
+            runtime,
             req,
         ));
     }
@@ -66,13 +74,14 @@ mod tests {
     }
 
     #[test]
-    fn estimate_clamped_to_runtime() {
+    fn overrunning_record_killed_at_request() {
+        // Recorded runtime 500 s against a 100 s estimate: the job was
+        // killed at its requested limit, so the simulator runs it for 100 s.
         let mut r = SwfRecord::simple(1, 0, 500, 2, 100);
         r.req_time = 100; // shorter than actual runtime
         let jobs = records_to_jobs(&[r]);
-        assert_eq!(
-            jobs[0].requested, 500,
-            "Job::new clamps requested >= runtime"
-        );
+        assert_eq!(jobs[0].runtime, 100, "runtime clamps down to the estimate");
+        assert_eq!(jobs[0].requested, 100);
+        assert!(jobs[0].estimate_exact());
     }
 }

@@ -1,0 +1,148 @@
+//! A/B determinism harness: the incremental scheduling engine vs the full
+//! re-scheduling oracle.
+//!
+//! `EngineConfig::incremental = false` preserves the pre-refactor
+//! behaviour — every event rebuilds the availability profile and re-runs
+//! the whole pass. These tests replay the paper's grid (Figs. 3–5) and
+//! enlarged-system (Figs. 7–9) experiment shapes at reduced scale and
+//! assert the incremental engine produces **bit-identical**
+//! `SimResult.outcomes`, while doing measurably fewer full profile
+//! rebuilds (counters exposed via `SimResult::stats` /
+//! `RunResult::pass_stats`).
+
+use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
+use bsld::model::Job;
+use bsld::simkernel::Time;
+use bsld::workload::profiles::TraceProfile;
+
+const AB_JOBS: usize = 250;
+const AB_SEED: u64 = 2010;
+
+fn grid_profiles() -> Vec<TraceProfile> {
+    TraceProfile::paper_five()
+}
+
+#[test]
+fn grid_outcomes_bit_identical() {
+    // The grid sweep: every workload × BSLD threshold × WQ threshold, plus
+    // the no-DVFS baseline, incremental vs full re-scan.
+    let thresholds = [1.5, 3.0];
+    let wqs = [
+        WqThreshold::Limit(0),
+        WqThreshold::Limit(16),
+        WqThreshold::NoLimit,
+    ];
+    for profile in grid_profiles() {
+        let w = profile.generate(AB_SEED, AB_JOBS);
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let oracle = sim.clone().with_full_rescan();
+
+        let a = sim.run_baseline(&w.jobs).unwrap();
+        let b = oracle.run_baseline(&w.jobs).unwrap();
+        assert_eq!(
+            a.outcomes, b.outcomes,
+            "{}: baseline diverged",
+            w.cluster_name
+        );
+
+        for bt in thresholds {
+            for wq in wqs {
+                let cfg = PowerAwareConfig {
+                    bsld_threshold: bt,
+                    wq_threshold: wq,
+                };
+                let a = sim.run_power_aware(&w.jobs, &cfg).unwrap();
+                let b = oracle.run_power_aware(&w.jobs, &cfg).unwrap();
+                assert_eq!(
+                    a.outcomes,
+                    b.outcomes,
+                    "{}: diverged at {}",
+                    w.cluster_name,
+                    cfg.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn enlarged_outcomes_bit_identical() {
+    // The enlarged-systems sweep shape: BSLD threshold 2, WQ ∈ {0, NO},
+    // machine enlarged by the paper's sizes.
+    for profile in [TraceProfile::sdsc_blue(), TraceProfile::ctc()] {
+        let w = profile.generate(AB_SEED, AB_JOBS);
+        let base = Simulator::paper_default(&w.cluster_name, w.cpus);
+        for pct in [10, 50, 125] {
+            for wq in [WqThreshold::Limit(0), WqThreshold::NoLimit] {
+                let cfg = PowerAwareConfig {
+                    bsld_threshold: 2.0,
+                    wq_threshold: wq,
+                };
+                let sim = base.enlarged(pct);
+                let a = sim.run_power_aware(&w.jobs, &cfg).unwrap();
+                let b = sim
+                    .clone()
+                    .with_full_rescan()
+                    .run_power_aware(&w.jobs, &cfg)
+                    .unwrap();
+                assert_eq!(
+                    a.outcomes,
+                    b.outcomes,
+                    "{} +{}%: diverged at {}",
+                    w.cluster_name,
+                    pct,
+                    cfg.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conservative_outcomes_bit_identical() {
+    let w = TraceProfile::sdsc().generate(AB_SEED, AB_JOBS);
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus).with_conservative();
+    let a = sim.run_baseline(&w.jobs).unwrap();
+    let b = sim
+        .clone()
+        .with_full_rescan()
+        .run_baseline(&w.jobs)
+        .unwrap();
+    assert_eq!(a.outcomes, b.outcomes);
+}
+
+/// A deliberately saturated workload: arrivals outpace service so the
+/// queue stays deep — the regime where the incremental engine's skip and
+/// in-place updates pay off.
+fn saturated_workload(n: u32) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            let arrival = (i as u64 / 4) * 15; // bursts of four every 15 s
+            let cpus = 1 + i % 8;
+            let runtime = 300 + (i as u64 * 41) % 900;
+            let requested = runtime + 100 + (i as u64 * 17) % 1200;
+            Job::new(i, Time(arrival), cpus, runtime, requested)
+        })
+        .collect()
+}
+
+#[test]
+fn saturated_load_halves_profile_rebuilds() {
+    // The acceptance gate at test scale (the criterion bench replays it at
+    // 10k jobs): outcomes identical, and the incremental engine performs
+    // at least 2x fewer full profile rebuilds than the oracle.
+    let jobs = saturated_workload(2_000);
+    let sim = Simulator::paper_default("saturated", 32);
+    let incr = sim.run_baseline(&jobs).unwrap();
+    let full = sim.clone().with_full_rescan().run_baseline(&jobs).unwrap();
+
+    assert_eq!(incr.outcomes, full.outcomes, "outcomes must be identical");
+    assert_eq!(full.pass_stats.passes_skipped, 0);
+    assert!(incr.pass_stats.passes_skipped > 0);
+    assert!(
+        2 * incr.pass_stats.profile_rebuilds <= full.pass_stats.profile_rebuilds,
+        "expected >= 2x fewer rebuilds: incremental {} vs full {}",
+        incr.pass_stats.profile_rebuilds,
+        full.pass_stats.profile_rebuilds
+    );
+}

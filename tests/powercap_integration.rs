@@ -181,3 +181,42 @@ fn power_series_is_a_well_formed_step_function() {
         "resampled integral {coarse_integral} + wake {wake} vs exact {exact_integral}"
     );
 }
+
+#[test]
+fn deferred_head_on_idle_machine_wakes_once_per_sleep_transition() {
+    // A 16-cpu machine with a budget below its awake-idle draw: a single
+    // 1-cpu job cannot start until the idle processors descend into their
+    // first sleep state at t=60 (SleepConfig::paper_default). No job event
+    // exists before then, so only the hook-reported power event can wake
+    // the scheduler — and it must do so exactly once.
+    //
+    // Budget calibration (A = p_active(top), p_idle = 0.21 A):
+    //   awake-idle draw               16 * 0.21 A ≈ 3.36 A  (> budget)
+    //   napping draw + job at top      15 * 0.4 * 0.21 A + A ≈ 2.26 A
+    // so 2.5 A (fraction 2.5/16 of peak) vetoes at t=0 and admits at t=60.
+    let sim = Simulator::paper_default("wake-test", 16);
+    let jobs = vec![bsld::model::Job::new(
+        0,
+        bsld::simkernel::Time(0),
+        1,
+        50,
+        50,
+    )];
+    let cfg = PowerCapConfig::hard(2.5 / 16.0).with_sleep(SleepConfig::paper_default());
+    let r = sim.run_power_capped(&jobs, &cfg).unwrap();
+
+    assert_eq!(r.run.outcomes.len(), 1, "the run must not stall");
+    let o = &r.run.outcomes[0];
+    assert_eq!(
+        o.start,
+        bsld::simkernel::Time(60),
+        "start at the first sleep transition"
+    );
+    // Exactly three passes: the vetoed arrival, the single power-retry
+    // wake-up (start), and the completion. A duplicated retry event would
+    // add a fourth; a swallowed one would stall.
+    assert_eq!(r.run.pass_stats.passes, 3, "exactly one wake-up");
+    assert_eq!(r.power.cap.deferrals, 1, "one veto at arrival");
+    assert!(r.power.sleep.sleeps >= 1);
+    assert!(r.power.sleep.wakes >= 1);
+}

@@ -132,3 +132,43 @@ proptest! {
         }
     }
 }
+
+/// An overrunning record (runtime past the user estimate) replayed through
+/// the *uncleaned* conversion path: `records_to_jobs` applies
+/// kill-at-request semantics, and the engine runs the result without
+/// tripping its `wall <= expected` bookkeeping.
+#[test]
+fn overrunning_record_replays_with_kill_at_request() {
+    let mut records = vec![
+        SwfRecord::simple(1, 0, 3600, 8, 3600),
+        SwfRecord::simple(2, 10, 500, 4, 7200),
+    ];
+    // Ran 900 s against a 600 s estimate: killed at 600.
+    let mut overrun = SwfRecord::simple(3, 20, 900, 4, 600);
+    overrun.req_time = 600;
+    records.push(overrun);
+
+    let trace = SwfTrace {
+        header: SwfHeader {
+            max_procs: Some(16),
+            ..Default::default()
+        },
+        records,
+    };
+    // Deliberately no clean_trace: conversion itself must clamp.
+    let w = Workload::from_swf("overrun", &trace);
+    let killed = w.jobs.iter().find(|j| j.cpus == 4 && j.requested == 600);
+    let killed = killed.expect("overrunning job converted");
+    assert_eq!(killed.runtime, 600, "killed at the requested limit");
+
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    let res = sim.run_baseline(&w.jobs).unwrap();
+    assert_eq!(res.outcomes.len(), w.jobs.len());
+    validate_schedule(&res.outcomes, w.cpus).unwrap();
+    let o = res
+        .outcomes
+        .iter()
+        .find(|o| o.requested == 600)
+        .expect("outcome for the killed job");
+    assert_eq!(o.finish - o.start, 600, "executes for exactly the estimate");
+}
