@@ -19,6 +19,9 @@
 //!   calibrate  baseline-vs-paper calibration summary (same as table1)
 //!
 //! tooling subcommands:
+//!   run FILE.scn [--jobs N] [--seed S]   parse a scenario file (sweep axes
+//!                                        included), expand and run every
+//!                                        cell, print the result table
 //!   generate --workload W --swf FILE     export a calibrated synthetic
 //!                                        workload as an SWF trace
 //!   simulate [--workload W | --swf FILE] [--bsld-th X] [--wq N|no]
@@ -33,21 +36,48 @@ use std::process::ExitCode;
 
 use bsld_core::experiments::{ablation, enlarged, fig6, grid, powercap, table1, ExpOptions};
 use bsld_core::policy::WqThreshold;
-use bsld_core::{PowerAwareConfig, Simulator};
-use bsld_metrics::{Json, RunDetails};
-use bsld_workload::profiles::TraceProfile;
-use bsld_workload::Workload;
+use bsld_core::scenario::{PolicySpec, ProfileName, ScenarioSet, WorkloadSpec};
+use bsld_core::Scenario;
+use bsld_metrics::{Json, RunDetails, TextTable};
 
-fn usage() -> &'static str {
-    "usage: bsld-repro <table1|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablations|powercap|all\
-     |calibrate|generate|simulate> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
-     generate:  --workload <ctc|sdsc|blue|thunder|atlas> --swf FILE\n\
-     simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]"
+/// Every experiment name the CLI accepts, shown by `--help` and by
+/// unknown-experiment errors.
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablations",
+    "powercap",
+    "all",
+    "calibrate",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: bsld-repro <{}|run|generate|simulate> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+         run:       run FILE.scn [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+         generate:  --workload <ctc|sdsc|blue|thunder|atlas> --swf FILE\n\
+         simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]",
+        EXPERIMENTS.join("|")
+    )
 }
 
 struct Args {
     experiment: String,
     opts: ExpOptions,
+    /// `true` iff `--jobs`/`--seed`/an output flag was given explicitly
+    /// (the `run` subcommand only overrides the scenario file then).
+    jobs_set: bool,
+    seed_set: bool,
+    out_set: bool,
+    /// Positional argument after the subcommand (the `.scn` path for `run`).
+    positional: Option<String>,
     // tooling options
     workload: Option<String>,
     swf: Option<PathBuf>,
@@ -59,9 +89,15 @@ struct Args {
     export: Option<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// `Ok(true)`: `--help` was requested (print usage, exit 0).
+fn parse_args() -> Result<(Args, bool), String> {
     let mut opts = ExpOptions::default();
     let mut experiment: Option<String> = None;
+    let mut positional = None;
+    let mut jobs_set = false;
+    let mut seed_set = false;
+    let mut out_set = false;
+    let mut help = false;
     let mut workload = None;
     let mut swf = None;
     let mut bsld_th = None;
@@ -75,10 +111,12 @@ fn parse_args() -> Result<Args, String> {
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 opts.jobs = v.parse().map_err(|_| format!("bad --jobs value: {v}"))?;
+                jobs_set = true;
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+                seed_set = true;
             }
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
@@ -87,9 +125,11 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
                 opts.out_dir = Some(PathBuf::from(v));
+                out_set = true;
             }
             "--no-csv" => {
                 opts.out_dir = None;
+                out_set = true;
             }
             "--workload" => {
                 workload = Some(it.next().ok_or("--workload needs a value")?);
@@ -103,11 +143,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--wq" => {
                 let v = it.next().ok_or("--wq needs a value")?;
-                wq = Some(if v.eq_ignore_ascii_case("no") {
-                    WqThreshold::NoLimit
-                } else {
-                    WqThreshold::Limit(v.parse().map_err(|_| format!("bad --wq value: {v}"))?)
-                });
+                wq = Some(WqThreshold::parse(&v)?);
             }
             "--conservative" => conservative = true,
             "--boost" => {
@@ -117,51 +153,96 @@ fn parse_args() -> Result<Args, String> {
             "--export" => {
                 export = Some(it.next().ok_or("--export needs a path prefix")?);
             }
-            "--help" | "-h" => return Err(usage().to_string()),
+            "--help" | "-h" => help = true,
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
+            }
+            // Only `run` takes a positional operand (the .scn path);
+            // anywhere else a stray bare word is an error, not ignored.
+            other
+                if experiment.as_deref() == Some("run")
+                    && positional.is_none()
+                    && !other.starts_with('-') =>
+            {
+                positional = Some(other.to_string());
             }
             other => return Err(format!("unknown argument: {other}\n{}", usage())),
         }
     }
-    let experiment = experiment.ok_or_else(|| usage().to_string())?;
-    Ok(Args {
-        experiment,
-        opts,
-        workload,
-        swf,
-        bsld_th,
-        wq,
-        conservative,
-        boost,
-        export,
-    })
-}
-
-fn profile_by_name(name: &str) -> Result<TraceProfile, String> {
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "ctc" => TraceProfile::ctc(),
-        "sdsc" => TraceProfile::sdsc(),
-        "blue" | "sdscblue" => TraceProfile::sdsc_blue(),
-        "thunder" | "llnlthunder" => TraceProfile::llnl_thunder(),
-        "atlas" | "llnlatlas" => TraceProfile::llnl_atlas(),
-        other => return Err(format!("unknown workload: {other}")),
-    })
-}
-
-fn load_workload(args: &Args) -> Result<Workload, String> {
-    match (&args.swf, &args.workload) {
-        (Some(path), _) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            let mut trace = bsld_swf::parse_swf(&text).map_err(|e| e.to_string())?;
-            bsld_swf::clean_trace(&mut trace, &bsld_swf::CleanConfig::default());
-            let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
-            Ok(Workload::from_swf(name, &trace))
-        }
-        (None, Some(name)) => Ok(profile_by_name(name)?.generate(args.opts.seed, args.opts.jobs)),
-        (None, None) => Err("simulate/generate need --workload or --swf".to_string()),
+    if help {
+        // A bare `--help` needs no experiment.
+        return Ok((
+            Args {
+                experiment: String::new(),
+                opts,
+                jobs_set,
+                seed_set,
+                out_set,
+                positional,
+                workload,
+                swf,
+                bsld_th,
+                wq,
+                conservative,
+                boost,
+                export,
+            },
+            true,
+        ));
     }
+    let experiment = experiment.ok_or_else(usage)?;
+    Ok((
+        Args {
+            experiment,
+            opts,
+            jobs_set,
+            seed_set,
+            out_set,
+            positional,
+            workload,
+            swf,
+            bsld_th,
+            wq,
+            conservative,
+            boost,
+            export,
+        },
+        false,
+    ))
+}
+
+/// Builds the scenario described by the tooling flags (`--workload` /
+/// `--swf`, policy and engine options) — the single construction path both
+/// `simulate` and `generate` go through.
+fn scenario_from_args(args: &Args) -> Result<Scenario, String> {
+    let mut sc = match (&args.swf, &args.workload) {
+        (Some(path), _) => {
+            let mut sc = Scenario::synthetic("cli", ProfileName::Ctc, 0, 0);
+            sc.workload = WorkloadSpec::Swf {
+                path: path.clone(),
+                clean: true,
+            };
+            sc
+        }
+        (None, Some(name)) => Scenario::synthetic(
+            "cli",
+            ProfileName::parse(name)?,
+            args.opts.jobs,
+            args.opts.seed,
+        ),
+        (None, None) => return Err("simulate/generate need --workload or --swf".to_string()),
+    };
+    if args.conservative {
+        sc.engine.mode = bsld_sched::SchedMode::Conservative;
+    }
+    sc.power.boost = args.boost;
+    if let Some(th) = args.bsld_th {
+        sc.policy = PolicySpec::BsldThreshold {
+            th,
+            wq: args.wq.unwrap_or(WqThreshold::NoLimit),
+        };
+    }
+    Ok(sc)
 }
 
 fn run_generate(args: &Args) -> Result<(), String> {
@@ -170,7 +251,10 @@ fn run_generate(args: &Args) -> Result<(), String> {
         .as_deref()
         .ok_or("generate needs --workload")?;
     let out = args.swf.clone().ok_or("generate needs --swf FILE")?;
-    let w = profile_by_name(name)?.generate(args.opts.seed, args.opts.jobs);
+    let profile = ProfileName::parse(name)?;
+    let w = Scenario::synthetic("generate", profile, args.opts.jobs, args.opts.seed)
+        .build_workload()
+        .map_err(|e| e.to_string())?;
     let text = bsld_swf::write_swf(&w.to_swf());
     std::fs::write(&out, text).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     eprintln!(
@@ -184,40 +268,24 @@ fn run_generate(args: &Args) -> Result<(), String> {
 }
 
 fn run_simulate(args: &Args) -> Result<(), String> {
-    let w = load_workload(args)?;
-    let mut sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    if args.conservative {
-        sim = sim.with_conservative();
-    }
-    if let Some(limit) = args.boost {
-        sim = sim.with_boost(limit);
-    }
-    let res = match args.bsld_th {
-        None => {
-            println!(
-                "{}: {} jobs on {} cpus — EASY baseline (no DVFS)",
-                w.cluster_name,
-                w.jobs.len(),
-                w.cpus
-            );
-            sim.run_baseline(&w.jobs)
-        }
-        Some(th) => {
-            let cfg = PowerAwareConfig {
-                bsld_threshold: th,
-                wq_threshold: args.wq.unwrap_or(WqThreshold::NoLimit),
-            };
-            println!(
-                "{}: {} jobs on {} cpus — power-aware {}",
-                w.cluster_name,
-                w.jobs.len(),
-                w.cpus,
-                cfg.label()
-            );
-            sim.run_power_aware(&w.jobs, &cfg)
-        }
-    }
-    .map_err(|e| e.to_string())?;
+    let sc = scenario_from_args(args)?;
+    let w = sc.build_workload().map_err(|e| e.to_string())?;
+    let sim = sc.simulator(&w);
+    let label = match &sc.policy {
+        PolicySpec::Baseline => "EASY baseline (no DVFS)".to_string(),
+        PolicySpec::FixedGear(g) => format!("fixed gear {g}"),
+        PolicySpec::BsldThreshold { th, wq } => format!("power-aware {th}/{}", wq.label()),
+    };
+    println!(
+        "{}: {} jobs on {} cpus — {label}",
+        w.cluster_name,
+        w.jobs.len(),
+        w.cpus
+    );
+    let res = sc
+        .run_prepared(&sim, &w.jobs)
+        .map_err(|e| e.to_string())?
+        .run;
     let m = &res.metrics;
     println!(
         "avg BSLD {:.2} | avg wait {:.0} s | reduced {} | util {:.3} | makespan {:.1} d",
@@ -294,14 +362,170 @@ fn export_schedule(prefix: &str, outcomes: &[bsld_model::JobOutcome]) -> std::io
     Ok(())
 }
 
+/// The `run FILE.scn` subcommand: parse, expand the sweep axes, run every
+/// cell in parallel and print/write a results table.
+fn run_scenario_file(args: &Args) -> Result<(), String> {
+    // simulate/generate flags have no meaning here; accepting them would
+    // let a user believe they overrode the file's configuration.
+    for (flag, given) in [
+        ("--workload", args.workload.is_some()),
+        ("--swf", args.swf.is_some()),
+        ("--bsld-th", args.bsld_th.is_some()),
+        ("--wq", args.wq.is_some()),
+        ("--conservative", args.conservative),
+        ("--boost", args.boost.is_some()),
+        ("--export", args.export.is_some()),
+    ] {
+        if given {
+            return Err(format!(
+                "{flag} does not apply to `run`: the scenario file defines the configuration"
+            ));
+        }
+    }
+    let path = args
+        .positional
+        .as_deref()
+        .ok_or("run needs a scenario file: bsld-repro run FILE.scn")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut set = ScenarioSet::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if args.jobs_set || args.seed_set {
+        match &mut set.base.workload {
+            WorkloadSpec::Synthetic { jobs, seed, .. } => {
+                if args.jobs_set {
+                    *jobs = args.opts.jobs;
+                }
+                if args.seed_set {
+                    *seed = args.opts.seed;
+                }
+            }
+            WorkloadSpec::Swf { path: swf, .. } => {
+                eprintln!(
+                    "# warning: --jobs/--seed do not apply to an SWF workload; \
+                     replaying the full trace {}",
+                    swf.display()
+                );
+            }
+        }
+    }
+    if args.out_set {
+        set.base.output.out_dir = args.opts.out_dir.clone();
+    }
+    let cells = set.expand().map_err(|e| e.to_string())?;
+    eprintln!("# {path}: {} scenario(s)", cells.len());
+    let results = bsld_core::scenario::run_many(&cells, args.opts.threads);
+
+    let mut t = TextTable::new(vec![
+        "scenario",
+        "jobs",
+        "avgBSLD",
+        "avgWait(s)",
+        "reduced",
+        "E(comp)",
+        "E(ledger)",
+        "peak/budget",
+    ]);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for (sc, res) in cells.iter().zip(results) {
+        let res = match res {
+            Ok(r) => r,
+            // One infeasible cell must not discard the completed ones:
+            // record an error row, keep rendering/writing the rest.
+            Err(e) => {
+                failures.push(format!("{}: {e}", sc.name));
+                let row = |msg: &str, width: usize| {
+                    let mut r = vec![sc.name.clone(), msg.to_string()];
+                    r.extend(std::iter::repeat_n("-".to_string(), width - 2));
+                    r
+                };
+                t.row(row("FAILED", 8));
+                rows.push(row("failed", 9));
+                continue;
+            }
+        };
+        let m = &res.run.metrics;
+        // One formatter, two precisions: coarse for the on-screen table,
+        // full for the persisted CSV.
+        let power_fields = |digits: usize| match &res.power {
+            Some(p) => (
+                format!("{:.digits$e}", p.energy),
+                match p.budget {
+                    Some(b) if b > 0.0 => format!("{:.digits$}", p.peak / b),
+                    _ => "-".to_string(),
+                },
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let (ledger_disp, peak_disp) = power_fields(3);
+        let (ledger_csv, peak_csv) = power_fields(6);
+        t.row(vec![
+            sc.name.clone(),
+            m.jobs.to_string(),
+            format!("{:.2}", m.avg_bsld),
+            format!("{:.0}", m.avg_wait_secs),
+            m.reduced_jobs.to_string(),
+            format!("{:.3e}", m.energy.computational),
+            ledger_disp,
+            peak_disp,
+        ]);
+        rows.push(vec![
+            sc.name.clone(),
+            m.jobs.to_string(),
+            format!("{:.4}", m.avg_bsld),
+            format!("{:.1}", m.avg_wait_secs),
+            m.reduced_jobs.to_string(),
+            format!("{:.6e}", m.energy.computational),
+            format!("{:.6e}", m.energy.with_idle),
+            ledger_csv,
+            peak_csv,
+        ]);
+    }
+    println!("{}", t.render());
+    if let Some(dir) = &set.base.output.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let out = dir.join("scenario_results.csv");
+        let mut f = std::fs::File::create(&out).map_err(|e| e.to_string())?;
+        bsld_metrics::write_csv(
+            &mut f,
+            &[
+                "scenario",
+                "jobs",
+                "avg_bsld",
+                "avg_wait_s",
+                "reduced_jobs",
+                "energy_comp",
+                "energy_idle",
+                "energy_ledger",
+                "peak_over_budget",
+            ],
+            &rows,
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!("# wrote {}", out.display());
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} of {} scenario(s) failed:\n  {}",
+            failures.len(),
+            cells.len(),
+            failures.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let (args, help) = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
+    if help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
     let opts = &args.opts;
     eprintln!(
         "# bsld-repro: {} (jobs={}, seed={}, threads={})",
@@ -309,6 +533,12 @@ fn main() -> ExitCode {
     );
     let t0 = std::time::Instant::now();
     match args.experiment.as_str() {
+        "run" => {
+            if let Err(e) = run_scenario_file(&args) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "generate" => {
             if let Err(e) = run_generate(&args) {
                 eprintln!("{e}");
@@ -428,7 +658,11 @@ fn main() -> ExitCode {
             write_summary_json(opts, &t, &g);
         }
         other => {
-            eprintln!("unknown experiment: {other}\n{}", usage());
+            eprintln!(
+                "unknown experiment: {other} (valid: {}, run, generate, simulate)\n{}",
+                EXPERIMENTS.join(", "),
+                usage()
+            );
             return ExitCode::FAILURE;
         }
     }

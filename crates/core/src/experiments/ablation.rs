@@ -8,15 +8,17 @@
 //! * [`beta`] — per-job β instead of the global β = 0.5;
 //! * [`fcfs`] — the scheduling substrate ablation: EASY vs. plain FCFS;
 //! * [`gears`] — gear-set granularity: 2, 3, 6 (paper) and 12 gears.
+//!
+//! Every variant is a declarative [`scenario::Scenario`]; a study is a
+//! labelled scenario list run in parallel through
+//! [`scenario::run_many`].
 
-use bsld_cluster::{Cluster, Gear, GearSet};
 use bsld_metrics::TextTable;
-use bsld_par::par_map;
-use bsld_workload::profiles::{BetaSpec, TraceProfile};
+use bsld_workload::profiles::BetaSpec;
 
-use super::{fmt, write_artifact, ExpOptions};
+use super::{expect_run, fmt, write_artifact, ExpOptions};
 use crate::policy::PowerAwareConfig;
-use crate::sim::Simulator;
+use crate::scenario::{self, GearSpec, PolicySpec, ProfileName, Scenario, WorkloadSpec};
 
 /// One ablation row: a labelled variant against the shared baseline.
 #[derive(Debug, Clone)]
@@ -100,148 +102,114 @@ impl Ablation {
     }
 }
 
-fn row_from(
-    variant: impl Into<String>,
-    m: &bsld_metrics::RunMetrics,
-    base: &bsld_metrics::RunMetrics,
-) -> AblationRow {
-    AblationRow {
-        variant: variant.into(),
-        norm_e_comp: m.energy.normalized_computational(&base.energy),
-        avg_bsld: m.avg_bsld,
-        avg_wait: m.avg_wait_secs,
-        reduced_jobs: m.reduced_jobs,
+/// Runs a labelled scenario list (baseline first) and assembles the study:
+/// every row is normalised against row 0's energy.
+fn run_study(name: &str, variants: Vec<(String, Scenario)>, threads: usize) -> Ablation {
+    let scenarios: Vec<Scenario> = variants.iter().map(|(_, sc)| sc.clone()).collect();
+    let metrics: Vec<bsld_metrics::RunMetrics> = scenario::run_many(&scenarios, threads)
+        .into_iter()
+        .map(|res| expect_run(res).run.metrics)
+        .collect();
+    let base = metrics[0].clone();
+    let rows = variants
+        .into_iter()
+        .zip(&metrics)
+        .map(|((label, _), m)| AblationRow {
+            variant: label,
+            norm_e_comp: m.energy.normalized_computational(&base.energy),
+            avg_bsld: m.avg_bsld,
+            avg_wait: m.avg_wait_secs,
+            reduced_jobs: m.reduced_jobs,
+        })
+        .collect();
+    Ablation {
+        name: name.into(),
+        rows,
     }
+}
+
+/// The study's shared base: an SDSC-Blue scenario at the experiment scale.
+fn blue_base(opts: &ExpOptions, label: &str) -> Scenario {
+    Scenario::synthetic(label, ProfileName::SdscBlue, opts.jobs, opts.seed)
+}
+
+fn medium_policy() -> PolicySpec {
+    PolicySpec::from(PowerAwareConfig::medium())
 }
 
 /// Dynamic boost (paper future work): SDSC-Blue, `BSLDth = 2`, `WQ = NO`,
 /// with boost limits ∞ (off), 16, 4 and 0.
 pub fn boost(opts: &ExpOptions) -> Ablation {
-    let w = TraceProfile::sdsc_blue().generate(opts.seed, opts.jobs);
-    let cfg = PowerAwareConfig::medium();
-    let variants: Vec<(String, Option<usize>)> = vec![
-        ("no-boost".into(), None),
-        ("boost@16".into(), Some(16)),
-        ("boost@4".into(), Some(4)),
-        ("boost@0".into(), Some(0)),
-    ];
-    let mut tasks: Vec<Option<Option<usize>>> = vec![None]; // baseline
-    tasks.extend(variants.iter().map(|(_, b)| Some(*b)));
-    let runs = par_map(tasks, opts.threads, |task| {
-        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-        match task {
-            None => sim.run_baseline(&w.jobs).unwrap().metrics,
-            Some(boost) => {
-                let sim = match boost {
-                    Some(limit) => sim.with_boost(limit),
-                    None => sim,
-                };
-                sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
-            }
-        }
-    });
-    let base = runs[0].clone();
-    let mut rows = vec![row_from("EASY-no-DVFS", &base, &base)];
-    for ((label, _), m) in variants.iter().zip(&runs[1..]) {
-        rows.push(row_from(label.clone(), m, &base));
+    let mut variants = vec![("EASY-no-DVFS".to_string(), blue_base(opts, "boost-base"))];
+    for (label, limit) in [
+        ("no-boost", None),
+        ("boost@16", Some(16)),
+        ("boost@4", Some(4)),
+        ("boost@0", Some(0)),
+    ] {
+        let mut sc = blue_base(opts, label);
+        sc.policy = medium_policy();
+        sc.power.boost = limit;
+        variants.push((label.to_string(), sc));
     }
-    Ablation {
-        name: "boost".into(),
-        rows,
-    }
+    run_study("boost", variants, opts.threads)
 }
 
 /// Per-job β (paper future work): fixed 0.5 vs. uniform spreads.
 pub fn beta(opts: &ExpOptions) -> Ablation {
-    let cfg = PowerAwareConfig::medium();
-    let variants: Vec<(String, BetaSpec)> = vec![
-        ("beta=0.5".into(), BetaSpec::Fixed(0.5)),
+    let specs: Vec<(&str, BetaSpec)> = vec![
+        ("beta=0.5", BetaSpec::Fixed(0.5)),
         (
-            "beta=0.5±0.2".into(),
+            "beta=0.5±0.2",
             BetaSpec::PerJob {
                 mean: 0.5,
                 spread: 0.2,
             },
         ),
         (
-            "beta=0.5±0.4".into(),
+            "beta=0.5±0.4",
             BetaSpec::PerJob {
                 mean: 0.5,
                 spread: 0.4,
             },
         ),
-        ("beta=0.3".into(), BetaSpec::Fixed(0.3)),
-        ("beta=0.8".into(), BetaSpec::Fixed(0.8)),
+        ("beta=0.3", BetaSpec::Fixed(0.3)),
+        ("beta=0.8", BetaSpec::Fixed(0.8)),
     ];
-    let mut tasks: Vec<Option<BetaSpec>> = vec![None];
-    tasks.extend(variants.iter().map(|(_, b)| Some(*b)));
-    let runs = par_map(tasks, opts.threads, |task| match task {
-        None => {
-            let w = TraceProfile::sdsc_blue().generate(opts.seed, opts.jobs);
-            let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-            sim.run_baseline(&w.jobs).unwrap().metrics
+    let mut variants = vec![("EASY-no-DVFS".to_string(), blue_base(opts, "beta-base"))];
+    for (label, spec) in specs {
+        let mut sc = blue_base(opts, label);
+        sc.policy = medium_policy();
+        if let WorkloadSpec::Synthetic { beta, .. } = &mut sc.workload {
+            *beta = Some(spec);
         }
-        Some(spec) => {
-            let w = TraceProfile::sdsc_blue()
-                .with_beta(spec)
-                .generate(opts.seed, opts.jobs);
-            let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-            sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
-        }
-    });
-    let base = runs[0].clone();
-    let mut rows = vec![row_from("EASY-no-DVFS", &base, &base)];
-    for ((label, _), m) in variants.iter().zip(&runs[1..]) {
-        rows.push(row_from(label.clone(), m, &base));
+        variants.push((label.to_string(), sc));
     }
-    Ablation {
-        name: "beta".into(),
-        rows,
-    }
+    run_study("beta", variants, opts.threads)
 }
 
 /// Scheduling substrate: EASY vs. conservative backfilling vs. plain FCFS
 /// (no backfilling), each with and without the power-aware policy.
 pub fn fcfs(opts: &ExpOptions) -> Ablation {
-    #[derive(Clone, Copy)]
-    enum Substrate {
-        Easy,
-        Conservative,
-        Fcfs,
-    }
-    let w = TraceProfile::sdsc_blue().generate(opts.seed, opts.jobs);
-    let cfg = PowerAwareConfig::medium();
-    let tasks: Vec<(Substrate, bool, &str)> = vec![
-        (Substrate::Easy, false, "EASY"),
-        (Substrate::Easy, true, "EASY+DVFS"),
-        (Substrate::Conservative, false, "CONS"),
-        (Substrate::Conservative, true, "CONS+DVFS"),
-        (Substrate::Fcfs, false, "FCFS"),
-        (Substrate::Fcfs, true, "FCFS+DVFS"),
-    ];
-    let runs = par_map(tasks.clone(), opts.threads, |(substrate, dvfs, _)| {
-        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-        let sim = match substrate {
-            Substrate::Easy => sim,
-            Substrate::Conservative => sim.with_conservative(),
-            Substrate::Fcfs => sim.without_backfill(),
-        };
+    use bsld_sched::SchedMode;
+    let mut variants = Vec::new();
+    for (label, mode, backfill, dvfs) in [
+        ("EASY", SchedMode::Easy, true, false),
+        ("EASY+DVFS", SchedMode::Easy, true, true),
+        ("CONS", SchedMode::Conservative, true, false),
+        ("CONS+DVFS", SchedMode::Conservative, true, true),
+        ("FCFS", SchedMode::Easy, false, false),
+        ("FCFS+DVFS", SchedMode::Easy, false, true),
+    ] {
+        let mut sc = blue_base(opts, label);
+        sc.engine.mode = mode;
+        sc.engine.backfill = backfill;
         if dvfs {
-            sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
-        } else {
-            sim.run_baseline(&w.jobs).unwrap().metrics
+            sc.policy = medium_policy();
         }
-    });
-    let base = runs[0].clone();
-    let rows = tasks
-        .iter()
-        .zip(&runs)
-        .map(|((_, _, label), m)| row_from(label.to_string(), m, &base))
-        .collect();
-    Ablation {
-        name: "fcfs".into(),
-        rows,
+        variants.push((label.to_string(), sc));
     }
+    run_study("fcfs", variants, opts.threads)
 }
 
 /// Resource selection: First Fit (paper) vs. Last Fit vs. contiguous
@@ -250,69 +218,41 @@ pub fn fcfs(opts: &ExpOptions) -> Ablation {
 /// are free.
 pub fn selection(opts: &ExpOptions) -> Ablation {
     use bsld_cluster::SelectionPolicy;
-    let w = TraceProfile::ctc().generate(opts.seed, opts.jobs);
-    let cfg = PowerAwareConfig::medium();
-    let tasks: Vec<(SelectionPolicy, bool, &str)> = vec![
-        (SelectionPolicy::FirstFit, false, "FirstFit (paper)"),
-        (SelectionPolicy::FirstFit, true, "FirstFit+DVFS"),
-        (SelectionPolicy::LastFit, false, "LastFit"),
-        (SelectionPolicy::LastFit, true, "LastFit+DVFS"),
-        (SelectionPolicy::ContiguousFirstFit, false, "Contiguous"),
-        (SelectionPolicy::ContiguousFirstFit, true, "Contiguous+DVFS"),
-    ];
-    let runs = par_map(tasks.clone(), opts.threads, |(sel, dvfs, _)| {
-        let sim = Simulator::paper_default(&w.cluster_name, w.cpus).with_selection(sel);
+    let mut variants = Vec::new();
+    for (label, sel, dvfs) in [
+        ("FirstFit (paper)", SelectionPolicy::FirstFit, false),
+        ("FirstFit+DVFS", SelectionPolicy::FirstFit, true),
+        ("LastFit", SelectionPolicy::LastFit, false),
+        ("LastFit+DVFS", SelectionPolicy::LastFit, true),
+        ("Contiguous", SelectionPolicy::ContiguousFirstFit, false),
+        ("Contiguous+DVFS", SelectionPolicy::ContiguousFirstFit, true),
+    ] {
+        let mut sc = Scenario::synthetic(label, ProfileName::Ctc, opts.jobs, opts.seed);
+        sc.engine.selection = sel;
         if dvfs {
-            sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
-        } else {
-            sim.run_baseline(&w.jobs).unwrap().metrics
+            sc.policy = medium_policy();
         }
-    });
-    let base = runs[0].clone();
-    let rows = tasks
-        .iter()
-        .zip(&runs)
-        .map(|((_, _, label), m)| row_from(label.to_string(), m, &base))
-        .collect();
-    Ablation {
-        name: "selection".into(),
-        rows,
+        variants.push((label.to_string(), sc));
     }
+    run_study("selection", variants, opts.threads)
 }
 
 /// Gear-set granularity: 2, 3, 6 (paper) and 12 gears spanning the same
 /// frequency/voltage range.
 pub fn gears(opts: &ExpOptions) -> Ablation {
-    let cfg = PowerAwareConfig::medium();
-    let sets: Vec<(String, GearSet)> = vec![
-        ("2 gears".into(), interpolated_gears(2)),
-        ("3 gears".into(), interpolated_gears(3)),
-        ("6 gears (paper)".into(), GearSet::paper()),
-        ("12 gears".into(), interpolated_gears(12)),
-    ];
-    let w = TraceProfile::sdsc_blue().generate(opts.seed, opts.jobs);
-    let mut tasks: Vec<Option<GearSet>> = vec![None];
-    tasks.extend(sets.iter().map(|(_, g)| Some(g.clone())));
-    let runs = par_map(tasks, opts.threads, |task| match task {
-        None => {
-            let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-            sim.run_baseline(&w.jobs).unwrap().metrics
-        }
-        Some(gearset) => {
-            let sim =
-                Simulator::with_cluster(Cluster::new(w.cluster_name.clone(), w.cpus, gearset));
-            sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
-        }
-    });
-    let base = runs[0].clone();
-    let mut rows = vec![row_from("EASY-no-DVFS", &base, &base)];
-    for ((label, _), m) in sets.iter().zip(&runs[1..]) {
-        rows.push(row_from(label.clone(), m, &base));
+    let mut variants = vec![("EASY-no-DVFS".to_string(), blue_base(opts, "gears-base"))];
+    for (label, spec) in [
+        ("2 gears", GearSpec::Interpolated(2)),
+        ("3 gears", GearSpec::Interpolated(3)),
+        ("6 gears (paper)", GearSpec::Paper),
+        ("12 gears", GearSpec::Interpolated(12)),
+    ] {
+        let mut sc = blue_base(opts, label);
+        sc.cluster.gears = spec;
+        sc.policy = medium_policy();
+        variants.push((label.to_string(), sc));
     }
-    Ablation {
-        name: "gears".into(),
-        rows,
-    }
+    run_study("gears", variants, opts.threads)
 }
 
 /// Engine A/B: the incremental scheduling hot path against the full
@@ -321,66 +261,26 @@ pub fn gears(opts: &ExpOptions) -> Ablation {
 /// bit-identical by construction (see `tests/incremental_ab.rs`); the
 /// table is the experiment-level witness.
 pub fn engine(opts: &ExpOptions) -> Ablation {
-    let w = TraceProfile::sdsc_blue().generate(opts.seed, opts.jobs);
-    let cfg = PowerAwareConfig::medium();
-    let tasks: Vec<(bool, bool, &str)> = vec![
-        (false, false, "EASY-INC"),
-        (false, true, "EASY-FULL"),
-        (true, false, "CONS-INC"),
-        (true, true, "CONS-FULL"),
-    ];
-    let runs = par_map(tasks.clone(), opts.threads, |(conservative, full, _)| {
-        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-        let sim = if conservative {
-            sim.with_conservative()
-        } else {
-            sim
-        };
-        let sim = if full { sim.with_full_rescan() } else { sim };
-        sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics
-    });
-    let base = runs[0].clone();
-    let rows = tasks
-        .iter()
-        .zip(&runs)
-        .map(|((_, _, label), m)| row_from(label.to_string(), m, &base))
-        .collect();
-    Ablation {
-        name: "engine".into(),
-        rows,
+    use bsld_sched::SchedMode;
+    let mut variants = Vec::new();
+    for (label, mode, incremental) in [
+        ("EASY-INC", SchedMode::Easy, true),
+        ("EASY-FULL", SchedMode::Easy, false),
+        ("CONS-INC", SchedMode::Conservative, true),
+        ("CONS-FULL", SchedMode::Conservative, false),
+    ] {
+        let mut sc = blue_base(opts, label);
+        sc.engine.mode = mode;
+        sc.engine.incremental = incremental;
+        sc.policy = medium_policy();
+        variants.push((label.to_string(), sc));
     }
-}
-
-/// A gear set of `n` points linearly interpolating the paper's range
-/// (0.8 GHz @ 1.0 V … 2.3 GHz @ 1.5 V).
-fn interpolated_gears(n: usize) -> GearSet {
-    assert!(n >= 2);
-    let gears = (0..n)
-        .map(|i| {
-            let t = i as f64 / (n - 1) as f64;
-            Gear {
-                freq_ghz: 0.8 + t * 1.5,
-                voltage: 1.0 + t * 0.5,
-            }
-        })
-        .collect();
-    GearSet::new(gears).expect("interpolated set is valid")
+    run_study("engine", variants, opts.threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn interpolated_endpoints_match_paper_range() {
-        let g = interpolated_gears(6);
-        let first = g.get(g.lowest());
-        let last = g.get(g.top());
-        assert!((first.freq_ghz - 0.8).abs() < 1e-12);
-        assert!((last.freq_ghz - 2.3).abs() < 1e-12);
-        assert!((first.voltage - 1.0).abs() < 1e-12);
-        assert!((last.voltage - 1.5).abs() < 1e-12);
-    }
 
     #[test]
     fn boost_improves_bsld_over_no_boost() {

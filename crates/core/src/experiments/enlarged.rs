@@ -15,11 +15,10 @@
 //! is what creates the paper's energy minimum at moderate enlargement.
 
 use bsld_metrics::{RunMetrics, TextTable};
-use bsld_par::par_map;
-use bsld_workload::profiles::TraceProfile;
 
-use super::{fmt, write_artifact, ExpOptions};
+use super::{cell_scenario, expect_run, fmt, write_artifact, ExpOptions};
 use crate::policy::{PowerAwareConfig, WqThreshold};
+use crate::scenario::{self, ProfileName};
 
 /// The paper's system-size increases, percent.
 pub const SIZE_INCREASES: [u32; 7] = [0, 10, 20, 50, 75, 100, 125];
@@ -57,30 +56,35 @@ pub struct EnlargedStudy {
     pub baselines: Vec<(String, RunMetrics)>,
 }
 
-/// Runs the sweep: per workload, 1 baseline + 7 sizes × 2 WQ settings.
+/// Runs the sweep: per workload, 1 baseline + 7 sizes × 2 WQ settings,
+/// every cell a declarative [`scenario::Scenario`].
 pub fn run(opts: &ExpOptions) -> EnlargedStudy {
-    let profiles = TraceProfile::paper_five();
-    let mut tasks: Vec<(usize, u32, Option<WqThreshold>)> = Vec::new();
-    for (pi, _) in profiles.iter().enumerate() {
-        tasks.push((pi, 0, None)); // original size, no DVFS
+    let mut tasks: Vec<(ProfileName, u32, Option<WqThreshold>)> = Vec::new();
+    for p in ProfileName::ALL {
+        tasks.push((p, 0, None)); // original size, no DVFS
         for &size in &SIZE_INCREASES {
             for &wq in &WQ_SETTINGS {
-                tasks.push((pi, size, Some(wq)));
+                tasks.push((p, size, Some(wq)));
             }
         }
     }
-    let metrics = par_map(tasks.clone(), opts.threads, |(pi, size, wq)| {
-        let cfg = wq.map(|wq| PowerAwareConfig {
-            bsld_threshold: 2.0,
-            wq_threshold: wq,
-        });
-        super::run_cell(&profiles[pi], opts, size, cfg.as_ref())
-    });
+    let scenarios: Vec<scenario::Scenario> = tasks
+        .iter()
+        .map(|(p, size, wq)| {
+            let cfg = wq.map(|wq| PowerAwareConfig {
+                bsld_threshold: 2.0,
+                wq_threshold: wq,
+            });
+            cell_scenario(*p, opts, *size, cfg.as_ref())
+        })
+        .collect();
+    let results = scenario::run_many(&scenarios, opts.threads);
 
     let mut baselines: Vec<(String, RunMetrics)> = Vec::new();
     let mut cells = Vec::new();
-    for ((pi, size, wq), m) in tasks.into_iter().zip(metrics) {
-        let name = profiles[pi].name.clone();
+    for ((p, size, wq), res) in tasks.into_iter().zip(results) {
+        let m = expect_run(res).run.metrics;
+        let name = p.display_name().to_string();
         match wq {
             None => baselines.push((name, m)),
             Some(wq) => {

@@ -8,12 +8,10 @@
 
 use bsld_metrics::series::wait_series;
 use bsld_metrics::TextTable;
-use bsld_par::par_map;
-use bsld_workload::profiles::TraceProfile;
 
-use super::{fmt, write_artifact, ExpOptions};
+use super::{cell_scenario, expect_run, fmt, write_artifact, ExpOptions};
 use crate::policy::{PowerAwareConfig, WqThreshold};
-use crate::sim::Simulator;
+use crate::scenario::{self, ProfileName};
 
 /// The two aligned wait series.
 #[derive(Debug, Clone)]
@@ -24,24 +22,19 @@ pub struct Fig6 {
     pub dvfs: Vec<(u64, u64)>,
 }
 
-/// Runs both SDSC-Blue simulations.
+/// Runs both SDSC-Blue simulations as declarative scenarios.
 pub fn run(opts: &ExpOptions) -> Fig6 {
-    let profile = TraceProfile::sdsc_blue();
-    let w = profile.generate(opts.seed, opts.jobs);
     let cfg = PowerAwareConfig {
         bsld_threshold: 2.0,
         wq_threshold: WqThreshold::Limit(16),
     };
-    let runs = par_map(vec![None, Some(cfg)], opts.threads, |c| {
-        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-        match c {
-            None => sim.run_baseline(&w.jobs).unwrap(),
-            Some(cfg) => sim.run_power_aware(&w.jobs, &cfg).unwrap(),
-        }
-    });
-    let mut it = runs.into_iter();
-    let orig = wait_series(&it.next().unwrap().outcomes);
-    let dvfs = wait_series(&it.next().unwrap().outcomes);
+    let scenarios = vec![
+        cell_scenario(ProfileName::SdscBlue, opts, 0, None),
+        cell_scenario(ProfileName::SdscBlue, opts, 0, Some(&cfg)),
+    ];
+    let mut it = scenario::run_many(&scenarios, opts.threads).into_iter();
+    let orig = wait_series(&expect_run(it.next().unwrap()).run.outcomes);
+    let dvfs = wait_series(&expect_run(it.next().unwrap()).run.outcomes);
     Fig6 { orig, dvfs }
 }
 

@@ -10,11 +10,10 @@
 //! * **Figure 5** — average BSLD.
 
 use bsld_metrics::{RunMetrics, TextTable};
-use bsld_par::par_map;
-use bsld_workload::profiles::TraceProfile;
 
-use super::{fmt, write_artifact, ExpOptions};
+use super::{cell_scenario, expect_run, fmt, write_artifact, ExpOptions};
 use crate::policy::{PowerAwareConfig, WqThreshold};
+use crate::scenario::{self, ProfileName};
 
 /// The paper's `BSLD_threshold` values.
 pub const BSLD_THRESHOLDS: [f64; 3] = [1.5, 2.0, 3.0];
@@ -57,17 +56,17 @@ pub struct OriginalSizeGrid {
     pub baselines: Vec<(String, RunMetrics)>,
 }
 
-/// Runs the full grid: 5 workloads × (1 baseline + 12 policy cells).
+/// Runs the full grid: 5 workloads × (1 baseline + 12 policy cells), every
+/// cell a declarative [`scenario::Scenario`] run through `bsld-par`.
 pub fn run(opts: &ExpOptions) -> OriginalSizeGrid {
-    let profiles = TraceProfile::paper_five();
-    // Task list: (profile index, Option<cfg>) — baseline first per workload.
-    let mut tasks: Vec<(usize, Option<PowerAwareConfig>)> = Vec::new();
-    for (pi, _) in profiles.iter().enumerate() {
-        tasks.push((pi, None));
+    // Task list: (profile, Option<cfg>) — baseline first per workload.
+    let mut tasks: Vec<(ProfileName, Option<PowerAwareConfig>)> = Vec::new();
+    for p in ProfileName::ALL {
+        tasks.push((p, None));
         for &bt in &BSLD_THRESHOLDS {
             for &wq in &WQ_THRESHOLDS {
                 tasks.push((
-                    pi,
+                    p,
                     Some(PowerAwareConfig {
                         bsld_threshold: bt,
                         wq_threshold: wq,
@@ -76,23 +75,27 @@ pub fn run(opts: &ExpOptions) -> OriginalSizeGrid {
             }
         }
     }
-    let metrics = par_map(tasks.clone(), opts.threads, |(pi, cfg)| {
-        super::run_cell(&profiles[pi], opts, 0, cfg.as_ref())
-    });
+    let scenarios: Vec<scenario::Scenario> = tasks
+        .iter()
+        .map(|(p, cfg)| cell_scenario(*p, opts, 0, cfg.as_ref()))
+        .collect();
+    let results = scenario::run_many(&scenarios, opts.threads);
 
     let mut baselines: Vec<(String, RunMetrics)> = Vec::new();
     let mut cells = Vec::new();
-    for ((pi, cfg), m) in tasks.into_iter().zip(metrics) {
+    for ((p, cfg), res) in tasks.into_iter().zip(results) {
+        let m = expect_run(res).run.metrics;
+        let name = p.display_name();
         match cfg {
-            None => baselines.push((profiles[pi].name.clone(), m)),
+            None => baselines.push((name.to_string(), m)),
             Some(cfg) => {
                 let base = &baselines
                     .iter()
-                    .find(|(n, _)| *n == profiles[pi].name)
+                    .find(|(n, _)| n == name)
                     .expect("baseline precedes cells")
                     .1;
                 cells.push(GridCell {
-                    workload: profiles[pi].name.clone(),
+                    workload: name.to_string(),
                     cfg,
                     norm_e_comp: m.energy.normalized_computational(&base.energy),
                     norm_e_idle: m.energy.normalized_with_idle(&base.energy),

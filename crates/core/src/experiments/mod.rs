@@ -23,12 +23,11 @@ pub mod table1;
 
 use std::path::PathBuf;
 
+#[cfg(test)]
 use bsld_metrics::RunMetrics;
-use bsld_workload::profiles::TraceProfile;
-use bsld_workload::Workload;
 
 use crate::policy::PowerAwareConfig;
-use crate::sim::Simulator;
+use crate::scenario::{PolicySpec, ProfileName, Scenario, ScenarioResult};
 
 /// Options shared by every experiment.
 #[derive(Debug, Clone)]
@@ -66,27 +65,48 @@ impl ExpOptions {
     }
 }
 
-/// The per-cell work unit shared by the sweeps: generate the workload,
-/// enlarge the machine if asked, run baseline or the power-aware policy.
+/// The per-cell scenario shared by the sweeps: a synthetic workload at the
+/// experiment's scale, an optionally enlarged machine, baseline or the
+/// power-aware policy.
+pub(crate) fn cell_scenario(
+    profile: ProfileName,
+    opts: &ExpOptions,
+    size_increase_pct: u32,
+    cfg: Option<&PowerAwareConfig>,
+) -> Scenario {
+    let mut sc = Scenario::synthetic(
+        format!("{}-x{}", profile.key(), size_increase_pct),
+        profile,
+        opts.jobs,
+        opts.seed,
+    );
+    sc.cluster.enlarge_pct = size_increase_pct;
+    sc.policy = match cfg {
+        None => PolicySpec::Baseline,
+        Some(c) => PolicySpec::from(*c),
+    };
+    sc
+}
+
+/// Unwraps a scenario result the sweeps expect to succeed.
+pub(crate) fn expect_run(
+    res: Result<ScenarioResult, crate::scenario::ScenarioError>,
+) -> ScenarioResult {
+    res.expect("generated workloads always fit their machine")
+}
+
+/// The per-cell work unit shared by the sweeps, driven entirely through
+/// the declarative [`Scenario`] API.
+#[cfg(test)]
 pub(crate) fn run_cell(
-    profile: &TraceProfile,
+    profile: ProfileName,
     opts: &ExpOptions,
     size_increase_pct: u32,
     cfg: Option<&PowerAwareConfig>,
 ) -> RunMetrics {
-    let w: Workload = profile.generate(opts.seed, opts.jobs);
-    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-    let sim = if size_increase_pct > 0 {
-        sim.enlarged(size_increase_pct)
-    } else {
-        sim
-    };
-    let res = match cfg {
-        None => sim.run_baseline(&w.jobs),
-        Some(c) => sim.run_power_aware(&w.jobs, c),
-    }
-    .expect("generated workloads always fit their machine");
-    res.metrics
+    expect_run(cell_scenario(profile, opts, size_increase_pct, cfg).run())
+        .run
+        .metrics
 }
 
 /// Writes `name.csv` into the experiment's out dir (if any), returning the
@@ -127,18 +147,18 @@ mod tests {
 
     #[test]
     fn run_cell_baseline_and_policy() {
-        let profile = TraceProfile::sdsc_blue().scaled_cpus(64);
+        let profile = ProfileName::SdscBlue;
         let opts = ExpOptions::quick(150);
-        let base = run_cell(&profile, &opts, 0, None);
+        let base = run_cell(profile, &opts, 0, None);
         assert_eq!(base.jobs, 150);
         assert_eq!(base.reduced_jobs, 0);
         let cfg = PowerAwareConfig {
             bsld_threshold: 3.0,
             wq_threshold: WqThreshold::NoLimit,
         };
-        let dvfs = run_cell(&profile, &opts, 0, Some(&cfg));
+        let dvfs = run_cell(profile, &opts, 0, Some(&cfg));
         assert!(dvfs.reduced_jobs > 0);
-        let bigger = run_cell(&profile, &opts, 50, Some(&cfg));
+        let bigger = run_cell(profile, &opts, 50, Some(&cfg));
         assert!(bigger.avg_wait_secs <= dvfs.avg_wait_secs);
     }
 

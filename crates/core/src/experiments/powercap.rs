@@ -10,13 +10,10 @@
 //! much energy a budget saves and what it costs in job slowdown.
 
 use bsld_metrics::TextTable;
-use bsld_par::par_map;
-use bsld_powercap::SleepConfig;
-use bsld_workload::profiles::TraceProfile;
 
-use super::{fmt, write_artifact, ExpOptions};
+use super::{cell_scenario, fmt, write_artifact, ExpOptions};
 use crate::policy::{PowerAwareConfig, WqThreshold};
-use crate::sim::{PowerCapConfig, Simulator};
+use crate::scenario::{self, ProfileName, SleepSpec};
 
 /// The swept cap levels, as fractions of peak draw. `1.0` effectively
 /// disables the budget (the machine can never exceed its peak) and
@@ -73,39 +70,46 @@ pub struct CapSweep {
     pub baselines: Vec<CapBaseline>,
 }
 
-/// Runs the sweep over the paper's five workloads.
+/// Runs the sweep over the paper's five workloads, every cell a
+/// power-instrumented declarative [`scenario::Scenario`].
 pub fn run(opts: &ExpOptions) -> CapSweep {
-    let profiles = TraceProfile::paper_five();
-    // (profile index, Option<(cap fraction, threshold)>) — None = baseline.
-    let mut tasks: Vec<(usize, Option<(f64, f64)>)> = Vec::new();
-    for (pi, _) in profiles.iter().enumerate() {
-        tasks.push((pi, None));
+    // (profile, Option<(cap fraction, threshold)>) — None = baseline.
+    let mut tasks: Vec<(ProfileName, Option<(f64, f64)>)> = Vec::new();
+    for p in ProfileName::ALL {
+        tasks.push((p, None));
         for &cap in &CAP_FRACTIONS {
             for &th in &BSLD_THRESHOLDS {
-                tasks.push((pi, Some((cap, th))));
+                tasks.push((p, Some((cap, th))));
             }
         }
     }
-    let results = par_map(tasks.clone(), opts.threads, |(pi, cell)| {
-        let w = profiles[pi].generate(opts.seed, opts.jobs);
-        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
-        let cfg = match cell {
-            None => PowerCapConfig::observe_only(),
-            Some((cap, th)) => PowerCapConfig::hard(cap)
-                .with_sleep(SleepConfig::paper_default())
-                .with_policy(PowerAwareConfig {
-                    bsld_threshold: th,
-                    wq_threshold: WqThreshold::NoLimit,
-                }),
-        };
-        sim.run_power_capped(&w.jobs, &cfg)
-            .expect("cap fractions in the sweep are feasible for generated workloads")
-    });
+    let scenarios: Vec<scenario::Scenario> = tasks
+        .iter()
+        .map(|(p, cell)| {
+            let cfg = cell.map(|(_, th)| PowerAwareConfig {
+                bsld_threshold: th,
+                wq_threshold: WqThreshold::NoLimit,
+            });
+            let mut sc = cell_scenario(*p, opts, 0, cfg.as_ref());
+            sc.power.observe = true;
+            if let Some((cap, _)) = cell {
+                sc.power.cap_fraction = Some(*cap);
+                sc.power.sleep = SleepSpec::Paper;
+            }
+            sc
+        })
+        .collect();
+    let results = scenario::run_many(&scenarios, opts.threads);
 
     let mut baselines: Vec<CapBaseline> = Vec::new();
     let mut cells = Vec::new();
-    for ((pi, cell), r) in tasks.into_iter().zip(results) {
-        let name = profiles[pi].name.clone();
+    for ((p, cell), res) in tasks.into_iter().zip(results) {
+        let res = res.expect("cap fractions in the sweep are feasible for generated workloads");
+        let r = crate::sim::PowerCappedResult {
+            run: res.run,
+            power: res.power.expect("instrumented cells report power"),
+        };
+        let name = p.display_name().to_string();
         match cell {
             None => baselines.push(CapBaseline {
                 workload: name,

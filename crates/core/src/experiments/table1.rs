@@ -7,10 +7,9 @@
 //! calibration quality visible in one place.
 
 use bsld_metrics::TextTable;
-use bsld_par::par_map;
-use bsld_workload::profiles::TraceProfile;
 
-use super::{fmt, write_artifact, ExpOptions};
+use super::{cell_scenario, expect_run, fmt, write_artifact, ExpOptions};
+use crate::scenario::{self, ProfileName};
 
 /// Paper-reported reference values for the five workloads.
 #[derive(Debug, Clone, Copy)]
@@ -85,24 +84,29 @@ pub struct Table1 {
     pub rows: Vec<Table1Row>,
 }
 
-/// Runs the five baselines (in parallel) and assembles Table 1.
+/// Runs the five baselines (in parallel, each cell a declarative
+/// [`scenario::Scenario`]) and assembles Table 1.
 pub fn run(opts: &ExpOptions) -> Table1 {
-    let profiles = TraceProfile::paper_five();
-    let metrics = par_map(profiles.clone(), opts.threads, |p| {
-        super::run_cell(&p, opts, 0, None)
-    });
-    let rows = profiles
+    let scenarios: Vec<scenario::Scenario> = ProfileName::ALL
         .iter()
-        .zip(metrics)
+        .map(|&p| cell_scenario(p, opts, 0, None))
+        .collect();
+    let results = scenario::run_many(&scenarios, opts.threads);
+    let rows = ProfileName::ALL
+        .iter()
+        .zip(results)
         .zip(PAPER_BASELINES)
-        .map(|((p, m), paper)| Table1Row {
-            workload: p.name.clone(),
-            cpus: p.cpus,
-            jobs: m.jobs,
-            avg_bsld: m.avg_bsld,
-            avg_wait: m.avg_wait_secs,
-            utilization: m.utilization,
-            paper,
+        .map(|((p, res), paper)| {
+            let m = expect_run(res).run.metrics;
+            Table1Row {
+                workload: p.display_name().to_string(),
+                cpus: p.profile().cpus,
+                jobs: m.jobs,
+                avg_bsld: m.avg_bsld,
+                avg_wait: m.avg_wait_secs,
+                utilization: m.utilization,
+                paper,
+            }
         })
         .collect();
     Table1 { rows }

@@ -10,6 +10,9 @@
 //! * [`Simulator`] — a one-stop facade wiring cluster, power model, β time
 //!   model and scheduling engine; used by every example, test and
 //!   experiment;
+//! * [`scenario`] — the declarative layer on top: a serializable
+//!   [`Scenario`] spec with one `run()`, plus [`ScenarioSet`] sweeps; the
+//!   experiment harness and the CLI construct every run through it;
 //! * [`experiments`] — the harness that regenerates every table and figure
 //!   of the paper's evaluation section (see `DESIGN.md` for the index);
 //! * the `bsld-repro` binary exposing the harness on the command line.
@@ -19,7 +22,9 @@
 
 pub mod experiments;
 pub mod policy;
+pub mod scenario;
 pub mod sim;
 
 pub use policy::{BsldThresholdPolicy, PowerAwareConfig, WqThreshold};
+pub use scenario::{Scenario, ScenarioResult, ScenarioSet};
 pub use sim::{PowerCapConfig, PowerCappedResult, RunResult, Simulator};

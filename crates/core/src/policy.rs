@@ -33,6 +33,17 @@ impl WqThreshold {
             WqThreshold::NoLimit => "NO".to_string(),
         }
     }
+
+    /// Parses a [`WqThreshold::label`]-style string: a queue depth, or
+    /// `"no"` (any case) for *no limit*.
+    pub fn parse(s: &str) -> Result<WqThreshold, String> {
+        if s.eq_ignore_ascii_case("no") {
+            return Ok(WqThreshold::NoLimit);
+        }
+        s.parse()
+            .map(WqThreshold::Limit)
+            .map_err(|_| format!("bad WQ threshold {s:?}: expected a queue depth or \"no\""))
+    }
 }
 
 impl std::fmt::Display for WqThreshold {

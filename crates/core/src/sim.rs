@@ -12,11 +12,12 @@ use bsld_model::{Job, JobOutcome};
 use bsld_power::{BetaModel, PowerModel};
 use bsld_powercap::{PowerCap, PowerCapPolicy, PowerReport, SleepConfig};
 use bsld_sched::{
-    simulate, simulate_with_hook, BoostConfig, EngineConfig, FixedGearPolicy, FrequencyPolicy,
-    PassStats, SimError, TraceEvent,
+    simulate, simulate_with_hook, BoostConfig, EngineConfig, FrequencyPolicy, PassStats, SimError,
+    TraceEvent,
 };
 
-use crate::policy::{BsldThresholdPolicy, PowerAwareConfig};
+use crate::policy::PowerAwareConfig;
+use crate::scenario::{self, PolicySpec, PowerSpec};
 
 /// A simulation result: the paper's metrics plus the raw outcomes.
 #[derive(Debug, Clone)]
@@ -212,27 +213,27 @@ impl Simulator {
     }
 
     /// EASY backfilling with every job at the top gear — the paper's
-    /// no-DVFS baseline.
+    /// no-DVFS baseline. Thin shim over the scenario execution path
+    /// ([`crate::scenario::PolicySpec::Baseline`]).
     pub fn run_baseline(&self, jobs: &[Job]) -> Result<RunResult, SimError> {
-        let policy = FixedGearPolicy::new(self.time_model.gears().top());
-        self.run_with_policy(jobs, &policy)
+        scenario::execute(self, jobs, &PolicySpec::Baseline, &PowerSpec::off()).map(|r| r.run)
     }
 
     /// EASY backfilling with the paper's BSLD-threshold frequency
-    /// assignment.
+    /// assignment. Thin shim over the scenario execution path.
     pub fn run_power_aware(
         &self,
         jobs: &[Job],
         cfg: &PowerAwareConfig,
     ) -> Result<RunResult, SimError> {
-        let policy = BsldThresholdPolicy::new(*cfg);
-        self.run_with_policy(jobs, &policy)
+        scenario::execute(self, jobs, &PolicySpec::from(*cfg), &PowerSpec::off()).map(|r| r.run)
     }
 
     /// Runs `jobs` with cluster power as a first-class signal: a
     /// [`bsld_powercap::PowerLedger`] tracks instantaneous draw, an idle
     /// manager applies `cfg.sleep`, and `cfg.cap_fraction` (if any) is
-    /// enforced on every start and boost decision.
+    /// enforced on every start and boost decision. Thin shim over the
+    /// scenario execution path.
     ///
     /// Fails with [`SimError::Stalled`] when a hard budget is infeasible
     /// for the workload (some job cannot run even alone, down-geared, on
@@ -242,7 +243,37 @@ impl Simulator {
         jobs: &[Job],
         cfg: &PowerCapConfig,
     ) -> Result<PowerCappedResult, SimError> {
-        let cap = match (cfg.cap_fraction, cfg.soft_wq_escape) {
+        let policy = match &cfg.policy {
+            None => PolicySpec::Baseline,
+            Some(pa) => PolicySpec::from(*pa),
+        };
+        let power = PowerSpec {
+            cap_fraction: cfg.cap_fraction,
+            soft_wq_escape: cfg.soft_wq_escape,
+            sleep: scenario::SleepSpec::Custom(cfg.sleep.clone()),
+            boost: None,
+            observe: true,
+        };
+        scenario::execute(self, jobs, &policy, &power).map(|r| PowerCappedResult {
+            run: r.run,
+            power: r.power.expect("instrumented run always reports power"),
+        })
+    }
+
+    /// The power-instrumented execution kernel: runs `jobs` under an
+    /// arbitrary frequency policy with a [`bsld_powercap::PowerLedger`],
+    /// the `sleep` ladder and an optional budget (`cap_fraction` of peak
+    /// draw; `soft_wq_escape` turns it soft). This is the single path all
+    /// capped/observed runs go through.
+    pub fn run_power_capped_with<P: FrequencyPolicy + ?Sized>(
+        &self,
+        jobs: &[Job],
+        policy: &P,
+        cap_fraction: Option<f64>,
+        soft_wq_escape: Option<usize>,
+        sleep: &SleepConfig,
+    ) -> Result<PowerCappedResult, SimError> {
+        let cap = match (cap_fraction, soft_wq_escape) {
             (None, _) => PowerCap::Uncapped,
             (Some(f), None) => PowerCap::Hard {
                 budget: f * PowerCapPolicy::peak_draw(&self.power, self.cluster.cpus),
@@ -252,31 +283,15 @@ impl Simulator {
                 wq_escape,
             },
         };
-        let mut hook = PowerCapPolicy::new(&self.power, self.cluster.cpus, cap, cfg.sleep.clone());
-        let res = match &cfg.policy {
-            None => {
-                let policy = FixedGearPolicy::new(self.time_model.gears().top());
-                simulate_with_hook(
-                    &self.cluster,
-                    jobs,
-                    &policy,
-                    &self.time_model,
-                    &self.engine,
-                    &mut hook,
-                )
-            }
-            Some(pa) => {
-                let policy = BsldThresholdPolicy::new(*pa);
-                simulate_with_hook(
-                    &self.cluster,
-                    jobs,
-                    &policy,
-                    &self.time_model,
-                    &self.engine,
-                    &mut hook,
-                )
-            }
-        }?;
+        let mut hook = PowerCapPolicy::new(&self.power, self.cluster.cpus, cap, sleep.clone());
+        let res = simulate_with_hook(
+            &self.cluster,
+            jobs,
+            policy,
+            &self.time_model,
+            &self.engine,
+            &mut hook,
+        )?;
         let metrics = RunMetrics::compute(
             &res.outcomes,
             &self.power,

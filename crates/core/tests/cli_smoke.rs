@@ -1,0 +1,165 @@
+//! End-to-end smoke tests of the `bsld-repro` binary: every experiment
+//! name runs green at reduced scale, help exits 0, unknown names list the
+//! valid ones, and the `run` subcommand executes a scenario file.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bsld-repro"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin()
+        .args(args)
+        .output()
+        .expect("bsld-repro binary must spawn")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn every_experiment_runs_at_reduced_scale() {
+    for exp in [
+        "table1",
+        "table3",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "ablations",
+        "powercap",
+        "calibrate",
+    ] {
+        let out = run(&[exp, "--jobs", "50", "--no-csv"]);
+        assert!(
+            out.status.success(),
+            "{exp} failed:\n{}\n{}",
+            stdout(&out),
+            stderr(&out)
+        );
+        assert!(!stdout(&out).is_empty(), "{exp} printed nothing to stdout");
+    }
+}
+
+#[test]
+fn help_exits_zero_and_shows_usage() {
+    for flags in [&["--help"][..], &["-h"][..], &["table1", "--help"][..]] {
+        let out = run(flags);
+        assert!(out.status.success(), "{flags:?}: {}", stderr(&out));
+        assert!(stdout(&out).contains("usage: bsld-repro"), "{flags:?}");
+    }
+}
+
+#[test]
+fn unknown_experiment_lists_valid_names() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown experiment: frobnicate"), "{err}");
+    for name in ["table1", "fig6", "ablations", "powercap", "run"] {
+        assert!(err.contains(name), "error must list {name}: {err}");
+    }
+}
+
+#[test]
+fn stray_positional_argument_is_an_error_outside_run() {
+    // `table3 100` (forgot --jobs) must error, not silently run defaults.
+    let out = run(&["table3", "100"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown argument: 100"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unknown_workload_lists_valid_names() {
+    let out = run(&["simulate", "--workload", "marsrover", "--jobs", "10"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown workload: marsrover"), "{err}");
+    for name in ["ctc", "sdsc", "blue", "thunder", "atlas"] {
+        assert!(err.contains(name), "error must list {name}: {err}");
+    }
+}
+
+#[test]
+fn simulate_runs_and_reports() {
+    let out = run(&[
+        "simulate",
+        "--workload",
+        "blue",
+        "--jobs",
+        "60",
+        "--bsld-th",
+        "2",
+        "--wq",
+        "no",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("SDSCBlue"), "{text}");
+    assert!(text.contains("avg BSLD"), "{text}");
+}
+
+#[test]
+fn run_subcommand_executes_scenario_file() {
+    let dir = std::env::temp_dir().join(format!("bsld_cli_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scn = dir.join("sweep.scn");
+    std::fs::write(
+        &scn,
+        "scenario = smoke\n\
+         workload = synthetic\n\
+         profile = blue\n\
+         jobs = 500\n\
+         seed = 7\n\
+         scale_cpus = 64\n\
+         policy = bsld:2/NO\n\
+         sweep.bsld_th = 1.5 3\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "run",
+        scn.to_str().unwrap(),
+        "--jobs",
+        "80",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("smoke-th1.5"), "{text}");
+    assert!(text.contains("smoke-th3"), "{text}");
+    // The --jobs override applies to every expanded cell.
+    assert!(text.contains("80"), "{text}");
+    let csv = dir.join("scenario_results.csv");
+    let body = std::fs::read_to_string(&csv).expect("results CSV written");
+    assert_eq!(body.lines().count(), 3, "{body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_subcommand_rejects_bad_files() {
+    let dir = std::env::temp_dir().join(format!("bsld_cli_smoke_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scn: PathBuf = dir.join("bad.scn");
+    std::fs::write(&scn, "workload = synthetic\nprofile = ctc\nwat = 1\n").unwrap();
+    let out = run(&["run", scn.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("parse error"), "{}", stderr(&out));
+    let out = run(&["run", dir.join("missing.scn").to_str().unwrap()]);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,4 +1,14 @@
 //! Minimal CSV output (RFC 4180 quoting).
+//!
+//! Every CSV byte the workspace emits flows through [`write_csv`] (and
+//! therefore [`csv_escape`]): the experiment artifact writers
+//! (`bsld-core`'s `write_artifact`), the power/utilization/queue step
+//! series (`crate::series`), the CLI's schedule exports and the scenario
+//! result tables all build `Vec<String>` rows and hand them here — no
+//! render path joins raw strings with commas itself. [`parse_csv_line`]
+//! is the matching reader, provided so tests (and downstream consumers)
+//! can prove fields round-trip even when they contain commas, quotes or
+//! newlines — cluster names from real SWF headers do.
 
 use std::io::{self, Write};
 
@@ -52,6 +62,38 @@ pub fn csv_string(headers: &[&str], rows: &[Vec<String>]) -> String {
     String::from_utf8(buf).expect("CSV output is UTF-8")
 }
 
+/// Parses one CSV record (RFC 4180): the exact inverse of a line produced
+/// by [`write_csv`]. Quoted fields may contain commas, doubled quotes and
+/// embedded newlines (pass the full record, not a split line).
+pub fn parse_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +125,32 @@ mod tests {
     fn empty_rows() {
         let s = csv_string(&["a"], &[]);
         assert_eq!(s, "a\n");
+    }
+
+    #[test]
+    fn parse_csv_line_inverts_escaping() {
+        for field in ["plain", "a,b", "say \"hi\"", "tricky \"x\",y", ""] {
+            let row = vec![field.to_string(), "1.5".to_string()];
+            let s = csv_string(&["name", "v"], std::slice::from_ref(&row));
+            let data_line = s.lines().nth(1).unwrap();
+            assert_eq!(parse_csv_line(data_line), row, "field {field:?}");
+        }
+    }
+
+    #[test]
+    fn comma_cluster_name_round_trips_through_csv() {
+        // SWF headers can carry machine names like "SDSC SP2, batch
+        // partition" — such a name must survive every table/series writer.
+        let name = "SDSC SP2, batch partition";
+        let rows = vec![vec![name.to_string(), "4.66".to_string()]];
+        let doc = csv_string(&["workload", "avg_bsld"], &rows);
+        let mut lines = doc.lines();
+        assert_eq!(
+            parse_csv_line(lines.next().unwrap()),
+            vec!["workload", "avg_bsld"]
+        );
+        let parsed = parse_csv_line(lines.next().unwrap());
+        assert_eq!(parsed[0], name);
+        assert_eq!(parsed[1], "4.66");
     }
 }

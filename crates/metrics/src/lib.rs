@@ -18,7 +18,7 @@ pub mod series;
 pub mod summary;
 pub mod table;
 
-pub use csvout::{csv_escape, csv_string, write_csv};
+pub use csvout::{csv_escape, csv_string, parse_csv_line, write_csv};
 pub use detail::{Percentiles, RunDetails, SizeClass};
 pub use jsonout::Json;
 pub use summary::RunMetrics;

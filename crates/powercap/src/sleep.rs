@@ -29,7 +29,7 @@ pub struct SleepState {
 }
 
 /// The configured sleep ladder (possibly empty = sleeping disabled).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SleepConfig {
     states: Vec<SleepState>,
 }

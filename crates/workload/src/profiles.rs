@@ -30,7 +30,7 @@ use crate::sizes::SizeModel;
 use crate::Workload;
 
 /// Per-job β specification.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BetaSpec {
     /// Every job uses the same β (the paper's setting, β = 0.5).
     Fixed(f64),

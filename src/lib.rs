@@ -18,8 +18,10 @@
 //! * [`powercap`] — the cluster power ledger, idle sleep states and
 //!   power-cap enforcement;
 //! * [`metrics`] — run summaries and report writers;
-//! * [`core`] — the paper's BSLD-threshold policy, simulator facade and the
-//!   experiment harness reproducing every table and figure;
+//! * [`core`] — the paper's BSLD-threshold policy, simulator facade, the
+//!   declarative scenario API (`core::scenario`: one serializable spec, one
+//!   `run()`, sweepable scenario files) and the experiment harness
+//!   reproducing every table and figure;
 //! * [`par`] — the parallel sweep executor.
 //!
 //! ## Quickstart

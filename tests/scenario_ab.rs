@@ -1,0 +1,193 @@
+//! A/B equality harness: the declarative `Scenario` path vs the legacy
+//! hand-wired `Simulator` path.
+//!
+//! The scenario layer must be a pure re-expression: building a workload
+//! and simulator from a spec and running through `Scenario::run()` has to
+//! reproduce, **bit for bit**, what hand-constructing
+//! `TraceProfile::generate` + `Simulator::paper_default` + `run_baseline`
+//! / `run_power_aware` / `run_power_capped` produced. These tests replay
+//! the paper's grid (Figs. 3–5) and the power-cap frontier at reduced
+//! scale and compare outcomes, metrics and power series.
+
+use bsld::core::experiments::{grid, powercap, ExpOptions};
+use bsld::core::scenario::{PolicySpec, ProfileName, Scenario, SleepSpec};
+use bsld::core::{PowerAwareConfig, PowerCapConfig, Simulator, WqThreshold};
+use bsld::powercap::SleepConfig;
+use bsld::workload::profiles::TraceProfile;
+
+const AB_JOBS: usize = 40;
+const AB_SEED: u64 = 2010;
+
+fn legacy_profile(name: &str) -> TraceProfile {
+    TraceProfile::paper_five()
+        .into_iter()
+        .find(|p| p.name == name)
+        .expect("paper workload")
+}
+
+#[test]
+fn scenario_runs_match_legacy_simulator_bit_for_bit() {
+    // Cell-level A/B over the grid's parameter shapes, baseline included.
+    let cfgs: [Option<PowerAwareConfig>; 3] = [
+        None,
+        Some(PowerAwareConfig {
+            bsld_threshold: 1.5,
+            wq_threshold: WqThreshold::Limit(16),
+        }),
+        Some(PowerAwareConfig::medium()),
+    ];
+    for profile in [ProfileName::Ctc, ProfileName::Sdsc, ProfileName::SdscBlue] {
+        let w = legacy_profile(profile.display_name()).generate(AB_SEED, AB_JOBS);
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        for cfg in cfgs {
+            let legacy = match &cfg {
+                None => sim.run_baseline(&w.jobs).unwrap(),
+                Some(c) => sim.run_power_aware(&w.jobs, c).unwrap(),
+            };
+            let mut sc = Scenario::synthetic("ab", profile, AB_JOBS, AB_SEED);
+            if let Some(c) = cfg {
+                sc.policy = PolicySpec::from(c);
+            }
+            let via_scenario = sc.run().unwrap();
+            assert_eq!(
+                via_scenario.run.outcomes, legacy.outcomes,
+                "{profile:?} {cfg:?}: schedules diverged"
+            );
+            assert_eq!(
+                via_scenario.run.metrics.avg_bsld.to_bits(),
+                legacy.metrics.avg_bsld.to_bits()
+            );
+            assert_eq!(
+                via_scenario.run.metrics.energy.computational.to_bits(),
+                legacy.metrics.energy.computational.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn grid_experiment_matches_legacy_simulator_path() {
+    // The Scenario-driven grid experiment vs an inline reimplementation of
+    // the pre-refactor loop (hand-wired workload + Simulator per cell).
+    let opts = ExpOptions::quick(AB_JOBS);
+    let g = grid::run(&opts);
+    assert_eq!(g.cells.len(), 5 * 12);
+    for (name, base) in &g.baselines {
+        let w = legacy_profile(name).generate(opts.seed, opts.jobs);
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let legacy_base = sim.run_baseline(&w.jobs).unwrap().metrics;
+        assert_eq!(base.avg_bsld.to_bits(), legacy_base.avg_bsld.to_bits());
+        for &bt in &grid::BSLD_THRESHOLDS {
+            for &wq in &grid::WQ_THRESHOLDS {
+                let cell = g.cell(name, bt, wq).expect("complete grid");
+                let cfg = PowerAwareConfig {
+                    bsld_threshold: bt,
+                    wq_threshold: wq,
+                };
+                let legacy = sim.run_power_aware(&w.jobs, &cfg).unwrap().metrics;
+                assert_eq!(
+                    cell.avg_bsld.to_bits(),
+                    legacy.avg_bsld.to_bits(),
+                    "{name} {bt}/{wq:?}"
+                );
+                assert_eq!(cell.reduced_jobs, legacy.reduced_jobs);
+                assert_eq!(
+                    cell.norm_e_comp.to_bits(),
+                    legacy
+                        .energy
+                        .normalized_computational(&legacy_base.energy)
+                        .to_bits(),
+                    "{name} {bt}/{wq:?}: normalised energy"
+                );
+                assert_eq!(cell.avg_wait.to_bits(), legacy.avg_wait_secs.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn powercap_experiment_matches_legacy_simulator_path() {
+    // The Scenario-driven power-cap sweep vs the pre-refactor hand-wired
+    // run_power_capped loop: ledger energy, series and counters must agree
+    // to the bit.
+    let opts = ExpOptions::quick(AB_JOBS);
+    let sweep = powercap::run(&opts);
+    for b in &sweep.baselines {
+        let w = legacy_profile(&b.workload).generate(opts.seed, opts.jobs);
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let legacy = sim
+            .run_power_capped(&w.jobs, &PowerCapConfig::observe_only())
+            .unwrap();
+        assert_eq!(
+            b.energy.to_bits(),
+            legacy.power.energy.to_bits(),
+            "{}",
+            b.workload
+        );
+        assert_eq!(b.avg_bsld.to_bits(), legacy.run.metrics.avg_bsld.to_bits());
+    }
+    for cell in &sweep.cells {
+        let w = legacy_profile(&cell.workload).generate(opts.seed, opts.jobs);
+        let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+        let cfg = PowerCapConfig::hard(cell.cap_fraction)
+            .with_sleep(SleepConfig::paper_default())
+            .with_policy(PowerAwareConfig {
+                bsld_threshold: cell.bsld_threshold,
+                wq_threshold: WqThreshold::NoLimit,
+            });
+        let legacy = sim.run_power_capped(&w.jobs, &cfg).unwrap();
+        let base_energy = sweep
+            .baselines
+            .iter()
+            .find(|b| b.workload == cell.workload)
+            .unwrap()
+            .energy;
+        assert_eq!(
+            cell.norm_energy.to_bits(),
+            (legacy.power.energy / base_energy).to_bits(),
+            "{} cap {} th {}",
+            cell.workload,
+            cell.cap_fraction,
+            cell.bsld_threshold
+        );
+        assert_eq!(
+            cell.avg_bsld.to_bits(),
+            legacy.run.metrics.avg_bsld.to_bits()
+        );
+        assert_eq!(cell.deferrals, legacy.power.cap.deferrals);
+        assert_eq!(cell.downgears, legacy.power.cap.downgears);
+        assert_eq!(cell.wakes, legacy.power.sleep.wakes);
+    }
+}
+
+#[test]
+fn power_capped_scenario_matches_legacy_power_series() {
+    // Full power-report equality on one capped cell, series included.
+    let w = TraceProfile::sdsc_blue()
+        .scaled_cpus(64)
+        .generate(AB_SEED, 200);
+    let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
+    let cfg = PowerCapConfig::hard(0.7)
+        .with_sleep(SleepConfig::paper_default())
+        .with_policy(PowerAwareConfig::medium());
+    let legacy = sim.run_power_capped(&w.jobs, &cfg).unwrap();
+
+    let mut sc = Scenario::synthetic("ab-cap", ProfileName::SdscBlue, 200, AB_SEED);
+    sc = sc.map_workload(|wl| {
+        if let bsld::core::scenario::WorkloadSpec::Synthetic { scale_cpus, .. } = wl {
+            *scale_cpus = Some(64);
+        }
+    });
+    sc.policy = PolicySpec::from(PowerAwareConfig::medium());
+    sc.power.cap_fraction = Some(0.7);
+    sc.power.sleep = SleepSpec::Paper;
+    let via = sc.run().unwrap();
+    let power = via.power.expect("capped run reports power");
+
+    assert_eq!(via.run.outcomes, legacy.run.outcomes);
+    assert_eq!(power.series, legacy.power.series);
+    assert_eq!(power.energy.to_bits(), legacy.power.energy.to_bits());
+    assert_eq!(power.peak.to_bits(), legacy.power.peak.to_bits());
+    assert_eq!(power.cap.deferrals, legacy.power.cap.deferrals);
+    assert_eq!(power.sleep.sleeps, legacy.power.sleep.sleeps);
+}

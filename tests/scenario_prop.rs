@@ -1,0 +1,310 @@
+//! Property tests for the scenario text format: `parse(render(s)) == s`
+//! over randomized specs — every sub-spec variant, SWF paths, custom sleep
+//! ladders and sweep axes included.
+
+use std::path::PathBuf;
+
+use bsld::core::scenario::{
+    ClusterSpec, EngineSpec, GearSpec, OutputSpec, PolicySpec, PowerSpec, ProfileName, Scenario,
+    ScenarioSet, SleepSpec, SweepAxis, WorkloadSpec,
+};
+use bsld::core::WqThreshold;
+use bsld::powercap::{SleepConfig, SleepState};
+use bsld::sched::SchedMode;
+use bsld::workload::profiles::BetaSpec;
+use proptest::prelude::*;
+
+fn profile_of(i: u8) -> ProfileName {
+    ProfileName::ALL[i as usize % ProfileName::ALL.len()]
+}
+
+fn arb_wq() -> BoxedStrategy<WqThreshold> {
+    (0u8..4, 0usize..64)
+        .prop_map(|(k, n)| {
+            if k == 0 {
+                WqThreshold::NoLimit
+            } else {
+                WqThreshold::Limit(n)
+            }
+        })
+        .boxed()
+}
+
+fn arb_policy() -> BoxedStrategy<PolicySpec> {
+    (0u8..3, 10u32..400, 0u8..16, arb_wq())
+        .prop_map(|(kind, th10, gear, wq)| match kind {
+            0 => PolicySpec::Baseline,
+            1 => PolicySpec::FixedGear(gear),
+            _ => PolicySpec::BsldThreshold {
+                th: th10 as f64 / 10.0,
+                wq,
+            },
+        })
+        .boxed()
+}
+
+fn arb_beta() -> BoxedStrategy<Option<BetaSpec>> {
+    (0u8..3, 0u32..=100, 0u32..=50)
+        .prop_map(|(kind, mean, spread)| match kind {
+            0 => None,
+            1 => Some(BetaSpec::Fixed(mean as f64 / 100.0)),
+            _ => Some(BetaSpec::PerJob {
+                mean: mean as f64 / 100.0,
+                spread: spread as f64 / 100.0,
+            }),
+        })
+        .boxed()
+}
+
+fn arb_workload() -> BoxedStrategy<WorkloadSpec> {
+    (
+        proptest::bool::ANY,
+        0u8..5,
+        0usize..20_000,
+        proptest::num::u64::ANY,
+        (proptest::bool::ANY, 1u32..4096),
+        arb_beta(),
+        (proptest::num::u64::ANY, proptest::bool::ANY),
+    )
+        .prop_map(
+            |(synthetic, prof, jobs, seed, (scaled, cpus), beta, (path_bits, clean))| {
+                if synthetic {
+                    WorkloadSpec::Synthetic {
+                        profile: profile_of(prof),
+                        jobs,
+                        seed,
+                        scale_cpus: scaled.then_some(cpus),
+                        beta,
+                    }
+                } else {
+                    WorkloadSpec::Swf {
+                        path: PathBuf::from(format!("traces/t{path_bits:016x}.swf")),
+                        clean,
+                    }
+                }
+            },
+        )
+        .boxed()
+}
+
+fn arb_cluster() -> BoxedStrategy<ClusterSpec> {
+    (0u32..300, proptest::bool::ANY, 2u8..32)
+        .prop_map(|(enlarge_pct, paper, n)| ClusterSpec {
+            enlarge_pct,
+            gears: if paper {
+                GearSpec::Paper
+            } else {
+                GearSpec::Interpolated(n)
+            },
+        })
+        .boxed()
+}
+
+/// A valid random sleep ladder: timeouts strictly increase, power
+/// fractions are products of factors ≤ 1 so they never grow with depth.
+fn arb_sleep() -> BoxedStrategy<SleepSpec> {
+    (
+        0u8..3,
+        proptest::collection::vec((1u64..500, 0u64..30, 0u32..100, 0u32..100), 1..4),
+    )
+        .prop_map(|(kind, parts)| match kind {
+            0 => SleepSpec::None,
+            1 => SleepSpec::Paper,
+            _ => {
+                let mut timeout = 0u64;
+                let mut frac = 1.0f64;
+                let states = parts
+                    .into_iter()
+                    .map(|(dt, lat, energy, f)| {
+                        timeout += dt;
+                        frac *= f as f64 / 100.0;
+                        SleepState {
+                            idle_timeout_s: timeout,
+                            wake_latency_s: lat,
+                            wake_energy: energy as f64 / 10.0,
+                            power_fraction: frac,
+                        }
+                    })
+                    .collect();
+                SleepSpec::Custom(SleepConfig::new(states).expect("constructed ladder is valid"))
+            }
+        })
+        .boxed()
+}
+
+fn arb_power() -> BoxedStrategy<PowerSpec> {
+    (
+        (proptest::bool::ANY, 1u32..=20),
+        (proptest::bool::ANY, 0usize..64),
+        arb_sleep(),
+        (proptest::bool::ANY, 0usize..64),
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |((capped, cap20), (soft, escape), sleep, (boosted, limit), observe)| PowerSpec {
+                cap_fraction: capped.then_some(cap20 as f64 / 20.0),
+                soft_wq_escape: soft.then_some(escape),
+                sleep,
+                boost: boosted.then_some(limit),
+                observe,
+            },
+        )
+        .boxed()
+}
+
+fn arb_engine() -> BoxedStrategy<EngineSpec> {
+    (
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        0u8..3,
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |(conservative, backfill, incremental, sel, trace)| EngineSpec {
+                mode: if conservative {
+                    SchedMode::Conservative
+                } else {
+                    SchedMode::Easy
+                },
+                backfill,
+                incremental,
+                selection: match sel {
+                    0 => bsld::cluster::SelectionPolicy::FirstFit,
+                    1 => bsld::cluster::SelectionPolicy::LastFit,
+                    _ => bsld::cluster::SelectionPolicy::ContiguousFirstFit,
+                },
+                trace,
+            },
+        )
+        .boxed()
+}
+
+fn arb_scenario() -> BoxedStrategy<Scenario> {
+    (
+        proptest::num::u64::ANY,
+        arb_workload(),
+        arb_cluster(),
+        arb_policy(),
+        arb_power(),
+        arb_engine(),
+        (proptest::bool::ANY, proptest::num::u64::ANY),
+    )
+        .prop_map(
+            |(name_bits, workload, cluster, policy, power, engine, (with_out, out_bits))| {
+                Scenario {
+                    name: format!("s{name_bits:x}"),
+                    workload,
+                    cluster,
+                    policy,
+                    power,
+                    engine,
+                    output: OutputSpec {
+                        out_dir: with_out.then(|| PathBuf::from(format!("results/r{out_bits:x}"))),
+                    },
+                }
+            },
+        )
+        .boxed()
+}
+
+fn arb_axis() -> BoxedStrategy<SweepAxis> {
+    (
+        0u8..6,
+        proptest::collection::vec(
+            (
+                0u8..5,
+                10u32..400,
+                arb_wq(),
+                1u32..=20,
+                0u32..300,
+                proptest::num::u64::ANY,
+            ),
+            1..4,
+        ),
+    )
+        .prop_map(|(kind, raw)| match kind {
+            0 => SweepAxis::Profile(raw.iter().map(|r| profile_of(r.0)).collect()),
+            1 => SweepAxis::BsldThreshold(raw.iter().map(|r| r.1 as f64 / 10.0).collect()),
+            2 => SweepAxis::Wq(raw.iter().map(|r| r.2).collect()),
+            3 => SweepAxis::CapFraction(raw.iter().map(|r| r.3 as f64 / 20.0).collect()),
+            4 => SweepAxis::EnlargePct(raw.iter().map(|r| r.4).collect()),
+            _ => SweepAxis::Seed(raw.iter().map(|r| r.5).collect()),
+        })
+        .boxed()
+}
+
+/// Keeps the first axis of each kind — the text format forbids repeats.
+fn dedup_axes(axes: Vec<SweepAxis>) -> Vec<SweepAxis> {
+    let mut seen = Vec::new();
+    let mut out = Vec::new();
+    for a in axes {
+        let key = std::mem::discriminant(&a);
+        if !seen.contains(&key) {
+            seen.push(key);
+            out.push(a);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The single-scenario format is a bijection on the spec space.
+    #[test]
+    fn scenario_parse_inverts_render(sc in arb_scenario()) {
+        let text = sc.render();
+        let parsed = Scenario::parse(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(parsed, sc);
+    }
+
+    /// The set format round-trips, sweep axes included. Axis keys are
+    /// deduplicated (first wins): the parser rejects repeated axes.
+    #[test]
+    fn scenario_set_parse_inverts_render(
+        sc in arb_scenario(),
+        axes in proptest::collection::vec(arb_axis(), 0..5),
+    ) {
+        let set = ScenarioSet { base: sc, axes: dedup_axes(axes) };
+        let text = set.render();
+        let parsed = ScenarioSet::parse(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(parsed, set);
+    }
+
+    /// Expansion over a synthetic base yields exactly the cartesian
+    /// product, and every expanded cell still round-trips.
+    #[test]
+    fn expansion_is_cartesian_and_cells_round_trip(
+        sc in arb_scenario(),
+        axes in proptest::collection::vec(arb_axis(), 0..4),
+    ) {
+        let axes = dedup_axes(axes);
+        let mut base = sc;
+        // Profile/seed axes only apply to synthetic workloads.
+        if let WorkloadSpec::Swf { .. } = base.workload {
+            base.workload = WorkloadSpec::Synthetic {
+                profile: ProfileName::Ctc,
+                jobs: 10,
+                seed: 1,
+                scale_cpus: None,
+                beta: None,
+            };
+        }
+        let set = ScenarioSet { base, axes };
+        let cells = set.expand().map_err(TestCaseError::fail)?;
+        let expected: usize = set.axes.iter().map(|a| match a {
+            SweepAxis::Profile(v) => v.len(),
+            SweepAxis::BsldThreshold(v) => v.len(),
+            SweepAxis::Wq(v) => v.len(),
+            SweepAxis::CapFraction(v) => v.len(),
+            SweepAxis::EnlargePct(v) => v.len(),
+            SweepAxis::Seed(v) => v.len(),
+        }).product();
+        prop_assert_eq!(cells.len(), expected);
+        for cell in cells {
+            let parsed = Scenario::parse(&cell.render()).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(parsed, cell);
+        }
+    }
+}
