@@ -34,6 +34,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use bsld_core::campaign::{run_campaign, CampaignOptions, RESULTS_FILE};
 use bsld_core::experiments::{ablation, enlarged, fig6, grid, powercap, table1, ExpOptions};
 use bsld_core::policy::WqThreshold;
 use bsld_core::scenario::{PolicySpec, ProfileName, ScenarioSet, WorkloadSpec};
@@ -61,7 +62,9 @@ const EXPERIMENTS: &[&str] = &[
 fn usage() -> String {
     format!(
         "usage: bsld-repro <{}|run|generate|simulate> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
-         run:       run FILE.scn [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+         run:       run FILE.scn [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv] [--resume DIR]\n\
+         \x20          (files with `replications = N` or --resume run as a campaign:\n\
+         \x20          per-cell mean ± 95% CI, incremental manifest, cached cells skipped)\n\
          generate:  --workload <ctc|sdsc|blue|thunder|atlas> --swf FILE\n\
          simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]",
         EXPERIMENTS.join("|")
@@ -87,6 +90,9 @@ struct Args {
     boost: Option<usize>,
     /// Path prefix for `simulate`'s schedule/utilization/queue CSV exports.
     export: Option<String>,
+    /// Campaign directory for `run --resume`: cached cells are skipped,
+    /// fresh rows are appended to the manifest there.
+    resume: Option<PathBuf>,
 }
 
 /// `Ok(true)`: `--help` was requested (print usage, exit 0).
@@ -105,6 +111,7 @@ fn parse_args() -> Result<(Args, bool), String> {
     let mut conservative = false;
     let mut boost = None;
     let mut export = None;
+    let mut resume = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -153,6 +160,11 @@ fn parse_args() -> Result<(Args, bool), String> {
             "--export" => {
                 export = Some(it.next().ok_or("--export needs a path prefix")?);
             }
+            "--resume" => {
+                resume = Some(PathBuf::from(
+                    it.next().ok_or("--resume needs a directory")?,
+                ));
+            }
             "--help" | "-h" => help = true,
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
@@ -186,11 +198,18 @@ fn parse_args() -> Result<(Args, bool), String> {
                 conservative,
                 boost,
                 export,
+                resume,
             },
             true,
         ));
     }
     let experiment = experiment.ok_or_else(usage)?;
+    if resume.is_some() && experiment != "run" {
+        return Err(format!(
+            "--resume only applies to the run subcommand\n{}",
+            usage()
+        ));
+    }
     Ok((
         Args {
             experiment,
@@ -206,6 +225,7 @@ fn parse_args() -> Result<(Args, bool), String> {
             conservative,
             boost,
             export,
+            resume,
         },
         false,
     ))
@@ -410,6 +430,11 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
     if args.out_set {
         set.base.output.out_dir = args.opts.out_dir.clone();
     }
+    // Replicated sweeps and resumable runs go through the campaign layer:
+    // per-cell mean ± 95% CI, content-hash cell IDs, incremental manifest.
+    if set.replications > 1 || args.resume.is_some() {
+        return run_campaign_file(path, &set, args);
+    }
     let cells = set.expand().map_err(|e| e.to_string())?;
     eprintln!("# {path}: {} scenario(s)", cells.len());
     let results = bsld_core::scenario::run_many(&cells, args.opts.threads);
@@ -509,6 +534,82 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
             failures.len(),
             cells.len(),
             failures.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
+/// The campaign path of `run`: replications fan out across derived seeds,
+/// each completed replication is flushed to the manifest immediately, and
+/// `--resume DIR` skips cells whose rows are already on disk. A live
+/// status line tracks unit completion.
+fn run_campaign_file(path: &str, set: &ScenarioSet, args: &Args) -> Result<(), String> {
+    // The manifest lives in the resume dir when given, else the out dir.
+    // Without either the campaign runs in memory (no caching). An explicit
+    // --out next to --resume would be silently shadowed — reject it
+    // instead of letting the user believe artifacts land in two places
+    // (--no-csv stays allowed: it asks for nothing).
+    if args.resume.is_some() && args.out_set && args.opts.out_dir.is_some() {
+        return Err(
+            "--out does not combine with --resume: the campaign's manifest and results \
+             live in the resume directory"
+                .to_string(),
+        );
+    }
+    let dir = args
+        .resume
+        .clone()
+        .or_else(|| set.base.output.out_dir.clone());
+    let opts = CampaignOptions {
+        threads: args.opts.threads,
+        dir: dir.clone(),
+        resume: args.resume.is_some(),
+    };
+    let cells = set.expand().map_err(|e| e.to_string())?.len();
+    eprintln!(
+        "# {path}: campaign of {cells} cell(s) x {} replication(s){}",
+        set.replications,
+        match &dir {
+            Some(d) => format!(", manifest in {}", d.display()),
+            None => ", in memory (no --resume dir, no out_dir: nothing cached)".into(),
+        }
+    );
+    // The status line: workers tick the shared Progress counter; each tick
+    // redraws in place (\r), the final newline lands after the run.
+    let status = |done: usize, total: usize| {
+        eprint!("\r# campaign: {done}/{total} runs");
+    };
+    let outcome = run_campaign(set, &opts, Some(&status)).map_err(|e| e.to_string())?;
+    eprintln!();
+    if outcome.resumed > 0 {
+        eprintln!(
+            "# resumed: {} of {} run(s) already cached in the manifest",
+            outcome.resumed, outcome.total_units
+        );
+    }
+    if outcome.stale_rows > 0 {
+        eprintln!(
+            "# warning: {} manifest row(s) match no cell of this campaign (ignored)",
+            outcome.stale_rows
+        );
+    }
+    if outcome.excess_rows > 0 {
+        eprintln!(
+            "# note: {} manifest row(s) are replications beyond the current \
+             `replications = {}` (ignored)",
+            outcome.excess_rows, set.replications
+        );
+    }
+    println!("{}", outcome.render_table());
+    if let Some(d) = &dir {
+        eprintln!("# wrote {}", d.join(RESULTS_FILE).display());
+    }
+    if !outcome.failures.is_empty() {
+        return Err(format!(
+            "{} of {} run(s) failed (rerun with --resume to retry just these):\n  {}",
+            outcome.failures.len(),
+            outcome.total_units,
+            outcome.failures.join("\n  ")
         ));
     }
     Ok(())

@@ -1,0 +1,791 @@
+//! The campaign layer: replicated sweeps with confidence intervals,
+//! resume, and per-cell result caching.
+//!
+//! A [`ScenarioSet`] describes a sweep grid; a **campaign** turns that grid
+//! into a statistically meaningful, restartable experiment:
+//!
+//! * **Replication** — `replications = N` in the scenario file fans every
+//!   sweep cell out across `N` derived seeds ([`replication_seed`]) and
+//!   aggregates the per-cell metrics into mean ± 95 % CI using the
+//!   *sample* variance (`OnlineStats::stderr`, Student-t critical values);
+//!   the paper's tables are single-trace point estimates, this layer puts
+//!   honest error bars on them.
+//! * **Caching & resume** — every sweep cell gets a stable content-hash
+//!   identity ([`CellId`], FNV-1a over the rendered scenario text). Each
+//!   completed replication is flushed to a manifest CSV **as soon as it
+//!   finishes**, so a crash mid-campaign loses at most the in-flight
+//!   cells. Re-running with [`CampaignOptions::resume`] skips every
+//!   `(cell, replication)` whose row already exists and merges old and new
+//!   rows into a final result that is byte-identical to an uninterrupted
+//!   run (floats are persisted via `{}` — the shortest representation that
+//!   parses back to the identical bits).
+//! * **Progress** — workers tick a [`bsld_par::Progress`] counter; the
+//!   caller's callback observes `(done, total)` to render a status line.
+//!
+//! ```
+//! use bsld_core::campaign::{run_campaign, CampaignOptions};
+//! use bsld_core::scenario::{ProfileName, Scenario, ScenarioSet, SweepAxis, WorkloadSpec};
+//!
+//! let base = Scenario::synthetic("demo", ProfileName::SdscBlue, 80, 7).map_workload(|w| {
+//!     if let WorkloadSpec::Synthetic { scale_cpus, .. } = w {
+//!         *scale_cpus = Some(64);
+//!     }
+//! });
+//! let set = ScenarioSet {
+//!     base,
+//!     axes: vec![SweepAxis::BsldThreshold(vec![1.5, 3.0])],
+//!     replications: 3,
+//! };
+//! let out = run_campaign(&set, &CampaignOptions::in_memory(2), None).unwrap();
+//! assert_eq!(out.summaries.len(), 2); // one row per sweep cell
+//! for cell in &out.summaries {
+//!     assert_eq!(cell.bsld.n, 3); // three replications behind each mean
+//! }
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use bsld_metrics::{csv_escape, parse_csv_line, MeanCi, TextTable};
+use bsld_par::Progress;
+use bsld_simkernel::rng::derive_seed;
+use bsld_simkernel::stats::OnlineStats;
+
+use crate::scenario::{Scenario, ScenarioError, ScenarioResult, ScenarioSet, WorkloadSpec};
+
+/// File name of the per-replication manifest inside the campaign
+/// directory.
+pub const MANIFEST_FILE: &str = "campaign_manifest.csv";
+
+/// File name of the aggregated per-cell results inside the campaign
+/// directory.
+pub const RESULTS_FILE: &str = "campaign_results.csv";
+
+/// The seed-derivation stream reserved for campaign replications; disjoint
+/// from the workload-internal streams in `bsld_simkernel::rng::streams` by
+/// construction (those are small integers, this is a large tag mixed per
+/// replication).
+const REPLICATION_STREAM_BASE: u64 = 0x5EED_0000_0000_0000;
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and stable across
+/// platforms and releases, which is what a resume manifest written by one
+/// build and read by the next needs.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content-hash identity of one sweep cell: FNV-1a over the cell's
+/// rendered scenario text, so the ID survives process restarts, reorders
+/// of unrelated cells, and additions to the sweep — any cell whose spec is
+/// unchanged keeps its ID and its cached rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u64);
+
+impl CellId {
+    /// The ID of the cell described by `scenario`.
+    ///
+    /// The hash covers the *run-semantic* spec only: the output spec is
+    /// blanked before rendering, because `out_dir` is presentation advice
+    /// to the driver — re-running the same campaign with a different
+    /// `--out` (or `--no-csv`) must still hit the cached rows.
+    pub fn of(scenario: &Scenario) -> CellId {
+        let mut canonical = scenario.clone();
+        canonical.output = crate::scenario::OutputSpec::default();
+        CellId(fnv1a_64(canonical.render().as_bytes()))
+    }
+
+    /// Parses the 16-hex-digit text form.
+    pub fn parse(s: &str) -> Result<CellId, String> {
+        u64::from_str_radix(s, 16)
+            .map(CellId)
+            .map_err(|_| format!("bad cell id {s:?}"))
+    }
+}
+
+impl fmt::Display for CellId {
+    /// Fixed-width hex so manifests align and IDs are greppable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Derives the workload seed of replication `rep` from the cell's base
+/// seed. Replication 0 keeps the base seed, so `replications = 1` runs the
+/// exact scenario the file describes; higher replications get independent,
+/// well-mixed seeds via the SplitMix64 derivation shared with the workload
+/// sub-streams.
+pub fn replication_seed(base: u64, rep: u32) -> u64 {
+    if rep == 0 {
+        base
+    } else {
+        derive_seed(base, REPLICATION_STREAM_BASE.wrapping_add(u64::from(rep)))
+    }
+}
+
+/// One expanded sweep cell with its stable identity.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Content-hash ID (over the rendered cell spec).
+    pub id: CellId,
+    /// The cell's scenario (base seed, before replication derivation).
+    pub scenario: Scenario,
+}
+
+/// One unit of work: a cell × replication pair.
+#[derive(Debug, Clone)]
+pub struct CampaignUnit {
+    /// Index into [`Campaign::cells`].
+    pub cell: usize,
+    /// Replication index (0-based).
+    pub rep: u32,
+    /// The concrete scenario to run (seed already derived).
+    pub scenario: Scenario,
+}
+
+/// A fully planned campaign: expanded cells and the unit work list.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Expanded sweep cells, expansion order.
+    pub cells: Vec<CampaignCell>,
+    /// Replications per cell (≥ 1).
+    pub replications: u32,
+    /// The work list: every `(cell, rep)` pair, cell-major order.
+    pub units: Vec<CampaignUnit>,
+}
+
+impl Campaign {
+    /// Expands `set` into cells and replication units, validating that the
+    /// campaign is well-formed: replications need a synthetic workload
+    /// (SWF replays are deterministic) and every cell must have a distinct
+    /// content hash (duplicate sweep values would make cached rows
+    /// ambiguous on resume).
+    pub fn plan(set: &ScenarioSet) -> Result<Campaign, ScenarioError> {
+        let replications = set.replications.max(1);
+        let cells: Vec<CampaignCell> = set
+            .expand()?
+            .into_iter()
+            .map(|scenario| CampaignCell {
+                id: CellId::of(&scenario),
+                scenario,
+            })
+            .collect();
+        let mut seen: HashMap<CellId, &str> = HashMap::new();
+        for cell in &cells {
+            if replications > 1 {
+                if let WorkloadSpec::Swf { .. } = cell.scenario.workload {
+                    return Err(ScenarioError::Workload(format!(
+                        "cell {}: replications > 1 requires a synthetic workload",
+                        cell.scenario.name
+                    )));
+                }
+            }
+            if let Some(first) = seen.insert(cell.id, &cell.scenario.name) {
+                return Err(ScenarioError::Parse {
+                    line: 0,
+                    msg: format!(
+                        "cells {first:?} and {:?} have identical specs (cell id {}); \
+                         deduplicate the sweep values so cached results stay unambiguous",
+                        cell.scenario.name, cell.id
+                    ),
+                });
+            }
+        }
+        let units = cells
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cell)| {
+                (0..replications).map(move |rep| {
+                    let mut scenario = cell.scenario.clone();
+                    if let WorkloadSpec::Synthetic { seed, .. } = &mut scenario.workload {
+                        *seed = replication_seed(*seed, rep);
+                    }
+                    CampaignUnit {
+                        cell: i,
+                        rep,
+                        scenario,
+                    }
+                })
+            })
+            .collect();
+        Ok(Campaign {
+            cells,
+            replications,
+            units,
+        })
+    }
+}
+
+/// One completed replication: the manifest row. Floats are persisted with
+/// `{}` (shortest round-trip), so a row written, parsed back and
+/// re-aggregated produces bit-identical statistics — the property the
+/// resume-equivalence guarantee rests on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepRow {
+    /// Which cell this replication belongs to.
+    pub cell: CellId,
+    /// The cell's scenario name (labels tables; the ID is authoritative).
+    pub name: String,
+    /// Replication index (0-based).
+    pub rep: u32,
+    /// The derived workload seed actually simulated.
+    pub seed: u64,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Average BSLD.
+    pub avg_bsld: f64,
+    /// Average wait, seconds.
+    pub avg_wait_s: f64,
+    /// Jobs run at a reduced gear.
+    pub reduced_jobs: u64,
+    /// Computational energy (normalised units).
+    pub energy_comp: f64,
+    /// Energy including idle draw (normalised units).
+    pub energy_idle: f64,
+    /// Ledger energy integral (power-instrumented runs only).
+    pub energy_ledger: Option<f64>,
+    /// `peak / budget` (capped runs only).
+    pub peak_over_budget: Option<f64>,
+}
+
+impl RepRow {
+    /// Manifest column names, field order.
+    pub const HEADERS: [&'static str; 12] = [
+        "cell",
+        "scenario",
+        "rep",
+        "seed",
+        "jobs",
+        "avg_bsld",
+        "avg_wait_s",
+        "reduced_jobs",
+        "energy_comp",
+        "energy_idle",
+        "energy_ledger",
+        "peak_over_budget",
+    ];
+
+    /// Builds the row for one finished unit.
+    pub fn from_result(cell: &CampaignCell, unit: &CampaignUnit, res: &ScenarioResult) -> RepRow {
+        let m = &res.run.metrics;
+        let seed = match &unit.scenario.workload {
+            WorkloadSpec::Synthetic { seed, .. } => *seed,
+            WorkloadSpec::Swf { .. } => 0,
+        };
+        RepRow {
+            cell: cell.id,
+            name: cell.scenario.name.clone(),
+            rep: unit.rep,
+            seed,
+            jobs: m.jobs as u64,
+            avg_bsld: m.avg_bsld,
+            avg_wait_s: m.avg_wait_secs,
+            reduced_jobs: m.reduced_jobs as u64,
+            energy_comp: m.energy.computational,
+            energy_idle: m.energy.with_idle,
+            energy_ledger: res.power.as_ref().map(|p| p.energy),
+            peak_over_budget: res
+                .power
+                .as_ref()
+                .and_then(|p| p.budget.filter(|b| *b > 0.0).map(|b| p.peak / b)),
+        }
+    }
+
+    fn fields(&self) -> Vec<String> {
+        let opt = |v: &Option<f64>| match v {
+            Some(x) => x.to_string(),
+            None => "-".to_string(),
+        };
+        vec![
+            self.cell.to_string(),
+            self.name.clone(),
+            self.rep.to_string(),
+            self.seed.to_string(),
+            self.jobs.to_string(),
+            self.avg_bsld.to_string(),
+            self.avg_wait_s.to_string(),
+            self.reduced_jobs.to_string(),
+            self.energy_comp.to_string(),
+            self.energy_idle.to_string(),
+            opt(&self.energy_ledger),
+            opt(&self.peak_over_budget),
+        ]
+    }
+
+    /// One manifest line (CSV-escaped, no trailing newline).
+    pub fn to_csv_line(&self) -> String {
+        self.fields()
+            .iter()
+            .map(|f| csv_escape(f))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses a manifest line; `None` for rows that do not parse (torn
+    /// tail of a crashed write — the unit simply reruns).
+    pub fn parse_line(line: &str) -> Option<RepRow> {
+        let f = parse_csv_line(line);
+        if f.len() != Self::HEADERS.len() {
+            return None;
+        }
+        let opt = |s: &str| -> Option<Option<f64>> {
+            if s == "-" {
+                Some(None)
+            } else {
+                s.parse::<f64>().ok().map(Some)
+            }
+        };
+        Some(RepRow {
+            cell: CellId::parse(&f[0]).ok()?,
+            name: f[1].clone(),
+            rep: f[2].parse().ok()?,
+            seed: f[3].parse().ok()?,
+            jobs: f[4].parse().ok()?,
+            avg_bsld: f[5].parse().ok()?,
+            avg_wait_s: f[6].parse().ok()?,
+            reduced_jobs: f[7].parse().ok()?,
+            energy_comp: f[8].parse().ok()?,
+            energy_idle: f[9].parse().ok()?,
+            energy_ledger: opt(&f[10])?,
+            peak_over_budget: opt(&f[11])?,
+        })
+    }
+}
+
+/// Per-cell aggregate across its replications: mean ± 95 % CI for every
+/// headline metric (Student-t over the sample standard error).
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// The cell's content-hash identity.
+    pub id: CellId,
+    /// The cell's scenario name.
+    pub name: String,
+    /// Jobs per replication (constant for a given cell spec).
+    pub jobs: u64,
+    /// Average BSLD, mean ± CI.
+    pub bsld: MeanCi,
+    /// Average wait (seconds), mean ± CI.
+    pub wait: MeanCi,
+    /// Reduced-job count, mean ± CI.
+    pub reduced: MeanCi,
+    /// Computational energy, mean ± CI.
+    pub energy_comp: MeanCi,
+    /// Idle-inclusive energy, mean ± CI.
+    pub energy_idle: MeanCi,
+    /// Ledger energy, mean ± CI (`None` unless every replication was
+    /// power-instrumented).
+    pub energy_ledger: Option<MeanCi>,
+    /// `peak / budget`, mean ± CI (`None` unless every replication ran
+    /// capped).
+    pub peak_over_budget: Option<MeanCi>,
+}
+
+fn mean_ci(values: impl Iterator<Item = f64>) -> MeanCi {
+    let mut s = OnlineStats::new();
+    for v in values {
+        s.push(v);
+    }
+    MeanCi::new(s.mean(), s.ci95_half(), s.count())
+}
+
+fn summarize_cell(cell: &CampaignCell, rows: &[&RepRow]) -> CellSummary {
+    let all = |f: fn(&RepRow) -> Option<f64>| -> Option<MeanCi> {
+        let vals: Option<Vec<f64>> = rows.iter().map(|r| f(r)).collect();
+        vals.map(|v| mean_ci(v.into_iter()))
+    };
+    CellSummary {
+        id: cell.id,
+        name: cell.scenario.name.clone(),
+        jobs: rows.first().map(|r| r.jobs).unwrap_or(0),
+        bsld: mean_ci(rows.iter().map(|r| r.avg_bsld)),
+        wait: mean_ci(rows.iter().map(|r| r.avg_wait_s)),
+        reduced: mean_ci(rows.iter().map(|r| r.reduced_jobs as f64)),
+        energy_comp: mean_ci(rows.iter().map(|r| r.energy_comp)),
+        energy_idle: mean_ci(rows.iter().map(|r| r.energy_idle)),
+        energy_ledger: all(|r| r.energy_ledger),
+        peak_over_budget: all(|r| r.peak_over_budget),
+    }
+}
+
+/// How to run a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads for the unit sweep.
+    pub threads: usize,
+    /// Directory holding the manifest (and the aggregated results CSV).
+    /// `None`: run fully in memory — no caching, no resume.
+    pub dir: Option<PathBuf>,
+    /// Read an existing manifest in [`CampaignOptions::dir`] and skip
+    /// every unit whose row is already present. Without this flag a fresh
+    /// manifest is started (the old one is overwritten).
+    pub resume: bool,
+}
+
+impl CampaignOptions {
+    /// No disk artifacts: run everything, aggregate in memory.
+    pub fn in_memory(threads: usize) -> CampaignOptions {
+        CampaignOptions {
+            threads,
+            dir: None,
+            resume: false,
+        }
+    }
+
+    /// A fresh campaign flushing its manifest into `dir`.
+    pub fn fresh(threads: usize, dir: impl Into<PathBuf>) -> CampaignOptions {
+        CampaignOptions {
+            threads,
+            dir: Some(dir.into()),
+            resume: false,
+        }
+    }
+
+    /// Resume (or start) a campaign in `dir`, skipping cached units.
+    pub fn resume(threads: usize, dir: impl Into<PathBuf>) -> CampaignOptions {
+        CampaignOptions {
+            threads,
+            dir: Some(dir.into()),
+            resume: true,
+        }
+    }
+}
+
+/// The result of [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Every completed replication row (cached + freshly run), unit order.
+    pub rows: Vec<RepRow>,
+    /// Per-cell aggregates, expansion order (cells with no completed
+    /// replication are absent; their failures are listed instead).
+    pub summaries: Vec<CellSummary>,
+    /// Total units the plan contains.
+    pub total_units: usize,
+    /// Units skipped because their manifest row already existed.
+    pub resumed: usize,
+    /// Manifest rows whose cell hash matches no cell of this campaign
+    /// (the sweep changed); they are ignored but left in the manifest
+    /// file.
+    pub stale_rows: usize,
+    /// Manifest rows of a planned cell whose replication index is beyond
+    /// the current `replications` (the count shrank); ignored likewise.
+    pub excess_rows: usize,
+    /// Per-unit failures (`name[rep]: error`); failed units write no
+    /// manifest row, so a later resume retries exactly these.
+    pub failures: Vec<String>,
+}
+
+impl CampaignOutcome {
+    /// The aggregated per-cell results as a CSV document: one row per
+    /// cell, `mean` and `ci95` columns per metric, floats at full
+    /// round-trip precision. Deterministic for a given set of rows —
+    /// independent of thread scheduling and of how many runs it took to
+    /// complete the campaign.
+    pub fn results_csv(&self) -> String {
+        let headers = [
+            "cell",
+            "scenario",
+            "reps",
+            "jobs",
+            "avg_bsld_mean",
+            "avg_bsld_ci95",
+            "avg_wait_s_mean",
+            "avg_wait_s_ci95",
+            "reduced_jobs_mean",
+            "reduced_jobs_ci95",
+            "energy_comp_mean",
+            "energy_comp_ci95",
+            "energy_idle_mean",
+            "energy_idle_ci95",
+            "energy_ledger_mean",
+            "energy_ledger_ci95",
+            "peak_over_budget_mean",
+            "peak_over_budget_ci95",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .summaries
+            .iter()
+            .map(|c| {
+                let mut row = vec![
+                    c.id.to_string(),
+                    c.name.clone(),
+                    c.bsld.n.to_string(),
+                    c.jobs.to_string(),
+                ];
+                for ci in [&c.bsld, &c.wait, &c.reduced, &c.energy_comp, &c.energy_idle] {
+                    let (m, h) = ci.csv_fields();
+                    row.push(m);
+                    row.push(h);
+                }
+                for opt in [&c.energy_ledger, &c.peak_over_budget] {
+                    match opt {
+                        Some(ci) => {
+                            let (m, h) = ci.csv_fields();
+                            row.push(m);
+                            row.push(h);
+                        }
+                        None => {
+                            row.push("-".into());
+                            row.push("-".into());
+                        }
+                    }
+                }
+                row
+            })
+            .collect();
+        bsld_metrics::csv_string(&headers, &rows)
+    }
+
+    /// Renders the per-cell summary table (`mean ± ci` cells).
+    pub fn render_table(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "scenario",
+            "reps",
+            "jobs",
+            "avgBSLD",
+            "avgWait(s)",
+            "reduced",
+            "E(comp)",
+            "E(ledger)",
+        ]);
+        for c in &self.summaries {
+            t.row(vec![
+                c.name.clone(),
+                c.bsld.n.to_string(),
+                c.jobs.to_string(),
+                c.bsld.table_cell(2),
+                c.wait.table_cell(0),
+                c.reduced.table_cell(1),
+                c.energy_comp.table_cell_sci(3),
+                c.energy_ledger
+                    .as_ref()
+                    .map(|ci| ci.table_cell_sci(3))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Reads the manifest rows from `dir` (empty if the file does not exist).
+/// The header line is validated; unparseable data lines — the torn tail
+/// of a crashed append — are skipped, so the corresponding units rerun.
+pub fn read_manifest(dir: &Path) -> Result<Vec<RepRow>, ScenarioError> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(ScenarioError::Io(format!(
+                "cannot read {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let mut lines = text.lines();
+    match lines.next() {
+        None => return Ok(Vec::new()),
+        Some(header) => {
+            let expect = RepRow::HEADERS.join(",");
+            if header != expect {
+                return Err(ScenarioError::Io(format!(
+                    "{} is not a campaign manifest (header {header:?})",
+                    path.display()
+                )));
+            }
+        }
+    }
+    Ok(lines.filter_map(RepRow::parse_line).collect())
+}
+
+/// Runs a campaign: plan, resume from the manifest (if asked), execute the
+/// missing units in parallel with per-unit manifest flushes, aggregate
+/// per-cell statistics, and write the aggregated results CSV.
+///
+/// `on_progress` (if given) observes `(done, total)` after every completed
+/// unit — cached units are reported up front — and may render a status
+/// line; it is invoked from worker threads.
+pub fn run_campaign(
+    set: &ScenarioSet,
+    opts: &CampaignOptions,
+    on_progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<CampaignOutcome, ScenarioError> {
+    let campaign = Campaign::plan(set)?;
+    let total_units = campaign.units.len();
+
+    // Which units are already on disk?
+    let mut cached: HashMap<(CellId, u32), RepRow> = HashMap::new();
+    let mut stale_rows = 0usize;
+    let mut excess_rows = 0usize;
+    if let (true, Some(dir)) = (opts.resume, &opts.dir) {
+        let planned: HashSet<CellId> = campaign.cells.iter().map(|c| c.id).collect();
+        for row in read_manifest(dir)? {
+            if !planned.contains(&row.cell) {
+                stale_rows += 1;
+            } else if row.rep >= campaign.replications {
+                // The cell is still in the plan — only the replication
+                // count shrank. Keep this distinct from "unknown cell" so
+                // the caller doesn't report a spec change that never
+                // happened.
+                excess_rows += 1;
+            } else {
+                cached.insert((row.cell, row.rep), row);
+            }
+        }
+    }
+
+    // Open the manifest for incremental flushing.
+    let manifest: Option<Mutex<std::fs::File>> = match &opts.dir {
+        None => None,
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ScenarioError::Io(format!("cannot create {}: {e}", dir.display())))?;
+            let path = dir.join(MANIFEST_FILE);
+            let file = if opts.resume && path.exists() {
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| {
+                        // A crash mid-append can leave a torn final line
+                        // with no newline; appending straight after it
+                        // would weld the first fresh row onto the torn one
+                        // and lose both. Terminate the tail first.
+                        let text = std::fs::read(&path)?;
+                        if !text.is_empty() && text.last() != Some(&b'\n') {
+                            writeln!(f)?;
+                        }
+                        Ok(f)
+                    })
+                    .map_err(|e| ScenarioError::Io(format!("cannot open {}: {e}", path.display())))
+            } else {
+                std::fs::File::create(&path)
+                    .and_then(|mut f| {
+                        writeln!(f, "{}", RepRow::HEADERS.join(","))?;
+                        Ok(f)
+                    })
+                    .map_err(|e| {
+                        ScenarioError::Io(format!("cannot create {}: {e}", path.display()))
+                    })
+            }?;
+            Some(Mutex::new(file))
+        }
+    };
+
+    // Partition the work list.
+    let pending: Vec<CampaignUnit> = campaign
+        .units
+        .iter()
+        .filter(|u| !cached.contains_key(&(campaign.cells[u.cell].id, u.rep)))
+        .cloned()
+        .collect();
+    let resumed = total_units - pending.len();
+    let progress = Progress::new(total_units);
+    for _ in 0..resumed {
+        progress.tick();
+    }
+    if let Some(cb) = on_progress {
+        cb(progress.done(), progress.total());
+    }
+
+    // Run what's missing; flush each row the moment it exists.
+    let fresh: Vec<(usize, u32, Result<RepRow, String>)> =
+        bsld_par::par_map(pending, opts.threads.max(1), |unit| {
+            let cell = &campaign.cells[unit.cell];
+            let outcome = match unit.scenario.run() {
+                Ok(res) => {
+                    let row = RepRow::from_result(cell, &unit, &res);
+                    match &manifest {
+                        None => Ok(row),
+                        Some(file) => {
+                            let io = file
+                                .lock()
+                                .map_err(|_| "manifest lock poisoned".to_string())
+                                .and_then(|mut f| {
+                                    writeln!(f, "{}", row.to_csv_line())
+                                        .and_then(|()| f.flush())
+                                        .map_err(|e| format!("manifest write failed: {e}"))
+                                });
+                            // A row that didn't reach disk is treated as not
+                            // run: the error surfaces and a resume reruns it.
+                            io.map(|()| row)
+                        }
+                    }
+                }
+                Err(e) => Err(e.to_string()),
+            };
+            let done = progress.tick();
+            if let Some(cb) = on_progress {
+                cb(done, progress.total());
+            }
+            (unit.cell, unit.rep, outcome)
+        });
+
+    // Merge cached + fresh rows into unit order.
+    let mut by_unit: HashMap<(usize, u32), RepRow> = HashMap::new();
+    let index_of: HashMap<CellId, usize> = campaign
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.id, i))
+        .collect();
+    for ((id, rep), row) in cached {
+        by_unit.insert((index_of[&id], rep), row);
+    }
+    let mut failures = Vec::new();
+    for (cell, rep, res) in fresh {
+        match res {
+            Ok(row) => {
+                by_unit.insert((cell, rep), row);
+            }
+            Err(e) => failures.push(format!(
+                "{}[rep {rep}]: {e}",
+                campaign.cells[cell].scenario.name
+            )),
+        }
+    }
+    let rows: Vec<RepRow> = campaign
+        .units
+        .iter()
+        .filter_map(|u| by_unit.get(&(u.cell, u.rep)).cloned())
+        .collect();
+
+    // Aggregate per cell.
+    let summaries: Vec<CellSummary> = campaign
+        .cells
+        .iter()
+        .enumerate()
+        .filter_map(|(i, cell)| {
+            let cell_rows: Vec<&RepRow> = campaign
+                .units
+                .iter()
+                .filter(|u| u.cell == i)
+                .filter_map(|u| by_unit.get(&(u.cell, u.rep)))
+                .collect();
+            (!cell_rows.is_empty()).then(|| summarize_cell(cell, &cell_rows))
+        })
+        .collect();
+
+    let outcome = CampaignOutcome {
+        rows,
+        summaries,
+        total_units,
+        resumed,
+        stale_rows,
+        excess_rows,
+        failures,
+    };
+
+    // Persist the aggregate next to the manifest.
+    if let Some(dir) = &opts.dir {
+        let path = dir.join(RESULTS_FILE);
+        std::fs::write(&path, outcome.results_csv())
+            .map_err(|e| ScenarioError::Io(format!("cannot write {}: {e}", path.display())))?;
+    }
+    Ok(outcome)
+}

@@ -13,6 +13,8 @@
 //! * [`scenario`] — the declarative layer on top: a serializable
 //!   [`Scenario`] spec with one `run()`, plus [`ScenarioSet`] sweeps; the
 //!   experiment harness and the CLI construct every run through it;
+//! * [`campaign`] — replicated sweeps with per-cell mean ± 95 % CI,
+//!   content-hash cell IDs, an incremental result manifest and resume;
 //! * [`experiments`] — the harness that regenerates every table and figure
 //!   of the paper's evaluation section (see `DESIGN.md` for the index);
 //! * the `bsld-repro` binary exposing the harness on the command line.
@@ -20,11 +22,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod policy;
 pub mod scenario;
 pub mod sim;
 
+pub use campaign::{run_campaign, Campaign, CampaignOptions, CampaignOutcome, CellId};
 pub use policy::{BsldThresholdPolicy, PowerAwareConfig, WqThreshold};
 pub use scenario::{Scenario, ScenarioResult, ScenarioSet};
 pub use sim::{PowerCapConfig, PowerCappedResult, RunResult, Simulator};

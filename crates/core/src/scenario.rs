@@ -41,6 +41,7 @@
 //! let set = ScenarioSet {
 //!     base,
 //!     axes: vec![SweepAxis::BsldThreshold(vec![1.5, 2.0, 3.0])],
+//!     replications: 1,
 //! };
 //! let results = set.run(2).unwrap();
 //! assert_eq!(results.len(), 3);
@@ -713,6 +714,14 @@ pub struct ScenarioSet {
     pub base: Scenario,
     /// Sweep dimensions, expanded in order (first axis varies slowest).
     pub axes: Vec<SweepAxis>,
+    /// Seed replications per expanded cell (`replications = N` in the text
+    /// format, default 1). The campaign layer
+    /// ([`crate::campaign`]) fans every cell out across `N` derived seeds
+    /// and aggregates the per-cell metrics into mean ± 95 % CI; plain
+    /// [`ScenarioSet::expand`]/[`ScenarioSet::run`] ignore the field.
+    /// Values above 1 require a synthetic workload — an SWF replay is
+    /// deterministic, so replicating it would just repeat one number.
+    pub replications: u32,
 }
 
 impl ScenarioSet {
@@ -721,6 +730,7 @@ impl ScenarioSet {
         ScenarioSet {
             base,
             axes: Vec::new(),
+            replications: 1,
         }
     }
 
@@ -1010,7 +1020,7 @@ impl Scenario {
     }
 
     /// Parses the text form of a single scenario. Files with `sweep.*`
-    /// lines must go through [`ScenarioSet::parse`].
+    /// lines or `replications > 1` must go through [`ScenarioSet::parse`].
     pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         let set = ScenarioSet::parse(text)?;
         if !set.axes.is_empty() {
@@ -1019,16 +1029,23 @@ impl Scenario {
                 msg: "file declares sweep axes; use ScenarioSet::parse".into(),
             });
         }
+        if set.replications != 1 {
+            return Err(ScenarioError::Parse {
+                line: 0,
+                msg: "file declares replications; use ScenarioSet::parse".into(),
+            });
+        }
         Ok(set.base)
     }
 }
 
 impl ScenarioSet {
-    /// Renders the set: the base scenario followed by one `sweep.<axis>`
-    /// line per axis.
+    /// Renders the set: the base scenario, the replication count, then one
+    /// `sweep.<axis>` line per axis.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = self.base.render();
+        let _ = writeln!(out, "replications = {}", self.replications);
         for axis in &self.axes {
             let values = match axis {
                 SweepAxis::Profile(v) => v.iter().map(|p| p.key().to_string()).collect::<Vec<_>>(),
@@ -1064,6 +1081,7 @@ impl ScenarioSet {
         let mut engine = EngineSpec::default();
         let mut output = OutputSpec::default();
         let mut axes: Vec<SweepAxis> = Vec::new();
+        let mut replications: Option<(usize, u32)> = None;
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -1241,6 +1259,15 @@ impl ScenarioSet {
                     }
                 }
                 "trace" => engine.trace = parse_bool(value).map_err(e)?,
+                "replications" => {
+                    let n: u32 = value
+                        .parse()
+                        .map_err(|_| e(format!("bad replications {value:?}")))?;
+                    if n == 0 {
+                        return Err(e("replications must be at least 1".into()));
+                    }
+                    replications = Some((lineno, n));
+                }
                 "out_dir" => {
                     output.out_dir = match value {
                         "none" => None,
@@ -1315,6 +1342,24 @@ impl ScenarioSet {
             }
         };
 
+        // Replicating a deterministic SWF replay would repeat one number N
+        // times and report a zero-width interval around it — reject rather
+        // than hand out fake statistics.
+        let replications = match replications {
+            Some((line, n)) => {
+                if n > 1 && matches!(workload, WorkloadSpec::Swf { .. }) {
+                    return Err(err(
+                        line,
+                        "replications > 1 requires a synthetic workload \
+                         (an SWF replay has no seed to vary)"
+                            .into(),
+                    ));
+                }
+                n
+            }
+            None => 1,
+        };
+
         Ok(ScenarioSet {
             base: Scenario {
                 name: name.unwrap_or_else(|| "scenario".into()),
@@ -1326,6 +1371,7 @@ impl ScenarioSet {
                 output,
             },
             axes,
+            replications,
         })
     }
 }
@@ -1436,6 +1482,7 @@ mod tests {
                 SweepAxis::Wq(vec![WqThreshold::Limit(0), WqThreshold::NoLimit]),
                 SweepAxis::EnlargePct(vec![0, 50]),
             ],
+            replications: 1,
         };
         assert_eq!(ScenarioSet::parse(&set.render()).unwrap(), set);
         let cells = set.expand().unwrap();
@@ -1517,9 +1564,37 @@ mod tests {
                 SweepAxis::BsldThreshold(vec![1.5]),
                 SweepAxis::BsldThreshold(vec![3.0]),
             ],
+            replications: 1,
         };
         let err = set.expand().unwrap_err().to_string();
         assert!(err.contains("duplicate sweep axis sweep.bsld_th"), "{err}");
+    }
+
+    #[test]
+    fn replications_round_trip_and_validate() {
+        let mut set = ScenarioSet::single(base());
+        set.replications = 5;
+        let text = set.render();
+        assert!(text.contains("replications = 5"), "{text}");
+        assert_eq!(ScenarioSet::parse(&text).unwrap(), set);
+        // Files without the key default to 1.
+        assert_eq!(
+            ScenarioSet::parse(&base().render()).unwrap().replications,
+            1
+        );
+        // Scenario::parse accepts replications = 1 but rejects campaigns.
+        assert!(Scenario::parse(&ScenarioSet::single(base()).render()).is_ok());
+        let err = Scenario::parse(&text).unwrap_err().to_string();
+        assert!(err.contains("replications"), "{err}");
+        // Zero is meaningless.
+        let zero = format!("{}replications = 0\n", base().render());
+        assert!(ScenarioSet::parse(&zero).is_err());
+        // Replicating a deterministic SWF replay is rejected.
+        let swf = "workload = swf\nswf_path = t.swf\nreplications = 3\n";
+        let err = ScenarioSet::parse(swf).unwrap_err().to_string();
+        assert!(err.contains("synthetic workload"), "{err}");
+        let swf_one = "workload = swf\nswf_path = t.swf\nreplications = 1\n";
+        assert!(ScenarioSet::parse(swf_one).is_ok());
     }
 
     #[test]
@@ -1627,6 +1702,7 @@ mod tests {
         let set = ScenarioSet {
             base: sc,
             axes: vec![SweepAxis::Profile(vec![ProfileName::Ctc])],
+            replications: 1,
         };
         assert!(set.expand().is_err());
     }

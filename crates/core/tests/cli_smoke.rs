@@ -151,6 +151,110 @@ fn run_subcommand_executes_scenario_file() {
 }
 
 #[test]
+fn campaign_replications_resume_round_trip() {
+    let dir = std::env::temp_dir().join(format!("bsld_cli_campaign_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let scn = dir.join("campaign.scn");
+    std::fs::write(
+        &scn,
+        "scenario = camp\n\
+         workload = synthetic\n\
+         profile = blue\n\
+         jobs = 80\n\
+         seed = 7\n\
+         scale_cpus = 64\n\
+         policy = bsld:2/NO\n\
+         replications = 3\n\
+         sweep.bsld_th = 1.5 3\n",
+    )
+    .unwrap();
+    let out_dir = dir.join("out");
+    let out = run(&[
+        "run",
+        scn.to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let table = stdout(&out);
+    // Per-cell mean ± 95% CI columns in the table...
+    assert!(table.contains('±'), "CI columns expected: {table}");
+    assert!(table.contains("camp-th1.5"), "{table}");
+    // ...and in the CSV.
+    let results = out_dir.join("campaign_results.csv");
+    let body = std::fs::read_to_string(&results).expect("aggregated results written");
+    assert!(body.starts_with("cell,scenario,reps,"), "{body}");
+    assert!(body.contains("avg_bsld_mean,avg_bsld_ci95"), "{body}");
+    assert_eq!(body.lines().count(), 3, "two cells + header: {body}");
+
+    // Interrupt: drop the last two manifest rows, then resume.
+    let manifest = out_dir.join("campaign_manifest.csv");
+    let full = std::fs::read_to_string(&manifest).unwrap();
+    assert_eq!(full.lines().count(), 7, "6 replications + header: {full}");
+    let truncated: Vec<&str> = full.lines().take(5).collect();
+    std::fs::write(&manifest, format!("{}\n", truncated.join("\n"))).unwrap();
+    std::fs::remove_file(&results).unwrap();
+
+    let resumed = run(&[
+        "run",
+        scn.to_str().unwrap(),
+        "--resume",
+        out_dir.to_str().unwrap(),
+        "--no-csv",
+    ]);
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    let err = stderr(&resumed);
+    assert!(err.contains("resumed: 4 of 6"), "{err}");
+    let resumed_body = std::fs::read_to_string(&results).expect("results rewritten on resume");
+    assert_eq!(
+        resumed_body, body,
+        "resumed campaign must be byte-identical to the clean run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_flag_outside_run_is_an_error() {
+    let out = run(&["table1", "--resume", "somewhere"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--resume only applies"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn out_flag_does_not_combine_with_resume() {
+    // --out next to --resume would be silently shadowed by the resume
+    // dir; the CLI rejects the combination instead.
+    let dir = std::env::temp_dir().join(format!("bsld_cli_outres_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scn = dir.join("c.scn");
+    std::fs::write(
+        &scn,
+        "workload = synthetic\nprofile = ctc\njobs = 10\nseed = 1\nreplications = 2\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "run",
+        scn.to_str().unwrap(),
+        "--out",
+        dir.join("a").to_str().unwrap(),
+        "--resume",
+        dir.join("b").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--out does not combine with --resume"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn run_subcommand_rejects_bad_files() {
     let dir = std::env::temp_dir().join(format!("bsld_cli_smoke_bad_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,103 @@
+//! Mean ± confidence-interval presentation.
+//!
+//! Replicated campaigns summarise every sweep cell as a mean with a 95 %
+//! confidence half-width (computed upstream, e.g. by
+//! `bsld_simkernel::stats::OnlineStats::ci95_half`). [`MeanCi`] carries the
+//! pair plus the replication count and renders it two ways: a compact
+//! `mean ± half` table cell, and a lossless two-column CSV form whose `{}`
+//! float formatting (shortest round-trip) parses back to the exact same
+//! bits — the property the campaign resume machinery relies on.
+
+use std::fmt;
+
+/// A sample mean with its 95 % confidence half-width over `n` replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean across the replications.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval (`mean ± half`); 0 when
+    /// fewer than two replications.
+    pub half: f64,
+    /// Number of replications aggregated.
+    pub n: u64,
+}
+
+impl MeanCi {
+    /// Bundles a mean, half-width and replication count.
+    pub fn new(mean: f64, half: f64, n: u64) -> MeanCi {
+        MeanCi { mean, half, n }
+    }
+
+    /// A single-observation "interval": the value itself, no width.
+    pub fn point(value: f64) -> MeanCi {
+        MeanCi {
+            mean: value,
+            half: 0.0,
+            n: 1,
+        }
+    }
+
+    /// Renders a table cell: `mean ± half` with `digits` fractional
+    /// digits, or just the mean when only one replication exists (a ± 0
+    /// suffix would suggest a measured zero spread rather than none).
+    pub fn table_cell(&self, digits: usize) -> String {
+        if self.n < 2 {
+            format!("{:.digits$}", self.mean)
+        } else {
+            format!("{:.digits$} ± {:.digits$}", self.mean, self.half)
+        }
+    }
+
+    /// As [`MeanCi::table_cell`] but in scientific notation (energy
+    /// columns).
+    pub fn table_cell_sci(&self, digits: usize) -> String {
+        if self.n < 2 {
+            format!("{:.digits$e}", self.mean)
+        } else {
+            format!("{:.digits$e} ± {:.digits$e}", self.mean, self.half)
+        }
+    }
+
+    /// The lossless CSV pair `(mean, ci95)`: `{}` formatting emits the
+    /// shortest string that parses back to the identical `f64`.
+    pub fn csv_fields(&self) -> (String, String) {
+        (self.mean.to_string(), self.half.to_string())
+    }
+}
+
+impl fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = f.precision().unwrap_or(3);
+        f.write_str(&self.table_cell(digits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_cell_formats_interval() {
+        let ci = MeanCi::new(4.6637, 0.1291, 5);
+        assert_eq!(ci.table_cell(2), "4.66 ± 0.13");
+        assert_eq!(format!("{ci:.2}"), "4.66 ± 0.13");
+        assert_eq!(ci.table_cell_sci(2), "4.66e0 ± 1.29e-1");
+    }
+
+    #[test]
+    fn single_replication_omits_interval() {
+        let ci = MeanCi::point(7.25);
+        assert_eq!(ci.table_cell(2), "7.25");
+        assert_eq!(ci.table_cell_sci(1), "7.2e0");
+    }
+
+    #[test]
+    fn csv_fields_round_trip_bit_exact() {
+        let mean = 1.0 / 3.0;
+        let half = 0.1 + 0.2; // famously not 0.3
+        let ci = MeanCi::new(mean, half, 3);
+        let (m, h) = ci.csv_fields();
+        assert_eq!(m.parse::<f64>().unwrap().to_bits(), mean.to_bits());
+        assert_eq!(h.parse::<f64>().unwrap().to_bits(), half.to_bits());
+    }
+}

@@ -4,6 +4,7 @@
 //!   average/max BSLD (Eq. 6), wait-time statistics, reduced-job counts,
 //!   per-gear histograms, energy in both idle scenarios, utilisation;
 //! * [`series`] — per-job wait-time series (Figure 6) and smoothing;
+//! * [`ci`] — mean ± 95 % CI presentation for replicated campaigns;
 //! * [`TextTable`] — aligned plain-text tables for terminal output;
 //! * [`csvout`] / [`jsonout`] — hand-rolled CSV and JSON writers (kept
 //!   dependency-free on purpose; see DESIGN.md §8).
@@ -11,6 +12,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ci;
 pub mod csvout;
 pub mod detail;
 pub mod jsonout;
@@ -18,6 +20,7 @@ pub mod series;
 pub mod summary;
 pub mod table;
 
+pub use ci::MeanCi;
 pub use csvout::{csv_escape, csv_string, parse_csv_line, write_csv};
 pub use detail::{Percentiles, RunDetails, SizeClass};
 pub use jsonout::Json;

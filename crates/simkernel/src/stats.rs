@@ -80,6 +80,49 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
+    /// Unbiased sample variance (Bessel's correction, `m2 / (n - 1)`;
+    /// 0 when fewer than two observations).
+    ///
+    /// Use this — not [`OnlineStats::variance`] — when the observations
+    /// are a *sample* from a larger population, e.g. seed replications of
+    /// a sweep cell: the population formula divides by `n` and understates
+    /// the spread (and hence any error bar) for small `n`.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation (square root of
+    /// [`OnlineStats::sample_variance`]).
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean: `sample_stddev / sqrt(n)` (0 when fewer
+    /// than two observations).
+    pub fn stderr(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.sample_stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95 % confidence interval of the mean:
+    /// `t_{0.975, n-1} * stderr`, using the Student-t critical value for
+    /// small samples (0 when fewer than two observations). The interval is
+    /// `mean ± ci95_half`.
+    pub fn ci95_half(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            t_critical_95(self.n - 1) * self.stderr()
+        }
+    }
+
     /// Smallest observation (`None` when empty).
     pub fn min(&self) -> Option<f64> {
         (self.n > 0).then_some(self.min)
@@ -112,7 +155,27 @@ impl OnlineStats {
     }
 }
 
-/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow bins.
+/// Two-sided 97.5 % Student-t critical values for `df` 1..=30; beyond 30
+/// degrees of freedom the normal approximation (1.96) is within 3 %.
+const T_CRIT_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95 % Student-t critical value for `df` degrees of freedom
+/// (tabulated up to 30, normal approximation 1.96 beyond). `df = 0` returns
+/// infinity: one observation carries no interval.
+pub fn t_critical_95(df: u64) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_CRIT_95[(df - 1) as usize],
+        _ => 1.96,
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow bins and a
+/// dedicated NaN bucket.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
@@ -120,6 +183,7 @@ pub struct Histogram {
     bins: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
 }
 
 impl Histogram {
@@ -136,12 +200,19 @@ impl Histogram {
             bins: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            nan: 0,
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. NaN observations land in a dedicated
+    /// bucket ([`Histogram::nan`]) instead of being miscounted: every
+    /// range comparison on NaN is false, so the old code fell through and
+    /// `NaN as usize` silently incremented bin 0. Infinities are ordered
+    /// and keep going to the under/overflow bins.
     pub fn push(&mut self, x: f64) {
-        if x < self.lo {
+        if x.is_nan() {
+            self.nan += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -167,9 +238,14 @@ impl Histogram {
         self.overflow
     }
 
-    /// Total number of recorded observations.
+    /// NaN observations (neither a bin nor an under/overflow).
+    pub fn nan(&self) -> u64 {
+        self.nan
+    }
+
+    /// Total number of recorded observations, NaN bucket included.
     pub fn total(&self) -> u64 {
-        self.underflow + self.overflow + self.bins.iter().sum::<u64>()
+        self.underflow + self.overflow + self.nan + self.bins.iter().sum::<u64>()
     }
 
     /// The `[lo, hi)` bounds of bin `idx`.
@@ -288,6 +364,59 @@ mod tests {
     }
 
     #[test]
+    fn sample_variance_applies_bessel_correction() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        // Population variance 4.0 over n=8 → m2 = 32; sample divides by 7.
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.sample_stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(s.sample_variance() > s.variance(), "sample > population");
+    }
+
+    #[test]
+    fn stderr_and_ci_match_hand_computed_small_n() {
+        // Three replications: 10, 12, 14. mean 12, sample variance 4,
+        // sample stddev 2, stderr 2/sqrt(3), t(df=2) = 4.303.
+        let mut s = OnlineStats::new();
+        for x in [10.0, 12.0, 14.0] {
+            s.push(x);
+        }
+        let stderr = 2.0 / 3.0f64.sqrt();
+        assert!((s.sample_variance() - 4.0).abs() < 1e-12);
+        assert!((s.stderr() - stderr).abs() < 1e-12);
+        assert!((s.ci95_half() - 4.303 * stderr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stderr_degenerate_counts() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+        assert_eq!(s.ci95_half(), 0.0);
+        s.push(5.0);
+        // One observation: no spread estimate, not NaN/inf.
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+        assert_eq!(s.ci95_half(), 0.0);
+    }
+
+    #[test]
+    fn t_critical_values() {
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-12);
+        assert!((t_critical_95(2) - 4.303).abs() < 1e-12);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-12);
+        assert!((t_critical_95(31) - 1.96).abs() < 1e-12);
+        assert!((t_critical_95(10_000) - 1.96).abs() < 1e-12);
+        // Monotone non-increasing in df.
+        for df in 1..40 {
+            assert!(t_critical_95(df) >= t_critical_95(df + 1), "df={df}");
+        }
+    }
+
+    #[test]
     fn online_stats_empty() {
         let s = OnlineStats::new();
         assert_eq!(s.mean(), 0.0);
@@ -346,6 +475,21 @@ mod tests {
         assert_eq!(h.total(), 7);
         assert_eq!(h.bin_bounds(0), (0.0, 2.0));
         assert_eq!(h.bin_bounds(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn histogram_counts_nan_in_dedicated_bucket() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(f64::NAN);
+        h.push(-f64::NAN);
+        h.push(1.0);
+        h.push(f64::INFINITY);
+        h.push(f64::NEG_INFINITY);
+        assert_eq!(h.nan(), 2, "NaN must not be miscounted as bin 0");
+        assert_eq!(h.bins(), &[1, 0, 0, 0, 0]);
+        assert_eq!(h.overflow(), 1, "+inf is an overflow");
+        assert_eq!(h.underflow(), 1, "-inf is an underflow");
+        assert_eq!(h.total(), 5, "total reports every observation");
     }
 
     #[test]

@@ -119,7 +119,15 @@ pub fn clean_trace(trace: &mut SwfTrace, cfg: &CleanConfig) -> CleanSummary {
 }
 
 /// Selects a `count`-job segment starting at `start` (by index in submit
-/// order) and rebases submit times so the first selected job arrives at 0.
+/// order) and rebases submit times so the earliest selected job arrives
+/// at 0.
+///
+/// The rebase uses the *minimum* submit time of the segment, not the first
+/// record's: SWF logs are not guaranteed to be sorted by submit time (job
+/// IDs are the archive's primary order, and some logs interleave queues),
+/// and subtracting the first record's submit from an earlier one would
+/// drive `submit` negative — an absurd arrival the cleaner later drops, or
+/// an underflow for unsigned consumers.
 ///
 /// The paper simulates 5 000-job parts of each workload, "selected so that
 /// they do not have many jobs removed".
@@ -131,7 +139,7 @@ pub fn select_segment(trace: &SwfTrace, start: usize, count: usize) -> SwfTrace 
         .take(count)
         .copied()
         .collect();
-    if let Some(base) = records.first().map(|r| r.submit) {
+    if let Some(base) = records.iter().map(|r| r.submit).min() {
         for r in &mut records {
             r.submit -= base;
         }
@@ -261,6 +269,31 @@ mod tests {
         assert_eq!(seg.records[1].submit, 1000);
         assert_eq!(seg.header.max_jobs, Some(2));
         assert_eq!(seg.header.max_procs, Some(64));
+    }
+
+    #[test]
+    fn segment_of_shuffled_trace_rebases_by_minimum() {
+        // A log NOT sorted by submit time: the first record of the segment
+        // arrives later than its successors. Rebasing by the first record
+        // would push the others negative.
+        let t = trace_with(vec![
+            SwfRecord::simple(1, 9_000, 100, 1, 100),
+            SwfRecord::simple(2, 5_000, 100, 1, 100),
+            SwfRecord::simple(3, 7_000, 100, 1, 100),
+            SwfRecord::simple(4, 6_000, 100, 1, 100),
+        ]);
+        let seg = select_segment(&t, 0, 4);
+        assert!(
+            seg.records.iter().all(|r| r.submit >= 0),
+            "no arrival may go negative: {:?}",
+            seg.records.iter().map(|r| r.submit).collect::<Vec<_>>()
+        );
+        // The earliest job (id 2) lands at 0; relative offsets survive.
+        let by_id = |id: i64| seg.records.iter().find(|r| r.job_id == id).unwrap();
+        assert_eq!(by_id(2).submit, 0);
+        assert_eq!(by_id(4).submit, 1_000);
+        assert_eq!(by_id(3).submit, 2_000);
+        assert_eq!(by_id(1).submit, 4_000);
     }
 
     #[test]

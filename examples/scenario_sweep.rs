@@ -34,6 +34,7 @@ fn main() {
             SweepAxis::BsldThreshold(vec![1.5, 2.0, 3.0]),
             SweepAxis::CapFraction(vec![0.6, 0.8]),
         ],
+        replications: 1,
     };
 
     // The set serializes to a .scn file and parses back identically —

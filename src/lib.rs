@@ -20,7 +20,9 @@
 //! * [`metrics`] — run summaries and report writers;
 //! * [`core`] — the paper's BSLD-threshold policy, simulator facade, the
 //!   declarative scenario API (`core::scenario`: one serializable spec, one
-//!   `run()`, sweepable scenario files) and the experiment harness
+//!   `run()`, sweepable scenario files), the campaign layer
+//!   (`core::campaign`: seed-replicated sweeps with mean ± 95 % CI,
+//!   content-hash cell caching and resume) and the experiment harness
 //!   reproducing every table and figure;
 //! * [`par`] — the parallel sweep executor.
 //!

@@ -259,14 +259,22 @@ proptest! {
         prop_assert_eq!(parsed, sc);
     }
 
-    /// The set format round-trips, sweep axes included. Axis keys are
-    /// deduplicated (first wins): the parser rejects repeated axes.
+    /// The set format round-trips, sweep axes and replication counts
+    /// included. Axis keys are deduplicated (first wins): the parser
+    /// rejects repeated axes.
     #[test]
     fn scenario_set_parse_inverts_render(
         sc in arb_scenario(),
         axes in proptest::collection::vec(arb_axis(), 0..5),
+        reps in 1u32..=8,
     ) {
-        let set = ScenarioSet { base: sc, axes: dedup_axes(axes) };
+        // Replications > 1 require a synthetic workload (the parser
+        // rejects replicated SWF replays — they are deterministic).
+        let reps = match sc.workload {
+            WorkloadSpec::Swf { .. } => 1,
+            WorkloadSpec::Synthetic { .. } => reps,
+        };
+        let set = ScenarioSet { base: sc, axes: dedup_axes(axes), replications: reps };
         let text = set.render();
         let parsed = ScenarioSet::parse(&text).map_err(TestCaseError::fail)?;
         prop_assert_eq!(parsed, set);
@@ -291,7 +299,7 @@ proptest! {
                 beta: None,
             };
         }
-        let set = ScenarioSet { base, axes };
+        let set = ScenarioSet { base, axes, replications: 1 };
         let cells = set.expand().map_err(TestCaseError::fail)?;
         let expected: usize = set.axes.iter().map(|a| match a {
             SweepAxis::Profile(v) => v.len(),
