@@ -22,6 +22,13 @@
 //!   run FILE.scn [--jobs N] [--seed S]   parse a scenario file (sweep axes
 //!                                        included), expand and run every
 //!                                        cell, print the result table
+//!   campaign-worker FILE.scn --shard I/N --out DIR
+//!                                        run one shard of a campaign,
+//!                                        appending to a per-worker
+//!                                        manifest in the shared DIR
+//!   campaign-merge DIR                   validate and union the worker
+//!                                        manifests of DIR, write the
+//!                                        aggregated results + JSON report
 //!   generate --workload W --swf FILE     export a calibrated synthetic
 //!                                        workload as an SWF trace
 //!   simulate [--workload W | --swf FILE] [--bsld-th X] [--wq N|no]
@@ -34,7 +41,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bsld_core::campaign::{run_campaign, CampaignOptions, RESULTS_FILE};
+use bsld_core::campaign::{run_campaign, CampaignOptions, JSON_FILE, RESULTS_FILE};
+use bsld_core::distrib::{merge_campaign, run_worker, worker_manifest_file, Shard};
 use bsld_core::experiments::{ablation, enlarged, fig6, grid, powercap, table1, ExpOptions};
 use bsld_core::policy::WqThreshold;
 use bsld_core::scenario::{PolicySpec, ProfileName, ScenarioSet, WorkloadSpec};
@@ -61,10 +69,17 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: bsld-repro <{}|run|generate|simulate> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+        "usage: bsld-repro <{}|run|campaign-worker|campaign-merge|generate|simulate> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
          run:       run FILE.scn [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv] [--resume DIR]\n\
-         \x20          (files with `replications = N` or --resume run as a campaign:\n\
-         \x20          per-cell mean ± 95% CI, incremental manifest, cached cells skipped)\n\
+         \x20          (files with `replications = N`, `cell_budget_s`, or --resume run as a\n\
+         \x20          campaign: per-cell mean ± 95% CI, incremental manifest, cached cells\n\
+         \x20          skipped, campaign.json report)\n\
+         campaign-worker: campaign-worker FILE.scn --shard I/N --out DIR [--jobs N] [--seed S] [--threads T]\n\
+         \x20          (runs only the units content-hashed to shard I of N; re-running a\n\
+         \x20          killed worker resumes its own manifest)\n\
+         campaign-merge:  campaign-merge DIR\n\
+         \x20          (validates shard coverage, unions worker manifests, writes\n\
+         \x20          campaign_results.csv + campaign.json byte-identical to `run`)\n\
          generate:  --workload <ctc|sdsc|blue|thunder|atlas> --swf FILE\n\
          simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]",
         EXPERIMENTS.join("|")
@@ -93,6 +108,8 @@ struct Args {
     /// Campaign directory for `run --resume`: cached cells are skipped,
     /// fresh rows are appended to the manifest there.
     resume: Option<PathBuf>,
+    /// `--shard I/N` for `campaign-worker`.
+    shard: Option<String>,
 }
 
 /// `Ok(true)`: `--help` was requested (print usage, exit 0).
@@ -112,6 +129,7 @@ fn parse_args() -> Result<(Args, bool), String> {
     let mut boost = None;
     let mut export = None;
     let mut resume = None;
+    let mut shard = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -165,15 +183,21 @@ fn parse_args() -> Result<(Args, bool), String> {
                     it.next().ok_or("--resume needs a directory")?,
                 ));
             }
+            "--shard" => {
+                shard = Some(it.next().ok_or("--shard needs a value (I/N)")?);
+            }
             "--help" | "-h" => help = true,
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
             }
-            // Only `run` takes a positional operand (the .scn path);
+            // Only `run`, `campaign-worker` (the .scn path) and
+            // `campaign-merge` (the directory) take a positional operand;
             // anywhere else a stray bare word is an error, not ignored.
             other
-                if experiment.as_deref() == Some("run")
-                    && positional.is_none()
+                if matches!(
+                    experiment.as_deref(),
+                    Some("run" | "campaign-worker" | "campaign-merge")
+                ) && positional.is_none()
                     && !other.starts_with('-') =>
             {
                 positional = Some(other.to_string());
@@ -199,6 +223,7 @@ fn parse_args() -> Result<(Args, bool), String> {
                 boost,
                 export,
                 resume,
+                shard,
             },
             true,
         ));
@@ -207,6 +232,12 @@ fn parse_args() -> Result<(Args, bool), String> {
     if resume.is_some() && experiment != "run" {
         return Err(format!(
             "--resume only applies to the run subcommand\n{}",
+            usage()
+        ));
+    }
+    if shard.is_some() && experiment != "campaign-worker" {
+        return Err(format!(
+            "--shard only applies to the campaign-worker subcommand\n{}",
             usage()
         ));
     }
@@ -226,6 +257,7 @@ fn parse_args() -> Result<(Args, bool), String> {
             boost,
             export,
             resume,
+            shard,
         },
         false,
     ))
@@ -406,33 +438,14 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
         .positional
         .as_deref()
         .ok_or("run needs a scenario file: bsld-repro run FILE.scn")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut set = ScenarioSet::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    if args.jobs_set || args.seed_set {
-        match &mut set.base.workload {
-            WorkloadSpec::Synthetic { jobs, seed, .. } => {
-                if args.jobs_set {
-                    *jobs = args.opts.jobs;
-                }
-                if args.seed_set {
-                    *seed = args.opts.seed;
-                }
-            }
-            WorkloadSpec::Swf { path: swf, .. } => {
-                eprintln!(
-                    "# warning: --jobs/--seed do not apply to an SWF workload; \
-                     replaying the full trace {}",
-                    swf.display()
-                );
-            }
-        }
-    }
+    let mut set = load_scenario_file(path, args)?;
     if args.out_set {
         set.base.output.out_dir = args.opts.out_dir.clone();
     }
-    // Replicated sweeps and resumable runs go through the campaign layer:
-    // per-cell mean ± 95% CI, content-hash cell IDs, incremental manifest.
-    if set.replications > 1 || args.resume.is_some() {
+    // Replicated sweeps, budgeted sweeps and resumable runs go through the
+    // campaign layer: per-cell mean ± 95% CI, content-hash cell IDs,
+    // incremental manifest, failure rows.
+    if set.replications > 1 || set.cell_budget_s.is_some() || args.resume.is_some() {
         return run_campaign_file(path, &set, args);
     }
     let cells = set.expand().map_err(|e| e.to_string())?;
@@ -539,6 +552,34 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a scenario file and applies the `--jobs`/`--seed` overrides —
+/// the shared front door of `run` and `campaign-worker` (both must see the
+/// same spec for their artifacts to be byte-identical).
+fn load_scenario_file(path: &str, args: &Args) -> Result<ScenarioSet, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut set = ScenarioSet::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if args.jobs_set || args.seed_set {
+        match &mut set.base.workload {
+            WorkloadSpec::Synthetic { jobs, seed, .. } => {
+                if args.jobs_set {
+                    *jobs = args.opts.jobs;
+                }
+                if args.seed_set {
+                    *seed = args.opts.seed;
+                }
+            }
+            WorkloadSpec::Swf { path: swf, .. } => {
+                eprintln!(
+                    "# warning: --jobs/--seed do not apply to an SWF workload; \
+                     replaying the full trace {}",
+                    swf.display()
+                );
+            }
+        }
+    }
+    Ok(set)
+}
+
 /// The campaign path of `run`: replications fan out across derived seeds,
 /// each completed replication is flushed to the manifest immediately, and
 /// `--resume DIR` skips cells whose rows are already on disk. A live
@@ -603,10 +644,119 @@ fn run_campaign_file(path: &str, set: &ScenarioSet, args: &Args) -> Result<(), S
     println!("{}", outcome.render_table());
     if let Some(d) = &dir {
         eprintln!("# wrote {}", d.join(RESULTS_FILE).display());
+        eprintln!("# wrote {}", d.join(JSON_FILE).display());
     }
     if !outcome.failures.is_empty() {
         return Err(format!(
-            "{} of {} run(s) failed (rerun with --resume to retry just these):\n  {}",
+            "{} of {} run(s) failed (recorded as `failed` manifest rows; delete the rows \
+             or the manifest to retry):\n  {}",
+            outcome.failures.len(),
+            outcome.total_units,
+            outcome.failures.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
+/// The `campaign-worker FILE.scn --shard I/N --out DIR` subcommand: run
+/// one content-hash shard of the campaign, appending to this worker's own
+/// manifest in the shared directory. Re-running after a crash resumes.
+fn run_campaign_worker(args: &Args) -> Result<(), String> {
+    let path = args.positional.as_deref().ok_or(
+        "campaign-worker needs a scenario file: bsld-repro campaign-worker FILE.scn --shard I/N --out DIR",
+    )?;
+    let shard = Shard::parse(
+        args.shard
+            .as_deref()
+            .ok_or("campaign-worker needs --shard I/N")?,
+    )?;
+    let dir = match (&args.opts.out_dir, args.out_set) {
+        (Some(d), true) => d.clone(),
+        _ => return Err("campaign-worker needs --out DIR (the shared campaign directory)".into()),
+    };
+    let set = load_scenario_file(path, args)?;
+    eprintln!(
+        "# {path}: shard {shard} into {} (manifest {})",
+        dir.display(),
+        worker_manifest_file(shard.index)
+    );
+    let status = |done: usize, total: usize| {
+        eprint!("\r# worker {}: {done}/{total} runs", shard.index);
+    };
+    let outcome = run_worker(&set, shard, args.opts.threads, &dir, Some(&status))
+        .map_err(|e| e.to_string())?;
+    eprintln!();
+    if outcome.resumed > 0 {
+        eprintln!(
+            "# resumed: {} of {} shard run(s) already in this worker's manifest",
+            outcome.resumed, outcome.shard_units
+        );
+    }
+    eprintln!(
+        "# shard {shard}: {} of {} campaign unit(s) done; merge with \
+         `bsld-repro campaign-merge {}` once every shard has run",
+        outcome.shard_units,
+        outcome.total_units,
+        dir.display()
+    );
+    if !outcome.failures.is_empty() {
+        return Err(format!(
+            "{} of {} shard run(s) failed (recorded as `failed` manifest rows; delete the \
+             rows or the manifest to retry):\n  {}",
+            outcome.failures.len(),
+            outcome.shard_units,
+            outcome.failures.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
+/// The `campaign-merge DIR` subcommand: validate shard coverage, union the
+/// per-worker manifests, and write aggregated artifacts byte-identical to
+/// a single-process `run` of the pinned scenario file.
+fn run_campaign_merge(args: &Args) -> Result<(), String> {
+    let dir = PathBuf::from(
+        args.positional
+            .as_deref()
+            .ok_or("campaign-merge needs a directory: bsld-repro campaign-merge DIR")?,
+    );
+    let merged = merge_campaign(&dir).map_err(|e| e.to_string())?;
+    let outcome = &merged.outcome;
+    eprintln!(
+        "# merged {} worker manifest(s) (shards {}), {} unit(s)",
+        merged.workers.len(),
+        merged
+            .workers
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        outcome.total_units
+    );
+    if merged.duplicate_rows > 0 {
+        eprintln!(
+            "# note: {} identical duplicate row(s) from overlapping shard re-runs (deduplicated)",
+            merged.duplicate_rows
+        );
+    }
+    if outcome.stale_rows > 0 {
+        eprintln!(
+            "# warning: {} manifest row(s) match no cell of this campaign (ignored)",
+            outcome.stale_rows
+        );
+    }
+    if outcome.excess_rows > 0 {
+        eprintln!(
+            "# note: {} manifest row(s) are replications beyond `replications = {}` (ignored)",
+            outcome.excess_rows, merged.set.replications
+        );
+    }
+    println!("{}", outcome.render_table());
+    eprintln!("# wrote {}", dir.join(RESULTS_FILE).display());
+    eprintln!("# wrote {}", dir.join(JSON_FILE).display());
+    if !outcome.failures.is_empty() {
+        return Err(format!(
+            "{} of {} run(s) failed (recorded as `failed` manifest rows):\n  {}",
             outcome.failures.len(),
             outcome.total_units,
             outcome.failures.join("\n  ")
@@ -636,6 +786,18 @@ fn main() -> ExitCode {
     match args.experiment.as_str() {
         "run" => {
             if let Err(e) = run_scenario_file(&args) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "campaign-worker" => {
+            if let Err(e) = run_campaign_worker(&args) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "campaign-merge" => {
+            if let Err(e) = run_campaign_merge(&args) {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
@@ -760,7 +922,8 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment: {other} (valid: {}, run, generate, simulate)\n{}",
+                "unknown experiment: {other} (valid: {}, run, campaign-worker, campaign-merge, \
+                 generate, simulate)\n{}",
                 EXPERIMENTS.join(", "),
                 usage()
             );

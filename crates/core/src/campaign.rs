@@ -35,6 +35,7 @@
 //!     base,
 //!     axes: vec![SweepAxis::BsldThreshold(vec![1.5, 3.0])],
 //!     replications: 3,
+//!     cell_budget_s: None,
 //! };
 //! let out = run_campaign(&set, &CampaignOptions::in_memory(2), None).unwrap();
 //! assert_eq!(out.summaries.len(), 2); // one row per sweep cell
@@ -92,12 +93,17 @@ pub struct CellId(pub u64);
 impl CellId {
     /// The ID of the cell described by `scenario`.
     ///
-    /// The hash covers the *run-semantic* spec only: the output spec is
-    /// blanked before rendering, because `out_dir` is presentation advice
-    /// to the driver — re-running the same campaign with a different
-    /// `--out` (or `--no-csv`) must still hit the cached rows.
+    /// The hash covers the *run-semantic* spec only: the output spec and
+    /// the scenario name are blanked before rendering. `out_dir` is
+    /// presentation advice to the driver — re-running the same campaign
+    /// with a different `--out` (or `--no-csv`) must still hit the cached
+    /// rows — and the name is a label whose axis-suffix order depends on
+    /// how the sweep was written; excluding it keeps IDs (and therefore
+    /// shard assignment, see [`crate::distrib`]) stable under renames and
+    /// axis permutation.
     pub fn of(scenario: &Scenario) -> CellId {
         let mut canonical = scenario.clone();
+        canonical.name = String::new();
         canonical.output = crate::scenario::OutputSpec::default();
         CellId(fnv1a_64(canonical.render().as_bytes()))
     }
@@ -159,6 +165,10 @@ pub struct Campaign {
     pub replications: u32,
     /// The work list: every `(cell, rep)` pair, cell-major order.
     pub units: Vec<CampaignUnit>,
+    /// Per-unit wall-time budget in seconds (from
+    /// [`ScenarioSet::cell_budget_s`]); a unit exceeding it aborts
+    /// cooperatively and is recorded as a failed row.
+    pub cell_budget_s: Option<f64>,
 }
 
 impl Campaign {
@@ -219,24 +229,45 @@ impl Campaign {
             cells,
             replications,
             units,
+            cell_budget_s: set.cell_budget_s,
         })
+    }
+
+    /// Runs one unit of this campaign to a manifest row. Simulation
+    /// failures — and budget expiry, when [`Campaign::cell_budget_s`] is
+    /// set — become deterministic `failed` rows rather than errors, so a
+    /// single infeasible cell cannot sink a sweep.
+    pub fn execute_unit(&self, unit: &CampaignUnit) -> RepRow {
+        let cell = &self.cells[unit.cell];
+        let res = match self.cell_budget_s {
+            None => unit.scenario.run(),
+            Some(budget) => {
+                let (res, exhausted) =
+                    bsld_par::run_budgeted(budget, |flag| unit.scenario.run_with_abort(Some(flag)));
+                match res {
+                    // Trust a completed result over a raced deadline; only
+                    // an *aborted* run is attributed to the budget.
+                    Err(ScenarioError::Sim(bsld_sched::SimError::Aborted)) if exhausted => {
+                        return RepRow::from_failure(
+                            cell,
+                            unit,
+                            format!("exceeded cell_budget_s = {budget}"),
+                        )
+                    }
+                    other => other,
+                }
+            }
+        };
+        match res {
+            Ok(res) => RepRow::from_result(cell, unit, &res),
+            Err(e) => RepRow::from_failure(cell, unit, e.to_string()),
+        }
     }
 }
 
-/// One completed replication: the manifest row. Floats are persisted with
-/// `{}` (shortest round-trip), so a row written, parsed back and
-/// re-aggregated produces bit-identical statistics — the property the
-/// resume-equivalence guarantee rests on.
+/// The per-replication metrics of a successful unit.
 #[derive(Debug, Clone, PartialEq)]
-pub struct RepRow {
-    /// Which cell this replication belongs to.
-    pub cell: CellId,
-    /// The cell's scenario name (labels tables; the ID is authoritative).
-    pub name: String,
-    /// Replication index (0-based).
-    pub rep: u32,
-    /// The derived workload seed actually simulated.
-    pub seed: u64,
+pub struct RepMetrics {
     /// Jobs completed.
     pub jobs: u64,
     /// Average BSLD.
@@ -255,13 +286,50 @@ pub struct RepRow {
     pub peak_over_budget: Option<f64>,
 }
 
+/// How one `(cell, replication)` unit ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepOutcome {
+    /// The unit completed; its metrics feed the per-cell aggregate.
+    Ok(RepMetrics),
+    /// The unit failed — an infeasible cap, or its wall-time budget
+    /// expired. Failed units are persisted like completed ones, so a
+    /// resumed or sharded campaign does not re-burn wall-clock on a unit
+    /// already known to fail; delete the row (or the manifest) to retry.
+    Failed {
+        /// Deterministic human-readable cause (a [`ScenarioError`]
+        /// rendering, or the budget message).
+        reason: String,
+    },
+}
+
+/// One finished unit: the manifest row. Floats are persisted with `{}`
+/// (shortest round-trip), so a row written, parsed back and re-aggregated
+/// produces bit-identical statistics — the property the resume- and
+/// merge-equivalence guarantees rest on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepRow {
+    /// Which cell this replication belongs to.
+    pub cell: CellId,
+    /// The cell's scenario name (labels tables; the ID is authoritative).
+    pub name: String,
+    /// Replication index (0-based).
+    pub rep: u32,
+    /// The derived workload seed actually simulated (0 for SWF replays).
+    pub seed: u64,
+    /// Completion or failure.
+    pub outcome: RepOutcome,
+}
+
 impl RepRow {
-    /// Manifest column names, field order.
-    pub const HEADERS: [&'static str; 12] = [
+    /// Manifest column names, field order. Failed rows carry `-` in every
+    /// metric column.
+    pub const HEADERS: [&'static str; 14] = [
         "cell",
         "scenario",
         "rep",
         "seed",
+        "status",
+        "reason",
         "jobs",
         "avg_bsld",
         "avg_wait_s",
@@ -272,29 +340,46 @@ impl RepRow {
         "peak_over_budget",
     ];
 
-    /// Builds the row for one finished unit.
+    /// The metrics of a completed row (`None` for failed rows).
+    pub fn metrics(&self) -> Option<&RepMetrics> {
+        match &self.outcome {
+            RepOutcome::Ok(m) => Some(m),
+            RepOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Builds the row for one successfully finished unit.
     pub fn from_result(cell: &CampaignCell, unit: &CampaignUnit, res: &ScenarioResult) -> RepRow {
         let m = &res.run.metrics;
-        let seed = match &unit.scenario.workload {
-            WorkloadSpec::Synthetic { seed, .. } => *seed,
-            WorkloadSpec::Swf { .. } => 0,
-        };
         RepRow {
             cell: cell.id,
             name: cell.scenario.name.clone(),
             rep: unit.rep,
-            seed,
-            jobs: m.jobs as u64,
-            avg_bsld: m.avg_bsld,
-            avg_wait_s: m.avg_wait_secs,
-            reduced_jobs: m.reduced_jobs as u64,
-            energy_comp: m.energy.computational,
-            energy_idle: m.energy.with_idle,
-            energy_ledger: res.power.as_ref().map(|p| p.energy),
-            peak_over_budget: res
-                .power
-                .as_ref()
-                .and_then(|p| p.budget.filter(|b| *b > 0.0).map(|b| p.peak / b)),
+            seed: unit_seed(unit),
+            outcome: RepOutcome::Ok(RepMetrics {
+                jobs: m.jobs as u64,
+                avg_bsld: m.avg_bsld,
+                avg_wait_s: m.avg_wait_secs,
+                reduced_jobs: m.reduced_jobs as u64,
+                energy_comp: m.energy.computational,
+                energy_idle: m.energy.with_idle,
+                energy_ledger: res.power.as_ref().map(|p| p.energy),
+                peak_over_budget: res
+                    .power
+                    .as_ref()
+                    .and_then(|p| p.budget.filter(|b| *b > 0.0).map(|b| p.peak / b)),
+            }),
+        }
+    }
+
+    /// Builds the failure row for a unit that could not complete.
+    pub fn from_failure(cell: &CampaignCell, unit: &CampaignUnit, reason: String) -> RepRow {
+        RepRow {
+            cell: cell.id,
+            name: cell.scenario.name.clone(),
+            rep: unit.rep,
+            seed: unit_seed(unit),
+            outcome: RepOutcome::Failed { reason },
         }
     }
 
@@ -303,20 +388,31 @@ impl RepRow {
             Some(x) => x.to_string(),
             None => "-".to_string(),
         };
-        vec![
+        let mut out = vec![
             self.cell.to_string(),
             self.name.clone(),
             self.rep.to_string(),
             self.seed.to_string(),
-            self.jobs.to_string(),
-            self.avg_bsld.to_string(),
-            self.avg_wait_s.to_string(),
-            self.reduced_jobs.to_string(),
-            self.energy_comp.to_string(),
-            self.energy_idle.to_string(),
-            opt(&self.energy_ledger),
-            opt(&self.peak_over_budget),
-        ]
+        ];
+        match &self.outcome {
+            RepOutcome::Ok(m) => out.extend([
+                "ok".to_string(),
+                "-".to_string(),
+                m.jobs.to_string(),
+                m.avg_bsld.to_string(),
+                m.avg_wait_s.to_string(),
+                m.reduced_jobs.to_string(),
+                m.energy_comp.to_string(),
+                m.energy_idle.to_string(),
+                opt(&m.energy_ledger),
+                opt(&m.peak_over_budget),
+            ]),
+            RepOutcome::Failed { reason } => {
+                out.extend(["failed".to_string(), reason.clone()]);
+                out.extend(std::iter::repeat_n("-".to_string(), 8));
+            }
+        }
+        out
     }
 
     /// One manifest line (CSV-escaped, no trailing newline).
@@ -342,20 +438,38 @@ impl RepRow {
                 s.parse::<f64>().ok().map(Some)
             }
         };
+        let outcome = match f[4].as_str() {
+            "ok" => RepOutcome::Ok(RepMetrics {
+                jobs: f[6].parse().ok()?,
+                avg_bsld: f[7].parse().ok()?,
+                avg_wait_s: f[8].parse().ok()?,
+                reduced_jobs: f[9].parse().ok()?,
+                energy_comp: f[10].parse().ok()?,
+                energy_idle: f[11].parse().ok()?,
+                energy_ledger: opt(&f[12])?,
+                peak_over_budget: opt(&f[13])?,
+            }),
+            "failed" => RepOutcome::Failed {
+                reason: f[5].clone(),
+            },
+            _ => return None,
+        };
         Some(RepRow {
             cell: CellId::parse(&f[0]).ok()?,
             name: f[1].clone(),
             rep: f[2].parse().ok()?,
             seed: f[3].parse().ok()?,
-            jobs: f[4].parse().ok()?,
-            avg_bsld: f[5].parse().ok()?,
-            avg_wait_s: f[6].parse().ok()?,
-            reduced_jobs: f[7].parse().ok()?,
-            energy_comp: f[8].parse().ok()?,
-            energy_idle: f[9].parse().ok()?,
-            energy_ledger: opt(&f[10])?,
-            peak_over_budget: opt(&f[11])?,
+            outcome,
         })
+    }
+}
+
+/// The derived workload seed a unit actually simulates (0 for SWF
+/// replays, which have none).
+fn unit_seed(unit: &CampaignUnit) -> u64 {
+    match &unit.scenario.workload {
+        WorkloadSpec::Synthetic { seed, .. } => *seed,
+        WorkloadSpec::Swf { .. } => 0,
     }
 }
 
@@ -395,8 +509,8 @@ fn mean_ci(values: impl Iterator<Item = f64>) -> MeanCi {
     MeanCi::new(s.mean(), s.ci95_half(), s.count())
 }
 
-fn summarize_cell(cell: &CampaignCell, rows: &[&RepRow]) -> CellSummary {
-    let all = |f: fn(&RepRow) -> Option<f64>| -> Option<MeanCi> {
+fn summarize_cell(cell: &CampaignCell, rows: &[&RepMetrics]) -> CellSummary {
+    let all = |f: fn(&RepMetrics) -> Option<f64>| -> Option<MeanCi> {
         let vals: Option<Vec<f64>> = rows.iter().map(|r| f(r)).collect();
         vals.map(|v| mean_ci(v.into_iter()))
     };
@@ -460,10 +574,12 @@ impl CampaignOptions {
 /// The result of [`run_campaign`].
 #[derive(Debug, Clone)]
 pub struct CampaignOutcome {
-    /// Every completed replication row (cached + freshly run), unit order.
+    /// Every finished unit row (cached + freshly run, failed rows
+    /// included), unit order.
     pub rows: Vec<RepRow>,
-    /// Per-cell aggregates, expansion order (cells with no completed
-    /// replication are absent; their failures are listed instead).
+    /// Per-cell aggregates over the *successful* replications, expansion
+    /// order (cells with no completed replication are absent; their
+    /// failures are listed instead).
     pub summaries: Vec<CellSummary>,
     /// Total units the plan contains.
     pub total_units: usize,
@@ -476,8 +592,11 @@ pub struct CampaignOutcome {
     /// Manifest rows of a planned cell whose replication index is beyond
     /// the current `replications` (the count shrank); ignored likewise.
     pub excess_rows: usize,
-    /// Per-unit failures (`name[rep]: error`); failed units write no
-    /// manifest row, so a later resume retries exactly these.
+    /// Per-unit failures (`name[rep]: reason`), unit order. Failed units
+    /// are persisted as `failed` manifest rows, so a resume does not
+    /// re-burn wall-clock on them — delete the rows (or the manifest) to
+    /// retry. Manifest I/O errors are appended after the unit failures;
+    /// those wrote no row and *do* rerun on resume.
     pub failures: Vec<String>,
 }
 
@@ -577,8 +696,13 @@ impl CampaignOutcome {
 /// The header line is validated; unparseable data lines — the torn tail
 /// of a crashed append — are skipped, so the corresponding units rerun.
 pub fn read_manifest(dir: &Path) -> Result<Vec<RepRow>, ScenarioError> {
-    let path = dir.join(MANIFEST_FILE);
-    let text = match std::fs::read_to_string(&path) {
+    read_manifest_at(&dir.join(MANIFEST_FILE))
+}
+
+/// As [`read_manifest`] for an explicit manifest path (the distributed
+/// layer keeps one manifest per worker shard).
+pub fn read_manifest_at(path: &Path) -> Result<Vec<RepRow>, ScenarioError> {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => {
@@ -604,9 +728,327 @@ pub fn read_manifest(dir: &Path) -> Result<Vec<RepRow>, ScenarioError> {
     Ok(lines.filter_map(RepRow::parse_line).collect())
 }
 
+/// Opens a manifest for incremental appends: `resume` appends to an
+/// existing file — terminating a torn final line first, so fresh rows
+/// never weld onto a crashed partial write — while a fresh run truncates
+/// and writes the header.
+pub(crate) fn open_manifest(path: &Path, resume: bool) -> Result<std::fs::File, ScenarioError> {
+    if resume && path.exists() {
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .and_then(|mut f| {
+                let text = std::fs::read(path)?;
+                if !text.is_empty() && text.last() != Some(&b'\n') {
+                    writeln!(f)?;
+                }
+                Ok(f)
+            })
+            .map_err(|e| ScenarioError::Io(format!("cannot open {}: {e}", path.display())))
+    } else {
+        std::fs::File::create(path)
+            .and_then(|mut f| {
+                writeln!(f, "{}", RepRow::HEADERS.join(","))?;
+                Ok(f)
+            })
+            .map_err(|e| ScenarioError::Io(format!("cannot create {}: {e}", path.display())))
+    }
+}
+
+/// Splits manifest rows against a plan: rows of planned `(cell, rep)`
+/// units are cached (later rows win, matching append order), rows of
+/// unknown cells are stale, rows of known cells beyond the replication
+/// count are excess.
+pub(crate) struct ClassifiedRows {
+    /// Reusable rows by `(cell id, rep)`.
+    pub cached: HashMap<(CellId, u32), RepRow>,
+    /// Rows matching no planned cell.
+    pub stale: usize,
+    /// Rows of planned cells with `rep >= replications`.
+    pub excess: usize,
+}
+
+pub(crate) fn classify_rows(
+    campaign: &Campaign,
+    rows: impl IntoIterator<Item = RepRow>,
+) -> ClassifiedRows {
+    let planned: HashSet<CellId> = campaign.cells.iter().map(|c| c.id).collect();
+    let mut out = ClassifiedRows {
+        cached: HashMap::new(),
+        stale: 0,
+        excess: 0,
+    };
+    for row in rows {
+        if !planned.contains(&row.cell) {
+            out.stale += 1;
+        } else if row.rep >= campaign.replications {
+            // The cell is still in the plan — only the replication count
+            // shrank. Keep this distinct from "unknown cell" so the
+            // caller doesn't report a spec change that never happened.
+            out.excess += 1;
+        } else {
+            out.cached.insert((row.cell, row.rep), row);
+        }
+    }
+    out
+}
+
+/// Executes `pending` units in parallel, flushing each finished row —
+/// completed or failed — to `manifest` (when given) the moment it exists,
+/// and ticking the progress counter per unit. Returns one
+/// `(cell, rep, row-or-io-error)` triple per unit; a row that did not
+/// reach disk is an error, so the caller surfaces it and a resume reruns
+/// the unit.
+///
+/// This is the one flush discipline: the single-process path
+/// ([`run_campaign`]) and the distributed workers
+/// ([`crate::distrib::run_worker`]) both go through it, which is what
+/// keeps their manifests merge-compatible.
+pub(crate) fn execute_pending(
+    campaign: &Campaign,
+    pending: Vec<CampaignUnit>,
+    threads: usize,
+    manifest: Option<&Mutex<std::fs::File>>,
+    progress: &Progress,
+    on_progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Vec<(usize, u32, Result<RepRow, String>)> {
+    bsld_par::par_map(pending, threads.max(1), |unit| {
+        let row = campaign.execute_unit(&unit);
+        let outcome = match manifest {
+            None => Ok(row),
+            Some(file) => {
+                let io = file
+                    .lock()
+                    .map_err(|_| "manifest lock poisoned".to_string())
+                    .and_then(|mut f| {
+                        writeln!(f, "{}", row.to_csv_line())
+                            .and_then(|()| f.flush())
+                            .map_err(|e| format!("manifest write failed: {e}"))
+                    });
+                io.map(|()| row)
+            }
+        };
+        let done = progress.tick();
+        if let Some(cb) = on_progress {
+            cb(done, progress.total());
+        }
+        (unit.cell, unit.rep, outcome)
+    })
+}
+
+/// Folds cached rows and the output of [`execute_pending`] into a
+/// unit-index keyed map plus the manifest-I/O failure list (`name[rep]:
+/// error`, execution order).
+pub(crate) fn collect_rows(
+    campaign: &Campaign,
+    cached: HashMap<(CellId, u32), RepRow>,
+    fresh: Vec<(usize, u32, Result<RepRow, String>)>,
+) -> (HashMap<(usize, u32), RepRow>, Vec<String>) {
+    let index_of: HashMap<CellId, usize> = campaign
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.id, i))
+        .collect();
+    let mut by_unit: HashMap<(usize, u32), RepRow> = HashMap::new();
+    for ((id, rep), row) in cached {
+        by_unit.insert((index_of[&id], rep), row);
+    }
+    let mut io_failures = Vec::new();
+    for (cell, rep, res) in fresh {
+        match res {
+            Ok(row) => {
+                by_unit.insert((cell, rep), row);
+            }
+            Err(e) => io_failures.push(format!(
+                "{}[rep {rep}]: {e}",
+                campaign.cells[cell].scenario.name
+            )),
+        }
+    }
+    (by_unit, io_failures)
+}
+
+/// Deterministically orders and aggregates a complete (or partial) row
+/// map: rows in unit order, per-cell summaries over the successful
+/// replications, and the unit-order failure list. Both the single-process
+/// path ([`run_campaign`]) and the distributed merge
+/// ([`crate::distrib::merge_campaign`]) go through this function — the
+/// byte-identity guarantee between them is its determinism.
+pub(crate) fn aggregate_rows(
+    campaign: &Campaign,
+    by_unit: &HashMap<(usize, u32), RepRow>,
+) -> (Vec<RepRow>, Vec<CellSummary>, Vec<String>) {
+    let rows: Vec<RepRow> = campaign
+        .units
+        .iter()
+        .filter_map(|u| by_unit.get(&(u.cell, u.rep)).cloned())
+        .collect();
+    let mut failures = Vec::new();
+    for row in &rows {
+        if let RepOutcome::Failed { reason } = &row.outcome {
+            failures.push(format!("{}[rep {}]: {reason}", row.name, row.rep));
+        }
+    }
+    let summaries: Vec<CellSummary> = campaign
+        .cells
+        .iter()
+        .enumerate()
+        .filter_map(|(i, cell)| {
+            let metrics: Vec<&RepMetrics> = (0..campaign.replications)
+                .filter_map(|rep| by_unit.get(&(i, rep)).and_then(RepRow::metrics))
+                .collect();
+            (!metrics.is_empty()).then(|| summarize_cell(cell, &metrics))
+        })
+        .collect();
+    (rows, summaries, failures)
+}
+
+/// File name of the JSON campaign report inside the campaign directory.
+pub const JSON_FILE: &str = "campaign.json";
+
+/// The seed-derivation rule recorded in [`campaign_json`] provenance —
+/// how [`replication_seed`] turns a cell's base seed into per-replication
+/// workload seeds.
+pub const SEED_DERIVATION_RULE: &str =
+    "rep 0 keeps the cell's seed; rep k > 0 uses splitmix64(seed, 0x5eed000000000000 + k)";
+
+/// The campaign's canonical content hash: FNV-1a over the set's rendered
+/// text with the output spec blanked (`--out` is driver advice, not
+/// campaign identity). Recorded in the JSON report and used by the
+/// distributed layer to pin a shared directory to one campaign.
+pub fn campaign_hash(set: &ScenarioSet) -> u64 {
+    fnv1a_64(canonical_set_text(set).as_bytes())
+}
+
+/// The canonical spec text behind [`campaign_hash`]: the rendered set
+/// with presentation-only state (the output directory) removed.
+pub(crate) fn canonical_set_text(set: &ScenarioSet) -> String {
+    let mut canonical = set.clone();
+    canonical.base.output = crate::scenario::OutputSpec::default();
+    canonical.render()
+}
+
+/// Renders the machine-readable campaign report: per-cell mean ± 95 % CI
+/// for every metric, failed units with reasons, and provenance (the
+/// campaign's content hash, per-cell [`CellId`]s and base seeds, the
+/// seed-derivation rule, replication count and wall-time budget).
+///
+/// Deterministic for a given plan and row set — independent of thread
+/// scheduling, resume history, and of whether the rows were produced by
+/// one process or merged from worker shards.
+pub fn campaign_json(set: &ScenarioSet, campaign: &Campaign, outcome: &CampaignOutcome) -> String {
+    use bsld_metrics::Json;
+    let ci = |m: &MeanCi| {
+        Json::obj(vec![
+            ("mean", Json::from(m.mean)),
+            ("ci95", Json::from(m.half)),
+        ])
+    };
+    let opt_ci = |m: &Option<MeanCi>| m.as_ref().map(&ci).unwrap_or(Json::Null);
+    let summary_of: HashMap<CellId, &CellSummary> =
+        outcome.summaries.iter().map(|s| (s.id, s)).collect();
+    let cells = Json::Arr(
+        campaign
+            .cells
+            .iter()
+            .map(|cell| {
+                let mut pairs = vec![
+                    ("id", Json::str(cell.id.to_string())),
+                    ("scenario", Json::str(&cell.scenario.name)),
+                ];
+                match &cell.scenario.workload {
+                    // Seeds are u64: render as strings so CellId-sized
+                    // values survive JSON consumers that read f64.
+                    WorkloadSpec::Synthetic { seed, .. } => {
+                        pairs.push(("seed", Json::str(seed.to_string())));
+                    }
+                    WorkloadSpec::Swf { path, .. } => {
+                        pairs.push(("swf", Json::str(path.display().to_string())));
+                    }
+                }
+                match summary_of.get(&cell.id) {
+                    None => {
+                        pairs.push(("reps", Json::from(0u64)));
+                        pairs.push(("metrics", Json::Null));
+                    }
+                    Some(s) => {
+                        pairs.push(("reps", Json::from(s.bsld.n)));
+                        pairs.push(("jobs", Json::from(s.jobs)));
+                        pairs.push((
+                            "metrics",
+                            Json::obj(vec![
+                                ("avg_bsld", ci(&s.bsld)),
+                                ("avg_wait_s", ci(&s.wait)),
+                                ("reduced_jobs", ci(&s.reduced)),
+                                ("energy_comp", ci(&s.energy_comp)),
+                                ("energy_idle", ci(&s.energy_idle)),
+                                ("energy_ledger", opt_ci(&s.energy_ledger)),
+                                ("peak_over_budget", opt_ci(&s.peak_over_budget)),
+                            ]),
+                        ));
+                    }
+                }
+                Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+            })
+            .collect(),
+    );
+    let failed = Json::Arr(
+        outcome
+            .rows
+            .iter()
+            .filter_map(|row| match &row.outcome {
+                RepOutcome::Ok(_) => None,
+                RepOutcome::Failed { reason } => Some(Json::obj(vec![
+                    ("cell", Json::str(row.cell.to_string())),
+                    ("scenario", Json::str(&row.name)),
+                    ("rep", Json::from(u64::from(row.rep))),
+                    ("reason", Json::str(reason)),
+                ])),
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("format", Json::str("bsld-campaign/1")),
+        ("scenario", Json::str(&set.base.name)),
+        (
+            "scenario_hash",
+            Json::str(format!("{:016x}", campaign_hash(set))),
+        ),
+        ("replications", Json::from(u64::from(campaign.replications))),
+        (
+            "cell_budget_s",
+            campaign.cell_budget_s.map(Json::from).unwrap_or(Json::Null),
+        ),
+        ("seed_derivation", Json::str(SEED_DERIVATION_RULE)),
+        ("total_units", Json::from(outcome.total_units)),
+        ("cells", cells),
+        ("failed_units", failed),
+    ])
+    .render()
+}
+
+/// Writes the aggregated artifacts (`campaign_results.csv` and
+/// `campaign.json`) into `dir`.
+pub(crate) fn write_artifacts(
+    dir: &Path,
+    set: &ScenarioSet,
+    campaign: &Campaign,
+    outcome: &CampaignOutcome,
+) -> Result<(), ScenarioError> {
+    let path = dir.join(RESULTS_FILE);
+    std::fs::write(&path, outcome.results_csv())
+        .map_err(|e| ScenarioError::Io(format!("cannot write {}: {e}", path.display())))?;
+    let path = dir.join(JSON_FILE);
+    std::fs::write(&path, campaign_json(set, campaign, outcome))
+        .map_err(|e| ScenarioError::Io(format!("cannot write {}: {e}", path.display())))?;
+    Ok(())
+}
+
 /// Runs a campaign: plan, resume from the manifest (if asked), execute the
 /// missing units in parallel with per-unit manifest flushes, aggregate
-/// per-cell statistics, and write the aggregated results CSV.
+/// per-cell statistics, and write the aggregated artifacts
+/// (`campaign_results.csv` + `campaign.json`).
 ///
 /// `on_progress` (if given) observes `(done, total)` after every completed
 /// unit — cached units are reported up front — and may render a status
@@ -620,25 +1062,11 @@ pub fn run_campaign(
     let total_units = campaign.units.len();
 
     // Which units are already on disk?
-    let mut cached: HashMap<(CellId, u32), RepRow> = HashMap::new();
-    let mut stale_rows = 0usize;
-    let mut excess_rows = 0usize;
-    if let (true, Some(dir)) = (opts.resume, &opts.dir) {
-        let planned: HashSet<CellId> = campaign.cells.iter().map(|c| c.id).collect();
-        for row in read_manifest(dir)? {
-            if !planned.contains(&row.cell) {
-                stale_rows += 1;
-            } else if row.rep >= campaign.replications {
-                // The cell is still in the plan — only the replication
-                // count shrank. Keep this distinct from "unknown cell" so
-                // the caller doesn't report a spec change that never
-                // happened.
-                excess_rows += 1;
-            } else {
-                cached.insert((row.cell, row.rep), row);
-            }
-        }
-    }
+    let classified = match (opts.resume, &opts.dir) {
+        (true, Some(dir)) => classify_rows(&campaign, read_manifest(dir)?),
+        _ => classify_rows(&campaign, std::iter::empty()),
+    };
+    let cached = classified.cached;
 
     // Open the manifest for incremental flushing.
     let manifest: Option<Mutex<std::fs::File>> = match &opts.dir {
@@ -646,34 +1074,10 @@ pub fn run_campaign(
         Some(dir) => {
             std::fs::create_dir_all(dir)
                 .map_err(|e| ScenarioError::Io(format!("cannot create {}: {e}", dir.display())))?;
-            let path = dir.join(MANIFEST_FILE);
-            let file = if opts.resume && path.exists() {
-                std::fs::OpenOptions::new()
-                    .append(true)
-                    .open(&path)
-                    .and_then(|mut f| {
-                        // A crash mid-append can leave a torn final line
-                        // with no newline; appending straight after it
-                        // would weld the first fresh row onto the torn one
-                        // and lose both. Terminate the tail first.
-                        let text = std::fs::read(&path)?;
-                        if !text.is_empty() && text.last() != Some(&b'\n') {
-                            writeln!(f)?;
-                        }
-                        Ok(f)
-                    })
-                    .map_err(|e| ScenarioError::Io(format!("cannot open {}: {e}", path.display())))
-            } else {
-                std::fs::File::create(&path)
-                    .and_then(|mut f| {
-                        writeln!(f, "{}", RepRow::HEADERS.join(","))?;
-                        Ok(f)
-                    })
-                    .map_err(|e| {
-                        ScenarioError::Io(format!("cannot create {}: {e}", path.display()))
-                    })
-            }?;
-            Some(Mutex::new(file))
+            Some(Mutex::new(open_manifest(
+                &dir.join(MANIFEST_FILE),
+                opts.resume,
+            )?))
         }
     };
 
@@ -693,99 +1097,33 @@ pub fn run_campaign(
         cb(progress.done(), progress.total());
     }
 
-    // Run what's missing; flush each row the moment it exists.
-    let fresh: Vec<(usize, u32, Result<RepRow, String>)> =
-        bsld_par::par_map(pending, opts.threads.max(1), |unit| {
-            let cell = &campaign.cells[unit.cell];
-            let outcome = match unit.scenario.run() {
-                Ok(res) => {
-                    let row = RepRow::from_result(cell, &unit, &res);
-                    match &manifest {
-                        None => Ok(row),
-                        Some(file) => {
-                            let io = file
-                                .lock()
-                                .map_err(|_| "manifest lock poisoned".to_string())
-                                .and_then(|mut f| {
-                                    writeln!(f, "{}", row.to_csv_line())
-                                        .and_then(|()| f.flush())
-                                        .map_err(|e| format!("manifest write failed: {e}"))
-                                });
-                            // A row that didn't reach disk is treated as not
-                            // run: the error surfaces and a resume reruns it.
-                            io.map(|()| row)
-                        }
-                    }
-                }
-                Err(e) => Err(e.to_string()),
-            };
-            let done = progress.tick();
-            if let Some(cb) = on_progress {
-                cb(done, progress.total());
-            }
-            (unit.cell, unit.rep, outcome)
-        });
-
-    // Merge cached + fresh rows into unit order.
-    let mut by_unit: HashMap<(usize, u32), RepRow> = HashMap::new();
-    let index_of: HashMap<CellId, usize> = campaign
-        .cells
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (c.id, i))
-        .collect();
-    for ((id, rep), row) in cached {
-        by_unit.insert((index_of[&id], rep), row);
-    }
-    let mut failures = Vec::new();
-    for (cell, rep, res) in fresh {
-        match res {
-            Ok(row) => {
-                by_unit.insert((cell, rep), row);
-            }
-            Err(e) => failures.push(format!(
-                "{}[rep {rep}]: {e}",
-                campaign.cells[cell].scenario.name
-            )),
-        }
-    }
-    let rows: Vec<RepRow> = campaign
-        .units
-        .iter()
-        .filter_map(|u| by_unit.get(&(u.cell, u.rep)).cloned())
-        .collect();
-
-    // Aggregate per cell.
-    let summaries: Vec<CellSummary> = campaign
-        .cells
-        .iter()
-        .enumerate()
-        .filter_map(|(i, cell)| {
-            let cell_rows: Vec<&RepRow> = campaign
-                .units
-                .iter()
-                .filter(|u| u.cell == i)
-                .filter_map(|u| by_unit.get(&(u.cell, u.rep)))
-                .collect();
-            (!cell_rows.is_empty()).then(|| summarize_cell(cell, &cell_rows))
-        })
-        .collect();
+    // Run what's missing; flush each row — completed or failed — the
+    // moment it exists. Then merge cached + fresh rows into unit order.
+    let fresh = execute_pending(
+        &campaign,
+        pending,
+        opts.threads,
+        manifest.as_ref(),
+        &progress,
+        on_progress,
+    );
+    let (by_unit, io_failures) = collect_rows(&campaign, cached, fresh);
+    let (rows, summaries, mut failures) = aggregate_rows(&campaign, &by_unit);
+    failures.extend(io_failures);
 
     let outcome = CampaignOutcome {
         rows,
         summaries,
         total_units,
         resumed,
-        stale_rows,
-        excess_rows,
+        stale_rows: classified.stale,
+        excess_rows: classified.excess,
         failures,
     };
 
-    // Persist the aggregate next to the manifest.
+    // Persist the aggregates next to the manifest.
     if let Some(dir) = &opts.dir {
-        let path = dir.join(RESULTS_FILE);
-        std::fs::write(&path, outcome.results_csv())
-            .map_err(|e| ScenarioError::Io(format!("cannot write {}: {e}", path.display())))?;
+        write_artifacts(dir, set, &campaign, &outcome)?;
     }
     Ok(outcome)
 }

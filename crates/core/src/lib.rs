@@ -14,7 +14,11 @@
 //!   [`Scenario`] spec with one `run()`, plus [`ScenarioSet`] sweeps; the
 //!   experiment harness and the CLI construct every run through it;
 //! * [`campaign`] — replicated sweeps with per-cell mean ± 95 % CI,
-//!   content-hash cell IDs, an incremental result manifest and resume;
+//!   content-hash cell IDs, an incremental result manifest, per-unit
+//!   wall-time budgets and resume;
+//! * [`distrib`] — distributed campaigns: content-hash sharded workers
+//!   appending per-worker manifests to a shared directory, merged into
+//!   aggregates byte-identical to a single-process run;
 //! * [`experiments`] — the harness that regenerates every table and figure
 //!   of the paper's evaluation section (see `DESIGN.md` for the index);
 //! * the `bsld-repro` binary exposing the harness on the command line.
@@ -23,12 +27,14 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod distrib;
 pub mod experiments;
 pub mod policy;
 pub mod scenario;
 pub mod sim;
 
 pub use campaign::{run_campaign, Campaign, CampaignOptions, CampaignOutcome, CellId};
+pub use distrib::{merge_campaign, run_worker, MergeOutcome, Shard, WorkerOutcome};
 pub use policy::{BsldThresholdPolicy, PowerAwareConfig, WqThreshold};
 pub use scenario::{Scenario, ScenarioResult, ScenarioSet};
 pub use sim::{PowerCapConfig, PowerCappedResult, RunResult, Simulator};

@@ -42,6 +42,7 @@
 //!     base,
 //!     axes: vec![SweepAxis::BsldThreshold(vec![1.5, 2.0, 3.0])],
 //!     replications: 1,
+//!     cell_budget_s: None,
 //! };
 //! let results = set.run(2).unwrap();
 //! assert_eq!(results.len(), 3);
@@ -79,7 +80,7 @@
 //! ```
 
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use bsld_cluster::{Cluster, Gear, GearSet, SelectionPolicy};
 use bsld_model::{GearId, Job};
@@ -531,8 +532,22 @@ impl Scenario {
     /// Runs the scenario end to end: build the workload, configure the
     /// simulator, execute under the declared policy and power treatment.
     pub fn run(&self) -> Result<ScenarioResult, ScenarioError> {
+        self.run_with_abort(None)
+    }
+
+    /// As [`Scenario::run`], but polls `abort` once per simulation event:
+    /// raising the flag makes the run return
+    /// [`bsld_sched::SimError::Aborted`] promptly instead of driving the
+    /// workload to completion. The campaign layer pairs this with
+    /// [`bsld_par::run_budgeted`] to enforce per-cell wall-time budgets
+    /// without killing threads.
+    pub fn run_with_abort(
+        &self,
+        abort: Option<&bsld_par::AbortFlag>,
+    ) -> Result<ScenarioResult, ScenarioError> {
         let w = self.build_workload()?;
-        let sim = self.simulator(&w);
+        let mut sim = self.simulator(&w);
+        sim.engine.abort = abort.map(bsld_par::AbortFlag::handle);
         self.run_prepared(&sim, &w.jobs)
     }
 
@@ -623,6 +638,12 @@ pub enum SweepAxis {
     EnlargePct(Vec<u32>),
     /// Vary the workload seed.
     Seed(Vec<u64>),
+    /// One cell per `.swf` file in a directory (sorted by file name, so
+    /// expansion order — and therefore cell naming — is deterministic).
+    /// Requires an SWF base workload; the base `swf_path` and `swf_clean`
+    /// act as defaults, with each cell's path replaced by one trace file.
+    /// The directory is read at expansion time.
+    SwfDir(PathBuf),
 }
 
 impl SweepAxis {
@@ -634,6 +655,7 @@ impl SweepAxis {
             SweepAxis::CapFraction(_) => "cap",
             SweepAxis::EnlargePct(_) => "enlarge_pct",
             SweepAxis::Seed(_) => "seed",
+            SweepAxis::SwfDir(_) => "swf_dir",
         }
     }
 
@@ -645,6 +667,9 @@ impl SweepAxis {
             SweepAxis::CapFraction(v) => v.len(),
             SweepAxis::EnlargePct(v) => v.len(),
             SweepAxis::Seed(v) => v.len(),
+            // Resolved at expansion time (the directory is read there);
+            // `expand` never consults `len` for this axis.
+            SweepAxis::SwfDir(_) => 0,
         }
     }
 
@@ -702,9 +727,40 @@ impl SweepAxis {
                 }
                 sc.name.push_str(&format!("-s{}", v[i]));
             }
+            // Handled directly by `ScenarioSet::expand` (the axis values
+            // are directory entries, resolved there).
+            SweepAxis::SwfDir(_) => unreachable!("SwfDir is expanded by ScenarioSet::expand"),
         }
         Ok(())
     }
+}
+
+/// The `.swf` files of `dir`, sorted by file name — the deterministic cell
+/// order of a [`SweepAxis::SwfDir`] expansion.
+fn list_swf_files(dir: &Path) -> Result<Vec<PathBuf>, ScenarioError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ScenarioError::Io(format!("cannot read {}: {e}", dir.display())))?;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| ScenarioError::Io(format!("cannot read {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let is_swf = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.eq_ignore_ascii_case("swf"));
+        if path.is_file() && is_swf {
+            files.push(path);
+        }
+    }
+    files.sort_by(|a, b| a.file_name().cmp(&b.file_name()));
+    if files.is_empty() {
+        return Err(ScenarioError::Workload(format!(
+            "sweep.swf_dir: no .swf files in {}",
+            dir.display()
+        )));
+    }
+    Ok(files)
 }
 
 /// A base scenario plus sweep axes that expand into a scenario grid.
@@ -722,6 +778,13 @@ pub struct ScenarioSet {
     /// Values above 1 require a synthetic workload — an SWF replay is
     /// deterministic, so replicating it would just repeat one number.
     pub replications: u32,
+    /// Per-unit wall-time budget in seconds (`cell_budget_s = X` in the
+    /// text format, default none). The campaign layer runs every
+    /// `(cell, replication)` unit under [`bsld_par::run_budgeted`]; a unit
+    /// that exceeds the budget is aborted cooperatively and recorded as a
+    /// `failed` manifest row with a reason, so one infeasible cell cannot
+    /// stall a whole sweep. Plain (non-campaign) execution ignores it.
+    pub cell_budget_s: Option<f64>,
 }
 
 impl ScenarioSet {
@@ -731,6 +794,7 @@ impl ScenarioSet {
             base,
             axes: Vec::new(),
             replications: 1,
+            cell_budget_s: None,
         }
     }
 
@@ -749,6 +813,33 @@ impl ScenarioSet {
         }
         let mut out = vec![self.base.clone()];
         for axis in &self.axes {
+            if let SweepAxis::SwfDir(dir) = axis {
+                // The axis values are directory entries, resolved here
+                // (sorted by file name): one cell per trace, each keeping
+                // the base's cleaning flag. Only meaningful over an SWF
+                // base — a synthetic base has no path to replace.
+                if matches!(self.base.workload, WorkloadSpec::Synthetic { .. }) {
+                    return Err(ScenarioError::Workload(
+                        "sweep.swf_dir requires `workload = swf`".into(),
+                    ));
+                }
+                let files = list_swf_files(dir)?;
+                let mut next = Vec::with_capacity(out.len() * files.len());
+                for sc in &out {
+                    for file in &files {
+                        let mut cell = sc.clone();
+                        if let WorkloadSpec::Swf { path, .. } = &mut cell.workload {
+                            path.clone_from(file);
+                        }
+                        let stem = file.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+                        cell.name.push('-');
+                        cell.name.push_str(&line_safe(stem));
+                        next.push(cell);
+                    }
+                }
+                out = next;
+                continue;
+            }
             if axis.len() == 0 {
                 return Err(ScenarioError::Parse {
                     line: 0,
@@ -1035,6 +1126,12 @@ impl Scenario {
                 msg: "file declares replications; use ScenarioSet::parse".into(),
             });
         }
+        if set.cell_budget_s.is_some() {
+            return Err(ScenarioError::Parse {
+                line: 0,
+                msg: "file declares cell_budget_s (a campaign key); use ScenarioSet::parse".into(),
+            });
+        }
         Ok(set.base)
     }
 }
@@ -1046,6 +1143,7 @@ impl ScenarioSet {
         use std::fmt::Write as _;
         let mut out = self.base.render();
         let _ = writeln!(out, "replications = {}", self.replications);
+        let _ = writeln!(out, "cell_budget_s = {}", fmt_opt(&self.cell_budget_s));
         for axis in &self.axes {
             let values = match axis {
                 SweepAxis::Profile(v) => v.iter().map(|p| p.key().to_string()).collect::<Vec<_>>(),
@@ -1054,6 +1152,9 @@ impl ScenarioSet {
                 SweepAxis::CapFraction(v) => v.iter().map(|x| x.to_string()).collect(),
                 SweepAxis::EnlargePct(v) => v.iter().map(|x| x.to_string()).collect(),
                 SweepAxis::Seed(v) => v.iter().map(|x| x.to_string()).collect(),
+                // A single path value (may contain spaces — it is not
+                // whitespace-split on the way back in).
+                SweepAxis::SwfDir(dir) => vec![line_safe(&dir.display().to_string())],
             };
             let _ = writeln!(out, "sweep.{} = {}", axis.key(), values.join(" "));
         }
@@ -1082,6 +1183,7 @@ impl ScenarioSet {
         let mut output = OutputSpec::default();
         let mut axes: Vec<SweepAxis> = Vec::new();
         let mut replications: Option<(usize, u32)> = None;
+        let mut cell_budget_s: Option<f64> = None;
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -1096,6 +1198,18 @@ impl ScenarioSet {
             let value = value.trim();
             let e = |msg: String| err(lineno, msg);
             if let Some(axis_key) = key.strip_prefix("sweep.") {
+                // swf_dir takes a single path operand — paths may contain
+                // spaces, so it is exempt from the whitespace split below.
+                if axis_key == "swf_dir" {
+                    if value.is_empty() {
+                        return Err(e("sweep.swf_dir needs a directory".into()));
+                    }
+                    if axes.iter().any(|a| a.key() == "swf_dir") {
+                        return Err(e("duplicate sweep axis sweep.swf_dir".into()));
+                    }
+                    axes.push(SweepAxis::SwfDir(PathBuf::from(value)));
+                    continue;
+                }
                 let parts: Vec<&str> = value.split_whitespace().collect();
                 if parts.is_empty() {
                     return Err(e(format!("sweep.{axis_key} has no values")));
@@ -1159,7 +1273,7 @@ impl ScenarioSet {
                             .map_err(e)?,
                     ),
                     other => return Err(e(format!(
-                        "unknown sweep axis {other:?} (profile, bsld_th, wq, cap, enlarge_pct, seed)"
+                        "unknown sweep axis {other:?} (profile, bsld_th, wq, cap, enlarge_pct, seed, swf_dir)"
                     ))),
                 };
                 // A repeated axis would cartesian-multiply with itself:
@@ -1268,6 +1382,19 @@ impl ScenarioSet {
                     }
                     replications = Some((lineno, n));
                 }
+                "cell_budget_s" => {
+                    cell_budget_s = parse_opt::<f64>(value, "cell_budget_s").map_err(e)?;
+                    if let Some(b) = cell_budget_s {
+                        // Zero is allowed (a degenerate "fail every unit
+                        // instantly" budget the tests rely on); negatives
+                        // and non-finite values are nonsense.
+                        if !b.is_finite() || b < 0.0 {
+                            return Err(e(format!(
+                                "cell_budget_s must be a finite non-negative number, got {b}"
+                            )));
+                        }
+                    }
+                }
                 "out_dir" => {
                     output.out_dir = match value {
                         "none" => None,
@@ -1342,6 +1469,19 @@ impl ScenarioSet {
             }
         };
 
+        // A trace-directory sweep only makes sense over an SWF base: the
+        // synthetic keys (profile/jobs/seed) have nothing to say about the
+        // files, and silently switching workload kinds per cell would hide
+        // a spec error.
+        if axes.iter().any(|a| matches!(a, SweepAxis::SwfDir(_)))
+            && matches!(workload, WorkloadSpec::Synthetic { .. })
+        {
+            return Err(err(
+                wl_line,
+                "sweep.swf_dir requires `workload = swf` (the synthetic keys do not apply)".into(),
+            ));
+        }
+
         // Replicating a deterministic SWF replay would repeat one number N
         // times and report a zero-width interval around it — reject rather
         // than hand out fake statistics.
@@ -1372,6 +1512,7 @@ impl ScenarioSet {
             },
             axes,
             replications,
+            cell_budget_s,
         })
     }
 }
@@ -1483,6 +1624,7 @@ mod tests {
                 SweepAxis::EnlargePct(vec![0, 50]),
             ],
             replications: 1,
+            cell_budget_s: None,
         };
         assert_eq!(ScenarioSet::parse(&set.render()).unwrap(), set);
         let cells = set.expand().unwrap();
@@ -1565,6 +1707,7 @@ mod tests {
                 SweepAxis::BsldThreshold(vec![3.0]),
             ],
             replications: 1,
+            cell_budget_s: None,
         };
         let err = set.expand().unwrap_err().to_string();
         assert!(err.contains("duplicate sweep axis sweep.bsld_th"), "{err}");
@@ -1693,6 +1836,123 @@ mod tests {
     }
 
     #[test]
+    fn cell_budget_round_trips_and_validates() {
+        let mut set = ScenarioSet::single(base());
+        set.cell_budget_s = Some(1.5);
+        let text = set.render();
+        assert!(text.contains("cell_budget_s = 1.5"), "{text}");
+        assert_eq!(ScenarioSet::parse(&text).unwrap(), set);
+        // Absent key defaults to none; `none` parses back explicitly.
+        assert_eq!(
+            ScenarioSet::parse(&base().render()).unwrap().cell_budget_s,
+            None
+        );
+        set.cell_budget_s = None;
+        assert_eq!(ScenarioSet::parse(&set.render()).unwrap(), set);
+        // Zero is a valid (degenerate) budget; negatives and non-finite
+        // values are rejected.
+        let zero = format!("{}cell_budget_s = 0\n", base().render());
+        assert_eq!(ScenarioSet::parse(&zero).unwrap().cell_budget_s, Some(0.0));
+        for bad in ["-1", "inf", "nan", "soon"] {
+            let text = format!("{}cell_budget_s = {bad}\n", base().render());
+            assert!(ScenarioSet::parse(&text).is_err(), "{bad} must be rejected");
+        }
+        // Scenario::parse treats the key as campaign-only.
+        let campaign = format!("{}cell_budget_s = 2\n", base().render());
+        let err = Scenario::parse(&campaign).unwrap_err().to_string();
+        assert!(err.contains("cell_budget_s"), "{err}");
+    }
+
+    #[test]
+    fn swf_dir_axis_round_trips_and_requires_swf_workload() {
+        let mut sc = base();
+        sc.workload = WorkloadSpec::Swf {
+            path: PathBuf::from("traces"),
+            clean: true,
+        };
+        let set = ScenarioSet {
+            base: sc,
+            axes: vec![SweepAxis::SwfDir(PathBuf::from("traces"))],
+            replications: 1,
+            cell_budget_s: None,
+        };
+        let text = set.render();
+        assert!(text.contains("sweep.swf_dir = traces"), "{text}");
+        assert_eq!(ScenarioSet::parse(&text).unwrap(), set);
+        // Paths with spaces survive: the value is not whitespace-split.
+        let spaced = ScenarioSet {
+            axes: vec![SweepAxis::SwfDir(PathBuf::from("my traces/dir"))],
+            ..set.clone()
+        };
+        assert_eq!(ScenarioSet::parse(&spaced.render()).unwrap(), spaced);
+        // A synthetic base rejects the axis at parse time...
+        let synth = format!("{}sweep.swf_dir = traces\n", base().render());
+        let err = ScenarioSet::parse(&synth).unwrap_err().to_string();
+        assert!(err.contains("workload = swf"), "{err}");
+        // ...and at expand time for programmatically built sets.
+        let prog = ScenarioSet {
+            base: base(),
+            ..set.clone()
+        };
+        assert!(prog.expand().is_err());
+        // Duplicate axis is rejected like any other.
+        let dup = format!("{}sweep.swf_dir = b\n", set.render());
+        let err = ScenarioSet::parse(&dup).unwrap_err().to_string();
+        assert!(err.contains("duplicate sweep axis sweep.swf_dir"), "{err}");
+    }
+
+    #[test]
+    fn swf_dir_expands_one_cell_per_trace_sorted_by_name() {
+        let dir = std::env::temp_dir().join(format!("bsld_swfdir_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Write three tiny traces out of name order plus a decoy.
+        let w = TraceProfile::ctc().scaled_cpus(16).generate(3, 5);
+        let swf = bsld_swf::write_swf(&w.to_swf());
+        for name in ["b.swf", "a.swf", "c.SWF"] {
+            std::fs::write(dir.join(name), &swf).unwrap();
+        }
+        std::fs::write(dir.join("notes.txt"), "not a trace").unwrap();
+
+        let mut sc = base();
+        sc.workload = WorkloadSpec::Swf {
+            path: dir.clone(),
+            clean: false,
+        };
+        let set = ScenarioSet {
+            base: sc,
+            axes: vec![SweepAxis::SwfDir(dir.clone())],
+            replications: 1,
+            cell_budget_s: None,
+        };
+        let cells = set.expand().unwrap();
+        assert_eq!(cells.len(), 3);
+        let names: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["t-a", "t-b", "t-c"], "sorted by file name");
+        for (cell, file) in cells.iter().zip(["a.swf", "b.swf", "c.SWF"]) {
+            match &cell.workload {
+                WorkloadSpec::Swf { path, clean } => {
+                    assert_eq!(path, &dir.join(file));
+                    assert!(!clean, "base cleaning flag is kept");
+                }
+                other => panic!("expected SWF cell, got {other:?}"),
+            }
+            // Each expanded cell runs (tiny 5-job traces).
+            assert_eq!(cell.run().unwrap().run.outcomes.len(), 5);
+        }
+        // An empty directory is an error, not an empty sweep.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let bad = ScenarioSet {
+            axes: vec![SweepAxis::SwfDir(empty)],
+            ..set.clone()
+        };
+        let err = bad.expand().unwrap_err().to_string();
+        assert!(err.contains("no .swf files"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn expand_rejects_profile_axis_on_swf() {
         let mut sc = base();
         sc.workload = WorkloadSpec::Swf {
@@ -1703,6 +1963,7 @@ mod tests {
             base: sc,
             axes: vec![SweepAxis::Profile(vec![ProfileName::Ctc])],
             replications: 1,
+            cell_budget_s: None,
         };
         assert!(set.expand().is_err());
     }

@@ -215,6 +215,153 @@ fn campaign_replications_resume_round_trip() {
 }
 
 #[test]
+fn campaign_worker_and_merge_reproduce_single_process_run() {
+    let dir = std::env::temp_dir().join(format!("bsld_cli_distrib_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let scn = dir.join("campaign.scn");
+    std::fs::write(
+        &scn,
+        "scenario = dist\n\
+         workload = synthetic\n\
+         profile = blue\n\
+         jobs = 60\n\
+         seed = 7\n\
+         scale_cpus = 64\n\
+         policy = bsld:2/NO\n\
+         replications = 2\n\
+         sweep.bsld_th = 1.5 3\n",
+    )
+    .unwrap();
+    let scn = scn.to_str().unwrap();
+
+    // Single-process reference.
+    let single = dir.join("single");
+    let out = run(&["run", scn, "--out", single.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Two sequential worker shards into one shared directory.
+    let shared = dir.join("shared");
+    for i in 0..2 {
+        let shard = format!("{i}/2");
+        let out = run(&[
+            "campaign-worker",
+            scn,
+            "--shard",
+            &shard,
+            "--out",
+            shared.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "shard {shard}: {}", stderr(&out));
+        assert!(
+            shared
+                .join(format!("campaign_manifest.worker-{i}.csv"))
+                .exists(),
+            "per-worker manifest written"
+        );
+    }
+    let out = run(&["campaign-merge", shared.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains('±'), "merge prints the CI table");
+
+    for file in ["campaign_results.csv", "campaign.json"] {
+        let a = std::fs::read(single.join(file)).unwrap();
+        let b = std::fs::read(shared.join(file)).unwrap();
+        assert_eq!(a, b, "{file} byte-identical across the two paths");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_worker_flag_validation() {
+    let dir = std::env::temp_dir().join(format!("bsld_cli_wflags_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scn = dir.join("c.scn");
+    std::fs::write(
+        &scn,
+        "workload = synthetic\nprofile = ctc\njobs = 10\nseed = 1\nreplications = 2\n",
+    )
+    .unwrap();
+    let scn = scn.to_str().unwrap();
+    let out_dir = dir.join("out");
+    let out_str = out_dir.to_str().unwrap();
+
+    // Missing --shard / --out.
+    let out = run(&["campaign-worker", scn, "--out", out_str]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--shard"), "{}", stderr(&out));
+    let out = run(&["campaign-worker", scn, "--shard", "0/2"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--out"), "{}", stderr(&out));
+
+    // Malformed and out-of-range shards.
+    for bad in ["2", "2/2", "a/b"] {
+        let out = run(&["campaign-worker", scn, "--shard", bad, "--out", out_str]);
+        assert!(!out.status.success(), "shard {bad} must be rejected");
+    }
+
+    // --shard outside campaign-worker is an error.
+    let out = run(&["run", scn, "--shard", "0/2", "--no-csv"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--shard only applies"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Merging a directory that holds no campaign is an error.
+    let out = run(&["campaign-merge", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("campaign.scn"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budgeted_campaign_records_failed_rows_and_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("bsld_cli_budget_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let scn = dir.join("b.scn");
+    std::fs::write(
+        &scn,
+        "scenario = b\n\
+         workload = synthetic\n\
+         profile = blue\n\
+         jobs = 200\n\
+         seed = 7\n\
+         scale_cpus = 64\n\
+         replications = 2\n\
+         cell_budget_s = 0\n",
+    )
+    .unwrap();
+    let out_dir = dir.join("out");
+    let out = run(&[
+        "run",
+        scn.to_str().unwrap(),
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    // Failures are reported through the exit code...
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("exceeded cell_budget_s"),
+        "{}",
+        stderr(&out)
+    );
+    // ...but the sweep completed and the artifacts exist, failed rows
+    // recorded in the manifest.
+    let manifest = std::fs::read_to_string(out_dir.join("campaign_manifest.csv")).unwrap();
+    assert_eq!(
+        manifest.matches(",failed,").count(),
+        2,
+        "one failed row per unit: {manifest}"
+    );
+    assert!(out_dir.join("campaign_results.csv").exists());
+    assert!(out_dir.join("campaign.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn resume_flag_outside_run_is_an_error() {
     let out = run(&["table1", "--resume", "somewhere"]);
     assert!(!out.status.success());

@@ -48,9 +48,20 @@ impl Json {
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(x) => {
                 if x.is_finite() {
-                    if *x == x.trunc() && x.abs() < 1e15 {
+                    // Integral values print without a fractional part via
+                    // i64 — but only inside the range where every integral
+                    // f64 is exact (|x| ≤ 2^53) and the cast cannot
+                    // truncate or saturate. Larger magnitudes take the
+                    // float path: Rust's `{}` for f64 is the shortest
+                    // representation that parses back to the identical
+                    // bits (never exponent notation), so CellId-sized
+                    // provenance numbers survive `campaign.json` intact.
+                    const EXACT_INT: f64 = 9_007_199_254_740_992.0; // 2^53
+                    let negative_zero = *x == 0.0 && x.is_sign_negative();
+                    if *x == x.trunc() && x.abs() <= EXACT_INT && !negative_zero {
                         let _ = write!(out, "{}", *x as i64);
                     } else {
+                        // `{}` prints -0.0 as "-0", preserving the sign bit.
                         let _ = write!(out, "{x}");
                     }
                 } else {
@@ -168,5 +179,51 @@ mod tests {
         assert_eq!(Json::from(2usize).render(), "2");
         assert_eq!(Json::from(0.25f64).render(), "0.25");
         assert_eq!(Json::from("x").render(), "\"x\"");
+    }
+
+    #[test]
+    fn large_magnitudes_render_exactly() {
+        // At and below 2^53 every integral f64 is exact; the i64 fast
+        // path must print the true value...
+        assert_eq!(Json::Num(9007199254740992.0).render(), "9007199254740992");
+        assert_eq!(Json::Num(-9007199254740992.0).render(), "-9007199254740992");
+        assert_eq!(Json::Num(1e15).render(), "1000000000000000");
+        // ...and beyond it the float path renders the shortest decimal
+        // that parses back to the identical f64 — never a truncated
+        // `as i64` cast (which would saturate CellId-sized magnitudes to
+        // i64::MAX = 9223372036854775807).
+        let cell_sized = 18446744073709549568.0f64; // largest f64 < u64::MAX
+        let text = Json::Num(cell_sized).render();
+        assert_eq!(text, "18446744073709550000");
+        assert_eq!(text.parse::<f64>().unwrap().to_bits(), cell_sized.to_bits());
+        assert!(
+            !Json::Num(1e300).render().contains('e'),
+            "plain decimal, valid JSON"
+        );
+    }
+
+    #[test]
+    fn rendered_numbers_round_trip_to_identical_bits() {
+        let samples = [
+            0.0,
+            -0.0,
+            0.1,
+            1.5,
+            1e15,
+            9007199254740992.0,    // 2^53
+            9007199254740994.0,    // 2^53 + 2 (first even step)
+            1.8446744073709552e19, // ~u64::MAX
+            u64::MAX as f64,
+            i64::MIN as f64,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            2.2250738585072014e-308,
+            std::f64::consts::PI,
+        ];
+        for &x in &samples {
+            let text = Json::Num(x).render();
+            let back: f64 = text.parse().expect("rendered JSON number parses");
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} rendered as {text}");
+        }
     }
 }

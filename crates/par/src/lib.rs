@@ -16,7 +16,8 @@
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Number of worker threads [`par_map`] uses by default: the available
 /// parallelism, capped at 16 (the grids rarely have more useful width).
@@ -140,6 +141,114 @@ impl Progress {
     }
 }
 
+/// A shared cooperative-cancellation flag.
+///
+/// Long-running work (a whole simulation) polls the flag at a safe
+/// granularity — the scheduling engine checks it once per event — and
+/// unwinds cleanly when it is raised. Cloning shares the flag; the
+/// underlying [`AtomicBool`] is exposed via [`AbortFlag::handle`] so crates
+/// that must not depend on `bsld-par` (e.g. the scheduling engine's
+/// `EngineConfig`) can carry it as a plain `Arc<AtomicBool>`.
+#[derive(Debug, Clone, Default)]
+pub struct AbortFlag(Arc<AtomicBool>);
+
+impl AbortFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> AbortFlag {
+        AbortFlag::default()
+    }
+
+    /// Raises the flag; every holder observes it on the next poll.
+    pub fn raise(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_raised(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// The shared atomic behind the flag, for APIs that take a plain
+    /// `Arc<AtomicBool>`.
+    pub fn handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.0)
+    }
+}
+
+/// Runs `f` under a wall-clock budget of `budget_s` seconds, returning
+/// `(result, budget_exhausted)`.
+///
+/// `f` executes on the **calling** thread and receives an [`AbortFlag`] it
+/// is expected to poll; a watchdog thread raises the flag once the budget
+/// elapses, so a cooperative `f` cuts itself off instead of stalling the
+/// caller. This is *cooperative* cancellation: nothing is killed, no work
+/// thread is leaked — when `f` returns (normally or by observing the
+/// flag), the watchdog is woken and joined before `run_budgeted` returns.
+///
+/// A budget of zero (or anything non-positive / non-finite) starts with
+/// the flag already raised: `f` still runs, but a polling `f` aborts at
+/// its first check — the deterministic degenerate case the campaign tests
+/// rely on.
+///
+/// The second element of the return value reports whether the flag was
+/// raised by the deadline. A race is possible — `f` can complete
+/// successfully in the same instant the watchdog fires — so callers should
+/// trust a successful result over the flag.
+pub fn run_budgeted<R>(budget_s: f64, f: impl FnOnce(&AbortFlag) -> R) -> (R, bool) {
+    let flag = AbortFlag::new();
+    if !(budget_s > 0.0 && budget_s.is_finite()) {
+        flag.raise();
+        let out = f(&flag);
+        return (out, true);
+    }
+    // A budget beyond what Duration / the platform clock can represent
+    // (`from_secs_f64` panics above ~1.8e19 s, and `Instant + Duration`
+    // can overflow) is effectively unlimited: skip the watchdog instead
+    // of letting a spec typo panic a worker thread mid-campaign.
+    let deadline = Duration::try_from_secs_f64(budget_s)
+        .ok()
+        .and_then(|d| std::time::Instant::now().checked_add(d));
+    let Some(deadline) = deadline else {
+        let out = f(&flag);
+        return (out, false);
+    };
+    // done: (finished, condvar) — the worker sets `finished` and notifies;
+    // the watchdog waits with a timeout and raises the flag if the wait
+    // expires first.
+    let done = Arc::new((Mutex::new(false), Condvar::new()));
+    let watchdog = {
+        let done = Arc::clone(&done);
+        let flag = flag.clone();
+        std::thread::spawn(move || {
+            let (lock, cv) = &*done;
+            let Ok(mut finished) = lock.lock() else {
+                return;
+            };
+            while !*finished {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    flag.raise();
+                    return;
+                }
+                match cv.wait_timeout(finished, deadline - now) {
+                    Ok((guard, _)) => finished = guard,
+                    Err(_) => return,
+                }
+            }
+        })
+    };
+    let out = f(&flag);
+    {
+        let (lock, cv) = &*done;
+        if let Ok(mut finished) = lock.lock() {
+            *finished = true;
+        }
+        cv.notify_all();
+    }
+    let _ = watchdog.join();
+    (out, flag.is_raised())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +351,68 @@ mod tests {
     fn default_threads_positive() {
         let t = default_threads();
         assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    fn zero_budget_starts_exhausted() {
+        for budget in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let (seen, exhausted) = run_budgeted(budget, |flag| flag.is_raised());
+            assert!(seen, "budget {budget}: f must observe the raised flag");
+            assert!(exhausted, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn generous_budget_never_interrupts() {
+        let ((), exhausted) = run_budgeted(3600.0, |flag| {
+            assert!(!flag.is_raised());
+        });
+        assert!(!exhausted);
+    }
+
+    #[test]
+    fn astronomically_large_budget_does_not_panic() {
+        // Above Duration's ~1.8e19 s ceiling `from_secs_f64` would panic;
+        // such budgets must degrade to "unlimited", not crash a worker.
+        for budget in [2e19, 1e300, f64::MAX] {
+            let (seen, exhausted) = run_budgeted(budget, |flag| flag.is_raised());
+            assert!(!seen, "budget {budget}: flag must stay down");
+            assert!(!exhausted, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn expired_budget_raises_the_flag_mid_run() {
+        // A cooperative worker spinning until cancelled: the watchdog must
+        // cut it off close to the 20 ms budget, not let it run the full
+        // 10 s failsafe.
+        let t0 = std::time::Instant::now();
+        let (aborted, exhausted) = run_budgeted(0.02, |flag| {
+            while !flag.is_raised() {
+                if t0.elapsed() > Duration::from_secs(10) {
+                    return false;
+                }
+                std::thread::yield_now();
+            }
+            true
+        });
+        assert!(aborted, "worker must observe the deadline");
+        assert!(exhausted);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "watchdog fired far too late: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn abort_flag_is_shared_across_clones_and_handles() {
+        let a = AbortFlag::new();
+        let b = a.clone();
+        let h = a.handle();
+        assert!(!b.is_raised());
+        a.raise();
+        assert!(b.is_raised());
+        assert!(h.load(Ordering::SeqCst));
     }
 }

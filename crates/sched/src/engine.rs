@@ -122,6 +122,11 @@ pub struct EngineConfig {
     /// are bit-identical either way; the toggle exists for A/B verification
     /// and benchmarking.
     pub incremental: bool,
+    /// Cooperative-cancellation flag, polled once per event. When a caller
+    /// raises it (e.g. a campaign cell's wall-time budget expired), the run
+    /// returns [`SimError::Aborted`] at the next event instead of driving
+    /// the workload to completion. `None` (the default) checks nothing.
+    pub abort: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for EngineConfig {
@@ -133,6 +138,7 @@ impl Default for EngineConfig {
             collect_trace: false,
             boost: None,
             incremental: true,
+            abort: None,
         }
     }
 }
@@ -213,6 +219,10 @@ pub enum SimError {
         /// Jobs left waiting when the event queue drained.
         waiting: usize,
     },
+    /// The caller raised [`EngineConfig::abort`] mid-run (a wall-time
+    /// budget expired, or the driver is shutting down); the partial state
+    /// is discarded.
+    Aborted,
 }
 
 impl std::fmt::Display for SimError {
@@ -226,6 +236,7 @@ impl std::fmt::Display for SimError {
                 f,
                 "simulation stalled with {waiting} jobs waiting: the power cap admits no start"
             ),
+            SimError::Aborted => write!(f, "simulation aborted by the caller"),
         }
     }
 }
@@ -458,8 +469,17 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
 
     /// Drives the event loop to completion.
     pub fn run(mut self) -> Result<SimResult, SimError> {
+        let abort = self.cfg.abort.clone();
         let mut batch: Vec<JobId> = Vec::new();
         while let Some((t, ev)) = self.events.pop() {
+            // One relaxed load per event — noise next to a scheduling
+            // pass — buys prompt, deterministic cancellation: the run
+            // never advances past the event at which the flag was seen.
+            if let Some(flag) = &abort {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(SimError::Aborted);
+                }
+            }
             debug_assert!(t >= self.now, "event time went backwards");
             // Discard no-op events *before* advancing the hook's clock: a
             // stale Finish (from before a re-time) or an obsolete power
@@ -2085,5 +2105,40 @@ mod tests {
         for o in &res.outcomes {
             o.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn raised_abort_flag_stops_the_run_at_the_first_event() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let jobs: Vec<Job> = (0..10).map(|i| j(i, i as u64, 1, 100, 200)).collect();
+        let flag = Arc::new(AtomicBool::new(true));
+        let err = simulate(
+            &cluster(8),
+            &jobs,
+            &top_policy(),
+            &tm(),
+            &EngineConfig {
+                abort: Some(Arc::clone(&flag)),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::Aborted);
+        // An unraised flag changes nothing: outcomes match the flagless run.
+        flag.store(false, std::sync::atomic::Ordering::SeqCst);
+        let watched = simulate(
+            &cluster(8),
+            &jobs,
+            &top_policy(),
+            &tm(),
+            &EngineConfig {
+                abort: Some(flag),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let plain = run(8, &jobs);
+        assert_eq!(watched.outcomes, plain.outcomes);
     }
 }

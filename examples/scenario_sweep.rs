@@ -35,6 +35,7 @@ fn main() {
             SweepAxis::CapFraction(vec![0.6, 0.8]),
         ],
         replications: 1,
+        cell_budget_s: None,
     };
 
     // The set serializes to a .scn file and parses back identically —

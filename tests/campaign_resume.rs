@@ -29,6 +29,7 @@ fn campaign_set(replications: u32) -> ScenarioSet {
         base,
         axes: vec![SweepAxis::BsldThreshold(vec![1.5, 3.0])],
         replications,
+        cell_budget_s: None,
     }
 }
 
@@ -138,7 +139,7 @@ fn aggregation_matches_hand_computed_ci() {
             .rows
             .iter()
             .filter(|r| r.cell == cell.id)
-            .map(|r| r.avg_bsld)
+            .map(|r| r.metrics().expect("completed row").avg_bsld)
             .collect();
         assert_eq!(rows.len(), 3);
         let n = rows.len() as f64;
@@ -181,8 +182,9 @@ fn replication_zero_preserves_base_scenario() {
         .iter()
         .find(|r| r.name == "camp-th1.5" && r.rep == 0)
         .unwrap();
-    assert_eq!(row0.avg_bsld, direct.run.metrics.avg_bsld);
-    assert_eq!(row0.jobs as usize, direct.run.metrics.jobs);
+    let m0 = row0.metrics().expect("completed row");
+    assert_eq!(m0.avg_bsld, direct.run.metrics.avg_bsld);
+    assert_eq!(m0.jobs as usize, direct.run.metrics.jobs);
 }
 
 /// Cell IDs are content hashes: stable across runs and across
@@ -202,6 +204,12 @@ fn cell_ids_are_semantic_content_hashes() {
         out_dir: Some(PathBuf::from("elsewhere")),
     };
     assert_eq!(a, CellId::of(&relocated));
+    // The name is a label: renaming a scenario (or permuting sweep axes,
+    // which reorders name suffixes) keeps the cached rows and the shard
+    // assignment.
+    let mut renamed = cells[0].clone();
+    renamed.name = "completely-different".into();
+    assert_eq!(a, CellId::of(&renamed));
     // But a semantic change (seed) re-keys the cell.
     let mut reseeded = cells[0].clone();
     if let WorkloadSpec::Synthetic { seed, .. } = &mut reseeded.workload {

@@ -259,14 +259,15 @@ proptest! {
         prop_assert_eq!(parsed, sc);
     }
 
-    /// The set format round-trips, sweep axes and replication counts
-    /// included. Axis keys are deduplicated (first wins): the parser
-    /// rejects repeated axes.
+    /// The set format round-trips, sweep axes, replication counts and
+    /// cell budgets included. Axis keys are deduplicated (first wins):
+    /// the parser rejects repeated axes.
     #[test]
     fn scenario_set_parse_inverts_render(
         sc in arb_scenario(),
         axes in proptest::collection::vec(arb_axis(), 0..5),
         reps in 1u32..=8,
+        budget in (proptest::bool::ANY, 0u32..=1_000_000),
     ) {
         // Replications > 1 require a synthetic workload (the parser
         // rejects replicated SWF replays — they are deterministic).
@@ -274,7 +275,12 @@ proptest! {
             WorkloadSpec::Swf { .. } => 1,
             WorkloadSpec::Synthetic { .. } => reps,
         };
-        let set = ScenarioSet { base: sc, axes: dedup_axes(axes), replications: reps };
+        let set = ScenarioSet {
+            base: sc,
+            axes: dedup_axes(axes),
+            replications: reps,
+            cell_budget_s: budget.0.then(|| budget.1 as f64 / 100.0),
+        };
         let text = set.render();
         let parsed = ScenarioSet::parse(&text).map_err(TestCaseError::fail)?;
         prop_assert_eq!(parsed, set);
@@ -299,7 +305,7 @@ proptest! {
                 beta: None,
             };
         }
-        let set = ScenarioSet { base, axes, replications: 1 };
+        let set = ScenarioSet { base, axes, replications: 1, cell_budget_s: None };
         let cells = set.expand().map_err(TestCaseError::fail)?;
         let expected: usize = set.axes.iter().map(|a| match a {
             SweepAxis::Profile(v) => v.len(),
@@ -308,6 +314,9 @@ proptest! {
             SweepAxis::CapFraction(v) => v.len(),
             SweepAxis::EnlargePct(v) => v.len(),
             SweepAxis::Seed(v) => v.len(),
+            // arb_axis never generates SwfDir (its width depends on a real
+            // directory); covered by dedicated unit tests instead.
+            SweepAxis::SwfDir(_) => unreachable!("not generated"),
         }).product();
         prop_assert_eq!(cells.len(), expected);
         for cell in cells {
