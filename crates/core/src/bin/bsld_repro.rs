@@ -322,7 +322,7 @@ fn run_generate(args: &Args) -> Result<(), String> {
 fn run_simulate(args: &Args) -> Result<(), String> {
     let sc = scenario_from_args(args)?;
     let w = sc.build_workload().map_err(|e| e.to_string())?;
-    let sim = sc.simulator(&w);
+    let sim = sc.simulator(&w).map_err(|e| e.to_string())?;
     let label = match &sc.policy {
         PolicySpec::Baseline => "EASY baseline (no DVFS)".to_string(),
         PolicySpec::FixedGear(g) => format!("fixed gear {g}"),
@@ -464,6 +464,10 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
     ]);
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
+    // Per-rail energy columns are only emitted when some cell ran on the
+    // multi-rail layout (an explicit `model =` / `sweep.model`); model-free
+    // files keep the exact pre-subsystem CSV shape.
+    let mut any_rails = false;
     for (sc, res) in cells.iter().zip(results) {
         let res = match res {
             Ok(r) => r,
@@ -477,7 +481,7 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
                     r
                 };
                 t.row(row("FAILED", 8));
-                rows.push(row("failed", 9));
+                rows.push(row("failed", 12));
                 continue;
             }
         };
@@ -496,6 +500,20 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
         };
         let (ledger_disp, peak_disp) = power_fields(3);
         let (ledger_csv, peak_csv) = power_fields(6);
+        let rail_csv = |kind: bsld_power::RailKind| -> String {
+            res.power
+                .as_ref()
+                .filter(|p| p.rails.len() > 1)
+                .and_then(|p| p.rails.iter().find(|r| r.kind == kind))
+                .map(|r| format!("{:.6e}", r.energy))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let (cpu_csv, mem_csv, net_csv) = (
+            rail_csv(bsld_power::RailKind::Cpu),
+            rail_csv(bsld_power::RailKind::Memory),
+            rail_csv(bsld_power::RailKind::Interconnect),
+        );
+        any_rails |= cpu_csv != "-";
         t.row(vec![
             sc.name.clone(),
             m.jobs.to_string(),
@@ -516,6 +534,9 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
             format!("{:.6e}", m.energy.with_idle),
             ledger_csv,
             peak_csv,
+            cpu_csv,
+            mem_csv,
+            net_csv,
         ]);
     }
     println!("{}", t.render());
@@ -523,22 +544,25 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
         let out = dir.join("scenario_results.csv");
         let mut f = std::fs::File::create(&out).map_err(|e| e.to_string())?;
-        bsld_metrics::write_csv(
-            &mut f,
-            &[
-                "scenario",
-                "jobs",
-                "avg_bsld",
-                "avg_wait_s",
-                "reduced_jobs",
-                "energy_comp",
-                "energy_idle",
-                "energy_ledger",
-                "peak_over_budget",
-            ],
-            &rows,
-        )
-        .map_err(|e| e.to_string())?;
+        let mut headers = vec![
+            "scenario",
+            "jobs",
+            "avg_bsld",
+            "avg_wait_s",
+            "reduced_jobs",
+            "energy_comp",
+            "energy_idle",
+            "energy_ledger",
+            "peak_over_budget",
+        ];
+        if any_rails {
+            headers.extend(["energy_cpu", "energy_mem", "energy_net"]);
+        } else {
+            for row in &mut rows {
+                row.truncate(headers.len());
+            }
+        }
+        bsld_metrics::write_csv(&mut f, &headers, &rows).map_err(|e| e.to_string())?;
         eprintln!("# wrote {}", out.display());
     }
     if !failures.is_empty() {

@@ -284,6 +284,13 @@ pub struct RepMetrics {
     pub energy_ledger: Option<f64>,
     /// `peak / budget` (capped runs only).
     pub peak_over_budget: Option<f64>,
+    /// CPU-rail ledger energy (multi-rail runs only — a scenario with an
+    /// explicit `model =`; single-rail runs report `-`).
+    pub energy_cpu: Option<f64>,
+    /// Memory-rail ledger energy (multi-rail runs only).
+    pub energy_mem: Option<f64>,
+    /// Interconnect-rail ledger energy (multi-rail runs only).
+    pub energy_net: Option<f64>,
 }
 
 /// How one `(cell, replication)` unit ended.
@@ -323,7 +330,7 @@ pub struct RepRow {
 impl RepRow {
     /// Manifest column names, field order. Failed rows carry `-` in every
     /// metric column.
-    pub const HEADERS: [&'static str; 14] = [
+    pub const HEADERS: [&'static str; 17] = [
         "cell",
         "scenario",
         "rep",
@@ -338,6 +345,9 @@ impl RepRow {
         "energy_idle",
         "energy_ledger",
         "peak_over_budget",
+        "energy_cpu",
+        "energy_mem",
+        "energy_net",
     ];
 
     /// The metrics of a completed row (`None` for failed rows).
@@ -351,6 +361,16 @@ impl RepRow {
     /// Builds the row for one successfully finished unit.
     pub fn from_result(cell: &CampaignCell, unit: &CampaignUnit, res: &ScenarioResult) -> RepRow {
         let m = &res.run.metrics;
+        // Per-rail energy only exists on the multi-rail layout (an
+        // explicit `model =`); the single-rail default reports `-`, so
+        // rows of pre-existing campaigns keep their exact field values.
+        let rail = |kind: bsld_power::RailKind| -> Option<f64> {
+            res.power
+                .as_ref()
+                .filter(|p| p.rails.len() > 1)
+                .and_then(|p| p.rails.iter().find(|r| r.kind == kind))
+                .map(|r| r.energy)
+        };
         RepRow {
             cell: cell.id,
             name: cell.scenario.name.clone(),
@@ -368,6 +388,9 @@ impl RepRow {
                     .power
                     .as_ref()
                     .and_then(|p| p.budget.filter(|b| *b > 0.0).map(|b| p.peak / b)),
+                energy_cpu: rail(bsld_power::RailKind::Cpu),
+                energy_mem: rail(bsld_power::RailKind::Memory),
+                energy_net: rail(bsld_power::RailKind::Interconnect),
             }),
         }
     }
@@ -406,10 +429,13 @@ impl RepRow {
                 m.energy_idle.to_string(),
                 opt(&m.energy_ledger),
                 opt(&m.peak_over_budget),
+                opt(&m.energy_cpu),
+                opt(&m.energy_mem),
+                opt(&m.energy_net),
             ]),
             RepOutcome::Failed { reason } => {
                 out.extend(["failed".to_string(), reason.clone()]);
-                out.extend(std::iter::repeat_n("-".to_string(), 8));
+                out.extend(std::iter::repeat_n("-".to_string(), 11));
             }
         }
         out
@@ -448,6 +474,9 @@ impl RepRow {
                 energy_idle: f[11].parse().ok()?,
                 energy_ledger: opt(&f[12])?,
                 peak_over_budget: opt(&f[13])?,
+                energy_cpu: opt(&f[14])?,
+                energy_mem: opt(&f[15])?,
+                energy_net: opt(&f[16])?,
             }),
             "failed" => RepOutcome::Failed {
                 reason: f[5].clone(),
@@ -499,6 +528,13 @@ pub struct CellSummary {
     /// `peak / budget`, mean ± CI (`None` unless every replication ran
     /// capped).
     pub peak_over_budget: Option<MeanCi>,
+    /// CPU-rail energy, mean ± CI (`None` unless every replication ran
+    /// on the multi-rail layout — a scenario with an explicit `model =`).
+    pub energy_cpu: Option<MeanCi>,
+    /// Memory-rail energy, mean ± CI (multi-rail runs only).
+    pub energy_mem: Option<MeanCi>,
+    /// Interconnect-rail energy, mean ± CI (multi-rail runs only).
+    pub energy_net: Option<MeanCi>,
 }
 
 fn mean_ci(values: impl Iterator<Item = f64>) -> MeanCi {
@@ -525,6 +561,9 @@ fn summarize_cell(cell: &CampaignCell, rows: &[&RepMetrics]) -> CellSummary {
         energy_idle: mean_ci(rows.iter().map(|r| r.energy_idle)),
         energy_ledger: all(|r| r.energy_ledger),
         peak_over_budget: all(|r| r.peak_over_budget),
+        energy_cpu: all(|r| r.energy_cpu),
+        energy_mem: all(|r| r.energy_mem),
+        energy_net: all(|r| r.energy_net),
     }
 }
 
@@ -607,7 +646,7 @@ impl CampaignOutcome {
     /// independent of thread scheduling and of how many runs it took to
     /// complete the campaign.
     pub fn results_csv(&self) -> String {
-        let headers = [
+        let mut headers = vec![
             "cell",
             "scenario",
             "reps",
@@ -627,6 +666,20 @@ impl CampaignOutcome {
             "peak_over_budget_mean",
             "peak_over_budget_ci95",
         ];
+        // Per-rail columns appear only when some cell actually ran on the
+        // multi-rail layout; campaigns that never select a model keep the
+        // exact pre-subsystem column set (and bytes).
+        let with_rails = self.summaries.iter().any(|c| c.energy_cpu.is_some());
+        if with_rails {
+            headers.extend([
+                "energy_cpu_mean",
+                "energy_cpu_ci95",
+                "energy_mem_mean",
+                "energy_mem_ci95",
+                "energy_net_mean",
+                "energy_net_ci95",
+            ]);
+        }
         let rows: Vec<Vec<String>> = self
             .summaries
             .iter()
@@ -642,7 +695,11 @@ impl CampaignOutcome {
                     row.push(m);
                     row.push(h);
                 }
-                for opt in [&c.energy_ledger, &c.peak_over_budget] {
+                let mut opts = vec![&c.energy_ledger, &c.peak_over_budget];
+                if with_rails {
+                    opts.extend([&c.energy_cpu, &c.energy_mem, &c.energy_net]);
+                }
+                for opt in opts {
                     match opt {
                         Some(ci) => {
                             let (m, h) = ci.csv_fields();
@@ -967,6 +1024,11 @@ pub fn campaign_json(set: &ScenarioSet, campaign: &Campaign, outcome: &CampaignO
                         pairs.push(("swf", Json::str(path.display().to_string())));
                     }
                 }
+                // Model provenance only when the cell selects one: reports
+                // of model-free campaigns stay byte-identical.
+                if let Some(m) = &cell.scenario.power.model {
+                    pairs.push(("model", Json::str(m.render())));
+                }
                 match summary_of.get(&cell.id) {
                     None => {
                         pairs.push(("reps", Json::from(0u64)));
@@ -975,18 +1037,23 @@ pub fn campaign_json(set: &ScenarioSet, campaign: &Campaign, outcome: &CampaignO
                     Some(s) => {
                         pairs.push(("reps", Json::from(s.bsld.n)));
                         pairs.push(("jobs", Json::from(s.jobs)));
-                        pairs.push((
-                            "metrics",
-                            Json::obj(vec![
-                                ("avg_bsld", ci(&s.bsld)),
-                                ("avg_wait_s", ci(&s.wait)),
-                                ("reduced_jobs", ci(&s.reduced)),
-                                ("energy_comp", ci(&s.energy_comp)),
-                                ("energy_idle", ci(&s.energy_idle)),
-                                ("energy_ledger", opt_ci(&s.energy_ledger)),
-                                ("peak_over_budget", opt_ci(&s.peak_over_budget)),
-                            ]),
-                        ));
+                        let mut metrics = vec![
+                            ("avg_bsld", ci(&s.bsld)),
+                            ("avg_wait_s", ci(&s.wait)),
+                            ("reduced_jobs", ci(&s.reduced)),
+                            ("energy_comp", ci(&s.energy_comp)),
+                            ("energy_idle", ci(&s.energy_idle)),
+                            ("energy_ledger", opt_ci(&s.energy_ledger)),
+                            ("peak_over_budget", opt_ci(&s.peak_over_budget)),
+                        ];
+                        if s.energy_cpu.is_some() {
+                            metrics.extend([
+                                ("energy_cpu", opt_ci(&s.energy_cpu)),
+                                ("energy_mem", opt_ci(&s.energy_mem)),
+                                ("energy_net", opt_ci(&s.energy_net)),
+                            ]);
+                        }
+                        pairs.push(("metrics", Json::obj(metrics)));
                     }
                 }
                 Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())

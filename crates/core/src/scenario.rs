@@ -11,8 +11,8 @@
 //! * [`ClusterSpec`] — machine enlargement and the DVFS [`GearSpec`];
 //! * [`PolicySpec`] — baseline, a pinned gear, or the paper's
 //!   BSLD-threshold policy;
-//! * [`PowerSpec`] — power cap, sleep ladder, dynamic boost, ledger
-//!   observation;
+//! * [`PowerSpec`] — power cap, sleep ladder, dynamic boost, power model
+//!   selection ([`PowerModelSpec`]), ledger observation;
 //! * [`EngineSpec`] — backfilling substrate, resource selection,
 //!   incremental vs full-rescan engine, tracing;
 //! * [`OutputSpec`] — artifact directory.
@@ -84,6 +84,9 @@ use std::path::{Path, PathBuf};
 
 use bsld_cluster::{Cluster, Gear, GearSet, SelectionPolicy};
 use bsld_model::{GearId, Job};
+use bsld_power::{
+    Constant, Cubic, Empirical, Linear, PaperDvfs, PowerModel, Rail, RailKind, RailSet,
+};
 use bsld_powercap::{PowerReport, SleepConfig, SleepState};
 use bsld_sched::{BoostConfig, FixedGearPolicy, SchedMode, SimError};
 use bsld_workload::profiles::{BetaSpec, TraceProfile};
@@ -332,7 +335,86 @@ impl SleepSpec {
     }
 }
 
-/// Cluster-power treatment: cap, sleep states, boost, observation.
+/// Which power model prices the run (the `model =` key).
+///
+/// `None` in [`PowerSpec::model`] keeps the legacy machine layout — a
+/// single CPU rail carrying the paper's DVFS model — and renders no
+/// `model` line, so pre-existing scenario files (and their campaign cell
+/// ids) are untouched. `Some` selects the CPU-rail model and switches the
+/// machine to the three-rail layout (CPU + memory + interconnect), making
+/// per-rail energy available in the power report. Every alternative CPU
+/// model is anchored to the paper model's endpoints (same idle draw, same
+/// top-gear draw), so the models differ only in the shape of the curve
+/// between them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerModelSpec {
+    /// The paper's DVFS model ([`bsld_power::PaperDvfs`]): `A·C·f·V²`
+    /// dynamic plus `α·V` static power.
+    Paper,
+    /// Energy-unproportional extreme: the top-gear draw at every gear and
+    /// utilization ([`bsld_power::Constant`]).
+    Constant,
+    /// Energy-proportional ramp from idle to top-gear draw
+    /// ([`bsld_power::Linear`]).
+    Linear,
+    /// Cubic frequency scaling between the same endpoints
+    /// ([`bsld_power::Cubic`]).
+    Cubic,
+    /// Piecewise-linear curve from a `(utilization, watts)` CSV file
+    /// ([`bsld_power::Empirical`]), read when the simulator is built.
+    Empirical(PathBuf),
+}
+
+impl PowerModelSpec {
+    /// The text-format value (`model = <this>`).
+    pub fn render(&self) -> String {
+        match self {
+            PowerModelSpec::Paper => "paper".into(),
+            PowerModelSpec::Constant => "constant".into(),
+            PowerModelSpec::Linear => "linear".into(),
+            PowerModelSpec::Cubic => "cubic".into(),
+            PowerModelSpec::Empirical(p) => {
+                format!("empirical:{}", line_safe(&p.display().to_string()))
+            }
+        }
+    }
+
+    /// Short cell-name suffix used by [`SweepAxis::Model`].
+    pub fn label(&self) -> String {
+        match self {
+            PowerModelSpec::Empirical(p) => {
+                let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("csv");
+                format!("emp-{}", line_safe(stem))
+            }
+            other => other.render(),
+        }
+    }
+
+    /// Parses one model value (the `none` keyword is handled by the key
+    /// parser, not here).
+    pub fn parse(s: &str) -> Result<PowerModelSpec, String> {
+        match s {
+            "paper" => Ok(PowerModelSpec::Paper),
+            "constant" => Ok(PowerModelSpec::Constant),
+            "linear" => Ok(PowerModelSpec::Linear),
+            "cubic" => Ok(PowerModelSpec::Cubic),
+            other => {
+                if let Some(path) = other.strip_prefix("empirical:") {
+                    if path.is_empty() {
+                        return Err("empirical model needs a CSV path".into());
+                    }
+                    Ok(PowerModelSpec::Empirical(PathBuf::from(path)))
+                } else {
+                    Err(format!(
+                        "bad model {other:?} (paper | constant | linear | cubic | empirical:<csv>)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Cluster-power treatment: cap, sleep states, boost, model, observation.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PowerSpec {
     /// Cluster power budget as a fraction of peak draw (`None` = no
@@ -345,6 +427,10 @@ pub struct PowerSpec {
     /// Dynamic-boost extension: boost running reduced jobs to the top gear
     /// whenever more than this many jobs wait.
     pub boost: Option<usize>,
+    /// The power model pricing the run (`None` = the legacy single-rail
+    /// paper model; `Some` selects the CPU model and enables the
+    /// three-rail machine layout with per-rail energy attribution).
+    pub model: Option<PowerModelSpec>,
     /// Record the power ledger (and return a [`PowerReport`]) even without
     /// a cap or sleep states.
     pub observe: bool,
@@ -359,9 +445,13 @@ impl PowerSpec {
     /// Whether the run takes the power-instrumented path (ledger + idle
     /// manager + cap enforcement) and returns a [`PowerReport`]. An empty
     /// custom ladder counts as no sleeping, matching how the text format
-    /// normalises it to `none`.
+    /// normalises it to `none`. An explicit model selection instruments
+    /// the run — per-rail energy only exists in the ledger.
     pub fn instrumented(&self) -> bool {
-        self.observe || self.cap_fraction.is_some() || self.sleep.build().is_enabled()
+        self.observe
+            || self.cap_fraction.is_some()
+            || self.model.is_some()
+            || self.sleep.build().is_enabled()
     }
 }
 
@@ -514,9 +604,13 @@ impl Scenario {
     }
 
     /// Builds the configured simulator for a materialised workload.
-    pub fn simulator(&self, w: &Workload) -> Simulator {
+    ///
+    /// Fails only when the power-model spec does (an unreadable or invalid
+    /// empirical CSV) — everything else is infallible wiring.
+    pub fn simulator(&self, w: &Workload) -> Result<Simulator, ScenarioError> {
         let gears = self.cluster.gears.build();
-        let mut sim = Simulator::with_cluster(Cluster::new(&*w.cluster_name, w.cpus, gears));
+        let mut sim =
+            Simulator::with_cluster(Cluster::new(&*w.cluster_name, w.cpus, gears.clone()));
         if self.cluster.enlarge_pct > 0 {
             sim = sim.enlarged(self.cluster.enlarge_pct);
         }
@@ -526,7 +620,10 @@ impl Scenario {
         sim.engine.selection = self.engine.selection;
         sim.engine.collect_trace = self.engine.trace;
         sim.engine.boost = self.power.boost.map(|wq_limit| BoostConfig { wq_limit });
-        sim
+        if let Some(spec) = &self.power.model {
+            sim.power = build_rails(spec, &gears)?;
+        }
+        Ok(sim)
     }
 
     /// Runs the scenario end to end: build the workload, configure the
@@ -546,7 +643,7 @@ impl Scenario {
         abort: Option<&bsld_par::AbortFlag>,
     ) -> Result<ScenarioResult, ScenarioError> {
         let w = self.build_workload()?;
-        let mut sim = self.simulator(&w);
+        let mut sim = self.simulator(&w)?;
         sim.engine.abort = abort.map(bsld_par::AbortFlag::handle);
         self.run_prepared(&sim, &w.jobs)
     }
@@ -617,6 +714,56 @@ pub fn run_many(
     bsld_par::par_map(scenarios.to_vec(), threads, |s| s.run())
 }
 
+/// Memory-rail draw relative to the paper CPU model's endpoints
+/// (Subramaniam & Feng measure DRAM at roughly a third of CPU draw; the
+/// absolute scale cancels in every normalised report).
+const MEM_RAIL_SCALE: f64 = 0.30;
+
+/// Interconnect-rail draw relative to the paper CPU model's top-gear draw;
+/// switches and NICs stay powered regardless of load, hence a constant.
+const NET_RAIL_SCALE: f64 = 0.15;
+
+/// Resolves a [`PowerModelSpec`] into the three-rail machine layout: the
+/// selected CPU model (anchored to the paper model's idle/top endpoints),
+/// a linear memory rail and a constant interconnect rail.
+fn build_rails(spec: &PowerModelSpec, gears: &GearSet) -> Result<RailSet, ScenarioError> {
+    let paper = PaperDvfs::paper(gears.clone());
+    let idle = paper.p_idle();
+    let full = paper.p_active(gears.top());
+    let cpu: Box<dyn PowerModel> = match spec {
+        PowerModelSpec::Paper => Box::new(paper),
+        PowerModelSpec::Constant => Box::new(Constant::new(gears.clone(), full)),
+        PowerModelSpec::Linear => Box::new(Linear::new(gears.clone(), idle, full)),
+        PowerModelSpec::Cubic => Box::new(Cubic::new(gears.clone(), idle, full)),
+        PowerModelSpec::Empirical(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ScenarioError::Io(format!("cannot read {}: {e}", path.display())))?;
+            Box::new(Empirical::from_csv_str(gears.clone(), &text).map_err(|e| {
+                ScenarioError::Parse {
+                    line: 0,
+                    msg: format!("{}: {e}", path.display()),
+                }
+            })?)
+        }
+    };
+    let rails = vec![
+        Rail::new(RailKind::Cpu, cpu),
+        Rail::new(
+            RailKind::Memory,
+            Box::new(Linear::new(
+                gears.clone(),
+                MEM_RAIL_SCALE * idle,
+                MEM_RAIL_SCALE * full,
+            )),
+        ),
+        Rail::new(
+            RailKind::Interconnect,
+            Box::new(Constant::new(gears.clone(), NET_RAIL_SCALE * full)),
+        ),
+    ];
+    Ok(RailSet::new(rails).expect("the static three-rail layout is always valid"))
+}
+
 // ---------------------------------------------------------------------------
 // Sweeps
 // ---------------------------------------------------------------------------
@@ -638,6 +785,10 @@ pub enum SweepAxis {
     EnlargePct(Vec<u32>),
     /// Vary the workload seed.
     Seed(Vec<u64>),
+    /// Vary the power model ([`PowerSpec::model`]); every cell gets an
+    /// explicit model and therefore the three-rail machine layout with
+    /// per-rail energy columns.
+    Model(Vec<PowerModelSpec>),
     /// One cell per `.swf` file in a directory (sorted by file name, so
     /// expansion order — and therefore cell naming — is deterministic).
     /// Requires an SWF base workload; the base `swf_path` and `swf_clean`
@@ -655,6 +806,7 @@ impl SweepAxis {
             SweepAxis::CapFraction(_) => "cap",
             SweepAxis::EnlargePct(_) => "enlarge_pct",
             SweepAxis::Seed(_) => "seed",
+            SweepAxis::Model(_) => "model",
             SweepAxis::SwfDir(_) => "swf_dir",
         }
     }
@@ -667,6 +819,7 @@ impl SweepAxis {
             SweepAxis::CapFraction(v) => v.len(),
             SweepAxis::EnlargePct(v) => v.len(),
             SweepAxis::Seed(v) => v.len(),
+            SweepAxis::Model(v) => v.len(),
             // Resolved at expansion time (the directory is read there);
             // `expand` never consults `len` for this axis.
             SweepAxis::SwfDir(_) => 0,
@@ -726,6 +879,10 @@ impl SweepAxis {
                     }
                 }
                 sc.name.push_str(&format!("-s{}", v[i]));
+            }
+            SweepAxis::Model(v) => {
+                sc.power.model = Some(v[i].clone());
+                sc.name.push_str(&format!("-m{}", v[i].label()));
             }
             // Handled directly by `ScenarioSet::expand` (the axis values
             // are directory entries, resolved there).
@@ -1077,6 +1234,11 @@ impl Scenario {
         let _ = writeln!(out, "soft_escape = {}", fmt_opt(&self.power.soft_wq_escape));
         let _ = writeln!(out, "sleep = {}", render_sleep(&self.power.sleep));
         let _ = writeln!(out, "boost = {}", fmt_opt(&self.power.boost));
+        // Rendered only when set: files that never mention a model keep
+        // their exact byte sequence (and so their campaign cell ids).
+        if let Some(m) = &self.power.model {
+            let _ = writeln!(out, "model = {}", m.render());
+        }
         let _ = writeln!(out, "observe = {}", self.power.observe);
         let mode = match self.engine.mode {
             SchedMode::Easy => "easy",
@@ -1152,6 +1314,10 @@ impl ScenarioSet {
                 SweepAxis::CapFraction(v) => v.iter().map(|x| x.to_string()).collect(),
                 SweepAxis::EnlargePct(v) => v.iter().map(|x| x.to_string()).collect(),
                 SweepAxis::Seed(v) => v.iter().map(|x| x.to_string()).collect(),
+                // Values are whitespace-split on the way back in, so an
+                // empirical CSV path containing spaces cannot ride this
+                // axis (use per-scenario `model =` lines instead).
+                SweepAxis::Model(v) => v.iter().map(|m| m.render()).collect(),
                 // A single path value (may contain spaces — it is not
                 // whitespace-split on the way back in).
                 SweepAxis::SwfDir(dir) => vec![line_safe(&dir.display().to_string())],
@@ -1272,8 +1438,15 @@ impl ScenarioSet {
                             .collect::<Result<_, _>>()
                             .map_err(e)?,
                     ),
+                    "model" => SweepAxis::Model(
+                        parts
+                            .iter()
+                            .map(|p| PowerModelSpec::parse(p))
+                            .collect::<Result<_, _>>()
+                            .map_err(e)?,
+                    ),
                     other => return Err(e(format!(
-                        "unknown sweep axis {other:?} (profile, bsld_th, wq, cap, enlarge_pct, seed, swf_dir)"
+                        "unknown sweep axis {other:?} (profile, bsld_th, wq, cap, enlarge_pct, seed, model, swf_dir)"
                     ))),
                 };
                 // A repeated axis would cartesian-multiply with itself:
@@ -1348,6 +1521,13 @@ impl ScenarioSet {
                 }
                 "sleep" => power.sleep = parse_sleep(value).map_err(e)?,
                 "boost" => power.boost = parse_opt(value, "boost").map_err(e)?,
+                "model" => {
+                    power.model = if value == "none" {
+                        None
+                    } else {
+                        Some(PowerModelSpec::parse(value).map_err(e)?)
+                    }
+                }
                 "observe" => power.observe = parse_bool(value).map_err(e)?,
                 "mode" => {
                     engine.mode = match value {
@@ -1576,6 +1756,7 @@ mod tests {
             soft_wq_escape: Some(4),
             sleep: SleepSpec::Paper,
             boost: Some(8),
+            model: Some(PowerModelSpec::Cubic),
             observe: true,
         };
         sc.engine = EngineSpec {
@@ -1950,6 +2131,132 @@ mod tests {
         let err = bad.expand().unwrap_err().to_string();
         assert!(err.contains("no .swf files"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_key_round_trips_and_stays_absent_by_default() {
+        // No model ⇒ no `model` line at all: files (and campaign cell
+        // ids) from before the key existed are byte-identical.
+        let sc = base();
+        assert!(!sc.render().contains("model"), "{}", sc.render());
+        // `model = none` parses back to the absent default.
+        let none = format!("{}model = none\n", sc.render());
+        assert_eq!(Scenario::parse(&none).unwrap(), sc);
+        // Every variant round-trips.
+        for spec in [
+            PowerModelSpec::Paper,
+            PowerModelSpec::Constant,
+            PowerModelSpec::Linear,
+            PowerModelSpec::Cubic,
+            PowerModelSpec::Empirical(PathBuf::from("data/rail points.csv")),
+        ] {
+            let mut sc = base();
+            sc.power.model = Some(spec.clone());
+            let text = sc.render();
+            assert!(
+                text.contains(&format!("model = {}", spec.render())),
+                "{text}"
+            );
+            assert_eq!(Scenario::parse(&text).unwrap(), sc);
+        }
+        // Bad values are rejected with the menu.
+        let bad = format!("{}model = quadratic\n", base().render());
+        let err = ScenarioSet::parse(&bad).unwrap_err().to_string();
+        assert!(err.contains("paper | constant | linear | cubic"), "{err}");
+        let bare = format!("{}model = empirical:\n", base().render());
+        assert!(ScenarioSet::parse(&bare).is_err(), "empty CSV path");
+    }
+
+    #[test]
+    fn sweep_model_axis_round_trips_and_expands() {
+        let set = ScenarioSet {
+            base: base(),
+            axes: vec![SweepAxis::Model(vec![
+                PowerModelSpec::Paper,
+                PowerModelSpec::Constant,
+                PowerModelSpec::Linear,
+                PowerModelSpec::Cubic,
+            ])],
+            replications: 1,
+            cell_budget_s: None,
+        };
+        let text = set.render();
+        assert!(
+            text.contains("sweep.model = paper constant linear cubic"),
+            "{text}"
+        );
+        assert_eq!(ScenarioSet::parse(&text).unwrap(), set);
+        let cells = set.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        let names: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["t-mpaper", "t-mconstant", "t-mlinear", "t-mcubic"]);
+        for (cell, spec) in cells.iter().zip([
+            PowerModelSpec::Paper,
+            PowerModelSpec::Constant,
+            PowerModelSpec::Linear,
+            PowerModelSpec::Cubic,
+        ]) {
+            assert_eq!(cell.power.model, Some(spec));
+            assert!(cell.power.instrumented(), "model selection instruments");
+        }
+        // Duplicate axis rejected like any other.
+        let dup = format!(
+            "{}sweep.model = paper\nsweep.model = cubic\n",
+            base().render()
+        );
+        let err = ScenarioSet::parse(&dup).unwrap_err().to_string();
+        assert!(err.contains("duplicate sweep axis sweep.model"), "{err}");
+        // Unknown model names inside the axis are rejected.
+        let bad = format!("{}sweep.model = paper warp9\n", base().render());
+        assert!(ScenarioSet::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn model_scenario_reports_three_rails() {
+        let mut sc = base();
+        sc.power.model = Some(PowerModelSpec::Linear);
+        let res = sc.run().unwrap();
+        let p = res.power.expect("a model selection instruments the run");
+        assert_eq!(p.rails.len(), 3, "cpu + mem + net rails");
+        let sum: f64 = p.rails.iter().map(|r| r.energy).sum();
+        assert!((sum - p.energy).abs() <= 1e-9 * p.energy.max(1.0));
+    }
+
+    #[test]
+    fn empirical_model_reads_csv_at_simulator_build() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join(format!("bsld_model_{}.csv", std::process::id()));
+        std::fs::write(&csv, "utilization,watts\n0.0,2.0\n1.0,9.0\n").unwrap();
+        let mut sc = base();
+        sc.power.model = Some(PowerModelSpec::Empirical(csv.clone()));
+        assert!(sc.run().is_ok());
+        // A missing file surfaces as an Io error, not a panic.
+        sc.power.model = Some(PowerModelSpec::Empirical(dir.join("does_not_exist.csv")));
+        match sc.run() {
+            Err(ScenarioError::Io(msg)) => assert!(msg.contains("does_not_exist"), "{msg}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn no_model_run_is_identical_to_seed_path() {
+        // The refactor's central promise: a spec that never mentions a
+        // model behaves exactly as before the subsystem existed, and
+        // `model = paper` changes only the reporting (three rails), not
+        // the schedule.
+        let mut sc = base();
+        sc.power.observe = true;
+        let default_run = sc.run().unwrap();
+        sc.power.model = Some(PowerModelSpec::Paper);
+        let paper_run = sc.run().unwrap();
+        assert_eq!(default_run.run.outcomes, paper_run.run.outcomes);
+        let d = default_run.power.unwrap();
+        let p = paper_run.power.unwrap();
+        assert_eq!(d.rails.len(), 1);
+        assert_eq!(p.rails.len(), 3);
+        // The CPU rail prices the same paper model either way.
+        assert_eq!(d.rails[0].energy.to_bits(), p.rails[0].energy.to_bits());
     }
 
     #[test]

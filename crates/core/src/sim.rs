@@ -9,7 +9,7 @@
 use bsld_cluster::{Cluster, GearSet};
 use bsld_metrics::RunMetrics;
 use bsld_model::{Job, JobOutcome};
-use bsld_power::{BetaModel, PowerModel};
+use bsld_power::{BetaModel, PaperDvfs, RailSet};
 use bsld_powercap::{PowerCap, PowerCapPolicy, PowerReport, SleepConfig};
 use bsld_sched::{
     simulate, simulate_with_hook, BoostConfig, EngineConfig, FrequencyPolicy, PassStats, SimError,
@@ -105,8 +105,9 @@ pub struct PowerCappedResult {
 pub struct Simulator {
     /// The machine description.
     pub cluster: Cluster,
-    /// The CPU power model (energy accounting).
-    pub power: PowerModel,
+    /// The machine's power model: one or more subsystem rails (the
+    /// default is a single CPU rail carrying the paper's model).
+    pub power: RailSet,
     /// The β execution-time model (dilation).
     pub time_model: BetaModel,
     /// Engine options (backfilling on, tracing off by default).
@@ -121,7 +122,7 @@ impl Simulator {
         let gears = GearSet::paper();
         Simulator {
             cluster: Cluster::new(name, cpus, gears.clone()),
-            power: PowerModel::paper(gears.clone()),
+            power: RailSet::cpu(Box::new(PaperDvfs::paper(gears.clone()))),
             time_model: BetaModel::new(gears),
             engine: EngineConfig::default(),
         }
@@ -132,7 +133,7 @@ impl Simulator {
         let gears = cluster.gears.clone();
         Simulator {
             cluster,
-            power: PowerModel::paper(gears.clone()),
+            power: RailSet::cpu(Box::new(PaperDvfs::paper(gears.clone()))),
             time_model: BetaModel::new(gears),
             engine: EngineConfig::default(),
         }
@@ -253,6 +254,7 @@ impl Simulator {
             sleep: scenario::SleepSpec::Custom(cfg.sleep.clone()),
             boost: None,
             observe: true,
+            model: None,
         };
         scenario::execute(self, jobs, &policy, &power).map(|r| PowerCappedResult {
             run: r.run,
@@ -283,7 +285,8 @@ impl Simulator {
                 wq_escape,
             },
         };
-        let mut hook = PowerCapPolicy::new(&self.power, self.cluster.cpus, cap, sleep.clone());
+        let mut hook =
+            PowerCapPolicy::with_rails(&self.power, self.cluster.cpus, cap, sleep.clone());
         let res = simulate_with_hook(
             &self.cluster,
             jobs,

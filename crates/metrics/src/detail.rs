@@ -113,7 +113,7 @@ pub struct RunDetails {
 
 impl RunDetails {
     /// Computes the detailed report from raw outcomes.
-    pub fn compute(outcomes: &[JobOutcome], pm: &PowerModel) -> RunDetails {
+    pub fn compute(outcomes: &[JobOutcome], pm: &dyn PowerModel) -> RunDetails {
         let th = BSLD_SHORT_JOB_THRESHOLD_SECS;
         let gear_count = pm.gears().len();
         let top = pm.gears().top();
@@ -236,8 +236,8 @@ mod tests {
         }
     }
 
-    fn pm() -> PowerModel {
-        PowerModel::paper(GearSet::paper())
+    fn pm() -> bsld_power::PaperDvfs {
+        bsld_power::PaperDvfs::paper(GearSet::paper())
     }
 
     #[test]

@@ -38,7 +38,7 @@ impl RunMetrics {
     /// * `gear_count` — gears in the machine's gear set (histogram width).
     pub fn compute(
         outcomes: &[JobOutcome],
-        pm: &PowerModel,
+        pm: &dyn PowerModel,
         total_cpus: u32,
         gear_count: usize,
     ) -> RunMetrics {
@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn summary_of_two_jobs() {
-        let pm = PowerModel::paper(GearSet::paper());
+        let pm = bsld_power::PaperDvfs::paper(GearSet::paper());
         let outcomes = vec![
             outcome(0, 4, 0, 0, 1200, 5),    // BSLD 1, no wait
             outcome(1, 2, 0, 1200, 1200, 2), // BSLD 2, wait 1200, reduced
@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn empty_run() {
-        let pm = PowerModel::paper(GearSet::paper());
+        let pm = bsld_power::PaperDvfs::paper(GearSet::paper());
         let m = RunMetrics::compute(&[], &pm, 4, 6);
         assert_eq!(m.jobs, 0);
         assert_eq!(m.avg_bsld, 0.0);
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn boosted_job_counts_as_reduced() {
-        let pm = PowerModel::paper(GearSet::paper());
+        let pm = bsld_power::PaperDvfs::paper(GearSet::paper());
         let o = JobOutcome {
             id: JobId(0),
             cpus: 1,

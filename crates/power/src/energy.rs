@@ -29,23 +29,25 @@ impl EnergyAccount {
     }
 
     /// Adds one executed phase: `cpus` processors for `secs` wall seconds at
-    /// `gear`.
-    pub fn add_phase(&mut self, pm: &PowerModel, cpus: u32, secs: u64, gear: GearId) {
-        let cpu_secs = cpus as f64 * secs as f64;
+    /// `gear`. Seconds are `f64` so sub-second phases (as the ledger steps
+    /// them) don't silently truncate; whole-second callers lose nothing
+    /// (`u64 → f64` is exact below 2⁵³).
+    pub fn add_phase(&mut self, pm: &dyn PowerModel, cpus: u32, secs: f64, gear: GearId) {
+        let cpu_secs = cpus as f64 * secs;
         self.active += cpu_secs * pm.p_active(gear);
         self.busy_cpu_secs += cpu_secs;
     }
 
     /// Adds every phase of a completed job.
-    pub fn add_outcome(&mut self, pm: &PowerModel, outcome: &JobOutcome) {
+    pub fn add_outcome(&mut self, pm: &dyn PowerModel, outcome: &JobOutcome) {
         for phase in &outcome.phases {
-            self.add_phase(pm, outcome.cpus, phase.seconds, phase.gear);
+            self.add_phase(pm, outcome.cpus, phase.seconds as f64, phase.gear);
         }
     }
 
     /// Finalises the account for a machine of `total_cpus` whose simulated
     /// span (first arrival to last completion) was `makespan_secs`.
-    pub fn finish(&self, pm: &PowerModel, total_cpus: u32, makespan_secs: u64) -> EnergyReport {
+    pub fn finish(&self, pm: &dyn PowerModel, total_cpus: u32, makespan_secs: u64) -> EnergyReport {
         let capacity = total_cpus as f64 * makespan_secs as f64;
         // Guard against accounting drift: busy time can never exceed
         // capacity by more than rounding noise.
@@ -108,15 +110,15 @@ mod tests {
     use bsld_model::{JobId, Phase};
     use bsld_simkernel::Time;
 
-    fn pm() -> PowerModel {
-        PowerModel::paper(GearSet::paper())
+    fn pm() -> crate::PaperDvfs {
+        crate::PaperDvfs::paper(GearSet::paper())
     }
 
     #[test]
     fn single_phase_energy() {
         let pm = pm();
         let mut acc = EnergyAccount::new();
-        acc.add_phase(&pm, 4, 100, GearId(5));
+        acc.add_phase(&pm, 4, 100.0, GearId(5));
         let rep = acc.finish(&pm, 8, 100);
         let expected_active = 4.0 * 100.0 * pm.p_active(GearId(5));
         assert!((rep.computational - expected_active).abs() < 1e-9);
@@ -167,9 +169,14 @@ mod tests {
         let gs = GearSet::paper();
         let beta = crate::BetaModel::new(gs.clone());
         let mut at_top = EnergyAccount::new();
-        at_top.add_phase(&pm, 4, 1000, gs.top());
+        at_top.add_phase(&pm, 4, 1000.0, gs.top());
         let mut at_low = EnergyAccount::new();
-        at_low.add_phase(&pm, 4, beta.dilate(1000, 0.5, gs.lowest()), gs.lowest());
+        at_low.add_phase(
+            &pm,
+            4,
+            beta.dilate(1000, 0.5, gs.lowest()) as f64,
+            gs.lowest(),
+        );
         let span = 10_000;
         let top_rep = at_top.finish(&pm, 4, span);
         let low_rep = at_low.finish(&pm, 4, span);
@@ -183,7 +190,7 @@ mod tests {
     fn with_idle_always_at_least_computational() {
         let pm = pm();
         let mut acc = EnergyAccount::new();
-        acc.add_phase(&pm, 1, 50, GearId(2));
+        acc.add_phase(&pm, 1, 50.0, GearId(2));
         let rep = acc.finish(&pm, 10, 100);
         assert!(rep.with_idle >= rep.computational);
     }
@@ -206,7 +213,7 @@ mod tests {
         // computational one.
         let pm = pm();
         let mut acc = EnergyAccount::new();
-        acc.add_phase(&pm, 8, 100, GearId(5)); // 800 busy cpu·s
+        acc.add_phase(&pm, 8, 100.0, GearId(5)); // 800 busy cpu·s
         let rep = acc.finish(&pm, 4, 100); // capacity only 400 cpu·s
         assert_eq!(rep.idle_cpu_secs, 0.0);
         assert!((rep.with_idle - rep.computational).abs() < 1e-12);
@@ -220,8 +227,8 @@ mod tests {
     fn scenarios_differ_by_exactly_the_idle_term() {
         let pm = pm();
         let mut acc = EnergyAccount::new();
-        acc.add_phase(&pm, 3, 500, GearId(4));
-        acc.add_phase(&pm, 2, 250, GearId(1));
+        acc.add_phase(&pm, 3, 500.0, GearId(4));
+        acc.add_phase(&pm, 2, 250.0, GearId(1));
         let rep = acc.finish(&pm, 8, 1000);
         let expected_idle_cpu_secs = 8.0 * 1000.0 - (3.0 * 500.0 + 2.0 * 250.0);
         assert!((rep.idle_cpu_secs - expected_idle_cpu_secs).abs() < 1e-9);
@@ -231,8 +238,8 @@ mod tests {
         // makespan; the idle-aware one is not.
         let rep_wider = {
             let mut acc = EnergyAccount::new();
-            acc.add_phase(&pm, 3, 500, GearId(4));
-            acc.add_phase(&pm, 2, 250, GearId(1));
+            acc.add_phase(&pm, 3, 500.0, GearId(4));
+            acc.add_phase(&pm, 2, 250.0, GearId(1));
             acc.finish(&pm, 16, 2000)
         };
         assert!((rep_wider.computational - rep.computational).abs() < 1e-12);
@@ -243,10 +250,10 @@ mod tests {
     fn normalization_identities() {
         let pm = pm();
         let mut a = EnergyAccount::new();
-        a.add_phase(&pm, 4, 100, GearId(5));
+        a.add_phase(&pm, 4, 100.0, GearId(5));
         let base = a.finish(&pm, 4, 200);
         let mut b = EnergyAccount::new();
-        b.add_phase(&pm, 4, 100, GearId(0));
+        b.add_phase(&pm, 4, 100.0, GearId(0));
         let low = b.finish(&pm, 4, 200);
         assert!((base.normalized_computational(&base) - 1.0).abs() < 1e-12);
         assert!((base.normalized_with_idle(&base) - 1.0).abs() < 1e-12);

@@ -1,9 +1,63 @@
-//! The CPU power model.
+//! The `PowerModel` trait and the paper's CPU power model.
 
 use bsld_cluster::GearSet;
 use bsld_model::GearId;
 
 use crate::{DEFAULT_ACTIVITY_RATIO, DEFAULT_STATIC_FRACTION};
+
+/// A pluggable processor power model.
+///
+/// A model prices a processor's draw two ways, and the two views must agree:
+///
+/// * **by gear** — [`p_active`](PowerModel::p_active) is the draw of a
+///   processor running a job at a DVFS gear, [`p_idle`](PowerModel::p_idle)
+///   the draw of an idle processor. These discrete points are what the
+///   ledger, the cap policy and the energy account integrate.
+/// * **by utilization** — [`power`](PowerModel::power) is the continuous
+///   curve `u ∈ [0, 1] → watts`, where `u` is the fraction of the top
+///   frequency the processor is driven at (`u = 0` is idle, `u = 1` is a job
+///   at the top gear). A gear's operating point sits at `u = f/f_top`, so
+///   `power(f_g/f_top) == p_active(g)` and `power(0) == p_idle()`.
+///
+/// Implementations also expose a static/idle decomposition via
+/// [`p_static`](PowerModel::p_static): the load-independent part of the draw.
+pub trait PowerModel: std::fmt::Debug + Send + Sync {
+    /// The gear set this model prices.
+    fn gears(&self) -> &GearSet;
+
+    /// Total power of a processor running a job at `gear`.
+    fn p_active(&self, gear: GearId) -> f64;
+
+    /// Total power of an idle processor.
+    fn p_idle(&self) -> f64;
+
+    /// Power at a continuous utilization `u ∈ [0, 1]` (fraction of the top
+    /// frequency). Clamped outside the unit interval.
+    fn power(&self, utilization: f64) -> f64;
+
+    /// Static (load-independent) power at `gear`. Defaults to the curve's
+    /// value at zero utilization.
+    fn p_static(&self, gear: GearId) -> f64 {
+        let _ = gear;
+        self.power(0.0)
+    }
+
+    /// Energy (per processor) to run one second of *top-frequency work* at
+    /// `gear`, i.e. `P_active(gear) · coef` where the caller supplies the
+    /// β-model dilation `coef`.
+    fn energy_per_work_second(&self, gear: GearId, coef: f64) -> f64 {
+        self.p_active(gear) * coef
+    }
+
+    /// Clones the model behind a trait object.
+    fn clone_model(&self) -> Box<dyn PowerModel>;
+}
+
+impl Clone for Box<dyn PowerModel> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}
 
 /// Dynamic + static CPU power (Eqs. 3–4 of the paper).
 ///
@@ -16,7 +70,7 @@ use crate::{DEFAULT_ACTIVITY_RATIO, DEFAULT_STATIC_FRACTION};
 /// Idle processors are assumed to sit at the lowest gear with idle activity
 /// — the paper's "idle = low" scenario.
 #[derive(Debug, Clone)]
-pub struct PowerModel {
+pub struct PaperDvfs {
     gears: GearSet,
     /// `A_idle · C` in normalised power units.
     act_idle_c: f64,
@@ -26,7 +80,7 @@ pub struct PowerModel {
     alpha: f64,
 }
 
-impl PowerModel {
+impl PaperDvfs {
     /// The paper's parameterisation for a given gear set: activity ratio
     /// 2.5, static share 25 % at the top gear, normalised `A_idle·C = 1`.
     pub fn paper(gears: GearSet) -> Self {
@@ -61,7 +115,7 @@ impl PowerModel {
         let act_run_c = act_idle_c * activity_ratio;
         let alpha =
             static_fraction / (1.0 - static_fraction) * act_run_c * top.freq_ghz * top.voltage;
-        PowerModel {
+        PaperDvfs {
             gears,
             act_idle_c,
             activity_ratio,
@@ -123,12 +177,47 @@ impl PowerModel {
     }
 }
 
+impl PowerModel for PaperDvfs {
+    fn gears(&self) -> &GearSet {
+        &self.gears
+    }
+
+    fn p_active(&self, gear: GearId) -> f64 {
+        PaperDvfs::p_active(self, gear)
+    }
+
+    fn p_idle(&self) -> f64 {
+        PaperDvfs::p_idle(self)
+    }
+
+    fn p_static(&self, gear: GearId) -> f64 {
+        PaperDvfs::p_static(self, gear)
+    }
+
+    fn power(&self, utilization: f64) -> f64 {
+        // Piecewise-linear through the gear operating points, anchored at
+        // (0, p_idle): below the lowest gear's frequency ratio the curve
+        // descends towards the idle draw.
+        let top = self.gears.get(self.gears.top()).freq_ghz;
+        let mut pts = Vec::with_capacity(self.gears.len() + 1);
+        pts.push((0.0, PaperDvfs::p_idle(self)));
+        for (id, g) in self.gears.ascending() {
+            pts.push((g.freq_ghz / top, PaperDvfs::p_active(self, id)));
+        }
+        crate::models::interp_clamped(&pts, utilization)
+    }
+
+    fn clone_model(&self) -> Box<dyn PowerModel> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn paper_model() -> PowerModel {
-        PowerModel::paper(GearSet::paper())
+    fn paper_model() -> PaperDvfs {
+        PaperDvfs::paper(GearSet::paper())
     }
 
     #[test]
@@ -203,7 +292,7 @@ mod tests {
 
     #[test]
     fn custom_static_fraction() {
-        let m = PowerModel::with_params(GearSet::paper(), 0.4, 2.5, 1.0);
+        let m = PaperDvfs::with_params(GearSet::paper(), 0.4, 2.5, 1.0);
         let top = m.gears().top();
         let share = m.p_static(top) / m.p_active(top);
         assert!((share - 0.4).abs() < 1e-12);
@@ -212,6 +301,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "static fraction")]
     fn rejects_bad_static_fraction() {
-        let _ = PowerModel::with_params(GearSet::paper(), 1.0, 2.5, 1.0);
+        let _ = PaperDvfs::with_params(GearSet::paper(), 1.0, 2.5, 1.0);
+    }
+
+    #[test]
+    fn utilization_curve_passes_through_gear_points() {
+        let m = paper_model();
+        let gs = m.gears().clone();
+        let top_f = gs.get(gs.top()).freq_ghz;
+        let pm: &dyn PowerModel = &m;
+        for (id, g) in gs.ascending() {
+            let u = g.freq_ghz / top_f;
+            assert!(
+                (pm.power(u) - m.p_active(id)).abs() < 1e-12,
+                "gear {id}: curve and table disagree"
+            );
+        }
+        assert!((pm.power(0.0) - m.p_idle()).abs() < 1e-12);
+        // Clamped outside the unit interval.
+        assert_eq!(pm.power(1.5), pm.power(1.0));
+        assert_eq!(pm.power(-0.5), pm.power(0.0));
     }
 }

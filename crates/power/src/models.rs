@@ -1,0 +1,345 @@
+//! Alternative power models in the spirit of dslab's `dslab-power-models`:
+//! constant, linear and cubic utilization curves, plus an empirical
+//! piecewise-linear curve loaded from a small CSV of `(utilization, watts)`
+//! points.
+//!
+//! Each model prices a DVFS gear at the utilization level `u = f/f_top`, so
+//! the gear table and the continuous curve always agree (the property the
+//! ledger cross-validation tests pin down).
+
+use bsld_cluster::GearSet;
+use bsld_model::GearId;
+
+use crate::model::PowerModel;
+
+/// Piecewise-linear interpolation over `points` sorted by ascending `x`,
+/// clamped to the first/last point outside the covered range.
+pub(crate) fn interp_clamped(points: &[(f64, f64)], x: f64) -> f64 {
+    debug_assert!(!points.is_empty(), "interpolation needs at least one point");
+    if x <= points[0].0 {
+        return points[0].1;
+    }
+    for w in points.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if x <= x1 {
+            if x1 == x0 {
+                return y1;
+            }
+            return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+        }
+    }
+    points[points.len() - 1].1
+}
+
+/// A gear's operating point on the utilization axis: its fraction of the
+/// top frequency.
+fn gear_util(gears: &GearSet, gear: GearId) -> f64 {
+    gears.get(gear).freq_ghz / gears.get(gears.top()).freq_ghz
+}
+
+/// Energy-unproportional extreme: the same draw at every gear and every
+/// utilization, idle included.
+#[derive(Debug, Clone)]
+pub struct Constant {
+    gears: GearSet,
+    watts: f64,
+}
+
+impl Constant {
+    /// A constant draw of `watts` (finite, non-negative).
+    pub fn new(gears: GearSet, watts: f64) -> Self {
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "constant draw must be finite and non-negative"
+        );
+        Constant { gears, watts }
+    }
+}
+
+impl PowerModel for Constant {
+    fn gears(&self) -> &GearSet {
+        &self.gears
+    }
+
+    fn p_active(&self, _gear: GearId) -> f64 {
+        self.watts
+    }
+
+    fn p_idle(&self) -> f64 {
+        self.watts
+    }
+
+    fn power(&self, _utilization: f64) -> f64 {
+        self.watts
+    }
+
+    fn clone_model(&self) -> Box<dyn PowerModel> {
+        Box::new(self.clone())
+    }
+}
+
+/// Energy-proportional model: `P(u) = idle + (full − idle)·u`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    gears: GearSet,
+    idle: f64,
+    full: f64,
+}
+
+impl Linear {
+    /// A linear ramp from `idle` (draw at zero utilization) to `full` (draw
+    /// at the top gear). Requires `0 ≤ idle ≤ full`, both finite.
+    pub fn new(gears: GearSet, idle: f64, full: f64) -> Self {
+        assert!(
+            idle.is_finite() && full.is_finite() && idle >= 0.0 && full >= idle,
+            "linear model needs finite 0 <= idle <= full"
+        );
+        Linear { gears, idle, full }
+    }
+}
+
+impl PowerModel for Linear {
+    fn gears(&self) -> &GearSet {
+        &self.gears
+    }
+
+    fn p_active(&self, gear: GearId) -> f64 {
+        self.power(gear_util(&self.gears, gear))
+    }
+
+    fn p_idle(&self) -> f64 {
+        self.idle
+    }
+
+    fn power(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle + (self.full - self.idle) * u
+    }
+
+    fn clone_model(&self) -> Box<dyn PowerModel> {
+        Box::new(self.clone())
+    }
+}
+
+/// Cubic frequency scaling: `P(u) = idle + (full − idle)·u³` — dynamic power
+/// grows with `f·V²` and voltage tracks frequency, so draw collapses fast
+/// below the top gear.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    gears: GearSet,
+    idle: f64,
+    full: f64,
+}
+
+impl Cubic {
+    /// A cubic ramp from `idle` to `full`. Requires `0 ≤ idle ≤ full`, both
+    /// finite.
+    pub fn new(gears: GearSet, idle: f64, full: f64) -> Self {
+        assert!(
+            idle.is_finite() && full.is_finite() && idle >= 0.0 && full >= idle,
+            "cubic model needs finite 0 <= idle <= full"
+        );
+        Cubic { gears, idle, full }
+    }
+}
+
+impl PowerModel for Cubic {
+    fn gears(&self) -> &GearSet {
+        &self.gears
+    }
+
+    fn p_active(&self, gear: GearId) -> f64 {
+        self.power(gear_util(&self.gears, gear))
+    }
+
+    fn p_idle(&self) -> f64 {
+        self.idle
+    }
+
+    fn power(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle + (self.full - self.idle) * u.powi(3)
+    }
+
+    fn clone_model(&self) -> Box<dyn PowerModel> {
+        Box::new(self.clone())
+    }
+}
+
+/// Piecewise-linear curve through measured `(utilization, watts)` points,
+/// loaded from a small CSV.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    gears: GearSet,
+    points: Vec<(f64, f64)>,
+}
+
+impl Empirical {
+    /// Builds the model from explicit points: at least two, utilizations in
+    /// `[0, 1]` strictly increasing, watts finite and non-negative.
+    pub fn from_points(gears: GearSet, points: Vec<(f64, f64)>) -> Result<Self, String> {
+        if points.len() < 2 {
+            return Err(format!(
+                "empirical model needs at least 2 points, got {}",
+                points.len()
+            ));
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for &(u, w) in &points {
+            if !(0.0..=1.0).contains(&u) {
+                return Err(format!("utilization {u} outside [0, 1]"));
+            }
+            if u <= prev {
+                return Err(format!(
+                    "utilizations must be strictly increasing ({prev} then {u})"
+                ));
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(format!(
+                    "watts {w} at utilization {u} must be finite and >= 0"
+                ));
+            }
+            prev = u;
+        }
+        Ok(Empirical { gears, points })
+    }
+
+    /// Parses the CSV text: one `utilization,watts` pair per line, `#`
+    /// comments and blank lines skipped, an optional `utilization,watts`
+    /// header tolerated.
+    pub fn from_csv_str(gears: GearSet, text: &str) -> Result<Self, String> {
+        let mut points = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if points.is_empty()
+                && line.to_ascii_lowercase().replace(' ', "") == "utilization,watts"
+            {
+                continue;
+            }
+            let (u_s, w_s) = line
+                .split_once(',')
+                .ok_or_else(|| format!("line {}: expected utilization,watts", i + 1))?;
+            let u: f64 = u_s
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad utilization {:?}", i + 1, u_s.trim()))?;
+            let w: f64 = w_s
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad watts {:?}", i + 1, w_s.trim()))?;
+            points.push((u, w));
+        }
+        Self::from_points(gears, points)
+    }
+
+    /// The curve's points, ascending by utilization.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+impl PowerModel for Empirical {
+    fn gears(&self) -> &GearSet {
+        &self.gears
+    }
+
+    fn p_active(&self, gear: GearId) -> f64 {
+        self.power(gear_util(&self.gears, gear))
+    }
+
+    fn p_idle(&self) -> f64 {
+        self.power(0.0)
+    }
+
+    fn power(&self, utilization: f64) -> f64 {
+        interp_clamped(&self.points, utilization.clamp(0.0, 1.0))
+    }
+
+    fn clone_model(&self) -> Box<dyn PowerModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PaperDvfs;
+
+    fn gs() -> GearSet {
+        GearSet::paper()
+    }
+
+    #[test]
+    fn constant_is_flat_everywhere() {
+        let m = Constant::new(gs(), 7.5);
+        assert_eq!(m.p_idle(), 7.5);
+        assert_eq!(m.power(0.3), 7.5);
+        for (id, _) in m.gears().ascending().collect::<Vec<_>>() {
+            assert_eq!(m.p_active(id), 7.5);
+        }
+    }
+
+    #[test]
+    fn linear_endpoints_and_gear_points() {
+        let m = Linear::new(gs(), 2.0, 10.0);
+        assert_eq!(m.p_idle(), 2.0);
+        assert!((m.power(1.0) - 10.0).abs() < 1e-12);
+        assert!((m.power(0.5) - 6.0).abs() < 1e-12);
+        let top = m.gears().top();
+        assert!((m.p_active(top) - 10.0).abs() < 1e-12);
+        // Gear draw equals the curve at the gear's frequency ratio.
+        let low = m.gears().lowest();
+        let u = gear_util(m.gears(), low);
+        assert!((m.p_active(low) - m.power(u)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_sits_below_linear_between_endpoints() {
+        let lin = Linear::new(gs(), 2.0, 10.0);
+        let cub = Cubic::new(gs(), 2.0, 10.0);
+        assert_eq!(cub.p_idle(), lin.p_idle());
+        assert!((cub.power(1.0) - lin.power(1.0)).abs() < 1e-12);
+        for u in [0.2, 0.5, 0.8] {
+            assert!(cub.power(u) < lin.power(u), "cubic must undercut at {u}");
+        }
+    }
+
+    #[test]
+    fn empirical_parses_and_interpolates() {
+        let csv = "# measured rail\nutilization,watts\n0.0, 3.0\n0.5, 5.0\n1.0, 11.0\n";
+        let m = Empirical::from_csv_str(gs(), csv).unwrap();
+        assert_eq!(m.points().len(), 3);
+        assert!((m.p_idle() - 3.0).abs() < 1e-12);
+        assert!((m.power(0.25) - 4.0).abs() < 1e-12);
+        assert!((m.power(0.75) - 8.0).abs() < 1e-12);
+        assert_eq!(m.power(2.0), 11.0);
+    }
+
+    #[test]
+    fn empirical_rejects_bad_input() {
+        assert!(Empirical::from_csv_str(gs(), "0.0,3.0\n").is_err());
+        assert!(Empirical::from_csv_str(gs(), "0.5,3.0\n0.5,4.0\n").is_err());
+        assert!(Empirical::from_csv_str(gs(), "0.0,3.0\n1.5,4.0\n").is_err());
+        assert!(Empirical::from_csv_str(gs(), "0.0,-1.0\n1.0,4.0\n").is_err());
+        assert!(Empirical::from_csv_str(gs(), "0.0 3.0\n").is_err());
+        assert!(Empirical::from_csv_str(gs(), "0.0,x\n1.0,4.0\n").is_err());
+    }
+
+    #[test]
+    fn paper_anchored_models_share_endpoints() {
+        // The scenario layer anchors every CPU-rail model to the paper
+        // model's endpoints; the alternatives then agree with it at u = 0
+        // and u = 1 and only disagree in between.
+        let paper = PaperDvfs::paper(gs());
+        let idle = paper.p_idle();
+        let full = paper.p_active(paper.gears().top());
+        let lin = Linear::new(gs(), idle, full);
+        let cub = Cubic::new(gs(), idle, full);
+        assert!((lin.p_idle() - paper.p_idle()).abs() < 1e-12);
+        assert!((cub.p_active(gs().top()) - full).abs() < 1e-12);
+    }
+}

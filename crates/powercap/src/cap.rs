@@ -1,11 +1,11 @@
 //! Power-cap enforcement: the [`bsld_sched::PowerHook`] implementation.
 
 use bsld_model::GearId;
-use bsld_power::PowerModel;
+use bsld_power::{PowerModel, RailSet};
 use bsld_sched::PowerHook;
 use bsld_simkernel::Time;
 
-use crate::ledger::PowerLedger;
+use crate::ledger::{PowerLedger, RailEnergy};
 use crate::sleep::{IdleManager, SleepConfig, SleepStats};
 
 /// Absolute slack added to budget comparisons to absorb float drift in the
@@ -95,6 +95,9 @@ pub struct PowerReport {
     pub cap: CapStats,
     /// Sleep/wake counters.
     pub sleep: SleepStats,
+    /// Per-rail energy attribution (one entry per rail, CPU first; a
+    /// single entry for the default CPU-only layout).
+    pub rails: Vec<RailEnergy>,
 }
 
 /// A [`PowerHook`] that tracks cluster draw in a [`PowerLedger`], manages
@@ -111,8 +114,9 @@ pub struct PowerCapPolicy {
 }
 
 impl PowerCapPolicy {
-    /// A policy over a machine of `total_cpus` priced by `pm`.
-    pub fn new(pm: &PowerModel, total_cpus: u32, cap: PowerCap, sleep: SleepConfig) -> Self {
+    /// A policy over a machine of `total_cpus` priced by `pm` as a single
+    /// CPU rail.
+    pub fn new(pm: &dyn PowerModel, total_cpus: u32, cap: PowerCap, sleep: SleepConfig) -> Self {
         let ledger = PowerLedger::new(pm, total_cpus);
         let idle = IdleManager::new(sleep, total_cpus, pm.p_idle());
         PowerCapPolicy {
@@ -125,9 +129,25 @@ impl PowerCapPolicy {
         }
     }
 
+    /// A policy over a machine of `total_cpus` whose draw is attributed
+    /// across `rails`; cap enforcement and sleep ladders act on the
+    /// aggregate exactly as in [`PowerCapPolicy::new`].
+    pub fn with_rails(rails: &RailSet, total_cpus: u32, cap: PowerCap, sleep: SleepConfig) -> Self {
+        let ledger = PowerLedger::with_rails(rails, total_cpus);
+        let idle = IdleManager::new(sleep, total_cpus, rails.p_idle());
+        PowerCapPolicy {
+            ledger,
+            idle,
+            cap,
+            stats: CapStats::default(),
+            gear_count: rails.gears().len(),
+            last_admission: None,
+        }
+    }
+
     /// The machine's peak draw — every processor busy at the top gear —
     /// the natural reference for expressing budgets as fractions.
-    pub fn peak_draw(pm: &PowerModel, total_cpus: u32) -> f64 {
+    pub fn peak_draw(pm: &dyn PowerModel, total_cpus: u32) -> f64 {
         total_cpus as f64 * pm.p_active(pm.gears().top())
     }
 
@@ -183,6 +203,7 @@ impl PowerCapPolicy {
             cap: self.stats,
             sleep: self.idle.stats(),
             series: self.ledger.series().to_vec(),
+            rails: self.ledger.rail_energies(),
             energy,
             average,
         }
@@ -324,8 +345,8 @@ mod tests {
     use super::*;
     use bsld_cluster::GearSet;
 
-    fn pm() -> PowerModel {
-        PowerModel::paper(GearSet::paper())
+    fn pm() -> bsld_power::PaperDvfs {
+        bsld_power::PaperDvfs::paper(GearSet::paper())
     }
 
     fn policy(total: u32, cap: PowerCap) -> PowerCapPolicy {

@@ -34,5 +34,5 @@ pub mod ledger;
 pub mod sleep;
 
 pub use cap::{CapStats, PowerCap, PowerCapPolicy, PowerReport};
-pub use ledger::PowerLedger;
+pub use ledger::{PowerLedger, RailEnergy};
 pub use sleep::{IdleManager, SleepConfig, SleepState, SleepStats};

@@ -365,10 +365,10 @@ impl IdleManager {
 mod tests {
     use super::*;
     use bsld_cluster::GearSet;
-    use bsld_power::PowerModel;
+    use bsld_power::PaperDvfs;
 
-    fn pm() -> PowerModel {
-        PowerModel::paper(GearSet::paper())
+    fn pm() -> PaperDvfs {
+        PaperDvfs::paper(GearSet::paper())
     }
 
     fn mgr(total: u32) -> (IdleManager, PowerLedger) {

@@ -9,12 +9,20 @@
 //!   perturbs the schedule, every sleeping processor is woken on demand,
 //!   and wake energy/latency are charged exactly once per wake;
 //! * the ledger's `∫ P dt` agrees with the post-hoc
-//!   [`bsld_power::EnergyAccount`] report on the same run.
+//!   [`bsld_power::EnergyAccount`] report on the same run;
+//! * for **every** power model (paper, constant, linear, cubic,
+//!   empirical), the ledger-integrated energy equals the closed-form
+//!   integral of the piecewise-constant draw on random gear traces, and a
+//!   multi-rail ledger's per-rail energies sum to the aggregate.
 
 use bsld_cluster::{Cluster, GearSet};
+use bsld_model::GearId;
 use bsld_model::Job;
-use bsld_power::{BetaModel, EnergyAccount, PowerModel};
-use bsld_powercap::{PowerCap, PowerCapPolicy, SleepConfig, SleepState};
+use bsld_power::{
+    BetaModel, Constant, Cubic, Empirical, EnergyAccount, Linear, PaperDvfs, PowerModel, Rail,
+    RailKind, RailSet,
+};
+use bsld_powercap::{PowerCap, PowerCapPolicy, PowerLedger, SleepConfig, SleepState};
 use bsld_sched::{simulate, simulate_with_hook, EngineConfig, FixedGearPolicy};
 use bsld_simkernel::Time;
 use proptest::prelude::*;
@@ -37,8 +45,59 @@ fn build_jobs(raw: Vec<(u64, u32, u64, u64)>) -> Vec<Job> {
         .collect()
 }
 
-fn pm() -> PowerModel {
-    PowerModel::paper(GearSet::paper())
+fn pm() -> PaperDvfs {
+    PaperDvfs::paper(GearSet::paper())
+}
+
+/// One model of each kind, anchored to arbitrary but valid parameters.
+fn make_model(idx: usize) -> Box<dyn PowerModel> {
+    let gs = GearSet::paper();
+    match idx {
+        0 => Box::new(PaperDvfs::paper(gs)),
+        1 => Box::new(Constant::new(gs, 5.0)),
+        2 => Box::new(Linear::new(gs, 2.0, 9.0)),
+        3 => Box::new(Cubic::new(gs, 2.0, 9.0)),
+        _ => Box::new(
+            Empirical::from_points(gs, vec![(0.0, 3.0), (0.4, 4.0), (1.0, 12.0)])
+                .expect("valid points"),
+        ),
+    }
+}
+
+/// Drives `ledger` through a random start/finish script and returns the
+/// closed-form `∫ P dt`: the draw is piecewise constant, so the integral
+/// is the exact sum of level × duration over the segments, recomputed here
+/// from first principles (independent of the ledger's incremental sums).
+fn walk_ledger(
+    ledger: &mut PowerLedger,
+    pm: &dyn PowerModel,
+    script: &[(u8, u8, u32, u64)],
+) -> f64 {
+    let mut t = 0u64;
+    let mut active: Vec<(u32, GearId)> = Vec::new();
+    let mut used = 0u32;
+    let mut manual = 0.0;
+    for &(op, gear, cpus, dt) in script {
+        let level = active
+            .iter()
+            .map(|&(c, g)| c as f64 * pm.p_active(g))
+            .sum::<f64>()
+            + (CPUS - used) as f64 * pm.p_idle();
+        manual += level * dt as f64;
+        t += dt;
+        if op == 0 && used + cpus <= CPUS {
+            let g = GearId(gear);
+            ledger.start(t, cpus, g);
+            active.push((cpus, g));
+            used += cpus;
+        } else if let Some((c, g)) = active.pop() {
+            ledger.finish(t, c, g);
+            used -= c;
+        } else {
+            ledger.advance(t);
+        }
+    }
+    manual
 }
 
 fn run_hooked(
@@ -185,6 +244,50 @@ proptest! {
         prop_assert!(
             diff <= tol,
             "ledger {} vs post-hoc {}", report.energy, post_hoc.with_idle
+        );
+    }
+
+    /// Every power model's ledger-integrated energy equals the closed-form
+    /// integral of its piecewise-constant draw on random gear traces.
+    #[test]
+    fn every_model_matches_closed_form_integral(
+        model_idx in 0usize..5,
+        script in proptest::collection::vec((0u8..2, 0u8..6, 1u32..8, 1u64..500), 1..60),
+    ) {
+        let model = make_model(model_idx);
+        let mut ledger = PowerLedger::new(model.as_ref(), CPUS);
+        let manual = walk_ledger(&mut ledger, model.as_ref(), &script);
+        let tol = manual.abs() * 1e-9 + 1e-9;
+        prop_assert!(
+            (ledger.energy() - manual).abs() <= tol,
+            "model {}: ledger {} vs closed form {}", model_idx, ledger.energy(), manual
+        );
+    }
+
+    /// A multi-rail ledger's per-rail energies sum to the aggregate, and
+    /// the aggregate still equals the closed-form integral of the summed
+    /// model.
+    #[test]
+    fn rail_energies_sum_to_aggregate_on_random_traces(
+        script in proptest::collection::vec((0u8..2, 0u8..6, 1u32..8, 1u64..500), 1..60),
+    ) {
+        let gs = GearSet::paper();
+        let set = RailSet::new(vec![
+            Rail::new(RailKind::Cpu, Box::new(PaperDvfs::paper(gs.clone()))),
+            Rail::new(RailKind::Memory, Box::new(Linear::new(gs.clone(), 1.0, 3.0))),
+            Rail::new(RailKind::Interconnect, Box::new(Constant::new(gs, 2.0))),
+        ])
+        .expect("valid rail layout");
+        let mut ledger = PowerLedger::with_rails(&set, CPUS);
+        let manual = walk_ledger(&mut ledger, &set, &script);
+        let tol = manual.abs() * 1e-9 + 1e-9;
+        prop_assert!((ledger.energy() - manual).abs() <= tol);
+        let rails = ledger.rail_energies();
+        prop_assert_eq!(rails.len(), 3);
+        let sum: f64 = rails.iter().map(|r| r.energy).sum();
+        prop_assert!(
+            (sum - ledger.energy()).abs() <= tol,
+            "rails {} vs aggregate {}", sum, ledger.energy()
         );
     }
 }

@@ -6,7 +6,7 @@
 use bsld::cluster::GearSet;
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
 use bsld::model::GearId;
-use bsld::power::{BetaModel, PowerModel};
+use bsld::power::{BetaModel, PaperDvfs};
 use bsld::workload::profiles::TraceProfile;
 
 #[test]
@@ -14,7 +14,7 @@ fn baseline_energy_equals_area_times_top_power() {
     let w = TraceProfile::ctc().scaled_cpus(32).generate(31, 300);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let res = sim.run_baseline(&w.jobs).unwrap();
-    let pm = PowerModel::paper(GearSet::paper());
+    let pm = PaperDvfs::paper(GearSet::paper());
     let top = GearSet::paper().top();
     let expected: f64 = w
         .jobs
@@ -41,7 +41,7 @@ fn policy_energy_recomputable_from_outcomes() {
             },
         )
         .unwrap();
-    let pm = PowerModel::paper(GearSet::paper());
+    let pm = PaperDvfs::paper(GearSet::paper());
     let pm_ref = &pm;
     let manual: f64 = res
         .outcomes
@@ -63,7 +63,7 @@ fn idle_energy_identity() {
         .generate(35, 300);
     let sim = Simulator::paper_default(&w.cluster_name, w.cpus);
     let res = sim.run_baseline(&w.jobs).unwrap();
-    let pm = PowerModel::paper(GearSet::paper());
+    let pm = PaperDvfs::paper(GearSet::paper());
     let e = &res.metrics.energy;
     let capacity = w.cpus as f64 * e.makespan_secs as f64;
     let expected_idle = (capacity - e.busy_cpu_secs) * pm.p_idle();

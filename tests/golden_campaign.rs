@@ -1,0 +1,42 @@
+//! Byte-identity oracle for the default (no `model` key) campaign path.
+//!
+//! `tests/golden/` holds a small campaign spec plus the
+//! `campaign_results.csv` / `campaign.json` it produced **before** the
+//! pluggable power-model subsystem existed. Re-running the spec must
+//! reproduce both artifacts byte for byte: the refactor promised that a
+//! spec which never mentions a model is priced, scheduled, aggregated and
+//! rendered exactly as before.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bsld::core::campaign::{run_campaign, CampaignOptions, JSON_FILE, RESULTS_FILE};
+use bsld::core::ScenarioSet;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn no_model_campaign_artifacts_are_byte_identical() {
+    let golden = golden_dir();
+    let text = fs::read_to_string(golden.join("golden_campaign.scn")).unwrap();
+    let set = ScenarioSet::parse(&text).unwrap();
+
+    let out = std::env::temp_dir().join(format!("bsld-golden-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&out);
+    let outcome = run_campaign(&set, &CampaignOptions::fresh(2, &out), None).unwrap();
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+
+    for name in [RESULTS_FILE, JSON_FILE] {
+        let want = fs::read(golden.join(name)).unwrap();
+        let got = fs::read(out.join(name)).unwrap();
+        assert!(
+            want == got,
+            "{name} drifted from the pre-refactor golden:\n--- golden ---\n{}\n--- current ---\n{}",
+            String::from_utf8_lossy(&want),
+            String::from_utf8_lossy(&got),
+        );
+    }
+    let _ = fs::remove_dir_all(&out);
+}

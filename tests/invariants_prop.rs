@@ -108,7 +108,7 @@ proptest! {
     fn policy_trades_time_for_energy(raw in proptest::collection::vec(arb_job(8), 1..80)) {
         let jobs = build_jobs(raw);
         let gears = GearSet::paper();
-        let pm = bsld::power::PowerModel::paper(gears.clone());
+        let pm = bsld::power::PaperDvfs::paper(gears.clone());
         let base = run_policy(8, &jobs, &FixedGearPolicy::new(gears.top()));
         let policy = BsldThresholdPolicy::new(PowerAwareConfig::medium());
         let dvfs = run_policy(8, &jobs, &policy);

@@ -5,8 +5,8 @@
 use std::path::PathBuf;
 
 use bsld::core::scenario::{
-    ClusterSpec, EngineSpec, GearSpec, OutputSpec, PolicySpec, PowerSpec, ProfileName, Scenario,
-    ScenarioSet, SleepSpec, SweepAxis, WorkloadSpec,
+    ClusterSpec, EngineSpec, GearSpec, OutputSpec, PolicySpec, PowerModelSpec, PowerSpec,
+    ProfileName, Scenario, ScenarioSet, SleepSpec, SweepAxis, WorkloadSpec,
 };
 use bsld::core::WqThreshold;
 use bsld::powercap::{SleepConfig, SleepState};
@@ -132,21 +132,43 @@ fn arb_sleep() -> BoxedStrategy<SleepSpec> {
         .boxed()
 }
 
+/// A power-model spec with a line-safe empirical path (the format
+/// normalises other paths on the way out, like SWF paths).
+fn model_of(kind: u8, path_bits: u64) -> PowerModelSpec {
+    match kind % 5 {
+        0 => PowerModelSpec::Paper,
+        1 => PowerModelSpec::Constant,
+        2 => PowerModelSpec::Linear,
+        3 => PowerModelSpec::Cubic,
+        _ => PowerModelSpec::Empirical(PathBuf::from(format!("curves/m{path_bits:016x}.csv"))),
+    }
+}
+
+fn arb_model() -> BoxedStrategy<Option<PowerModelSpec>> {
+    (proptest::bool::ANY, 0u8..5, proptest::num::u64::ANY)
+        .prop_map(|(some, kind, bits)| some.then(|| model_of(kind, bits)))
+        .boxed()
+}
+
 fn arb_power() -> BoxedStrategy<PowerSpec> {
     (
         (proptest::bool::ANY, 1u32..=20),
         (proptest::bool::ANY, 0usize..64),
         arb_sleep(),
         (proptest::bool::ANY, 0usize..64),
+        arb_model(),
         proptest::bool::ANY,
     )
         .prop_map(
-            |((capped, cap20), (soft, escape), sleep, (boosted, limit), observe)| PowerSpec {
-                cap_fraction: capped.then_some(cap20 as f64 / 20.0),
-                soft_wq_escape: soft.then_some(escape),
-                sleep,
-                boost: boosted.then_some(limit),
-                observe,
+            |((capped, cap20), (soft, escape), sleep, (boosted, limit), model, observe)| {
+                PowerSpec {
+                    cap_fraction: capped.then_some(cap20 as f64 / 20.0),
+                    soft_wq_escape: soft.then_some(escape),
+                    sleep,
+                    boost: boosted.then_some(limit),
+                    model,
+                    observe,
+                }
             },
         )
         .boxed()
@@ -210,7 +232,7 @@ fn arb_scenario() -> BoxedStrategy<Scenario> {
 
 fn arb_axis() -> BoxedStrategy<SweepAxis> {
     (
-        0u8..6,
+        0u8..7,
         proptest::collection::vec(
             (
                 0u8..5,
@@ -229,7 +251,19 @@ fn arb_axis() -> BoxedStrategy<SweepAxis> {
             2 => SweepAxis::Wq(raw.iter().map(|r| r.2).collect()),
             3 => SweepAxis::CapFraction(raw.iter().map(|r| r.3 as f64 / 20.0).collect()),
             4 => SweepAxis::EnlargePct(raw.iter().map(|r| r.4).collect()),
-            _ => SweepAxis::Seed(raw.iter().map(|r| r.5).collect()),
+            5 => SweepAxis::Seed(raw.iter().map(|r| r.5).collect()),
+            // Model values must be pairwise distinct on the value level
+            // (two kinds can collide only via Empirical paths, which the
+            // deterministic bit pattern keeps unique), and whitespace-free
+            // (the axis is whitespace-split on re-parse).
+            _ => {
+                let mut models: Vec<PowerModelSpec> =
+                    raw.iter().map(|r| model_of(r.0, r.5)).collect();
+                models.dedup_by(|a, b| a == b);
+                models.sort_by_key(|m| m.render());
+                models.dedup();
+                SweepAxis::Model(models)
+            }
         })
         .boxed()
 }
@@ -314,6 +348,7 @@ proptest! {
             SweepAxis::CapFraction(v) => v.len(),
             SweepAxis::EnlargePct(v) => v.len(),
             SweepAxis::Seed(v) => v.len(),
+            SweepAxis::Model(v) => v.len(),
             // arb_axis never generates SwfDir (its width depends on a real
             // directory); covered by dedicated unit tests instead.
             SweepAxis::SwfDir(_) => unreachable!("not generated"),
@@ -324,4 +359,39 @@ proptest! {
             prop_assert_eq!(parsed, cell);
         }
     }
+
+    /// Empirical CSV paths are normalised exactly like SWF paths: newlines
+    /// become spaces and surrounding whitespace is dropped on the way out,
+    /// and the normalised form is a fixed point of parse ∘ render.
+    #[test]
+    fn empirical_paths_normalise_like_swf_paths(bits in proptest::num::u64::ANY) {
+        let mut sc = Scenario::synthetic("p", ProfileName::Ctc, 10, 1);
+        let odd = format!("  curves/\nm{bits:x}.csv ");
+        sc.power.model = Some(PowerModelSpec::Empirical(PathBuf::from(odd)));
+        let reparsed = Scenario::parse(&sc.render()).map_err(TestCaseError::fail)?;
+        let expect = format!("curves/ m{bits:x}.csv");
+        prop_assert_eq!(
+            &reparsed.power.model,
+            &Some(PowerModelSpec::Empirical(PathBuf::from(expect)))
+        );
+        let again = Scenario::parse(&reparsed.render()).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(again, reparsed);
+    }
+}
+
+#[test]
+fn model_rejections() {
+    let base = Scenario::synthetic("r", ProfileName::Ctc, 10, 1).render();
+    // Unknown model names are rejected with the menu, on the key and on
+    // the sweep axis alike.
+    for line in ["model = warp9", "sweep.model = paper warp9"] {
+        let err = ScenarioSet::parse(&format!("{base}{line}\n"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("paper | constant | linear | cubic"), "{err}");
+    }
+    // A duplicate model axis is rejected like every other axis.
+    let dup = format!("{base}sweep.model = paper\nsweep.model = linear\n");
+    let err = ScenarioSet::parse(&dup).unwrap_err().to_string();
+    assert!(err.contains("duplicate sweep axis sweep.model"), "{err}");
 }
