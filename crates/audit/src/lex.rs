@@ -1,0 +1,226 @@
+//! A minimal token stream over *masked* source (see [`crate::mask`]).
+//!
+//! The audit rules need just enough lexical structure to avoid the classic
+//! grep failure modes: distinguishing the identifier `unwrap` from
+//! `unwrap_or`, seeing that `==` sits next to a float literal, or that
+//! `as` is followed by `u32`. Full parsing (types, name resolution) is out
+//! of scope by design — the analyzer must build with zero dependencies in
+//! an offline workspace, so no `syn`.
+
+/// One token of masked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal; `float` covers `1.0`, `1e3`, `2.`, `1f64`.
+    Num {
+        /// Whether the literal is a float.
+        float: bool,
+    },
+    /// Single punctuation char.
+    P(char),
+    /// Two-char operator (`==`, `!=`, `::`, `..`, `->`, `=>`, …).
+    P2(&'static str),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+const TWO_CHAR: [&str; 12] = [
+    "==", "!=", "::", "->", "=>", "..", "<=", ">=", "&&", "||", "<<", ">>",
+];
+
+/// Tokenizes masked source. Blanked regions (comments, literals) produce no
+/// tokens; line numbers refer to the original file.
+pub fn lex(masked: &str) -> Vec<SpannedTok> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(SpannedTok {
+                tok: Tok::Ident(chars[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut float = false;
+            // Radix-prefixed literals (0x/0b/0o) are always integers and
+            // their bodies may contain `e`/`f` as digits — consume whole.
+            let radix_prefixed =
+                c == '0' && matches!(chars.get(i + 1), Some('x') | Some('b') | Some('o'));
+            // Integer part (also consumes suffixes and `_`).
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                // An exponent inside a decimal literal marks a float; the
+                // sign is consumed here too.
+                if !radix_prefixed
+                    && (chars[i] == 'e' || chars[i] == 'E')
+                    && chars
+                        .get(i + 1)
+                        .is_some_and(|n| n.is_ascii_digit() || *n == '+' || *n == '-')
+                {
+                    float = true;
+                    i += 2;
+                    continue;
+                }
+                if !radix_prefixed && chars[i] == 'f' {
+                    // `1f64` / `2.5f32` suffix.
+                    float = true;
+                }
+                i += 1;
+            }
+            if radix_prefixed {
+                toks.push(SpannedTok {
+                    tok: Tok::Num { float: false },
+                    line,
+                });
+                continue;
+            }
+            // Fractional part — but not `..` (range) and not a method call
+            // on an integer literal (`1.max(2)`).
+            if i < chars.len()
+                && chars[i] == '.'
+                && chars.get(i + 1) != Some(&'.')
+                && !chars
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_alphabetic() || *n == '_')
+            {
+                float = true;
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    if chars[i] == 'f' {
+                        float = true;
+                    }
+                    if (chars[i] == 'e' || chars[i] == 'E')
+                        && chars
+                            .get(i + 1)
+                            .is_some_and(|n| n.is_ascii_digit() || *n == '+' || *n == '-')
+                    {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(SpannedTok {
+                tok: Tok::Num { float },
+                line,
+            });
+            continue;
+        }
+        // Two-char operators.
+        if let Some(n) = chars.get(i + 1) {
+            let pair: String = [c, *n].iter().collect();
+            if let Some(op) = TWO_CHAR.iter().find(|t| **t == pair) {
+                toks.push(SpannedTok {
+                    tok: Tok::P2(op),
+                    line,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        toks.push(SpannedTok {
+            tok: Tok::P(c),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+impl Tok {
+    /// Whether the token is this exact identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(i) if i == s)
+    }
+
+    /// Whether the token is a float literal.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Tok::Num { float: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_methods() {
+        let t = kinds("map.unwrap_or(x)");
+        assert!(t.contains(&Tok::Ident("unwrap_or".into())));
+        assert!(!t.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        assert!(kinds("1.0")[0].is_float());
+        assert!(kinds("2.")[0].is_float());
+        assert!(kinds("1e-3")[0].is_float());
+        assert!(kinds("3f64")[0].is_float());
+        assert!(!kinds("42")[0].is_float());
+        assert!(!kinds("0x1F")[0].is_float());
+        assert!(!kinds("0x1E3")[0].is_float());
+        assert!(!kinds("1_000")[0].is_float());
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let t = kinds("0..10");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Num { float: false },
+                Tok::P2(".."),
+                Tok::Num { float: false }
+            ]
+        );
+    }
+
+    #[test]
+    fn method_on_int_literal_is_not_a_float() {
+        let t = kinds("1.max(2)");
+        assert_eq!(t[0], Tok::Num { float: false });
+        assert!(t.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn two_char_ops() {
+        let t = kinds("a == b != c :: d");
+        assert!(t.contains(&Tok::P2("==")));
+        assert!(t.contains(&Tok::P2("!=")));
+        assert!(t.contains(&Tok::P2("::")));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let t = lex("a\nb\n\nc");
+        let lines: Vec<usize> = t.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

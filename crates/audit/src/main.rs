@@ -1,0 +1,6 @@
+//! Standalone `bsld-audit` binary — see [`bsld_audit::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(bsld_audit::run_cli(&args));
+}

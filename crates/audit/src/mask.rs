@@ -1,0 +1,341 @@
+//! Source masking: the first pass of every audit.
+//!
+//! Rust source is full of places where rule text can appear without being
+//! code — `"HashMap.iter()"` inside a string, `// call .unwrap() here` in a
+//! comment, `r#"panic!"#` in a raw string. A naive line scanner would flag
+//! all of them. [`mask`] rewrites the source into an equal-length shadow
+//! where every comment and every literal's contents become spaces, while
+//! newlines survive, so downstream passes see only real code and byte
+//! offsets/line numbers still map 1:1 onto the original file.
+//!
+//! Comment *text* is not discarded: the masker collects it per line, because
+//! the `audit:allow(...)` escape hatch lives in comments.
+
+/// The masked shadow of one source file.
+#[derive(Debug)]
+pub struct Masked {
+    /// Same byte length as the input; comments and literal contents are
+    /// spaces, newlines are preserved.
+    pub text: String,
+    /// `(1-based line, comment text, is doc comment)` for every comment
+    /// line encountered — one entry per line of a multi-line block
+    /// comment. Doc comments (`///`, `//!`, `/**`, `/*!`) are flagged:
+    /// they are rendered documentation, so `audit:allow` directives are
+    /// not honoured there (mentioning the syntax in docs must not create
+    /// a live escape).
+    pub comments: Vec<(usize, String, bool)>,
+}
+
+/// Masks comments, string literals, raw strings, byte strings and char
+/// literals out of `src`. Lifetimes (`'a`) are left untouched.
+pub fn mask(src: &str) -> Masked {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut comments: Vec<(usize, String, bool)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Appends one masked char, tracking line numbers.
+    macro_rules! blank {
+        ($c:expr) => {
+            if $c == '\n' {
+                out.push('\n');
+                line += 1;
+            } else {
+                out.push(' ');
+            }
+        };
+    }
+    macro_rules! keep {
+        ($c:expr) => {
+            if $c == '\n' {
+                out.push('\n');
+                line += 1;
+            } else {
+                out.push($c);
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            let start = i;
+            let doc = matches!(bytes.get(i + 2), Some('/') | Some('!'))
+                // `////…` separators are plain comments, not docs.
+                && bytes.get(i + 3) != Some(&'/');
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            comments.push((line, text, doc));
+            for _ in start..i {
+                out.push(' ');
+            }
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && next == Some('*') {
+            let doc =
+                matches!(bytes.get(i + 2), Some('*') | Some('!')) && bytes.get(i + 3) != Some(&'/');
+            let mut depth = 1usize;
+            let mut seg_start_line = line;
+            let mut seg: String = String::new();
+            blank!(bytes[i]);
+            blank!(bytes[i + 1]);
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    seg.push_str("/*");
+                    blank!(bytes[i]);
+                    blank!(bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank!(bytes[i]);
+                    blank!(bytes[i + 1]);
+                    i += 2;
+                } else {
+                    if bytes[i] == '\n' {
+                        comments.push((seg_start_line, std::mem::take(&mut seg), doc));
+                        seg_start_line = line + 1;
+                    } else {
+                        seg.push(bytes[i]);
+                    }
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+            }
+            comments.push((seg_start_line, seg, doc));
+            continue;
+        }
+
+        // Raw / byte / plain string starts. Detect r"..", r#".."#, b"..",
+        // br#".."# and the plain `"`.
+        if let Some((prefix_len, hashes)) = raw_string_start(&bytes, i) {
+            for _ in 0..prefix_len {
+                blank!(bytes[i]);
+                i += 1;
+            }
+            // Contents end at `"` followed by `hashes` #s.
+            while i < bytes.len() {
+                if bytes[i] == '"' && has_hashes(&bytes, i + 1, hashes) {
+                    for _ in 0..(1 + hashes) {
+                        blank!(bytes[i]);
+                        i += 1;
+                    }
+                    break;
+                }
+                blank!(bytes[i]);
+                i += 1;
+            }
+            continue;
+        }
+        if c == '"' || (c == 'b' && next == Some('"') && !prev_is_ident(&bytes, i)) {
+            if c == 'b' {
+                blank!(bytes[i]);
+                i += 1;
+            }
+            blank!(bytes[i]);
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == '\\' && i + 1 < bytes.len() {
+                    blank!(bytes[i]);
+                    blank!(bytes[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                let done = bytes[i] == '"';
+                blank!(bytes[i]);
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' || (c == 'b' && next == Some('\'') && !prev_is_ident(&bytes, i)) {
+            let q = if c == 'b' { i + 1 } else { i };
+            if let Some(end) = char_literal_end(&bytes, q) {
+                while i <= end {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            // A lifetime — fall through and keep it.
+        }
+
+        // Skip over identifiers wholesale so a stray `r` or `b` inside one
+        // (e.g. `number"`?) can't be misread as a literal prefix.
+        if c.is_alphanumeric() || c == '_' {
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                keep!(bytes[i]);
+                i += 1;
+            }
+            continue;
+        }
+
+        keep!(c);
+        i += 1;
+    }
+
+    Masked {
+        text: out,
+        comments,
+    }
+}
+
+/// If position `i` starts a raw-string opener (`r"`, `r#"`, `br##"` …),
+/// returns `(opener length, number of #s)`.
+fn raw_string_start(bytes: &[char], i: usize) -> Option<(usize, usize)> {
+    if prev_is_ident(bytes, i) {
+        return None;
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        Some((j + 1 - i, hashes))
+    } else {
+        None
+    }
+}
+
+fn has_hashes(bytes: &[char], from: usize, n: usize) -> bool {
+    (0..n).all(|k| bytes.get(from + k) == Some(&'#'))
+}
+
+/// Whether the char before `i` continues an identifier (so `i` cannot start
+/// a literal prefix like `r"` or `b'`).
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// If `q` holds the opening quote of a char literal, returns the index of
+/// the closing quote; `None` means it is a lifetime.
+fn char_literal_end(bytes: &[char], q: usize) -> Option<usize> {
+    let first = *bytes.get(q + 1)?;
+    if first == '\\' {
+        // Escape: scan to the next unescaped quote (handles '\n', '\u{..}').
+        let mut j = q + 2;
+        while j < bytes.len() {
+            if bytes[j] == '\'' {
+                return Some(j);
+            }
+            if bytes[j] == '\n' {
+                return None;
+            }
+            j += 1;
+        }
+        return None;
+    }
+    if first == '\'' {
+        return None; // `''` — not valid; treat as two lifetimes.
+    }
+    // `'x'` is a char literal; `'ident` (no closing quote right after one
+    // char) is a lifetime.
+    if bytes.get(q + 2) == Some(&'\'') {
+        Some(q + 2)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> String {
+        mask(src).text
+    }
+
+    #[test]
+    fn preserves_length_and_newlines() {
+        let src = "let x = \"ab\\\"c\"; // trailing\nfn f() {}\n";
+        let m = masked(src);
+        assert_eq!(m.chars().count(), src.chars().count());
+        assert_eq!(
+            m.matches('\n').count(),
+            src.matches('\n').count(),
+            "newlines must survive masking"
+        );
+    }
+
+    #[test]
+    fn blanks_strings_and_line_comments() {
+        let m = masked("let s = \"HashMap.iter()\"; // .unwrap() here\n");
+        assert!(!m.contains("iter"));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let s ="));
+    }
+
+    #[test]
+    fn blanks_raw_and_byte_strings() {
+        let m = masked("let a = r#\"panic!(\"x\")\"#; let b = b\"thread_rng\";\n");
+        assert!(!m.contains("panic"));
+        assert!(!m.contains("thread_rng"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = masked("/* a /* nested .unwrap() */ b */ fn f() {}\n");
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("fn f"));
+    }
+
+    #[test]
+    fn char_literals_blanked_lifetimes_kept() {
+        let m = masked("fn f<'a>(x: &'a str) { let c = '\\''; let d = 'x'; }\n");
+        assert!(m.contains("'a>"), "lifetime must survive: {m}");
+        assert!(!m.contains("'x'"));
+    }
+
+    #[test]
+    fn collects_comment_text_with_lines() {
+        let m = mask("fn f() {}\n// audit:allow(R1): fine\nlet x = 1;\n");
+        assert_eq!(m.comments.len(), 1);
+        assert_eq!(m.comments[0].0, 2);
+        assert!(m.comments[0].1.contains("audit:allow(R1)"));
+        assert!(!m.comments[0].2, "plain // comment is not a doc comment");
+    }
+
+    #[test]
+    fn block_comment_lines_collected_individually() {
+        let m = mask("/* one\ntwo\nthree */\n");
+        let lines: Vec<usize> = m.comments.iter().map(|(l, _, _)| *l).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let m = mask("//! module doc audit:allow(R1): nope\n/// item doc\nfn f() {}\n");
+        assert!(m.comments.iter().all(|(_, _, doc)| *doc));
+        let m = mask("/** block doc */ fn g() {}\n");
+        assert!(m.comments[0].2);
+    }
+
+    #[test]
+    fn ident_ending_in_r_or_b_is_not_a_prefix() {
+        let m = masked("let var\" = 0; let numb\"x\" = 1;\n");
+        // Malformed code, but the masker must not panic or swallow idents.
+        assert!(m.contains("var"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Aggregated audit results: deterministic text and JSON renderings.
+//!
+//! The JSON report is machine-readable so CI can archive it as an artifact
+//! and diff it across commits; the text rendering is what a developer sees
+//! on a failing `bsld-repro audit`. Both orderings are fully deterministic
+//! (sorted paths, stable per-file rule order) — the audit tool is itself
+//! subject to the determinism contract it enforces.
+
+use crate::rules::{Rule, Violation};
+
+/// The whole-workspace audit result.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Files analysed, in sorted relative-path order.
+    pub files_scanned: Vec<String>,
+    /// Violations not covered by a justified allow — any entry fails the
+    /// audit.
+    pub violations: Vec<Violation>,
+    /// Would-be violations suppressed by justified `audit:allow`s.
+    pub suppressed: Vec<Violation>,
+    /// Justified allows that matched nothing: `(file, line, rule)`.
+    /// Reported so stale escapes get cleaned up, but non-fatal.
+    pub unused_allows: Vec<(String, usize, Rule)>,
+}
+
+impl AuditReport {
+    /// Whether the audit passes (no unallowed violations).
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Per-rule violation counts, rule order.
+    pub fn counts(&self) -> Vec<(Rule, usize)> {
+        let mut counts: Vec<(Rule, usize)> = Vec::new();
+        for v in &self.violations {
+            match counts.iter_mut().find(|(r, _)| *r == v.rule) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((v.rule, 1)),
+            }
+        }
+        counts.sort_by_key(|(r, _)| *r);
+        counts
+    }
+
+    /// Human-readable rendering (what a failing CI step prints).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}] {}\n    {}",
+                v.file,
+                v.line,
+                v.rule.name(),
+                v.message,
+                v.snippet
+            );
+        }
+        for (file, line, rule) in &self.unused_allows {
+            let _ = writeln!(
+                out,
+                "{file}:{line}: note: unused audit:allow({}) — remove the stale escape",
+                rule.name()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "audit: {} file(s), {} violation(s), {} suppressed by audit:allow, {} unused allow(s)",
+            self.files_scanned.len(),
+            self.violations.len(),
+            self.suppressed.len(),
+            self.unused_allows.len()
+        );
+        if self.ok() {
+            let _ = writeln!(out, "audit: PASS");
+        } else {
+            for (rule, n) in self.counts() {
+                let _ = writeln!(out, "audit:   {}: {n}", rule.name());
+            }
+            let _ = writeln!(out, "audit: FAIL");
+        }
+        out
+    }
+
+    /// Machine-readable JSON (stable key order, sorted entries).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"ok\": {},", self.ok());
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned.len());
+        out.push_str("  \"counts\": {");
+        let counts = self.counts();
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {n}", rule.name());
+        }
+        out.push_str("},\n");
+        out.push_str("  \"violations\": [\n");
+        push_violations(&mut out, &self.violations);
+        out.push_str("  ],\n");
+        out.push_str("  \"suppressed\": [\n");
+        push_violations(&mut out, &self.suppressed);
+        out.push_str("  ],\n");
+        out.push_str("  \"unused_allows\": [\n");
+        for (i, (file, line, rule)) in self.unused_allows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"file\": {}, \"line\": {line}, \"rule\": \"{}\"}}",
+                json_str(file),
+                rule.name()
+            );
+            out.push_str(if i + 1 < self.unused_allows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn push_violations(out: &mut String, vs: &[Violation]) {
+    use std::fmt::Write as _;
+    for (i, v) in vs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"file\": {}, \"line\": {}, \"rule\": \"{}\", \"message\": {}, \"snippet\": {}}}",
+            json_str(&v.file),
+            v.line,
+            v.rule.name(),
+            json_str(&v.message),
+            json_str(&v.snippet)
+        );
+        out.push_str(if i + 1 < vs.len() { ",\n" } else { "\n" });
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, line: usize, rule: Rule) -> Violation {
+        Violation {
+            file: file.into(),
+            line,
+            rule,
+            message: "msg with \"quotes\"".into(),
+            snippet: "let x = 1;".into(),
+        }
+    }
+
+    #[test]
+    fn pass_and_fail_render() {
+        let mut r = AuditReport::default();
+        r.files_scanned.push("crates/a/src/lib.rs".into());
+        assert!(r.ok());
+        assert!(r.render_text().contains("PASS"));
+        r.violations.push(v("crates/a/src/lib.rs", 3, Rule::R1));
+        assert!(!r.ok());
+        let text = r.render_text();
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("crates/a/src/lib.rs:3"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_stable() {
+        let mut r = AuditReport::default();
+        r.violations.push(v("a.rs", 1, Rule::N1));
+        r.violations.push(v("a.rs", 2, Rule::N1));
+        let j = r.to_json();
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\"ok\": false"));
+        assert!(j.contains("\"N1\": 2"));
+        // Deterministic: same input, same bytes.
+        assert_eq!(j, r.to_json());
+    }
+}

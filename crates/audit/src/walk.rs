@@ -1,0 +1,92 @@
+//! Workspace traversal: which files get audited.
+//!
+//! The walker starts at the workspace root and visits `crates/**/*.rs` in
+//! sorted relative-path order (determinism again — the report must not
+//! depend on readdir order). It skips:
+//!
+//! * `target/` — build products;
+//! * `vendor/` — vendored third-party crates are not held to this
+//!   workspace's contract;
+//! * any directory named `fixtures/` — the audit crate's own test corpus
+//!   *contains deliberate violations* and must not fail the self-audit;
+//! * hidden directories (`.git`, editor state).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::report::AuditReport;
+use crate::rules::audit_source;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", "fixtures"];
+
+/// Collects every auditable `.rs` file under `root/crates`, workspace-
+/// relative, sorted.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no crates/ directory", root.display()),
+        ));
+    }
+    walk_dir(&crates, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk_dir(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk_dir(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Audits every workspace source file under `root` and aggregates the
+/// per-file results into one [`AuditReport`].
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path)?;
+        let fa = audit_source(&rel, &text);
+        report.violations.extend(fa.violations);
+        report.suppressed.extend(fa.suppressed);
+        report.unused_allows.extend(
+            fa.unused_allows
+                .into_iter()
+                .map(|(l, r)| (rel.clone(), l, r)),
+        );
+        report.files_scanned.push(rel);
+    }
+    Ok(report)
+}
+
+/// Locates the workspace root from an arbitrary start directory by walking
+/// up to the first directory holding both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,16 @@
+// Defective allows: unjustified, unknown rule, and stale (matching
+// nothing). The first two are A0 violations; the stale one is a note.
+
+pub fn unjustified(v: Option<u64>) -> u64 {
+    v.unwrap() // audit:allow(R1)
+}
+
+pub fn unknown_rule(joules: f64) -> u64 {
+    // audit:allow(Z9): no such rule
+    joules as u64
+}
+
+pub fn stale() -> u64 {
+    // audit:allow(R1): nothing on the next line can panic
+    41 + 1
+}

@@ -1,0 +1,10 @@
+// Justified allows: same-line and standalone-line forms, both suppressing.
+
+pub fn same_line(v: Option<u64>) -> u64 {
+    v.unwrap() // audit:allow(R1): fixture demonstrating a same-line escape
+}
+
+pub fn standalone(joules: f64) -> u64 {
+    // audit:allow(N2): fixture demonstrating a standalone-line escape
+    joules as u64
+}

@@ -1,0 +1,18 @@
+// D1 negatives: keyed access without iteration, ordered containers, and
+// rule text trapped in strings/comments.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn keyed_only(h: &mut HashMap<String, u64>) -> Option<u64> {
+    *h.entry("hit".to_string()).or_insert(0) += 1;
+    h.get("hit").copied()
+}
+
+pub fn ordered_iter(b: &BTreeMap<String, u64>) -> u64 {
+    // Iterating a BTreeMap is fine: the order is the key order.
+    b.values().sum()
+}
+
+pub fn trapped_text() -> String {
+    // A comment saying `h.keys()` on a HashMap must not fire.
+    format!("docs: HashMap::iter() is {}", "h.values()")
+}

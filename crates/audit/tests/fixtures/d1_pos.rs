@@ -1,0 +1,23 @@
+// D1 positives: iteration over hash-ordered containers, audited as if this
+// file lived in a determinism-critical crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn direct_iter(m: &HashMap<String, u64>) -> u64 {
+    m.values().sum()
+}
+
+pub fn for_loop(m: HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (_k, v) in &m {
+        acc += v;
+    }
+    acc
+}
+
+pub fn set_drain(s: &mut HashSet<u64>) -> Vec<u64> {
+    s.drain().collect()
+}
+
+pub fn keys_chain(lookup: &HashMap<String, Vec<u64>>) -> Vec<String> {
+    lookup.keys().cloned().collect()
+}

@@ -1,0 +1,16 @@
+// D2 negatives: the forbidden names appear only inside strings, comments
+// and raw strings — never as code.
+
+pub fn strings_only() -> &'static str {
+    // `Instant::now()` in a comment is documentation, not a clock read.
+    "error: do not call SystemTime::now() or thread_rng() here"
+}
+
+pub fn raw_strings() -> &'static str {
+    r#"std::env::var("PATH") would be a D2 violation if it were code"#
+}
+
+/* A block comment mentioning Instant::now() and std::env::args(). */
+pub fn seeded(seed: u64) -> u64 {
+    seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)
+}

@@ -1,0 +1,19 @@
+// D2 positives: wall-clock and entropy reads in library code.
+use std::time::{Instant, SystemTime};
+
+pub fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn env_read() -> Option<String> {
+    std::env::var("BSLD_SECRET_KNOB").ok()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

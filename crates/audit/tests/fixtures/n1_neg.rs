@@ -1,0 +1,22 @@
+// N1 negatives: integer comparisons, ranges, method calls on numbers, and
+// float-literal text inside strings.
+
+pub fn int_eq(n: u64) -> bool {
+    n == 0
+}
+
+pub fn range_is_not_float(n: usize) -> usize {
+    (0..10).filter(|i| *i != n).count()
+}
+
+pub fn method_on_int() -> i64 {
+    1.max(2)
+}
+
+pub fn hex_with_e() -> bool {
+    0x1E3 == 0x1E3
+}
+
+pub fn trapped() -> &'static str {
+    "x == 0.5 is only text here"
+}

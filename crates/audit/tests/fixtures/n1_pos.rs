@@ -1,0 +1,17 @@
+// N1 positives: equality against float literals.
+
+pub fn eq_literal(x: f64) -> bool {
+    x == 0.7
+}
+
+pub fn ne_literal(y: f64) -> bool {
+    y != 1.0
+}
+
+pub fn literal_on_left(z: f64) -> bool {
+    0.5 == z
+}
+
+pub fn exponent_literal(w: f64) -> bool {
+    w == 1e-9
+}

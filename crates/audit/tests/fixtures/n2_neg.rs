@@ -1,0 +1,10 @@
+// N2 negatives: lossless widenings and `as` text inside strings/comments.
+
+pub fn widening(w: u32) -> f64 {
+    // `u32 -> f64` is exact for every value; f64 is not an N2 target.
+    w as f64
+}
+
+pub fn trapped() -> &'static str {
+    "cast it `as u32` — only text"
+}

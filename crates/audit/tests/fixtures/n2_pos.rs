@@ -1,0 +1,13 @@
+// N2 positives: lossy `as` casts, audited as if in energy-ledger scope.
+
+pub fn truncating(joules: f64) -> u64 {
+    joules as u64
+}
+
+pub fn narrowing(cells: usize) -> u32 {
+    cells as u32
+}
+
+pub fn precision_loss(exact: f64) -> f32 {
+    exact as f32
+}

@@ -1,0 +1,23 @@
+// R1 negatives: unwraps confined to `#[cfg(test)]`, and rule text inside
+// comments and strings.
+
+pub fn fallible(v: Option<u64>) -> Option<u64> {
+    // Do not call .unwrap() here; see `panic!` docs.
+    v.map(|x| x + 1)
+}
+
+pub fn trapped() -> &'static str {
+    "calling .expect(\"msg\") would be an R1 violation"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fallible;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(fallible(Some(1)).unwrap(), 2);
+        let v: Result<u64, String> = Ok(3);
+        assert_eq!(v.expect("test code may expect"), 3);
+    }
+}

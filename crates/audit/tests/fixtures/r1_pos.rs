@@ -1,0 +1,22 @@
+// R1 positives: panic paths in library code, including a multi-line chain.
+
+pub fn unwrap_it(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn expect_it(v: Result<u64, String>) -> u64 {
+    v.expect("always ok")
+}
+
+pub fn boom() {
+    panic!("library code must not panic");
+}
+
+pub fn multi_line_chain(pairs: &[(u64, u64)]) -> u64 {
+    pairs
+        .iter()
+        .map(|&(a, b)| a.checked_add(b))
+        .collect::<Option<Vec<_>>>()
+        .unwrap()
+        .len() as u64
+}

@@ -1,0 +1,76 @@
+//! The audit applied to the workspace that ships it.
+//!
+//! Two guarantees, both load-bearing for CI:
+//!
+//! 1. **The workspace is clean.** Every source file passes every rule, and
+//!    every escape hatch carries a justification. A PR that introduces a
+//!    violation (or a stale allow) fails `cargo test` before it even
+//!    reaches the dedicated CI audit step.
+//! 2. **The analyzer still detects violations.** A seeded, deliberately
+//!    broken mini-workspace must FAIL the audit. Without this negative
+//!    control, a refactor that silently turned the analyzer into a no-op
+//!    would keep CI green while enforcing nothing.
+
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use std::path::Path;
+
+use bsld_audit::{audit_workspace, find_root, Rule};
+
+fn workspace_root() -> std::path::PathBuf {
+    find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("audit crate lives in the workspace")
+}
+
+#[test]
+fn the_workspace_is_clean() {
+    let report = audit_workspace(&workspace_root()).expect("walk workspace");
+    assert!(
+        report.ok(),
+        "the workspace must audit clean:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale audit:allow escapes must be removed:\n{}",
+        report.render_text()
+    );
+    // The corpus under tests/fixtures/ holds deliberate violations; if the
+    // walker ever descended into it this count would explode. A floor on
+    // files_scanned guards the opposite failure (walking nothing at all).
+    assert!(
+        report.files_scanned.len() >= 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned.len()
+    );
+    assert!(
+        !report
+            .files_scanned
+            .iter()
+            .any(|f| f.contains("/fixtures/")),
+        "fixture corpus leaked into the workspace audit"
+    );
+}
+
+#[test]
+fn a_seeded_violation_fails_the_audit() {
+    // A unique-per-process scratch workspace; no wall clock or RNG needed.
+    let root = std::env::temp_dir().join(format!("bsld-audit-neg-{}", std::process::id()));
+    let src_dir = root.join("crates/badcrate/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir scratch workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write seeded violation");
+
+    let report = audit_workspace(&root).expect("walk scratch workspace");
+    std::fs::remove_dir_all(&root).ok();
+
+    assert!(!report.ok(), "the seeded unwrap must fail the audit");
+    assert_eq!(report.violations.len(), 1);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, Rule::R1);
+    assert_eq!(v.line, 2);
+    assert_eq!(v.file, "crates/badcrate/src/lib.rs");
+}

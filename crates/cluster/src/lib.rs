@@ -14,9 +14,9 @@
 //! * [`Cluster`] — a named machine (gear set + processor count) with the
 //!   system-enlargement constructor used by the paper's Section 5.2 study.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod cluster;
 pub mod gears;
 pub mod processors;

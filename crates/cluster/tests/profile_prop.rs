@@ -1,6 +1,7 @@
 //! Property tests for the availability profile — the data structure every
 //! scheduling decision goes through.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld_cluster::{Profile, ProfileBuilder};
 use bsld_simkernel::Time;
 use proptest::prelude::*;

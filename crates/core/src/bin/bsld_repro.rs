@@ -69,7 +69,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: bsld-repro <{}|run|campaign-worker|campaign-merge|generate|simulate> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+        "usage: bsld-repro <{}|run|campaign-worker|campaign-merge|generate|simulate|audit> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
          run:       run FILE.scn [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv] [--resume DIR]\n\
          \x20          (files with `replications = N`, `cell_budget_s`, or --resume run as a\n\
          \x20          campaign: per-cell mean ± 95% CI, incremental manifest, cached cells\n\
@@ -81,7 +81,10 @@ fn usage() -> String {
          \x20          (validates shard coverage, unions worker manifests, writes\n\
          \x20          campaign_results.csv + campaign.json byte-identical to `run`)\n\
          generate:  --workload <ctc|sdsc|blue|thunder|atlas> --swf FILE\n\
-         simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]",
+         simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]\n\
+         audit:     audit [--json] [--root DIR]\n\
+         \x20          (static determinism/numeric-safety audit of the workspace source;\n\
+         \x20          exit 1 on violations — see crates/audit)",
         EXPERIMENTS.join("|")
     )
 }
@@ -790,6 +793,13 @@ fn run_campaign_merge(args: &Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // `audit` has its own flag set (--json, --root): hand it off before the
+    // experiment argument parser can reject those flags.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("audit") {
+        let code = bsld_audit::run_cli(&raw[1..]);
+        return ExitCode::from(u8::try_from(code).unwrap_or(1));
+    }
     let (args, help) = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

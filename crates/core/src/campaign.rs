@@ -44,7 +44,7 @@
 //! }
 //! ```
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -187,7 +187,9 @@ impl Campaign {
                 scenario,
             })
             .collect();
-        let mut seen: HashMap<CellId, &str> = HashMap::new();
+        // BTreeMap by construction: nothing here iterates, but the campaign
+        // result path must never depend on hash order (see `bsld-audit` D1).
+        let mut seen: BTreeMap<CellId, &str> = BTreeMap::new();
         for cell in &cells {
             if replications > 1 {
                 if let WorkloadSpec::Swf { .. } = cell.scenario.workload {
@@ -377,9 +379,11 @@ impl RepRow {
             rep: unit.rep,
             seed: unit_seed(unit),
             outcome: RepOutcome::Ok(RepMetrics {
+                // audit:allow(N2): usize -> u64 is a widening on every supported target
                 jobs: m.jobs as u64,
                 avg_bsld: m.avg_bsld,
                 avg_wait_s: m.avg_wait_secs,
+                // audit:allow(N2): usize -> u64 is a widening on every supported target
                 reduced_jobs: m.reduced_jobs as u64,
                 energy_comp: m.energy.computational,
                 energy_idle: m.energy.with_idle,
@@ -818,7 +822,7 @@ pub(crate) fn open_manifest(path: &Path, resume: bool) -> Result<std::fs::File, 
 /// count are excess.
 pub(crate) struct ClassifiedRows {
     /// Reusable rows by `(cell id, rep)`.
-    pub cached: HashMap<(CellId, u32), RepRow>,
+    pub cached: BTreeMap<(CellId, u32), RepRow>,
     /// Rows matching no planned cell.
     pub stale: usize,
     /// Rows of planned cells with `rep >= replications`.
@@ -829,9 +833,9 @@ pub(crate) fn classify_rows(
     campaign: &Campaign,
     rows: impl IntoIterator<Item = RepRow>,
 ) -> ClassifiedRows {
-    let planned: HashSet<CellId> = campaign.cells.iter().map(|c| c.id).collect();
+    let planned: BTreeSet<CellId> = campaign.cells.iter().map(|c| c.id).collect();
     let mut out = ClassifiedRows {
-        cached: HashMap::new(),
+        cached: BTreeMap::new(),
         stale: 0,
         excess: 0,
     };
@@ -898,16 +902,16 @@ pub(crate) fn execute_pending(
 /// error`, execution order).
 pub(crate) fn collect_rows(
     campaign: &Campaign,
-    cached: HashMap<(CellId, u32), RepRow>,
+    cached: BTreeMap<(CellId, u32), RepRow>,
     fresh: Vec<(usize, u32, Result<RepRow, String>)>,
-) -> (HashMap<(usize, u32), RepRow>, Vec<String>) {
-    let index_of: HashMap<CellId, usize> = campaign
+) -> (BTreeMap<(usize, u32), RepRow>, Vec<String>) {
+    let index_of: BTreeMap<CellId, usize> = campaign
         .cells
         .iter()
         .enumerate()
         .map(|(i, c)| (c.id, i))
         .collect();
-    let mut by_unit: HashMap<(usize, u32), RepRow> = HashMap::new();
+    let mut by_unit: BTreeMap<(usize, u32), RepRow> = BTreeMap::new();
     for ((id, rep), row) in cached {
         by_unit.insert((index_of[&id], rep), row);
     }
@@ -934,7 +938,7 @@ pub(crate) fn collect_rows(
 /// byte-identity guarantee between them is its determinism.
 pub(crate) fn aggregate_rows(
     campaign: &Campaign,
-    by_unit: &HashMap<(usize, u32), RepRow>,
+    by_unit: &BTreeMap<(usize, u32), RepRow>,
 ) -> (Vec<RepRow>, Vec<CellSummary>, Vec<String>) {
     let rows: Vec<RepRow> = campaign
         .units
@@ -1003,7 +1007,7 @@ pub fn campaign_json(set: &ScenarioSet, campaign: &Campaign, outcome: &CampaignO
         ])
     };
     let opt_ci = |m: &Option<MeanCi>| m.as_ref().map(&ci).unwrap_or(Json::Null);
-    let summary_of: HashMap<CellId, &CellSummary> =
+    let summary_of: BTreeMap<CellId, &CellSummary> =
         outcome.summaries.iter().map(|s| (s.id, s)).collect();
     let cells = Json::Arr(
         campaign

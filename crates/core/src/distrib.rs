@@ -65,7 +65,7 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -149,6 +149,7 @@ pub fn shard_of(cell: CellId, rep: u32, n: u32) -> u32 {
     let mut bytes = [0u8; 12];
     bytes[..8].copy_from_slice(&cell.0.to_le_bytes());
     bytes[8..].copy_from_slice(&rep.to_le_bytes());
+    // audit:allow(N2): remainder is < n <= u32::MAX, lossless by construction
     (fnv1a_64(&bytes) % u64::from(n)) as u32
 }
 
@@ -301,6 +302,7 @@ fn pin_spec(dir: &Path, set: &ScenarioSet) -> Result<(), ScenarioError> {
             )))
         }
     }
+    // audit:allow(D2): nonce only de-collides tmp-file names across hosts; never reaches results
     let nonce = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.subsec_nanos())
@@ -387,8 +389,8 @@ pub fn merge_campaign(dir: &Path) -> Result<MergeOutcome, ScenarioError> {
     // Union the worker manifests under the content key. (Unlike the
     // resume path's `classify_rows`, rows are checked one by one so a
     // conflict can name both workers.)
-    let planned: std::collections::HashSet<CellId> = campaign.cells.iter().map(|c| c.id).collect();
-    let mut by_key: HashMap<(CellId, u32), (RepRow, u32)> = HashMap::new();
+    let planned: BTreeSet<CellId> = campaign.cells.iter().map(|c| c.id).collect();
+    let mut by_key: BTreeMap<(CellId, u32), (RepRow, u32)> = BTreeMap::new();
     let mut stale_rows = 0usize;
     let mut excess_rows = 0usize;
     let mut duplicate_rows = 0usize;
@@ -408,10 +410,10 @@ pub fn merge_campaign(dir: &Path) -> Result<MergeOutcome, ScenarioError> {
                 continue;
             }
             match by_key.entry((row.cell, row.rep)) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
+                std::collections::btree_map::Entry::Vacant(slot) => {
                     slot.insert((row, w));
                 }
-                std::collections::hash_map::Entry::Occupied(slot) => {
+                std::collections::btree_map::Entry::Occupied(slot) => {
                     let (existing, from) = slot.get();
                     if *existing == row {
                         duplicate_rows += 1;
@@ -457,13 +459,13 @@ pub fn merge_campaign(dir: &Path) -> Result<MergeOutcome, ScenarioError> {
         )));
     }
 
-    let index_of: HashMap<CellId, usize> = campaign
+    let index_of: BTreeMap<CellId, usize> = campaign
         .cells
         .iter()
         .enumerate()
         .map(|(i, c)| (c.id, i))
         .collect();
-    let by_unit: HashMap<(usize, u32), RepRow> = by_key
+    let by_unit: BTreeMap<(usize, u32), RepRow> = by_key
         .into_iter()
         .map(|((id, rep), (row, _))| ((index_of[&id], rep), row))
         .collect();

@@ -91,6 +91,7 @@ pub fn run(opts: &ExpOptions) -> EnlargedStudy {
                 let base = &baselines
                     .iter()
                     .find(|(n, _)| *n == name)
+                    // audit:allow(R1): scenario list interleaves each baseline before its cells
                     .expect("baseline first")
                     .1;
                 cells.push(EnlargedCell {
@@ -139,6 +140,7 @@ impl EnlargedStudy {
         for (name, _) in &self.baselines {
             let mut row = vec![name.clone()];
             for &size in &SIZE_INCREASES {
+                // audit:allow(R1): the sweep above produced every (size, wq) cell
                 let c = self.cell(name, size, wq).expect("complete sweep");
                 row.push(fmt(
                     if idle_low {
@@ -166,6 +168,7 @@ impl EnlargedStudy {
         for (name, base) in &self.baselines {
             let mut row = vec![name.clone(), fmt(base.avg_bsld, 2)];
             for &size in &SIZE_INCREASES {
+                // audit:allow(R1): the sweep above produced every (size, wq) cell
                 let c = self.cell(name, size, wq).expect("complete sweep");
                 row.push(fmt(c.avg_bsld, 2));
             }
@@ -191,6 +194,7 @@ impl EnlargedStudy {
         for (name, base) in &self.baselines {
             let g = |size: u32, wq: WqThreshold| {
                 fmt(
+                    // audit:allow(R1): the sweep above produced every (size, wq) cell
                     self.cell(name, size, wq).expect("complete sweep").avg_wait,
                     0,
                 )
@@ -251,7 +255,11 @@ impl EnlargedStudy {
             .iter()
             .map(|(name, base)| {
                 let g = |size: u32, wq: WqThreshold| {
-                    fmt(self.cell(name, size, wq).unwrap().avg_wait, 1)
+                    fmt(
+                        // audit:allow(R1): the sweep above produced every (size, wq) cell
+                        self.cell(name, size, wq).expect("complete sweep").avg_wait,
+                        1,
+                    )
                 };
                 vec![
                     name.clone(),

@@ -33,8 +33,18 @@ pub fn run(opts: &ExpOptions) -> Fig6 {
         cell_scenario(ProfileName::SdscBlue, opts, 0, Some(&cfg)),
     ];
     let mut it = scenario::run_many(&scenarios, opts.threads).into_iter();
-    let orig = wait_series(&expect_run(it.next().unwrap()).run.outcomes);
-    let dvfs = wait_series(&expect_run(it.next().unwrap()).run.outcomes);
+    let orig = wait_series(
+        // audit:allow(R1): run_many returns exactly one result per scenario; two scenarios above
+        &expect_run(it.next().expect("two scenarios submitted"))
+            .run
+            .outcomes,
+    );
+    let dvfs = wait_series(
+        // audit:allow(R1): same invariant as the line above
+        &expect_run(it.next().expect("two scenarios submitted"))
+            .run
+            .outcomes,
+    );
     Fig6 { orig, dvfs }
 }
 

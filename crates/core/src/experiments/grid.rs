@@ -92,6 +92,7 @@ pub fn run(opts: &ExpOptions) -> OriginalSizeGrid {
                 let base = &baselines
                     .iter()
                     .find(|(n, _)| n == name)
+                    // audit:allow(R1): scenario list interleaves each baseline before its cells
                     .expect("baseline precedes cells")
                     .1;
                 cells.push(GridCell {
@@ -116,6 +117,9 @@ impl OriginalSizeGrid {
     }
 
     /// The cell for an exact parameter combination.
+    // The thresholds compared are sweep-axis literals copied verbatim into
+    // the cells, so exact equality is the correct lookup key.
+    #[allow(clippy::float_cmp)]
     pub fn cell(&self, workload: &str, bsld_th: f64, wq: WqThreshold) -> Option<&GridCell> {
         self.cells.iter().find(|c| {
             c.workload == workload && c.cfg.bsld_threshold == bsld_th && c.cfg.wq_threshold == wq
@@ -165,6 +169,8 @@ impl OriginalSizeGrid {
     /// Mean energy saving (1 − normalized computational energy) across the
     /// five workloads, per parameter pair — the paper's "7–18 % on average
     /// depending on allowed job performance penalty" headline.
+    // Same exact-key argument as `cell` above.
+    #[allow(clippy::float_cmp)]
     pub fn average_savings(&self) -> Vec<(PowerAwareConfig, f64)> {
         let mut out = Vec::new();
         for &bt in &BSLD_THRESHOLDS {
@@ -213,6 +219,7 @@ impl OriginalSizeGrid {
             for &bt in &BSLD_THRESHOLDS {
                 let mut row = vec![format!("{name} {bt}")];
                 for &wq in &WQ_THRESHOLDS {
+                    // audit:allow(R1): the sweep above produced every (bt, wq) cell
                     let cell = self.cell(name, bt, wq).expect("complete grid");
                     row.push(f(cell));
                 }

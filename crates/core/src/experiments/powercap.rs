@@ -104,9 +104,11 @@ pub fn run(opts: &ExpOptions) -> CapSweep {
     let mut baselines: Vec<CapBaseline> = Vec::new();
     let mut cells = Vec::new();
     for ((p, cell), res) in tasks.into_iter().zip(results) {
+        // audit:allow(R1): swept cap fractions are chosen feasible for generated workloads
         let res = res.expect("cap fractions in the sweep are feasible for generated workloads");
         let r = crate::sim::PowerCappedResult {
             run: res.run,
+            // audit:allow(R1): observe=true forces power instrumentation on this path
             power: res.power.expect("instrumented cells report power"),
         };
         let name = p.display_name().to_string();
@@ -120,7 +122,9 @@ pub fn run(opts: &ExpOptions) -> CapSweep {
                 let base = baselines
                     .iter()
                     .find(|b| b.workload == name)
+                    // audit:allow(R1): scenario list interleaves each baseline before its cells
                     .expect("baseline precedes cells");
+                // audit:allow(R1): capped cells always carry a budget by construction
                 let budget = r.power.budget.expect("capped cells have a budget");
                 cells.push(CapCell {
                     workload: name,
@@ -142,6 +146,9 @@ pub fn run(opts: &ExpOptions) -> CapSweep {
 
 impl CapSweep {
     /// The cell for an exact parameter combination.
+    // The floats compared are sweep-axis literals copied verbatim into the
+    // cells, so exact equality is the correct lookup key.
+    #[allow(clippy::float_cmp)]
     pub fn cell(&self, workload: &str, cap: f64, th: f64) -> Option<&CapCell> {
         self.cells
             .iter()
@@ -150,6 +157,8 @@ impl CapSweep {
 
     /// The energy/BSLD frontier: for every `(cap, threshold)` pair, the
     /// mean normalised energy and mean BSLD across workloads.
+    // Same exact-key argument as `cell` above.
+    #[allow(clippy::float_cmp)]
     pub fn frontier(&self) -> Vec<(f64, f64, f64, f64)> {
         let mut out = Vec::new();
         for &cap in &CAP_FRACTIONS {

@@ -23,9 +23,9 @@
 //!   of the paper's evaluation section (see `DESIGN.md` for the index);
 //! * the `bsld-repro` binary exposing the harness on the command line.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod campaign;
 pub mod distrib;
 pub mod experiments;

@@ -200,6 +200,21 @@ pub enum WorkloadSpec {
 impl WorkloadSpec {
     /// Materialises the jobs (generation or trace replay).
     pub fn build(&self) -> Result<Workload, ScenarioError> {
+        self.build_with_abort(None)
+    }
+
+    /// As [`WorkloadSpec::build`], polling `abort` during the SWF
+    /// parse/clean phase.
+    ///
+    /// Archive traces run to millions of lines; a unit whose
+    /// `cell_budget_s` expires while still *loading* its trace must stop
+    /// here, not after the event loop finally starts. A raised flag maps to
+    /// [`bsld_sched::SimError::Aborted`] so budget attribution upstream is
+    /// identical to an in-simulation abort.
+    pub fn build_with_abort(
+        &self,
+        abort: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<Workload, ScenarioError> {
         match self {
             WorkloadSpec::Synthetic {
                 profile,
@@ -218,13 +233,26 @@ impl WorkloadSpec {
                 Ok(p.generate(*seed, *jobs))
             }
             WorkloadSpec::Swf { path, clean } => {
+                if abort.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst)) {
+                    return Err(ScenarioError::Sim(bsld_sched::SimError::Aborted));
+                }
                 let text = std::fs::read_to_string(path).map_err(|e| {
                     ScenarioError::Io(format!("cannot read {}: {e}", path.display()))
                 })?;
-                let mut trace = bsld_swf::parse_swf(&text)
-                    .map_err(|e| ScenarioError::Workload(e.to_string()))?;
+                let mut trace = bsld_swf::parse_swf_with_abort(&text, abort).map_err(|e| {
+                    if e.kind == bsld_swf::ParseErrorKind::Aborted {
+                        ScenarioError::Sim(bsld_sched::SimError::Aborted)
+                    } else {
+                        ScenarioError::Workload(e.to_string())
+                    }
+                })?;
                 if *clean {
-                    bsld_swf::clean_trace(&mut trace, &bsld_swf::CleanConfig::default());
+                    bsld_swf::clean_trace_with_abort(
+                        &mut trace,
+                        &bsld_swf::CleanConfig::default(),
+                        abort,
+                    )
+                    .map_err(|_| ScenarioError::Sim(bsld_sched::SimError::Aborted))?;
                 }
                 let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
                 Ok(Workload::from_swf(name, &trace))
@@ -261,6 +289,7 @@ impl GearSpec {
                         }
                     })
                     .collect();
+                // audit:allow(R1): interpolated gears are clamped to >= 2 strictly increasing entries
                 GearSet::new(gears).expect("interpolated set is valid")
             }
         }
@@ -642,7 +671,11 @@ impl Scenario {
         &self,
         abort: Option<&bsld_par::AbortFlag>,
     ) -> Result<ScenarioResult, ScenarioError> {
-        let w = self.build_workload()?;
+        // The workload build polls the same flag: an expired budget cancels
+        // a multi-million-line SWF parse, not just the event loop.
+        let w = self
+            .workload
+            .build_with_abort(abort.map(bsld_par::AbortFlag::as_atomic))?;
         let mut sim = self.simulator(&w)?;
         sim.engine.abort = abort.map(bsld_par::AbortFlag::handle);
         self.run_prepared(&sim, &w.jobs)
@@ -761,6 +794,7 @@ fn build_rails(spec: &PowerModelSpec, gears: &GearSet) -> Result<RailSet, Scenar
             Box::new(Constant::new(gears.clone(), NET_RAIL_SCALE * full)),
         ),
     ];
+    // audit:allow(R1): the static three-rail layout is structurally valid
     Ok(RailSet::new(rails).expect("the static three-rail layout is always valid"))
 }
 

@@ -1,0 +1,117 @@
+//! Regression tests for budget-driven cancellation of the SWF load phase.
+//!
+//! A `cell_budget_s` used to be observed only by the simulation event loop:
+//! a unit stuck *parsing* a multi-million-line archive trace would burn
+//! arbitrary wall-clock before its first budget check. These tests pin the
+//! fix — the parse/clean phase polls the same abort flag, and an expired
+//! budget is attributed exactly like an in-simulation abort.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use bsld_core::scenario::{ProfileName, ScenarioError, ScenarioSet, WorkloadSpec};
+use bsld_core::{run_campaign, CampaignOptions, Scenario};
+
+/// A synthetic SWF trace of `jobs` well-formed lines — large enough that a
+/// real parse takes visible work, small enough to generate instantly.
+fn synthetic_swf(jobs: usize) -> String {
+    let mut text = String::with_capacity(jobs * 64);
+    text.push_str("; MaxProcs: 64\n; UnixStartTime: 0\n");
+    for i in 0..jobs {
+        // job_id submit wait run cpus ... (18 fields)
+        // Spread submits and users so the default clean pass (flurry
+        // filter) keeps the trace mostly intact.
+        let line = format!(
+            "{} {} 10 {} 4 -1 -1 4 {} -1 1 {} 1 -1 1 -1 -1 -1\n",
+            i + 1,
+            i * 7,
+            100 + (i % 900),
+            1200,
+            1 + (i % 97)
+        );
+        text.push_str(&line);
+    }
+    text
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bsld_budget_abort_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn raised_flag_aborts_workload_build() {
+    let dir = temp_dir("build");
+    let swf = dir.join("trace.swf");
+    std::fs::write(&swf, synthetic_swf(10_000)).unwrap();
+
+    let spec = WorkloadSpec::Swf {
+        path: swf,
+        clean: true,
+    };
+    // Unraised flag: the build succeeds and yields every job.
+    let calm = AtomicBool::new(false);
+    let w = spec.build_with_abort(Some(&calm)).unwrap();
+    assert!(
+        !w.jobs.is_empty() && w.jobs.len() <= 10_000,
+        "clean pass kept {} jobs",
+        w.jobs.len()
+    );
+
+    // Raised flag: the build aborts instead of materialising the trace.
+    let raised = AtomicBool::new(true);
+    let err = spec.build_with_abort(Some(&raised)).unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::Sim(bsld_sched::SimError::Aborted)),
+        "expected Aborted, got: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flag_raised_mid_parse_stops_at_next_poll() {
+    // Drive the parse-phase poll directly: raise the flag between poll
+    // windows and check the parse cuts off at the next multiple of the
+    // poll interval instead of finishing the trace.
+    let text = synthetic_swf(50_000);
+    let flag = AtomicBool::new(false);
+    flag.store(true, Ordering::SeqCst);
+    let err = bsld_swf::parse_swf_with_abort(&text, Some(&flag)).unwrap_err();
+    assert_eq!(err.kind, bsld_swf::ParseErrorKind::Aborted);
+    assert_eq!(err.line, 1, "a pre-raised flag must stop at the first poll");
+}
+
+#[test]
+fn zero_budget_campaign_fails_swf_unit_during_load_phase() {
+    let dir = temp_dir("campaign");
+    let swf = dir.join("trace.swf");
+    std::fs::write(&swf, synthetic_swf(20_000)).unwrap();
+
+    let mut base = Scenario::synthetic("swf_budget", ProfileName::Ctc, 1, 1);
+    base.workload = WorkloadSpec::Swf {
+        path: swf,
+        clean: true,
+    };
+    let set = ScenarioSet {
+        base,
+        axes: Vec::new(),
+        replications: 1,
+        cell_budget_s: Some(0.0),
+    };
+
+    let outcome = run_campaign(&set, &CampaignOptions::in_memory(1), None).unwrap();
+    assert_eq!(outcome.rows.len(), 1);
+    let row = &outcome.rows[0];
+    let reason = match &row.outcome {
+        bsld_core::campaign::RepOutcome::Failed { reason } => reason.clone(),
+        other => panic!("unit must fail under a zero budget, got {other:?}"),
+    };
+    assert!(
+        reason.contains("exceeded cell_budget_s = 0"),
+        "budget expiry must be attributed to the budget, got: {reason}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,6 +2,7 @@
 //! name runs green at reduced scale, help exits 0, unknown names list the
 //! valid ones, and the `run` subcommand executes a scenario file.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::path::PathBuf;
 use std::process::{Command, Output};
 

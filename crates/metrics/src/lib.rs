@@ -9,9 +9,9 @@
 //! * [`csvout`] / [`jsonout`] — hand-rolled CSV and JSON writers (kept
 //!   dependency-free on purpose; see DESIGN.md §8).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod ci;
 pub mod csvout;
 pub mod detail;

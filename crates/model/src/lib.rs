@@ -10,9 +10,9 @@
 //! * [`GearId`] — an index into a DVFS gear set (the gear table itself lives
 //!   in `bsld-cluster`).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod bsld;
 pub mod gear_id;
 pub mod job;

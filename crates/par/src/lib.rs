@@ -12,9 +12,9 @@
 //! pool, and the sweep granularity — whole simulations, milliseconds each —
 //! makes lock contention on the queue irrelevant.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -100,7 +100,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // audit:allow(R1): a worker panic propagates out of the scope before this read
                 .expect("no worker panicked (scope would have propagated it)")
+                // audit:allow(R1): the queue drains fully unless a panic aborted the pool
                 .expect("worker filled every slot")
         })
         .collect()
@@ -172,6 +174,13 @@ impl AbortFlag {
     /// `Arc<AtomicBool>`.
     pub fn handle(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.0)
+    }
+
+    /// A borrowed view of the shared atomic, for APIs that poll a
+    /// `&AtomicBool` without taking ownership (e.g. the SWF parse/clean
+    /// phase).
+    pub fn as_atomic(&self) -> &AtomicBool {
+        &self.0
     }
 }
 

@@ -27,9 +27,9 @@
 //! energy in the reproduction is a ratio against a no-DVFS run of the same
 //! workload, so the absolute scale cancels.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod energy;
 pub mod model;
 pub mod models;

@@ -14,6 +14,9 @@ use crate::model::PowerModel;
 
 /// Piecewise-linear interpolation over `points` sorted by ascending `x`,
 /// clamped to the first/last point outside the covered range.
+// Exact equality guards a duplicated knot (x1 == x0 would divide by zero);
+// the knots are literals from calibration tables, not computed values.
+#[allow(clippy::float_cmp)]
 pub(crate) fn interp_clamped(points: &[(f64, f64)], x: f64) -> f64 {
     debug_assert!(!points.is_empty(), "interpolation needs at least one point");
     if x <= points[0].0 {

@@ -40,8 +40,12 @@ impl BetaModel {
     /// Rounds to the nearest whole second, never below 1 s; the rounding is
     /// monotone in `secs`, so `requested ≥ runtime` is preserved under
     /// dilation.
+    // Rust guarantees f64 -> u64 `as` saturates at the type bounds; the
+    // audit:allow lines below carry the same justification.
+    #[allow(clippy::cast_possible_truncation)]
     #[inline]
     pub fn dilate(&self, secs: u64, beta: f64, gear: GearId) -> u64 {
+        // audit:allow(N2): f64 -> u64 `as` saturates at the bounds; result clamped >= 1
         ((secs as f64 * self.coef(beta, gear)).round() as u64).max(1)
     }
 
@@ -54,11 +58,14 @@ impl BetaModel {
 
     /// Wall seconds needed to complete `work` top-frequency work-seconds at
     /// `gear` (rounded up, at least 1 s for positive work).
+    // Same saturation argument as `dilate` above.
+    #[allow(clippy::cast_possible_truncation)]
     #[inline]
     pub fn wall_for_work(&self, work: f64, beta: f64, gear: GearId) -> u64 {
         if work <= 0.0 {
             return 0;
         }
+        // audit:allow(N2): f64 -> u64 `as` saturates at the bounds; result clamped >= 1
         ((work * self.coef(beta, gear)).ceil() as u64).max(1)
     }
 }

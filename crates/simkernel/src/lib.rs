@@ -17,9 +17,9 @@
 //! nothing about jobs, processors or power. See `bsld-sched` for the
 //! scheduling engine built on top of it.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod events;
 pub mod rng;
 pub mod stats;

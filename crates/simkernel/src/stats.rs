@@ -310,6 +310,7 @@ impl TimeWeighted {
             None => 0.0,
             Some(s) => {
                 let span = end.saturating_since(s) as f64;
+                // audit:allow(N1): span is an integer difference cast to f64; zero is exact
                 if span == 0.0 {
                     self.level
                 } else {

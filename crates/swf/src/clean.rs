@@ -6,7 +6,27 @@
 //! plus the usual simulator hygiene steps, and the 5 000-job segment
 //! selection with arrival rebasing.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::record::{SwfRecord, SwfTrace};
+
+/// How many records are processed between two abort-flag polls in
+/// [`clean_trace_with_abort`] (same granularity rationale as the parser's
+/// line poll).
+const ABORT_POLL_RECORDS: usize = 4096;
+
+/// The abort flag was raised mid-clean; the trace's record list is left in
+/// an unspecified (partially drained) state and must not be simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleanAborted;
+
+impl std::fmt::Display for CleanAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace cleaning aborted (abort flag raised)")
+    }
+}
+
+impl std::error::Error for CleanAborted {}
 
 /// Parameters of [`clean_trace`].
 #[derive(Debug, Clone)]
@@ -58,12 +78,34 @@ pub struct CleanSummary {
 
 /// Cleans a trace in place and reports what changed.
 pub fn clean_trace(trace: &mut SwfTrace, cfg: &CleanConfig) -> CleanSummary {
+    // The error arm is unreachable: without an abort flag the poll can
+    // never trip. Defaulting keeps this signature infallible without
+    // introducing a panic path.
+    clean_trace_with_abort(trace, cfg, None).unwrap_or_default()
+}
+
+/// As [`clean_trace`], polling `abort` every few thousand records in both
+/// cleaning passes. On [`CleanAborted`] the trace's record list is
+/// unspecified (partially processed) and must be discarded — the campaign
+/// layer maps this straight to a failed, budget-attributed unit.
+pub fn clean_trace_with_abort(
+    trace: &mut SwfTrace,
+    cfg: &CleanConfig,
+    abort: Option<&AtomicBool>,
+) -> Result<CleanSummary, CleanAborted> {
+    let raised = |i: usize| {
+        i.is_multiple_of(ABORT_POLL_RECORDS)
+            && abort.is_some_and(|flag| flag.load(Ordering::SeqCst))
+    };
     let mut summary = CleanSummary::default();
     let max_procs = trace.header.max_procs;
 
     // Pass 1: validity filters and runtime clamping.
     let mut kept: Vec<SwfRecord> = Vec::with_capacity(trace.records.len());
-    for mut r in trace.records.drain(..) {
+    for (i, mut r) in trace.records.drain(..).enumerate() {
+        if raised(i) {
+            return Err(CleanAborted);
+        }
         let procs = r.effective_procs();
         let valid_shape = procs.is_some() && r.run_time > 0 && r.submit >= 0;
         if !valid_shape {
@@ -96,7 +138,10 @@ pub fn clean_trace(trace: &mut SwfTrace, cfg: &CleanConfig) -> CleanSummary {
     let mut recent: std::collections::HashMap<i64, std::collections::VecDeque<i64>> =
         std::collections::HashMap::new();
     let mut out: Vec<SwfRecord> = Vec::with_capacity(kept.len());
-    for r in kept {
+    for (i, r) in kept.into_iter().enumerate() {
+        if raised(i) {
+            return Err(CleanAborted);
+        }
         if r.user >= 0 && cfg.flurry_max_jobs > 0 {
             let window = recent.entry(r.user).or_default();
             while let Some(&front) = window.front() {
@@ -115,7 +160,7 @@ pub fn clean_trace(trace: &mut SwfTrace, cfg: &CleanConfig) -> CleanSummary {
         out.push(r);
     }
     trace.records = out;
-    summary
+    Ok(summary)
 }
 
 /// Selects a `count`-job segment starting at `start` (by index in submit
@@ -162,6 +207,29 @@ mod tests {
             },
             records,
         }
+    }
+
+    #[test]
+    fn raised_abort_flag_stops_the_clean() {
+        let mut t = trace_with(vec![SwfRecord::simple(1, 0, 100, 4, 100)]);
+        let flag = AtomicBool::new(true);
+        let err = clean_trace_with_abort(&mut t, &CleanConfig::default(), Some(&flag)).unwrap_err();
+        assert_eq!(err, CleanAborted);
+        assert!(err.to_string().contains("aborted"));
+    }
+
+    #[test]
+    fn unraised_abort_flag_changes_nothing() {
+        let records = vec![
+            SwfRecord::simple(1, 0, 100, 4, 100),
+            SwfRecord::simple(2, 0, 0, 4, 100), // zero runtime: dropped
+        ];
+        let mut with = trace_with(records.clone());
+        let mut without = trace_with(records);
+        let s1 = clean_trace_with_abort(&mut with, &CleanConfig::default(), None).unwrap();
+        let s2 = clean_trace(&mut without, &CleanConfig::default());
+        assert_eq!(s1, s2);
+        assert_eq!(with, without);
     }
 
     #[test]

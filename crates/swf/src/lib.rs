@@ -13,9 +13,9 @@
 //! * [`stats`] — trace summaries (size/runtime distributions, offered load);
 //! * [`convert`] — conversion into `bsld-model` [`bsld_model::Job`]s.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod clean;
 pub mod convert;
 pub mod parse;
@@ -23,9 +23,11 @@ pub mod record;
 pub mod stats;
 pub mod write;
 
-pub use clean::{clean_trace, select_segment, CleanConfig, CleanSummary};
+pub use clean::{
+    clean_trace, clean_trace_with_abort, select_segment, CleanAborted, CleanConfig, CleanSummary,
+};
 pub use convert::records_to_jobs;
-pub use parse::{parse_swf, ParseError};
+pub use parse::{parse_swf, parse_swf_with_abort, ParseError, ParseErrorKind};
 pub use record::{SwfHeader, SwfRecord, SwfTrace};
 pub use stats::TraceStats;
 pub use write::write_swf;

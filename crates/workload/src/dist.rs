@@ -136,6 +136,9 @@ pub struct LogUniform {
 }
 
 impl Sample for LogUniform {
+    // Exact equality guards the degenerate lo == hi range, where the two
+    // bounds are the *same configured value*, not computed floats.
+    #[allow(clippy::float_cmp)]
     fn sample(&self, rng: &mut SmallRng) -> f64 {
         debug_assert!(self.lo > 0.0 && self.hi >= self.lo);
         if self.hi == self.lo {

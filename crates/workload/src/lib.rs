@@ -23,9 +23,9 @@
 //!   inflation, request-the-maximum users);
 //! * [`profiles`] — the five calibrated [`profiles::TraceProfile`]s.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub mod arrivals;
 pub mod dist;
 pub mod estimates;

@@ -10,6 +10,7 @@
 //! question: "can more DVFS processors execute the same load with less
 //! energy *and* better service?"
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
 use bsld::metrics::TextTable;
 use bsld::par::par_map;

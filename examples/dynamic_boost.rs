@@ -9,6 +9,7 @@
 //! the boost extension at several queue limits, on a bursty workload where
 //! DVFS-induced queueing is the dominant cost.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
 use bsld::metrics::TextTable;
 use bsld::par::par_map;

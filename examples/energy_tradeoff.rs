@@ -7,6 +7,7 @@
 //!
 //! `workload` ∈ {ctc, sdsc, blue, thunder, atlas}; default `blue`.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
 use bsld::metrics::TextTable;
 use bsld::workload::profiles::TraceProfile;

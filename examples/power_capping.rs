@@ -10,6 +10,7 @@
 //! baseline, sleep states only, capped baseline, capped + the paper's
 //! DVFS policy — and prints the ledger-level power picture of each.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::{PowerAwareConfig, PowerCapConfig, Simulator, WqThreshold};
 use bsld::metrics::TextTable;
 use bsld::powercap::SleepConfig;

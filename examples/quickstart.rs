@@ -9,6 +9,7 @@
 //! policy at the paper's medium setting (threshold 2, no queue limit), and
 //! prints the energy/performance trade-off.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
 use bsld::metrics::TextTable;
 use bsld::workload::profiles::TraceProfile;

@@ -8,6 +8,7 @@
 //! cargo run --release --example scenario_sweep
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::scenario::{
     PolicySpec, ProfileName, Scenario, ScenarioSet, SleepSpec, SweepAxis, WorkloadSpec,
 };

@@ -10,6 +10,7 @@
 //! choice matters, and what a partition-constrained machine (contiguous
 //! allocation) loses to fragmentation.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::cluster::SelectionPolicy;
 use bsld::core::{PowerAwareConfig, Simulator};
 use bsld::metrics::TextTable;

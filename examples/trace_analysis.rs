@@ -10,6 +10,7 @@
 //! what the Parallel Workload Archive's "cleaned" traces went through
 //! before the paper used them.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::Simulator;
 use bsld::swf::{
     clean_trace, parse_swf, select_segment, write_swf, CleanConfig, SwfHeader, SwfRecord, SwfTrace,

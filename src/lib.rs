@@ -46,9 +46,9 @@
 //! assert!(dvfs.metrics.energy.computational <= base.metrics.energy.computational);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
-
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 pub use bsld_cluster as cluster;
 pub use bsld_core as core;
 pub use bsld_metrics as metrics;

@@ -4,6 +4,7 @@
 //! dedup vs. conflict rejection, spec pinning, coverage validation, and
 //! per-unit wall-time budgets.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::collections::HashSet;
 use std::path::PathBuf;
 

@@ -3,6 +3,7 @@
 //! results), replication aggregation against hand-computed statistics,
 //! and cell-ID stability.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::path::PathBuf;
 
 use bsld::core::campaign::{

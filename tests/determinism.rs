@@ -4,6 +4,7 @@
 //! same seed ⇒ same workload ⇒ same schedule ⇒ same metrics — regardless of
 //! how many worker threads the sweep uses.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::experiments::{grid, table1, ExpOptions};
 use bsld::core::{PowerAwareConfig, Simulator};
 use bsld::par::par_map;

@@ -1,0 +1,128 @@
+//! The dynamic half of the determinism contract.
+//!
+//! `bsld-repro audit` (crates/audit) enforces the *static* half: no hash
+//! iteration, no wall-clock reads, no float-equality, in the crates whose
+//! output is persisted. Its rules are lexical approximations, so this test
+//! closes the loop dynamically: the golden campaign spec is executed
+//!
+//! 1. twice in fresh directories — results and report must be
+//!    byte-identical across the two runs (same process, different
+//!    allocator state and directory inodes, so any hash-order or
+//!    address-keyed leak shows up); the append-log manifest must match as
+//!    a row *set* when parallel and byte-for-byte single-threaded;
+//! 2. once as two sharded workers plus a merge — the merged artifacts must
+//!    be byte-identical to the single-process run, covering the
+//!    distributed path the audit's flow-insensitive D1 heuristic cannot
+//!    prove safe.
+//!
+//! Any drift prints the first differing artifact in full.
+
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bsld::core::campaign::{run_campaign, CampaignOptions, JSON_FILE, MANIFEST_FILE, RESULTS_FILE};
+use bsld::core::distrib::{merge_campaign, run_worker, Shard};
+use bsld::core::ScenarioSet;
+
+fn golden_set() -> ScenarioSet {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/golden_campaign.scn");
+    ScenarioSet::parse(&fs::read_to_string(path).unwrap()).unwrap()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bsld_rerun_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Asserts that `name` exists in both directories with identical bytes.
+fn assert_same_bytes(a: &Path, b: &Path, name: &str) {
+    let want = fs::read(a.join(name)).unwrap_or_else(|e| panic!("{}/{name}: {e}", a.display()));
+    let got = fs::read(b.join(name)).unwrap_or_else(|e| panic!("{}/{name}: {e}", b.display()));
+    assert!(
+        want == got,
+        "{name} differs between {} and {}:\n--- first ---\n{}\n--- second ---\n{}",
+        a.display(),
+        b.display(),
+        String::from_utf8_lossy(&want),
+        String::from_utf8_lossy(&got),
+    );
+}
+
+/// Reads the manifest as a sorted set of rows (header kept first): the
+/// manifest is a crash-safe append log, so under `threads > 1` its row
+/// *order* is completion order — scheduler-dependent by design — while its
+/// row *set* must not vary.
+fn sorted_manifest(dir: &Path) -> Vec<String> {
+    let text = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+    let mut lines = text.lines().map(str::to_string);
+    let header = lines.next().unwrap();
+    let mut rows: Vec<String> = lines.collect();
+    rows.sort();
+    std::iter::once(header).chain(rows).collect()
+}
+
+#[test]
+fn same_spec_twice_produces_identical_artifacts() {
+    let set = golden_set();
+    let first = tmp_dir("first");
+    let second = tmp_dir("second");
+    for dir in [&first, &second] {
+        let outcome = run_campaign(&set, &CampaignOptions::fresh(2, dir), None).unwrap();
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    }
+    for name in [RESULTS_FILE, JSON_FILE] {
+        assert_same_bytes(&first, &second, name);
+    }
+    assert_eq!(
+        sorted_manifest(&first),
+        sorted_manifest(&second),
+        "manifest row sets must match across runs"
+    );
+    fs::remove_dir_all(&first).ok();
+    fs::remove_dir_all(&second).ok();
+}
+
+#[test]
+fn single_threaded_runs_are_identical_down_to_the_manifest() {
+    // With one worker the completion order is the plan order, so even the
+    // append-log manifest must be byte-stable.
+    let set = golden_set();
+    let first = tmp_dir("st_first");
+    let second = tmp_dir("st_second");
+    for dir in [&first, &second] {
+        let outcome = run_campaign(&set, &CampaignOptions::fresh(1, dir), None).unwrap();
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    }
+    for name in [RESULTS_FILE, JSON_FILE, MANIFEST_FILE] {
+        assert_same_bytes(&first, &second, name);
+    }
+    fs::remove_dir_all(&first).ok();
+    fs::remove_dir_all(&second).ok();
+}
+
+#[test]
+fn two_shard_worker_merge_matches_single_process() {
+    let set = golden_set();
+    let single = tmp_dir("single");
+    let outcome = run_campaign(&set, &CampaignOptions::fresh(2, &single), None).unwrap();
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+
+    let shared = tmp_dir("sharded");
+    fs::create_dir_all(&shared).unwrap();
+    for i in 0..2 {
+        let out = run_worker(&set, Shard::new(i, 2).unwrap(), 2, &shared, None).unwrap();
+        assert!(out.failures.is_empty(), "shard {i}: {:?}", out.failures);
+    }
+    let merged = merge_campaign(&shared).unwrap();
+    assert!(merged.outcome.failures.is_empty());
+    assert_eq!(merged.workers, vec![0, 1]);
+    assert_eq!(merged.duplicate_rows, 0);
+
+    for name in [RESULTS_FILE, JSON_FILE] {
+        assert_same_bytes(&single, &shared, name);
+    }
+    fs::remove_dir_all(&single).ok();
+    fs::remove_dir_all(&shared).ok();
+}

@@ -3,6 +3,7 @@
 //! These scenarios are small enough to verify by hand; each pins down a
 //! behaviour of the scheduling substrate that the paper's policy relies on.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::cluster::{Cluster, GearSet};
 use bsld::model::{Job, JobId};
 use bsld::power::BetaModel;

@@ -3,6 +3,7 @@
 //! The energy numbers behind Figures 3/7/8 must be *derivable by hand* from
 //! the schedule; these tests recompute them independently and compare.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::cluster::GearSet;
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
 use bsld::model::GearId;

@@ -1,6 +1,7 @@
 //! Integration tests: the Section 5.2 enlarged-systems claims, at reduced
 //! scale.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::experiments::{enlarged, ExpOptions};
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
 use bsld::workload::profiles::TraceProfile;

@@ -7,6 +7,7 @@
 //! spec which never mentions a model is priced, scheduled, aggregated and
 //! rendered exactly as before.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::fs;
 use std::path::{Path, PathBuf};
 

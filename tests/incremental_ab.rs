@@ -10,6 +10,7 @@
 //! rebuilds (counters exposed via `SimResult::stats` /
 //! `RunResult::pass_stats`).
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
 use bsld::model::Job;
 use bsld::simkernel::Time;

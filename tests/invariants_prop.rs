@@ -4,6 +4,7 @@
 //! assert the invariants that must hold for *every* schedule the engine can
 //! produce, under both the baseline and the paper's policy.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::cluster::{Cluster, GearSet};
 use bsld::core::{BsldThresholdPolicy, PowerAwareConfig, WqThreshold};
 use bsld::model::Job;

@@ -4,6 +4,7 @@
 //! behaviour, exercised through the full simulator on calibrated (scaled)
 //! workloads.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};
 use bsld::model::GearId;
 use bsld::sched::validate_schedule;

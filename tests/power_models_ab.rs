@@ -16,6 +16,7 @@
 //!   and the same CPU-rail energy, bit for bit, as a spec that never
 //!   mentions a model.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::cluster::GearSet;
 use bsld::core::scenario::{PowerModelSpec, ProfileName, Scenario, WorkloadSpec};
 use bsld::core::{PowerAwareConfig, Simulator, WqThreshold};

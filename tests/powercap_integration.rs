@@ -3,6 +3,7 @@
 //! enforcement on calibrated workloads, sleep-state savings, and the
 //! power-series writers.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::{PowerAwareConfig, PowerCapConfig, Simulator, WqThreshold};
 use bsld::metrics::series::{resample_power_series, write_power_series};
 use bsld::powercap::SleepConfig;

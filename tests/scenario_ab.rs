@@ -9,6 +9,7 @@
 //! the paper's grid (Figs. 3–5) and the power-cap frontier at reduced
 //! scale and compare outcomes, metrics and power series.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::experiments::{grid, powercap, ExpOptions};
 use bsld::core::scenario::{PolicySpec, ProfileName, Scenario, SleepSpec};
 use bsld::core::{PowerAwareConfig, PowerCapConfig, Simulator, WqThreshold};

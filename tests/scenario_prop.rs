@@ -2,6 +2,7 @@
 //! over randomized specs — every sub-spec variant, SWF paths, custom sleep
 //! ladders and sweep axes included.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::path::PathBuf;
 
 use bsld::core::scenario::{

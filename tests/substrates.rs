@@ -2,6 +2,7 @@
 //! conservative backfilling and resource selection policies — exercised at
 //! workload scale through the facade.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::cluster::SelectionPolicy;
 use bsld::core::{PowerAwareConfig, Simulator};
 use bsld::sched::validate_schedule;

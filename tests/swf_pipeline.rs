@@ -1,6 +1,7 @@
 //! Integration tests: the SWF pipeline — generate → write → parse → clean →
 //! simulate — plus property-based round-trips.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use bsld::core::Simulator;
 use bsld::sched::validate_schedule;
 use bsld::swf::{
