@@ -143,7 +143,7 @@ pub enum FileKind {
 
 /// Crates whose iteration order feeds persisted artifacts (reports, CSVs,
 /// manifests, schedules): rule D1 applies.
-const DETERMINISM_CRITICAL: [&str; 10] = [
+const DETERMINISM_CRITICAL: [&str; 11] = [
     "core",
     "sched",
     "simkernel",
@@ -154,6 +154,9 @@ const DETERMINISM_CRITICAL: [&str; 10] = [
     "workload",
     "cluster",
     "model",
+    // The daemon's replies must be byte-identical to the one-shot CLI;
+    // its clock reads (uptime, budget watchdog) carry per-line escapes.
+    "serve",
 ];
 
 /// Crates exempt from D2 wholesale: `par` implements the wall-clock budget

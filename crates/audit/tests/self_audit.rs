@@ -52,6 +52,53 @@ fn the_workspace_is_clean() {
 }
 
 #[test]
+fn the_serve_crate_is_audited_as_determinism_critical() {
+    // Positive control: the daemon's sources are in the scanned set (its
+    // library logic is under the full contract; the deliberate clock reads
+    // in daemon.rs carry justified audit:allow(D2) escapes, counted as
+    // suppressed, not violations).
+    let report = audit_workspace(&workspace_root()).expect("walk workspace");
+    for file in [
+        "crates/serve/src/daemon.rs",
+        "crates/serve/src/state.rs",
+        "crates/serve/src/cache.rs",
+        "crates/serve/src/proto.rs",
+        "crates/serve/src/client.rs",
+    ] {
+        assert!(
+            report.files_scanned.iter().any(|f| f == file),
+            "{file} must be audited"
+        );
+    }
+
+    // Negative control: hash-order iteration seeded into a scratch `serve`
+    // crate must trip D1 — proving the daemon is on the
+    // determinism-critical list, not just scanned.
+    let root = std::env::temp_dir().join(format!("bsld-audit-serve-{}", std::process::id()));
+    let src_dir = root.join("crates/serve/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir scratch workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "use std::collections::HashMap;\n\
+         pub fn dump(cells: &HashMap<u64, f64>) {\n\
+         \x20   for (k, v) in cells.iter() {\n\
+         \x20       println!(\"{k} {v}\");\n\
+         \x20   }\n\
+         }\n",
+    )
+    .expect("write seeded violation");
+
+    let report = audit_workspace(&root).expect("walk scratch workspace");
+    std::fs::remove_dir_all(&root).ok();
+    assert!(
+        report.violations.iter().any(|v| v.rule == Rule::D1),
+        "hash-order iteration in crates/serve must fail D1:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
 fn a_seeded_violation_fails_the_audit() {
     // A unique-per-process scratch workspace; no wall clock or RNG needed.
     let root = std::env::temp_dir().join(format!("bsld-audit-neg-{}", std::process::id()));

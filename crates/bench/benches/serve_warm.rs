@@ -1,0 +1,93 @@
+//! Bench: warm vs cold query latency in the scheduling-as-a-service path.
+//!
+//! Measures [`ServerState::run_query`] — the daemon's whole-request body,
+//! minus the socket — at its three temperatures:
+//!
+//! * `cold_full_query` — a fresh state per iteration: parse the spec,
+//!   generate the workload, simulate, render (what a one-shot CLI run
+//!   pays);
+//! * `warm_workload_cache` — a resident state, but a never-seen-before
+//!   threshold override per iteration: the generated workload is reused,
+//!   only the cells simulate;
+//! * `warm_result_cache` — the steady state of a repeated what-if query:
+//!   every cell hits the content-hash result cache, only the report
+//!   renders.
+//!
+//! Run with `cargo bench -p bsld-bench --bench serve_warm`; medians feed
+//! `BENCH_serve.json` and the README latency table.
+
+use bsld_serve::{Overrides, ServerState, StateConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::Cell;
+use std::hint::black_box;
+
+/// One cell on a mid-size CTC-like trace — big enough that simulation
+/// dominates, small enough for the bench budget. No sweep axis: a sweep
+/// on a knob would overwrite that knob's override (file wins), defeating
+/// the never-cached-threshold trick below.
+const SCN: &str = "scenario = bench\n\
+                   workload = synthetic\n\
+                   profile = ctc\n\
+                   jobs = 1000\n\
+                   seed = 2010\n\
+                   policy = bsld:2/NO\n";
+
+fn state() -> ServerState {
+    ServerState::new(StateConfig {
+        threads: 1,
+        ..StateConfig::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_warm");
+    g.sample_size(10);
+
+    g.bench_function("cold_full_query", |b| {
+        b.iter(|| {
+            let fresh = state();
+            let reply = fresh
+                .run_query(black_box(SCN), &Overrides::default())
+                .unwrap();
+            assert_eq!(reply.cached, 0);
+            black_box(reply.table.len())
+        })
+    });
+
+    // A resident state whose workload cache is warm but whose result cache
+    // never hits: every iteration asks a threshold nobody asked before.
+    let resident = state();
+    resident.run_query(SCN, &Overrides::default()).unwrap();
+    let n = Cell::new(0u64);
+    g.bench_function("warm_workload_cache", |b| {
+        b.iter(|| {
+            n.set(n.get() + 1);
+            let ov = Overrides {
+                // Unique per iteration, numerically indistinguishable work.
+                bsld_th: Some(2.0 + n.get() as f64 * 1e-9),
+                ..Overrides::default()
+            };
+            let reply = resident.run_query(black_box(SCN), &ov).unwrap();
+            assert_eq!(reply.cached, 0);
+            black_box(reply.table.len())
+        })
+    });
+
+    // The steady state: the exact query again — all cells cached.
+    let warm = state();
+    warm.run_query(SCN, &Overrides::default()).unwrap();
+    g.bench_function("warm_result_cache", |b| {
+        b.iter(|| {
+            let reply = warm
+                .run_query(black_box(SCN), &Overrides::default())
+                .unwrap();
+            assert_eq!(reply.cached, 1);
+            black_box(reply.table.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -36,6 +36,11 @@
 //!                                        run one simulation, print the
 //!                                        detailed report; --export writes
 //!                                        PREFIX_{schedule,utilization,queue}.csv
+//!   serve --socket PATH                  scheduling-as-a-service daemon:
+//!                                        resident workloads + cached cells
+//!                                        answering JSON queries on a Unix
+//!                                        socket (see crates/serve)
+//!   query <op> --socket PATH             one request to a running daemon
 //! ```
 
 use std::path::PathBuf;
@@ -46,8 +51,8 @@ use bsld_core::distrib::{merge_campaign, run_worker, worker_manifest_file, Shard
 use bsld_core::experiments::{ablation, enlarged, fig6, grid, powercap, table1, ExpOptions};
 use bsld_core::policy::WqThreshold;
 use bsld_core::scenario::{PolicySpec, ProfileName, ScenarioSet, WorkloadSpec};
-use bsld_core::Scenario;
-use bsld_metrics::{Json, RunDetails, TextTable};
+use bsld_core::{sweep_report, CellOutcome, Scenario};
+use bsld_metrics::{Json, RunDetails};
 
 /// Every experiment name the CLI accepts, shown by `--help` and by
 /// unknown-experiment errors.
@@ -69,7 +74,7 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: bsld-repro <{}|run|campaign-worker|campaign-merge|generate|simulate|audit> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+        "usage: bsld-repro <{}|run|campaign-worker|campaign-merge|generate|simulate|audit|serve|query> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
          run:       run FILE.scn [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv] [--resume DIR]\n\
          \x20          (files with `replications = N`, `cell_budget_s`, or --resume run as a\n\
          \x20          campaign: per-cell mean ± 95% CI, incremental manifest, cached cells\n\
@@ -84,7 +89,15 @@ fn usage() -> String {
          simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]\n\
          audit:     audit [--json] [--root DIR]\n\
          \x20          (static determinism/numeric-safety audit of the workspace source;\n\
-         \x20          exit 1 on violations — see crates/audit)",
+         \x20          exit 1 on violations — see crates/audit)\n\
+         serve:     serve --socket PATH [--workers W] [--threads T] [--cache N] [--budget S]\n\
+         \x20          (daemon: keeps parsed workloads and finished cells resident, answers\n\
+         \x20          line-delimited JSON queries on the Unix socket until shutdown)\n\
+         query:     query <run FILE.scn|status|cache [clear]|shutdown> --socket PATH\n\
+         \x20          [--set key=value ...] [--budget S]\n\
+         \x20          (one request to a running daemon; `run` prints the same table as the\n\
+         \x20          one-shot run subcommand, --set tweaks single knobs: bsld_th, wq, cap,\n\
+         \x20          model, jobs, seed, profile, enlarge_pct)",
         EXPERIMENTS.join("|")
     )
 }
@@ -113,6 +126,19 @@ struct Args {
     resume: Option<PathBuf>,
     /// `--shard I/N` for `campaign-worker`.
     shard: Option<String>,
+    /// Unix-socket path for `serve` / `query`.
+    socket: Option<PathBuf>,
+    /// `serve --workers N`: concurrent connection handlers.
+    workers: Option<usize>,
+    /// `serve --cache N`: result-cache capacity in cells.
+    cache: Option<usize>,
+    /// `serve --budget S` (default per-request budget) or `query run
+    /// --budget S` (this request's budget override).
+    budget: Option<f64>,
+    /// `query run --set key=value` overrides (repeatable).
+    sets: Vec<String>,
+    /// Second positional operand (`query run FILE.scn`, `query cache clear`).
+    positional2: Option<String>,
 }
 
 /// `Ok(true)`: `--help` was requested (print usage, exit 0).
@@ -133,6 +159,12 @@ fn parse_args() -> Result<(Args, bool), String> {
     let mut export = None;
     let mut resume = None;
     let mut shard = None;
+    let mut socket = None;
+    let mut workers = None;
+    let mut cache = None;
+    let mut budget = None;
+    let mut sets = Vec::new();
+    let mut positional2 = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -189,6 +221,28 @@ fn parse_args() -> Result<(Args, bool), String> {
             "--shard" => {
                 shard = Some(it.next().ok_or("--shard needs a value (I/N)")?);
             }
+            "--socket" => {
+                socket = Some(PathBuf::from(it.next().ok_or("--socket needs a path")?));
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = Some(v.parse().map_err(|_| format!("bad --workers value: {v}"))?);
+            }
+            "--cache" => {
+                let v = it.next().ok_or("--cache needs a value")?;
+                cache = Some(v.parse().map_err(|_| format!("bad --cache value: {v}"))?);
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value (seconds)")?;
+                budget = Some(v.parse().map_err(|_| format!("bad --budget value: {v}"))?);
+            }
+            "--set" => {
+                let v = it.next().ok_or("--set needs key=value")?;
+                if !v.contains('=') {
+                    return Err(format!("bad --set {v:?}: expected key=value"));
+                }
+                sets.push(v);
+            }
             "--help" | "-h" => help = true,
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
@@ -199,11 +253,20 @@ fn parse_args() -> Result<(Args, bool), String> {
             other
                 if matches!(
                     experiment.as_deref(),
-                    Some("run" | "campaign-worker" | "campaign-merge")
+                    Some("run" | "campaign-worker" | "campaign-merge" | "query")
                 ) && positional.is_none()
                     && !other.starts_with('-') =>
             {
                 positional = Some(other.to_string());
+            }
+            // `query` takes a second operand: `query run FILE.scn`,
+            // `query cache clear`.
+            other
+                if experiment.as_deref() == Some("query")
+                    && positional2.is_none()
+                    && !other.starts_with('-') =>
+            {
+                positional2 = Some(other.to_string());
             }
             other => return Err(format!("unknown argument: {other}\n{}", usage())),
         }
@@ -227,6 +290,12 @@ fn parse_args() -> Result<(Args, bool), String> {
                 export,
                 resume,
                 shard,
+                socket,
+                workers,
+                cache,
+                budget,
+                sets,
+                positional2,
             },
             true,
         ));
@@ -241,6 +310,30 @@ fn parse_args() -> Result<(Args, bool), String> {
     if shard.is_some() && experiment != "campaign-worker" {
         return Err(format!(
             "--shard only applies to the campaign-worker subcommand\n{}",
+            usage()
+        ));
+    }
+    if socket.is_some() && !matches!(experiment.as_str(), "serve" | "query") {
+        return Err(format!(
+            "--socket only applies to the serve and query subcommands\n{}",
+            usage()
+        ));
+    }
+    if (workers.is_some() || cache.is_some()) && experiment != "serve" {
+        return Err(format!(
+            "--workers/--cache only apply to the serve subcommand\n{}",
+            usage()
+        ));
+    }
+    if !sets.is_empty() && experiment != "query" {
+        return Err(format!(
+            "--set only applies to the query subcommand\n{}",
+            usage()
+        ));
+    }
+    if budget.is_some() && !matches!(experiment.as_str(), "serve" | "query") {
+        return Err(format!(
+            "--budget only applies to the serve and query subcommands\n{}",
             usage()
         ));
     }
@@ -261,6 +354,12 @@ fn parse_args() -> Result<(Args, bool), String> {
             export,
             resume,
             shard,
+            socket,
+            workers,
+            cache,
+            budget,
+            sets,
+            positional2,
         },
         false,
     ))
@@ -455,126 +554,28 @@ fn run_scenario_file(args: &Args) -> Result<(), String> {
     eprintln!("# {path}: {} scenario(s)", cells.len());
     let results = bsld_core::scenario::run_many(&cells, args.opts.threads);
 
-    let mut t = TextTable::new(vec![
-        "scenario",
-        "jobs",
-        "avgBSLD",
-        "avgWait(s)",
-        "reduced",
-        "E(comp)",
-        "E(ledger)",
-        "peak/budget",
-    ]);
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut failures: Vec<String> = Vec::new();
-    // Per-rail energy columns are only emitted when some cell ran on the
-    // multi-rail layout (an explicit `model =` / `sweep.model`); model-free
-    // files keep the exact pre-subsystem CSV shape.
-    let mut any_rails = false;
-    for (sc, res) in cells.iter().zip(results) {
-        let res = match res {
-            Ok(r) => r,
-            // One infeasible cell must not discard the completed ones:
-            // record an error row, keep rendering/writing the rest.
-            Err(e) => {
-                failures.push(format!("{}: {e}", sc.name));
-                let row = |msg: &str, width: usize| {
-                    let mut r = vec![sc.name.clone(), msg.to_string()];
-                    r.extend(std::iter::repeat_n("-".to_string(), width - 2));
-                    r
-                };
-                t.row(row("FAILED", 8));
-                rows.push(row("failed", 12));
-                continue;
-            }
-        };
-        let m = &res.run.metrics;
-        // One formatter, two precisions: coarse for the on-screen table,
-        // full for the persisted CSV.
-        let power_fields = |digits: usize| match &res.power {
-            Some(p) => (
-                format!("{:.digits$e}", p.energy),
-                match p.budget {
-                    Some(b) if b > 0.0 => format!("{:.digits$}", p.peak / b),
-                    _ => "-".to_string(),
-                },
-            ),
-            None => ("-".to_string(), "-".to_string()),
-        };
-        let (ledger_disp, peak_disp) = power_fields(3);
-        let (ledger_csv, peak_csv) = power_fields(6);
-        let rail_csv = |kind: bsld_power::RailKind| -> String {
-            res.power
-                .as_ref()
-                .filter(|p| p.rails.len() > 1)
-                .and_then(|p| p.rails.iter().find(|r| r.kind == kind))
-                .map(|r| format!("{:.6e}", r.energy))
-                .unwrap_or_else(|| "-".to_string())
-        };
-        let (cpu_csv, mem_csv, net_csv) = (
-            rail_csv(bsld_power::RailKind::Cpu),
-            rail_csv(bsld_power::RailKind::Memory),
-            rail_csv(bsld_power::RailKind::Interconnect),
-        );
-        any_rails |= cpu_csv != "-";
-        t.row(vec![
-            sc.name.clone(),
-            m.jobs.to_string(),
-            format!("{:.2}", m.avg_bsld),
-            format!("{:.0}", m.avg_wait_secs),
-            m.reduced_jobs.to_string(),
-            format!("{:.3e}", m.energy.computational),
-            ledger_disp,
-            peak_disp,
-        ]);
-        rows.push(vec![
-            sc.name.clone(),
-            m.jobs.to_string(),
-            format!("{:.4}", m.avg_bsld),
-            format!("{:.1}", m.avg_wait_secs),
-            m.reduced_jobs.to_string(),
-            format!("{:.6e}", m.energy.computational),
-            format!("{:.6e}", m.energy.with_idle),
-            ledger_csv,
-            peak_csv,
-            cpu_csv,
-            mem_csv,
-            net_csv,
-        ]);
-    }
-    println!("{}", t.render());
+    // The one sweep renderer, shared with the serve daemon: its output is
+    // the byte-identity contract between `run` and `query run`.
+    let rows: Vec<(String, Result<CellOutcome, String>)> = cells
+        .iter()
+        .zip(results)
+        .map(|(sc, res)| {
+            (
+                sc.name.clone(),
+                res.map(|r| CellOutcome::of(&r)).map_err(|e| e.to_string()),
+            )
+        })
+        .collect();
+    let report = sweep_report(&rows);
+    println!("{}", report.table);
     if let Some(dir) = &set.base.output.out_dir {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
         let out = dir.join("scenario_results.csv");
-        let mut f = std::fs::File::create(&out).map_err(|e| e.to_string())?;
-        let mut headers = vec![
-            "scenario",
-            "jobs",
-            "avg_bsld",
-            "avg_wait_s",
-            "reduced_jobs",
-            "energy_comp",
-            "energy_idle",
-            "energy_ledger",
-            "peak_over_budget",
-        ];
-        if any_rails {
-            headers.extend(["energy_cpu", "energy_mem", "energy_net"]);
-        } else {
-            for row in &mut rows {
-                row.truncate(headers.len());
-            }
-        }
-        bsld_metrics::write_csv(&mut f, &headers, &rows).map_err(|e| e.to_string())?;
+        std::fs::write(&out, &report.csv).map_err(|e| e.to_string())?;
         eprintln!("# wrote {}", out.display());
     }
-    if !failures.is_empty() {
-        return Err(format!(
-            "{} of {} scenario(s) failed:\n  {}",
-            failures.len(),
-            cells.len(),
-            failures.join("\n  ")
-        ));
+    if let Some(msg) = report.failure_summary() {
+        return Err(msg);
     }
     Ok(())
 }
@@ -643,12 +644,12 @@ fn run_campaign_file(path: &str, set: &ScenarioSet, args: &Args) -> Result<(), S
         }
     );
     // The status line: workers tick the shared Progress counter; each tick
-    // redraws in place (\r), the final newline lands after the run.
-    let status = |done: usize, total: usize| {
-        eprint!("\r# campaign: {done}/{total} runs");
-    };
+    // redraws in place (\r) on stderr via StatusLine, the final newline
+    // lands after the run.
+    let line = bsld_par::StatusLine::new("campaign");
+    let status = |done: usize, total: usize| line.update(done, total);
     let outcome = run_campaign(set, &opts, Some(&status)).map_err(|e| e.to_string())?;
-    eprintln!();
+    line.finish();
     if outcome.resumed > 0 {
         eprintln!(
             "# resumed: {} of {} run(s) already cached in the manifest",
@@ -707,12 +708,11 @@ fn run_campaign_worker(args: &Args) -> Result<(), String> {
         dir.display(),
         worker_manifest_file(shard.index)
     );
-    let status = |done: usize, total: usize| {
-        eprint!("\r# worker {}: {done}/{total} runs", shard.index);
-    };
+    let line = bsld_par::StatusLine::new(format!("worker {}", shard.index));
+    let status = |done: usize, total: usize| line.update(done, total);
     let outcome = run_worker(&set, shard, args.opts.threads, &dir, Some(&status))
         .map_err(|e| e.to_string())?;
-    eprintln!();
+    line.finish();
     if outcome.resumed > 0 {
         eprintln!(
             "# resumed: {} of {} shard run(s) already in this worker's manifest",
@@ -792,6 +792,134 @@ fn run_campaign_merge(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve --socket PATH`: stand up the scheduling-as-a-service daemon and
+/// block until a client sends `{"op":"shutdown"}`.
+fn run_serve(args: &Args) -> Result<(), String> {
+    let socket = args
+        .socket
+        .clone()
+        .ok_or("serve needs --socket PATH (the Unix socket to listen on)")?;
+    let mut cfg = bsld_serve::ServeConfig::new(socket);
+    if let Some(w) = args.workers {
+        cfg.workers = w.max(1);
+    }
+    cfg.state.threads = args.opts.threads;
+    if let Some(n) = args.cache {
+        cfg.state.result_capacity = n;
+    }
+    cfg.state.default_budget_s = args.budget;
+    eprintln!(
+        "# serve: listening on {} (workers={}, threads={}, result cache={} cells{})",
+        cfg.socket.display(),
+        cfg.workers,
+        cfg.state.threads,
+        cfg.state.result_capacity,
+        match cfg.state.default_budget_s {
+            Some(b) => format!(", default budget={b}s"),
+            None => String::new(),
+        }
+    );
+    let server = bsld_serve::Server::bind(cfg).map_err(|e| e.to_string())?;
+    server.run().map_err(|e| e.to_string())?;
+    eprintln!("# serve: drained and exited cleanly");
+    Ok(())
+}
+
+/// Builds the daemon overrides from `--set key=value` pairs (numbers parse
+/// as numbers, everything else ships as a string) plus `--budget`.
+fn query_overrides(sets: &[String], budget: Option<f64>) -> Result<bsld_serve::Overrides, String> {
+    let mut pairs: Vec<(&str, Json)> = Vec::new();
+    for kv in sets {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("bad --set {kv:?}: expected key=value"))?;
+        let val = match v.parse::<f64>() {
+            Ok(n) if n.is_finite() => Json::Num(n),
+            _ => Json::str(v),
+        };
+        pairs.push((k, val));
+    }
+    let mut ov = bsld_serve::Overrides::from_json(&Json::Obj(
+        pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    ))?;
+    if let Some(b) = budget {
+        if !b.is_finite() || b < 0.0 {
+            return Err(format!("--budget must be finite and >= 0, got {b}"));
+        }
+        ov.budget_s = Some(b);
+    }
+    Ok(ov)
+}
+
+/// `query <op> --socket PATH`: one request to a running daemon. `run`
+/// prints the daemon's table to stdout — byte-identical to the one-shot
+/// `run` subcommand — and exits 1 on cell failures, exactly like it.
+fn run_query(args: &Args) -> Result<(), String> {
+    let socket = args
+        .socket
+        .clone()
+        .ok_or("query needs --socket PATH (a running daemon's socket)")?;
+    let op = args.positional.as_deref().ok_or(
+        "query needs an operation: query <run FILE.scn|status|cache [clear]|shutdown> --socket PATH",
+    )?;
+    let mut client = bsld_serve::Client::connect(&socket)?;
+    match op {
+        "run" => {
+            let file = args
+                .positional2
+                .as_deref()
+                .ok_or("query run needs a scenario file: query run FILE.scn --socket PATH")?;
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read scenario file {file}: {e}"))?;
+            let ov = query_overrides(&args.sets, args.budget)?;
+            let reply = client.run(&text, &ov)?;
+            if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+                let msg = reply
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("daemon sent a malformed reply");
+                return Err(format!("query failed: {msg}"));
+            }
+            let table = reply
+                .get("table")
+                .and_then(Json::as_str)
+                .ok_or("daemon reply lacks a table")?;
+            println!("{table}");
+            if let Some(summary) = reply.get("failure_summary").and_then(Json::as_str) {
+                return Err(summary.to_string());
+            }
+            Ok(())
+        }
+        "status" => {
+            let reply = client.status()?;
+            println!("{}", reply.render());
+            Ok(())
+        }
+        "cache" => {
+            let clear = match args.positional2.as_deref() {
+                None => false,
+                Some("clear") => true,
+                Some(other) => {
+                    return Err(format!(
+                        "bad cache operand {other:?} (only `clear` is accepted)"
+                    ))
+                }
+            };
+            let reply = client.cache(clear)?;
+            println!("{}", reply.render());
+            Ok(())
+        }
+        "shutdown" => {
+            let reply = client.shutdown()?;
+            println!("{}", reply.render());
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown query operation {other:?} (run FILE.scn | status | cache [clear] | shutdown)"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     // `audit` has its own flag set (--json, --root): hand it off before the
     // experiment argument parser can reject those flags.
@@ -844,6 +972,18 @@ fn main() -> ExitCode {
         }
         "simulate" => {
             if let Err(e) = run_simulate(&args) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "serve" => {
+            if let Err(e) = run_serve(&args) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "query" => {
+            if let Err(e) = run_query(&args) {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
@@ -957,7 +1097,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment: {other} (valid: {}, run, campaign-worker, campaign-merge, \
-                 generate, simulate)\n{}",
+                 generate, simulate, serve, query)\n{}",
                 EXPERIMENTS.join(", "),
                 usage()
             );

@@ -415,3 +415,78 @@ fn run_subcommand_rejects_bad_files() {
     assert!(!out.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn serve_daemon_answers_query_byte_identical_to_run() {
+    let dir = std::env::temp_dir().join(format!("bsld_cli_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let scn = dir.join("serve.scn");
+    std::fs::write(
+        &scn,
+        "scenario = served\n\
+         workload = synthetic\n\
+         profile = ctc\n\
+         jobs = 120\n\
+         seed = 9\n\
+         policy = bsld:2/NO\n\
+         sweep.bsld_th = 1.5 3\n",
+    )
+    .unwrap();
+    let scn = scn.to_str().unwrap();
+    let sock = dir.join("d.sock");
+    let sock = sock.to_str().unwrap();
+
+    // --socket is required, and query without a daemon fails helpfully.
+    let out = run(&["serve"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--socket"), "{}", stderr(&out));
+    let out = run(&["query", "--socket", sock, "status"]);
+    assert!(!out.status.success());
+
+    let mut daemon = bin()
+        .args(["serve", "--socket", sock, "--workers", "2"])
+        .spawn()
+        .expect("daemon must spawn");
+    // Wait for the socket to appear.
+    for _ in 0..200 {
+        if std::path::Path::new(sock).exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    // The served reply's stdout is byte-identical to the one-shot run's.
+    let direct = run(&["run", scn, "--no-csv"]);
+    assert!(direct.status.success(), "{}", stderr(&direct));
+    let served = run(&["query", "--socket", sock, "run", scn]);
+    assert!(served.status.success(), "{}", stderr(&served));
+    assert_eq!(stdout(&served), stdout(&direct), "served bytes must match");
+
+    // An override changes the answer; status shows the warm cache at work.
+    let what_if = run(&["query", "--socket", sock, "run", scn, "--set", "cap=0.8"]);
+    assert!(what_if.status.success(), "{}", stderr(&what_if));
+    assert!(
+        stdout(&what_if).contains("served-cap0.8-th1.5"),
+        "{}",
+        stdout(&what_if)
+    );
+    let status = run(&["query", "--socket", sock, "status"]);
+    assert!(status.status.success(), "{}", stderr(&status));
+    assert!(
+        stdout(&status).contains("\"workload_hits\":1"),
+        "{}",
+        stdout(&status)
+    );
+
+    // Graceful drain: shutdown op, daemon exits 0, socket unlinked.
+    let out = run(&["query", "--socket", sock, "shutdown"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let code = daemon.wait().expect("daemon must exit");
+    assert!(code.success(), "daemon exit: {code:?}");
+    assert!(
+        !std::path::Path::new(sock).exists(),
+        "socket must be unlinked"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

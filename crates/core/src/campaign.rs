@@ -241,6 +241,14 @@ impl Campaign {
     /// single infeasible cell cannot sink a sweep.
     pub fn execute_unit(&self, unit: &CampaignUnit) -> RepRow {
         let cell = &self.cells[unit.cell];
+        // audit:allow(D2): per-unit elapsed_s is fleet-scheduling provenance only; it never feeds results, aggregates or cell identity, and is excluded from RepRow equality
+        let started = std::time::Instant::now();
+        let mut row = self.execute_unit_untimed(cell, unit);
+        row.elapsed_s = Some(started.elapsed().as_secs_f64());
+        row
+    }
+
+    fn execute_unit_untimed(&self, cell: &CampaignCell, unit: &CampaignUnit) -> RepRow {
         let res = match self.cell_budget_s {
             None => unit.scenario.run(),
             Some(budget) => {
@@ -315,7 +323,7 @@ pub enum RepOutcome {
 /// (shortest round-trip), so a row written, parsed back and re-aggregated
 /// produces bit-identical statistics — the property the resume- and
 /// merge-equivalence guarantees rest on.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RepRow {
     /// Which cell this replication belongs to.
     pub cell: CellId,
@@ -327,12 +335,34 @@ pub struct RepRow {
     pub seed: u64,
     /// Completion or failure.
     pub outcome: RepOutcome,
+    /// Wall-clock seconds this unit took to execute, recorded for fleet
+    /// scheduling (straggler detection, work-stealing reassignment).
+    /// Provenance only: it never feeds results, aggregates or cell
+    /// identity, and — being wall-clock — it is the one field excluded
+    /// from [`RepRow`] equality. `None` on rows parsed from manifests
+    /// that predate the column.
+    pub elapsed_s: Option<f64>,
+}
+
+/// Equality is over the *simulated* outcome — every field except the
+/// wall-clock `elapsed_s`, whose run-to-run jitter would otherwise break
+/// resume/merge deduplication and the byte-identity guarantees.
+impl PartialEq for RepRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.cell == other.cell
+            && self.name == other.name
+            && self.rep == other.rep
+            && self.seed == other.seed
+            && self.outcome == other.outcome
+    }
 }
 
 impl RepRow {
     /// Manifest column names, field order. Failed rows carry `-` in every
-    /// metric column.
-    pub const HEADERS: [&'static str; 17] = [
+    /// metric column. The final `elapsed_s` column is wall-clock
+    /// provenance; manifests written before it existed (17 columns) still
+    /// parse, with [`RepRow::elapsed_s`] left `None`.
+    pub const HEADERS: [&'static str; 18] = [
         "cell",
         "scenario",
         "rep",
@@ -350,6 +380,7 @@ impl RepRow {
         "energy_cpu",
         "energy_mem",
         "energy_net",
+        "elapsed_s",
     ];
 
     /// The metrics of a completed row (`None` for failed rows).
@@ -396,6 +427,7 @@ impl RepRow {
                 energy_mem: rail(bsld_power::RailKind::Memory),
                 energy_net: rail(bsld_power::RailKind::Interconnect),
             }),
+            elapsed_s: None,
         }
     }
 
@@ -407,6 +439,7 @@ impl RepRow {
             rep: unit.rep,
             seed: unit_seed(unit),
             outcome: RepOutcome::Failed { reason },
+            elapsed_s: None,
         }
     }
 
@@ -442,6 +475,7 @@ impl RepRow {
                 out.extend(std::iter::repeat_n("-".to_string(), 11));
             }
         }
+        out.push(opt(&self.elapsed_s));
         out
     }
 
@@ -458,7 +492,8 @@ impl RepRow {
     /// tail of a crashed write — the unit simply reruns).
     pub fn parse_line(line: &str) -> Option<RepRow> {
         let f = parse_csv_line(line);
-        if f.len() != Self::HEADERS.len() {
+        // 18 columns today; 17 from manifests written before `elapsed_s`.
+        if f.len() != Self::HEADERS.len() && f.len() != Self::HEADERS.len() - 1 {
             return None;
         }
         let opt = |s: &str| -> Option<Option<f64>> {
@@ -493,6 +528,10 @@ impl RepRow {
             rep: f[2].parse().ok()?,
             seed: f[3].parse().ok()?,
             outcome,
+            elapsed_s: match f.get(17).map(String::as_str) {
+                None | Some("-") => None,
+                Some(s) => Some(s.parse::<f64>().ok()?),
+            },
         })
     }
 }
@@ -778,7 +817,10 @@ pub fn read_manifest_at(path: &Path) -> Result<Vec<RepRow>, ScenarioError> {
         None => return Ok(Vec::new()),
         Some(header) => {
             let expect = RepRow::HEADERS.join(",");
-            if header != expect {
+            // Manifests written before the `elapsed_s` column resume fine:
+            // their rows parse with `elapsed_s = None`.
+            let legacy = RepRow::HEADERS[..RepRow::HEADERS.len() - 1].join(",");
+            if header != expect && header != legacy {
                 return Err(ScenarioError::Io(format!(
                     "{} is not a campaign manifest (header {header:?})",
                     path.display()

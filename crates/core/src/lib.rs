@@ -21,7 +21,13 @@
 //!   aggregates byte-identical to a single-process run;
 //! * [`experiments`] — the harness that regenerates every table and figure
 //!   of the paper's evaluation section (see `DESIGN.md` for the index);
-//! * the `bsld-repro` binary exposing the harness on the command line.
+//! * [`report`] — the one renderer of sweep results tables/CSV, shared by
+//!   the CLI and the `bsld-serve` daemon so their replies are
+//!   byte-identical.
+//!
+//! The `bsld-repro` binary exposing all of this on the command line lives
+//! in `crates/cli` (so it can also depend on `bsld-serve`, which depends
+//! on this crate).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,11 +36,13 @@ pub mod campaign;
 pub mod distrib;
 pub mod experiments;
 pub mod policy;
+pub mod report;
 pub mod scenario;
 pub mod sim;
 
 pub use campaign::{run_campaign, Campaign, CampaignOptions, CampaignOutcome, CellId};
 pub use distrib::{merge_campaign, run_worker, MergeOutcome, Shard, WorkerOutcome};
 pub use policy::{BsldThresholdPolicy, PowerAwareConfig, WqThreshold};
+pub use report::{sweep_report, CellOutcome, SweepReport};
 pub use scenario::{Scenario, ScenarioResult, ScenarioSet};
 pub use sim::{PowerCapConfig, PowerCappedResult, RunResult, Simulator};

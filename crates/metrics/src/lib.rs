@@ -23,6 +23,6 @@ pub mod table;
 pub use ci::MeanCi;
 pub use csvout::{csv_escape, csv_string, parse_csv_line, write_csv};
 pub use detail::{Percentiles, RunDetails, SizeClass};
-pub use jsonout::Json;
+pub use jsonout::{Json, JsonError};
 pub use summary::RunMetrics;
 pub use table::TextTable;

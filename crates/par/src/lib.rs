@@ -11,6 +11,12 @@
 //! result slots): the offline build environment has no third-party thread
 //! pool, and the sweep granularity — whole simulations, milliseconds each —
 //! makes lock contention on the queue irrelevant.
+//!
+//! Beyond the batch map, the crate carries the other shared concurrency
+//! primitives: [`Progress`] + [`StatusLine`] (stderr-only status
+//! rendering), [`AbortFlag`] / [`run_budgeted`] (cooperative wall-clock
+//! budgets) and [`Pool`] (a long-lived submission pool for the
+//! `bsld-repro serve` daemon).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -140,6 +146,176 @@ impl Progress {
     /// The expected total.
     pub fn total(&self) -> usize {
         self.total
+    }
+}
+
+/// The one way progress is shown to a terminal: a `\r`-rewritten counter
+/// on **stderr**, so piped or captured stdout (CSV tables, JSON replies)
+/// stays clean. Every campaign/worker/daemon status line routes through
+/// this type rather than printing ad hoc.
+#[derive(Debug, Clone)]
+pub struct StatusLine {
+    label: String,
+}
+
+impl StatusLine {
+    /// A status line labelled `label` (e.g. `campaign`, `worker 2`).
+    pub fn new(label: impl Into<String>) -> StatusLine {
+        StatusLine {
+            label: label.into(),
+        }
+    }
+
+    /// Rewrites the line in place: `# label: done/total runs`.
+    pub fn update(&self, done: usize, total: usize) {
+        eprint!("\r# {}: {done}/{total} runs", self.label);
+    }
+
+    /// Terminates the rewritten line so subsequent output starts fresh.
+    pub fn finish(&self) {
+        eprintln!();
+    }
+}
+
+/// A fixed pool of named worker threads consuming queued jobs.
+///
+/// Unlike [`par_map`] — which is scoped to one batch and joins before
+/// returning — a `Pool` lives as long as its owner and accepts work
+/// incrementally, which is what a connection-serving daemon needs. Jobs
+/// run in submission order (a single shared FIFO), one per free worker.
+/// A panicking job is contained to that job: the worker catches the
+/// unwind and moves on, so one poisoned request cannot take the service
+/// down with it.
+#[derive(Debug)]
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Debug, Default)]
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    available: Condvar,
+    panics: std::sync::atomic::AtomicUsize,
+}
+
+#[derive(Default)]
+struct PoolQueue {
+    jobs: std::collections::VecDeque<Job>,
+    closed: bool,
+}
+
+impl std::fmt::Debug for PoolQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolQueue")
+            .field("jobs", &self.jobs.len())
+            .field("closed", &self.closed)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawns a pool of `threads` workers (at least one).
+    pub fn new(threads: usize) -> Pool {
+        let shared = Arc::new(PoolShared::default());
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bsld-pool-{i}"))
+                    .spawn(move || pool_worker(&shared))
+                    // audit:allow(R1): thread spawn fails only on resource exhaustion at startup
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Queues one job; returns `false` (dropping the job) after
+    /// [`Pool::close`].
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let Ok(mut q) = self.shared.queue.lock() else {
+            return false;
+        };
+        if q.closed {
+            return false;
+        }
+        q.jobs.push_back(Box::new(job));
+        drop(q);
+        self.shared.available.notify_one();
+        true
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs that ended in a contained panic so far.
+    pub fn panicked_jobs(&self) -> usize {
+        self.shared
+            .panics
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Closes the queue — future [`Pool::submit`] calls are refused —
+    /// without waiting for in-flight jobs.
+    pub fn close(&self) {
+        if let Ok(mut q) = self.shared.queue.lock() {
+            q.closed = true;
+        }
+        self.shared.available.notify_all();
+    }
+
+    /// Closes the queue, drains every queued job and joins the workers.
+    pub fn join(mut self) {
+        self.close();
+        for w in self.workers.drain(..) {
+            // audit:allow(R1): pool workers contain job panics; a join failure is itself a bug worth propagating
+            w.join().expect("pool worker never panics");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn pool_worker(shared: &PoolShared) {
+    loop {
+        let job = {
+            let Ok(mut q) = shared.queue.lock() else {
+                return;
+            };
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                match shared.available.wait(q) {
+                    Ok(guard) => q = guard,
+                    Err(_) => return,
+                }
+            }
+        };
+        // Contain per-job panics: the daemon must outlive a poisoned
+        // request. AssertUnwindSafe is sound here because the job is
+        // consumed either way — no caller observes its captured state
+        // after an unwind.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            shared
+                .panics
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 }
 
@@ -423,5 +599,59 @@ mod tests {
         a.raise();
         assert!(b.is_raised());
         assert!(h.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn pool_runs_every_submitted_job() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs_and_refuses_after_close() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.threads(), 2);
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for i in 0..8 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                if i % 2 == 0 {
+                    panic!("poisoned request");
+                }
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Wait for the queue to drain without joining, proving the
+        // workers outlive the panics.
+        let t0 = std::time::Instant::now();
+        while counter.load(Ordering::SeqCst) < 4 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        pool.close();
+        assert!(!pool.submit(|| {}), "closed pool must refuse work");
+        assert_eq!(pool.panicked_jobs(), 4);
+        pool.join();
+    }
+
+    #[test]
+    fn pool_zero_threads_still_works() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
     }
 }

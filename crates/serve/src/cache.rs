@@ -1,0 +1,153 @@
+//! A bounded, deterministic LRU cache.
+//!
+//! Recency is tracked with a **logical** clock (one tick per access), not
+//! wall time, so eviction order is a pure function of the access sequence
+//! — the same query stream against two daemons evicts identically. The
+//! store is a `BTreeMap`, so iteration (the `cache` op's listing) is in
+//! key order, never hash order.
+
+use std::collections::BTreeMap;
+
+/// A bounded map evicting the least-recently-used entry on overflow.
+#[derive(Debug)]
+pub struct Lru<K: Ord + Clone, V> {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<K, (u64, V)>,
+}
+
+impl<K: Ord + Clone, V> Lru<K, V> {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Lru<K, V> {
+        Lru {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            &slot.1
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if the cache would overflow. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        self.tick += 1;
+        self.entries.insert(key, (self.tick, value));
+        if self.entries.len() <= self.capacity {
+            return None;
+        }
+        // Evict the stalest entry. Ties cannot happen (ticks are unique),
+        // so eviction is deterministic.
+        let stalest = self
+            .entries
+            .iter()
+            .min_by_key(|(_, (tick, _))| *tick)
+            .map(|(k, _)| k.clone())?;
+        self.entries.remove(&stalest);
+        Some(stalest)
+    }
+
+    /// Removes every entry, returning how many were held.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Iterates entries in **key order** (not recency), for deterministic
+    /// listings.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, (_, v))| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_the_least_recently_used_entry() {
+        let mut c: Lru<u32, &str> = Lru::new(2);
+        assert_eq!(c.insert(1, "a"), None);
+        assert_eq!(c.insert(2, "b"), None);
+        // Touch 1 so 2 becomes the stalest…
+        assert_eq!(c.get(&1), Some(&"a"));
+        // …and inserting 3 evicts 2, not 1.
+        assert_eq!(c.insert(3, "c"), Some(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinserting_refreshes_instead_of_evicting() {
+        let mut c: Lru<u32, u32> = Lru::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None, "refresh, no overflow");
+        assert_eq!(c.insert(3, 30), Some(2), "2 was stalest after 1 refreshed");
+        assert_eq!(c.get(&1), Some(&11), "refresh kept the newer value");
+    }
+
+    #[test]
+    fn capacity_zero_behaves_as_one() {
+        let mut c: Lru<u32, u32> = Lru::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1, 10);
+        assert_eq!(c.insert(2, 20), Some(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered_and_clear_reports_count() {
+        let mut c: Lru<u32, &str> = Lru::new(8);
+        for k in [5u32, 1, 3] {
+            c.insert(k, "x");
+        }
+        let keys: Vec<u32> = c.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+        assert_eq!(c.clear(), 3);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_order_is_a_pure_function_of_the_access_sequence() {
+        // Two caches fed the same access stream must evict identically.
+        let run = || {
+            let mut c: Lru<u32, u32> = Lru::new(3);
+            let mut evicted = Vec::new();
+            for i in 0..32u32 {
+                let _ = c.get(&(i % 5));
+                if let Some(k) = c.insert(i % 7, i) {
+                    evicted.push(k);
+                }
+            }
+            evicted
+        };
+        assert_eq!(run(), run());
+    }
+}

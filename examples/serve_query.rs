@@ -1,0 +1,89 @@
+//! Scheduling as a service, end to end in one process.
+//!
+//! Binds a resident [`Server`] on a scratch Unix socket, runs it on a
+//! background thread, and drives it with the library [`Client`]: a cold
+//! what-if query, a warm repeat answered from the result cache, an
+//! override query, a status probe, and a graceful shutdown. Run with:
+//!
+//! ```text
+//! cargo run --release --example serve_query
+//! ```
+
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+use std::time::Instant;
+
+use bsld::metrics::Json;
+use bsld::serve::{Client, Overrides, ServeConfig, Server, StateConfig};
+
+const SCN: &str = "scenario = what-if\n\
+                   workload = synthetic\n\
+                   profile = ctc\n\
+                   jobs = 300\n\
+                   seed = 2010\n\
+                   policy = bsld:2/NO\n\
+                   \n\
+                   sweep.bsld_th = 1.5 2 3\n";
+
+fn main() {
+    let socket = std::env::temp_dir().join(format!("bsld-example-{}.sock", std::process::id()));
+    let cfg = ServeConfig {
+        socket: socket.clone(),
+        workers: 2,
+        state: StateConfig::default(),
+    };
+
+    // The daemon: normally `bsld-repro serve --socket PATH`, here a thread.
+    let server = Server::bind(cfg).expect("bind scratch socket");
+    let daemon = std::thread::spawn(move || server.run().expect("daemon exits cleanly"));
+
+    let mut client = Client::connect(&socket).expect("connect to the daemon");
+
+    // Cold: the daemon parses the spec, generates the workload, simulates
+    // all three sweep cells.
+    let t = Instant::now();
+    let cold = client.run(SCN, &Overrides::default()).unwrap();
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("{}", cold.get("table").and_then(Json::as_str).unwrap());
+    println!(
+        "cold query: {} cells, {} cached, {cold_ms:.1} ms",
+        cold.get("cells").and_then(Json::as_u64).unwrap(),
+        cold.get("cached").and_then(Json::as_u64).unwrap(),
+    );
+
+    // Warm repeat: every cell comes back from the content-hash result
+    // cache — identical bytes, near-zero latency.
+    let t = Instant::now();
+    let warm = client.run(SCN, &Overrides::default()).unwrap();
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(warm.get("table"), cold.get("table"), "warm bytes identical");
+    println!(
+        "warm query: {} cached, {warm_ms:.2} ms ({:.0}x faster)",
+        warm.get("cached").and_then(Json::as_u64).unwrap(),
+        cold_ms / warm_ms.max(1e-6),
+    );
+
+    // A what-if override: same spec, capped at 70% of peak draw. The
+    // workload cache still hits; only the repriced cells simulate.
+    let capped = client
+        .run(
+            SCN,
+            &Overrides {
+                cap: Some(Some(0.7)),
+                ..Overrides::default()
+            },
+        )
+        .unwrap();
+    println!("{}", capped.get("table").and_then(Json::as_str).unwrap());
+
+    // Status: cache counters across the three runs.
+    let status = client.status().unwrap();
+    for key in ["runs", "result_hits", "workload_hits"] {
+        print!("{key}={} ", status.get(key).and_then(Json::as_u64).unwrap());
+    }
+    println!();
+
+    // Drain and exit; the daemon unlinks its socket on the way out.
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+    assert!(!socket.exists(), "socket unlinked on shutdown");
+}

@@ -24,7 +24,9 @@
 //!   (`core::campaign`: seed-replicated sweeps with mean ± 95 % CI,
 //!   content-hash cell caching and resume) and the experiment harness
 //!   reproducing every table and figure;
-//! * [`par`] — the parallel sweep executor.
+//! * [`par`] — the parallel sweep executor;
+//! * [`serve`] — the `bsld-repro serve` daemon: resident workloads and
+//!   cached cell results answering what-if queries over a Unix socket.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@ pub use bsld_par as par;
 pub use bsld_power as power;
 pub use bsld_powercap as powercap;
 pub use bsld_sched as sched;
+pub use bsld_serve as serve;
 pub use bsld_simkernel as simkernel;
 pub use bsld_swf as swf;
 pub use bsld_workload as workload;

@@ -113,6 +113,39 @@ fn torn_manifest_tail_is_ignored_and_rerun() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Manifests written before the `elapsed_s` column resume untouched: the
+/// legacy 17-column rows parse (with `elapsed_s = None`), every unit stays
+/// cached, and the final results are byte-identical.
+#[test]
+fn legacy_manifest_without_elapsed_column_resumes_fully_cached() {
+    let set = campaign_set(2);
+    let dir = tmp_dir("legacy");
+    run_campaign(&set, &CampaignOptions::fresh(1, &dir), None).unwrap();
+    let results = std::fs::read_to_string(dir.join(RESULTS_FILE)).unwrap();
+
+    // Rewrite the manifest as a pre-elapsed_s campaign would have left it:
+    // drop the last column from the header and every row.
+    let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+    let legacy: Vec<&str> = manifest
+        .lines()
+        .map(|l| l.rsplit_once(',').unwrap().0)
+        .collect();
+    std::fs::write(dir.join(MANIFEST_FILE), format!("{}\n", legacy.join("\n"))).unwrap();
+
+    let rows = read_manifest(&dir).unwrap();
+    assert_eq!(rows.len(), 4);
+    assert!(rows.iter().all(|r| r.elapsed_s.is_none()));
+
+    let out = run_campaign(&set, &CampaignOptions::resume(1, &dir), None).unwrap();
+    assert_eq!(out.resumed, 4, "every legacy row stays cached");
+    assert_eq!(
+        std::fs::read_to_string(dir.join(RESULTS_FILE)).unwrap(),
+        results,
+        "legacy resume reproduces the results byte for byte"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Shrinking `replications` between runs leaves excess rows in the
 /// manifest; they are reported as such — not as "unknown cell" — and the
 /// surviving replications stay cached.

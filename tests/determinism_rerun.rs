@@ -50,13 +50,26 @@ fn assert_same_bytes(a: &Path, b: &Path, name: &str) {
     );
 }
 
-/// Reads the manifest as a sorted set of rows (header kept first): the
-/// manifest is a crash-safe append log, so under `threads > 1` its row
-/// *order* is completion order — scheduler-dependent by design — while its
-/// row *set* must not vary.
+/// Strips the trailing `elapsed_s` column — per-unit wall time is
+/// provenance, scheduler- and machine-dependent by design — after checking
+/// it holds what it should: a non-negative number (or `-` on legacy rows,
+/// `elapsed_s` on the header).
+fn strip_elapsed(line: &str) -> String {
+    let (rest, elapsed) = line.rsplit_once(',').expect("manifest line has columns");
+    assert!(
+        elapsed == "elapsed_s" || elapsed == "-" || elapsed.parse::<f64>().is_ok_and(|s| s >= 0.0),
+        "bad elapsed_s field {elapsed:?} in row {line:?}"
+    );
+    rest.to_string()
+}
+
+/// Reads the manifest as a sorted set of rows (header kept first), modulo
+/// the wall-clock column: the manifest is a crash-safe append log, so
+/// under `threads > 1` its row *order* is completion order —
+/// scheduler-dependent by design — while its row *set* must not vary.
 fn sorted_manifest(dir: &Path) -> Vec<String> {
     let text = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
-    let mut lines = text.lines().map(str::to_string);
+    let mut lines = text.lines().map(strip_elapsed);
     let header = lines.next().unwrap();
     let mut rows: Vec<String> = lines.collect();
     rows.sort();
@@ -95,9 +108,23 @@ fn single_threaded_runs_are_identical_down_to_the_manifest() {
         let outcome = run_campaign(&set, &CampaignOptions::fresh(1, dir), None).unwrap();
         assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
     }
-    for name in [RESULTS_FILE, JSON_FILE, MANIFEST_FILE] {
+    for name in [RESULTS_FILE, JSON_FILE] {
         assert_same_bytes(&first, &second, name);
     }
+    // The manifest is byte-stable up to its wall-clock provenance column
+    // (`elapsed_s` is the one deliberately nondeterministic field).
+    let stripped = |dir: &Path| -> Vec<String> {
+        fs::read_to_string(dir.join(MANIFEST_FILE))
+            .unwrap()
+            .lines()
+            .map(strip_elapsed)
+            .collect()
+    };
+    assert_eq!(
+        stripped(&first),
+        stripped(&second),
+        "single-threaded manifests must match byte-for-byte modulo elapsed_s"
+    );
     fs::remove_dir_all(&first).ok();
     fs::remove_dir_all(&second).ok();
 }

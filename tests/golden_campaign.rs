@@ -11,7 +11,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use bsld::core::campaign::{run_campaign, CampaignOptions, JSON_FILE, RESULTS_FILE};
+use bsld::core::campaign::{run_campaign, CampaignOptions, JSON_FILE, MANIFEST_FILE, RESULTS_FILE};
 use bsld::core::ScenarioSet;
 
 fn golden_dir() -> PathBuf {
@@ -37,6 +37,23 @@ fn no_model_campaign_artifacts_are_byte_identical() {
             "{name} drifted from the pre-refactor golden:\n--- golden ---\n{}\n--- current ---\n{}",
             String::from_utf8_lossy(&want),
             String::from_utf8_lossy(&got),
+        );
+    }
+
+    // The manifest now ends every row with per-unit wall-clock provenance
+    // (`elapsed_s`); the byte-identical aggregates above prove it stays
+    // out of every derived artifact.
+    let manifest = fs::read_to_string(out.join(MANIFEST_FILE)).unwrap();
+    let mut lines = manifest.lines();
+    assert!(
+        lines.next().unwrap().ends_with(",elapsed_s"),
+        "manifest header must carry the elapsed_s column"
+    );
+    for row in lines {
+        let (_, elapsed) = row.rsplit_once(',').unwrap();
+        assert!(
+            elapsed.parse::<f64>().is_ok_and(|s| s >= 0.0),
+            "bad elapsed_s in manifest row {row:?}"
         );
     }
     let _ = fs::remove_dir_all(&out);
