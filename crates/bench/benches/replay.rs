@@ -1,0 +1,136 @@
+//! Million-job streaming replay: trace → workload load-path baselines.
+//!
+//! Benchmarks the data path reworked for streaming — `SwfStream` feeding
+//! `clean_swf_stream` feeding `Workload` — against the legacy in-memory
+//! path (`read_to_string` → `parse_swf` → `clean_trace` → `from_swf`),
+//! plus the serve daemon's warm workload cache on top:
+//!
+//! * `replay_parse/*_100k` — full cold load (file → cleaned `Workload`) of
+//!   a 100 000-job synthetic trace, both paths; bit-identity is asserted
+//!   before timing;
+//! * `replay_scale/streaming_1m` — the same cold load at 1 000 000 jobs
+//!   (the acceptance gate: completes in seconds, peak memory bounded by
+//!   surviving jobs, not file size);
+//! * `replay_warm/warm_cache_100k` — the serve daemon's workload fetch
+//!   after a pin: what a query pays once the trace is resident.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+
+use bsld_core::scenario::WorkloadSpec;
+use bsld_serve::{ServerState, StateConfig};
+use bsld_swf::generate_swf;
+
+/// Writes the deterministic synthetic trace `gen-swf` would produce.
+fn gen_trace(dir: &std::path::Path, name: &str, jobs: u64, seed: u64) -> PathBuf {
+    let path = dir.join(name);
+    let file = std::fs::File::create(&path).expect("create trace");
+    let mut w = std::io::BufWriter::new(file);
+    generate_swf(&mut w, jobs, seed, 1024).expect("write trace");
+    std::io::Write::flush(&mut w).expect("flush trace");
+    path
+}
+
+fn spec(path: &std::path::Path) -> WorkloadSpec {
+    WorkloadSpec::Swf {
+        path: path.to_path_buf(),
+        clean: true,
+    }
+}
+
+/// The legacy load path, spelled out from the public API.
+fn load_in_memory(path: &std::path::Path) -> bsld_workload::Workload {
+    let text = std::fs::read_to_string(path).expect("read");
+    let mut trace = bsld_swf::parse_swf(&text).expect("parse");
+    bsld_swf::clean_trace(&mut trace, &bsld_swf::CleanConfig::default());
+    let name = path.file_stem().and_then(|s| s.to_str()).expect("stem");
+    bsld_workload::Workload::from_swf(name, &trace)
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("bsld-bench-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let trace_100k = gen_trace(&dir, "replay_100k.swf", 100_000, 2010);
+    let trace_1m = gen_trace(&dir, "replay_1m.swf", 1_000_000, 2010);
+
+    // Acceptance gates, checked once before any timing: the two paths are
+    // bit-identical at 100k, and the 1M streaming replay finishes in
+    // seconds.
+    let streamed = spec(&trace_100k).build().expect("streaming build");
+    let in_memory = load_in_memory(&trace_100k);
+    assert_eq!(streamed.cpus, in_memory.cpus, "cpus diverged");
+    assert_eq!(
+        streamed.jobs.len(),
+        in_memory.jobs.len(),
+        "job count diverged"
+    );
+    for (a, b) in streamed.jobs.iter().zip(&in_memory.jobs) {
+        assert!(
+            a.id == b.id
+                && a.arrival == b.arrival
+                && a.cpus == b.cpus
+                && a.runtime == b.runtime
+                && a.requested == b.requested,
+            "job {:?} diverged between load paths",
+            a.id
+        );
+    }
+    let t0 = std::time::Instant::now();
+    let big = spec(&trace_1m).build().expect("1m build");
+    let elapsed = t0.elapsed();
+    println!(
+        "  1M-job streaming replay: {} jobs loaded in {elapsed:.2?}",
+        big.jobs.len()
+    );
+    assert!(
+        elapsed.as_secs() < 60,
+        "1M-job replay must complete in seconds, took {elapsed:?}"
+    );
+    drop(big);
+
+    let mut g = c.benchmark_group("replay_parse");
+    g.sample_size(10);
+    g.bench_function("streaming_100k", |b| {
+        b.iter(|| spec(&trace_100k).build().expect("build").jobs.len())
+    });
+    g.bench_function("in_memory_100k", |b| {
+        b.iter(|| load_in_memory(&trace_100k).jobs.len())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("replay_scale");
+    g.sample_size(10);
+    g.bench_function("streaming_1m", |b| {
+        b.iter(|| spec(&trace_1m).build().expect("build").jobs.len())
+    });
+    g.finish();
+
+    // Warm path: the serve daemon's workload cache after a cache pin.
+    let state = ServerState::new(StateConfig {
+        threads: 1,
+        ..StateConfig::default()
+    });
+    state
+        .pin_swf(trace_100k.to_str().expect("utf-8 path"))
+        .expect("pin");
+    let scn = format!(
+        "scenario = replay\nworkload = swf\nswf_path = {}\nsweep.bsld_th = 1.5 2 3\n",
+        trace_100k.display()
+    );
+    let mut g = c.benchmark_group("replay_warm");
+    g.sample_size(10);
+    g.bench_function("warm_cache_100k_sweep3", |b| {
+        b.iter(|| {
+            state
+                .run_query(&scn, &Default::default())
+                .expect("query")
+                .cells
+        })
+    });
+    g.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -31,6 +31,10 @@
 //!                                        aggregated results + JSON report
 //!   generate --workload W --swf FILE     export a calibrated synthetic
 //!                                        workload as an SWF trace
+//!   gen-swf --jobs N --seed S --swf FILE write a deterministic synthetic
+//!                                        SWF trace of N jobs (scale
+//!                                        testing; survives cleaning
+//!                                        untouched)
 //!   simulate [--workload W | --swf FILE] [--bsld-th X] [--wq N|no]
 //!            [--conservative] [--boost N] [--export PREFIX]
 //!                                        run one simulation, print the
@@ -74,8 +78,11 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: bsld-repro <{}|run|campaign-worker|campaign-merge|generate|simulate|audit|serve|query> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+        "usage: bsld-repro <{}|run|campaign-worker|campaign-merge|generate|gen-swf|simulate|audit|serve|query> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
          run:       run FILE.scn [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv] [--resume DIR]\n\
+         \x20          [--swf-in-memory]\n\
+         \x20          (--swf-in-memory replays SWF workloads through the legacy\n\
+         \x20          in-memory load path — the streaming path's A/B oracle)\n\
          \x20          (files with `replications = N`, `cell_budget_s`, or --resume run as a\n\
          \x20          campaign: per-cell mean ± 95% CI, incremental manifest, cached cells\n\
          \x20          skipped, campaign.json report)\n\
@@ -86,7 +93,11 @@ fn usage() -> String {
          \x20          (validates shard coverage, unions worker manifests, writes\n\
          \x20          campaign_results.csv + campaign.json byte-identical to `run`)\n\
          generate:  --workload <ctc|sdsc|blue|thunder|atlas> --swf FILE\n\
+         gen-swf:   --jobs N --seed S --swf FILE [--max-procs P]\n\
+         \x20          (deterministic synthetic SWF writer for scale testing: N jobs on a\n\
+         \x20          P-processor machine at ~0.7 offered load, cleaning-invariant)\n\
          simulate:  [--workload W | --swf FILE] [--bsld-th X] [--wq N|no] [--conservative] [--boost N] [--export PREFIX]\n\
+         \x20          [--swf-in-memory]\n\
          audit:     audit [--json] [--root DIR]\n\
          \x20          (static determinism/numeric-safety audit of the workspace source;\n\
          \x20          exit 1 on violations — see crates/audit)\n\
@@ -94,10 +105,11 @@ fn usage() -> String {
          \x20          (daemon: keeps parsed workloads and finished cells resident, answers\n\
          \x20          line-delimited JSON queries on the Unix socket until shutdown)\n\
          query:     query <run FILE.scn|status|cache [clear]|shutdown> --socket PATH\n\
-         \x20          [--set key=value ...] [--budget S]\n\
+         \x20          [--set key=value ...] [--budget S] [--swf PATH]\n\
          \x20          (one request to a running daemon; `run` prints the same table as the\n\
          \x20          one-shot run subcommand, --set tweaks single knobs: bsld_th, wq, cap,\n\
-         \x20          model, jobs, seed, profile, enlarge_pct)",
+         \x20          model, jobs, seed, profile, enlarge_pct; `cache --swf PATH` pins a\n\
+         \x20          parsed+cleaned trace into the daemon's workload cache)",
         EXPERIMENTS.join("|")
     )
 }
@@ -139,6 +151,11 @@ struct Args {
     sets: Vec<String>,
     /// Second positional operand (`query run FILE.scn`, `query cache clear`).
     positional2: Option<String>,
+    /// `gen-swf --max-procs P`: machine size of the synthetic trace.
+    max_procs: Option<u32>,
+    /// `--swf-in-memory`: replay SWF workloads via the legacy in-memory
+    /// load path (the streaming path's A/B oracle).
+    swf_in_memory: bool,
 }
 
 /// `Ok(true)`: `--help` was requested (print usage, exit 0).
@@ -165,6 +182,8 @@ fn parse_args() -> Result<(Args, bool), String> {
     let mut budget = None;
     let mut sets = Vec::new();
     let mut positional2 = None;
+    let mut max_procs = None;
+    let mut swf_in_memory = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -236,6 +255,14 @@ fn parse_args() -> Result<(Args, bool), String> {
                 let v = it.next().ok_or("--budget needs a value (seconds)")?;
                 budget = Some(v.parse().map_err(|_| format!("bad --budget value: {v}"))?);
             }
+            "--max-procs" => {
+                let v = it.next().ok_or("--max-procs needs a value")?;
+                max_procs = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-procs value: {v}"))?,
+                );
+            }
+            "--swf-in-memory" => swf_in_memory = true,
             "--set" => {
                 let v = it.next().ok_or("--set needs key=value")?;
                 if !v.contains('=') {
@@ -296,6 +323,8 @@ fn parse_args() -> Result<(Args, bool), String> {
                 budget,
                 sets,
                 positional2,
+                max_procs,
+                swf_in_memory,
             },
             true,
         ));
@@ -337,6 +366,18 @@ fn parse_args() -> Result<(Args, bool), String> {
             usage()
         ));
     }
+    if max_procs.is_some() && experiment != "gen-swf" {
+        return Err(format!(
+            "--max-procs only applies to the gen-swf subcommand\n{}",
+            usage()
+        ));
+    }
+    if swf_in_memory && !matches!(experiment.as_str(), "run" | "simulate") {
+        return Err(format!(
+            "--swf-in-memory only applies to the run and simulate subcommands\n{}",
+            usage()
+        ));
+    }
     Ok((
         Args {
             experiment,
@@ -360,6 +401,8 @@ fn parse_args() -> Result<(Args, bool), String> {
             budget,
             sets,
             positional2,
+            max_procs,
+            swf_in_memory,
         },
         false,
     ))
@@ -417,6 +460,31 @@ fn run_generate(args: &Args) -> Result<(), String> {
         w.jobs.len(),
         w.cpus,
         w.offered_load()
+    );
+    Ok(())
+}
+
+/// `gen-swf --jobs N --seed S --swf FILE [--max-procs P]`: write a
+/// deterministic synthetic SWF trace straight to disk — the scale-testing
+/// counterpart of `generate` (which routes through a calibrated profile
+/// and holds the whole workload in memory).
+fn run_gen_swf(args: &Args) -> Result<(), String> {
+    let out = args.swf.clone().ok_or("gen-swf needs --swf FILE")?;
+    let jobs = args.opts.jobs as u64;
+    let max_procs = args.max_procs.unwrap_or(bsld_swf::GEN_SWF_DEFAULT_PROCS);
+    if max_procs == 0 {
+        return Err("--max-procs must be at least 1".to_string());
+    }
+    let file =
+        std::fs::File::create(&out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    let mut w = std::io::BufWriter::new(file);
+    bsld_swf::generate_swf(&mut w, jobs, args.opts.seed, max_procs)
+        .and_then(|()| std::io::Write::flush(&mut w))
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!(
+        "# wrote {} ({jobs} jobs on {max_procs} cpus, seed {})",
+        out.display(),
+        args.opts.seed
     );
     Ok(())
 }
@@ -905,7 +973,21 @@ fn run_query(args: &Args) -> Result<(), String> {
                     ))
                 }
             };
-            let reply = client.cache(clear)?;
+            let reply = match &args.swf {
+                Some(path) if clear => {
+                    return Err(format!(
+                        "cache takes either `clear` or --swf {}, not both",
+                        path.display()
+                    ))
+                }
+                Some(path) => {
+                    let p = path
+                        .to_str()
+                        .ok_or("--swf path must be valid UTF-8 for the wire protocol")?;
+                    client.cache_pin(p)?
+                }
+                None => client.cache(clear)?,
+            };
             println!("{}", reply.render());
             Ok(())
         }
@@ -939,6 +1021,10 @@ fn main() -> ExitCode {
         println!("{}", usage());
         return ExitCode::SUCCESS;
     }
+    if args.swf_in_memory {
+        bsld_core::set_swf_in_memory(true);
+        eprintln!("# swf: legacy in-memory load path forced (--swf-in-memory)");
+    }
     let opts = &args.opts;
     eprintln!(
         "# bsld-repro: {} (jobs={}, seed={}, threads={})",
@@ -966,6 +1052,12 @@ fn main() -> ExitCode {
         }
         "generate" => {
             if let Err(e) = run_generate(&args) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "gen-swf" => {
+            if let Err(e) = run_gen_swf(&args) {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
@@ -1097,7 +1189,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment: {other} (valid: {}, run, campaign-worker, campaign-merge, \
-                 generate, simulate, serve, query)\n{}",
+                 generate, gen-swf, simulate, serve, query)\n{}",
                 EXPERIMENTS.join(", "),
                 usage()
             );

@@ -10,6 +10,19 @@
 //!
 //! All operations are integer/exact, so scheduling decisions are
 //! deterministic.
+//!
+//! # Query complexity
+//!
+//! The segment list is the ground truth, but queries no longer scan it:
+//! every mutation eagerly rebuilds a pair of flat segment trees
+//! (`SegIndex`: range-min and range-max of per-segment availability), so
+//! [`Profile::min_available`], [`Profile::earliest_fit`] and the
+//! [`Profile::commit`] underflow validation run in O(log n) instead of
+//! O(n). Mutations were already O(n) (they splice the segment `Vec` and
+//! coalesce), so the rebuild does not change their asymptotics. The
+//! pre-index linear implementations are kept as
+//! [`Profile::min_available_linear`] / [`Profile::earliest_fit_linear`] —
+//! the semantic oracles the indexed paths are property-tested against.
 
 use bsld_simkernel::Time;
 
@@ -95,6 +108,7 @@ impl ProfileBuilder {
         let mut out = Profile {
             total: self.total,
             segs: Vec::with_capacity(self.releases.len() + 1),
+            index: SegIndex::default(),
         };
         self.build_into(&mut out);
         out
@@ -117,6 +131,122 @@ impl ProfileBuilder {
                 _ => out.segs.push((t, avail)),
             }
         }
+        out.index.rebuild(&out.segs);
+    }
+}
+
+/// Flat min/max segment trees over the per-segment availability values,
+/// padded to a power of two. Rebuilt eagerly after every mutation: the
+/// index is a pure function of the segment list, so two profiles with
+/// equal segments always carry equal indexes (derived `PartialEq` on
+/// [`Profile`] stays sound).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct SegIndex {
+    /// Number of real leaves (`segs.len()` at build time).
+    leaves: usize,
+    /// Padded leaf count: `leaves.next_power_of_two()`.
+    size: usize,
+    /// Range-minimum tree, `2 * size` nodes, `u32::MAX` padding.
+    min: Vec<u32>,
+    /// Range-maximum tree, `2 * size` nodes, `0` padding.
+    max: Vec<u32>,
+}
+
+impl SegIndex {
+    /// Rebuilds both trees from the segment list. O(n); reuses the node
+    /// allocations when the padded size is unchanged.
+    fn rebuild(&mut self, segs: &[(Time, u32)]) {
+        self.leaves = segs.len();
+        self.size = segs.len().next_power_of_two().max(1);
+        self.min.clear();
+        self.min.resize(2 * self.size, u32::MAX);
+        self.max.clear();
+        self.max.resize(2 * self.size, 0);
+        for (i, &(_, avail)) in segs.iter().enumerate() {
+            self.min[self.size + i] = avail;
+            self.max[self.size + i] = avail;
+        }
+        for node in (1..self.size).rev() {
+            self.min[node] = self.min[2 * node].min(self.min[2 * node + 1]);
+            self.max[node] = self.max[2 * node].max(self.max[2 * node + 1]);
+        }
+    }
+
+    /// Minimum availability over leaf indexes `[l, r)`. `u32::MAX` for an
+    /// empty range.
+    fn range_min(&self, mut l: usize, mut r: usize) -> u32 {
+        let mut m = u32::MAX;
+        l += self.size;
+        r = r.min(self.leaves) + self.size;
+        while l < r {
+            if l & 1 == 1 {
+                m = m.min(self.min[l]);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                m = m.min(self.min[r]);
+            }
+            l /= 2;
+            r /= 2;
+        }
+        m
+    }
+
+    /// First leaf index `>= from` whose availability is `< cpus`.
+    fn first_below(&self, from: usize, cpus: u32) -> Option<usize> {
+        if from >= self.leaves {
+            return None;
+        }
+        self.descend_min(1, 0, self.size, from, cpus)
+    }
+
+    fn descend_min(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        from: usize,
+        cpus: u32,
+    ) -> Option<usize> {
+        if nr <= from || self.min[node] >= cpus {
+            return None;
+        }
+        if nr - nl == 1 {
+            // Padding leaves hold u32::MAX and can never satisfy `< cpus`.
+            return (nl < self.leaves).then_some(nl);
+        }
+        let mid = (nl + nr) / 2;
+        self.descend_min(2 * node, nl, mid, from, cpus)
+            .or_else(|| self.descend_min(2 * node + 1, mid, nr, from, cpus))
+    }
+
+    /// First leaf index `>= from` whose availability is `>= cpus`
+    /// (`cpus >= 1`: padding leaves hold 0 and are never matched).
+    fn first_at_least(&self, from: usize, cpus: u32) -> Option<usize> {
+        if from >= self.leaves {
+            return None;
+        }
+        self.descend_max(1, 0, self.size, from, cpus)
+    }
+
+    fn descend_max(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        from: usize,
+        cpus: u32,
+    ) -> Option<usize> {
+        if nr <= from || self.max[node] < cpus {
+            return None;
+        }
+        if nr - nl == 1 {
+            return (nl < self.leaves).then_some(nl);
+        }
+        let mid = (nl + nr) / 2;
+        self.descend_max(2 * node, nl, mid, from, cpus)
+            .or_else(|| self.descend_max(2 * node + 1, mid, nr, from, cpus))
     }
 }
 
@@ -129,6 +259,7 @@ impl ProfileBuilder {
 pub struct Profile {
     total: u32,
     segs: Vec<(Time, u32)>,
+    index: SegIndex,
 }
 
 impl Profile {
@@ -170,7 +301,21 @@ impl Profile {
 
     /// Minimum availability over the window `[start, start+dur)`.
     /// A zero-length window reads the instant `start`.
+    ///
+    /// O(log n) via the range-min tree; bit-identical to
+    /// [`Profile::min_available_linear`].
     pub fn min_available(&self, start: Time, dur: u64) -> u32 {
+        let end = start.saturating_add(dur);
+        let i = self.seg_index(start);
+        // First segment starting at or after `end`; the window covers
+        // segments [i, j), and at least segment i even when zero-length.
+        let j = self.segs.partition_point(|&(s, _)| s < end).max(i + 1);
+        self.index.range_min(i, j)
+    }
+
+    /// Linear-scan reference implementation of [`Profile::min_available`]
+    /// — the semantic oracle the indexed path is property-tested against.
+    pub fn min_available_linear(&self, start: Time, dur: u64) -> u32 {
         let end = start.saturating_add(dur);
         let mut i = self.seg_index(start);
         let mut min = self.segs[i].1;
@@ -192,7 +337,44 @@ impl Profile {
     /// Earliest `t ≥ not_before` such that `cpus` processors are available
     /// throughout `[t, t+dur)`, or `None` if no such time exists (only when
     /// `cpus > total` or a commitment blocks the horizon forever).
+    ///
+    /// O(log n) per blocked run via the min/max tree descents;
+    /// bit-identical to [`Profile::earliest_fit_linear`], which walks every
+    /// segment of every candidate window.
     pub fn earliest_fit(&self, cpus: u32, dur: u64, not_before: Time) -> Option<Time> {
+        if cpus > self.total {
+            return None;
+        }
+        let mut t = not_before.max(self.origin());
+        loop {
+            let window_end = t.saturating_add(dur);
+            let i = self.seg_index(t);
+            let Some(k) = self.index.first_below(i, cpus) else {
+                // No segment at or after the window start ever dips below
+                // `cpus`: the candidate fits through the horizon.
+                return Some(t);
+            };
+            // The candidate fits iff the first dip neither covers `t`
+            // (k == i; for dur == 0 the linear oracle still requires the
+            // segment at `t` itself to satisfy `cpus`) nor starts inside
+            // the window.
+            if k > i && self.segs[k].0 >= window_end {
+                return Some(t);
+            }
+            // Blocked: the next viable candidate is the start of the first
+            // segment after the dip with enough processors — the same
+            // instant the linear oracle reaches by hopping segment ends
+            // through the blocked run.
+            match self.index.first_at_least(k + 1, cpus) {
+                None => return None, // blocked through the infinite tail
+                Some(m) => t = self.segs[m].0,
+            }
+        }
+    }
+
+    /// Linear-scan reference implementation of [`Profile::earliest_fit`]
+    /// — the semantic oracle the indexed path is property-tested against.
+    pub fn earliest_fit_linear(&self, cpus: u32, dur: u64, not_before: Time) -> Option<Time> {
         if cpus > self.total {
             return None;
         }
@@ -232,17 +414,15 @@ impl Profile {
         if cpus == 0 {
             return Ok(());
         }
-        // Validate first.
+        // Validate first — O(log n): the first segment at or after the
+        // window start that dips below `cpus` is exactly the first
+        // underflow the old linear scan reported (segment starts increase,
+        // so if that dip lies past `end`, every later dip does too).
         let mut i = self.seg_index(start);
-        {
-            let mut j = i;
-            while j < self.segs.len() && self.segs[j].0 < end {
-                let covers_window = j >= i;
-                if covers_window && self.segs[j].1 < cpus {
-                    let at = self.segs[j].0.max(start);
-                    return Err(ProfileError::Underflow { at });
-                }
-                j += 1;
+        if let Some(k) = self.index.first_below(i, cpus) {
+            if self.segs[k].0 < end {
+                let at = self.segs[k].0.max(start);
+                return Err(ProfileError::Underflow { at });
             }
         }
         // Split segment boundaries at `start` and `end`.
@@ -268,6 +448,7 @@ impl Profile {
             seg.1 -= cpus;
         }
         self.coalesce();
+        self.index.rebuild(&self.segs);
         Ok(())
     }
 
@@ -317,6 +498,7 @@ impl Profile {
             );
         }
         self.coalesce();
+        self.index.rebuild(&self.segs);
         Ok(())
     }
 
@@ -329,9 +511,12 @@ impl Profile {
         let i = self.seg_index(now);
         if i > 0 {
             self.segs.drain(..i);
+            self.index.rebuild(&self.segs);
         }
         if self.segs[0].0 < now {
             self.segs[0].0 = now;
+            // Availability values are untouched, so the index (which holds
+            // only availabilities) is already correct for this branch.
         }
     }
 
@@ -357,6 +542,11 @@ impl Profile {
                     self.total
                 ));
             }
+        }
+        let mut expect = SegIndex::default();
+        expect.rebuild(&self.segs);
+        if self.index != expect {
+            return Err("segment-tree index out of sync with segments".into());
         }
         Ok(())
     }
@@ -636,5 +826,61 @@ mod tests {
         assert!(p.can_fit(t, 4, 150));
         assert!(!p.can_fit(Time(0), 4, 150));
         assert!(p.can_fit(Time(0), 4, 100)); // exactly up to the dip
+    }
+
+    /// Exhaustively compares the indexed queries against the linear
+    /// oracles over a staircase profile with dips, across a grid of probe
+    /// points, sizes and durations (including dur = 0 and u64::MAX).
+    #[test]
+    fn indexed_queries_match_linear_oracles() {
+        let mut p = Profile::flat(Time(0), 32, 32);
+        for (s, e, c) in [
+            (10u64, 50u64, 8u32),
+            (20, 40, 8),
+            (40, 90, 16),
+            (60, 70, 15),
+            (100, u64::MAX, 31),
+        ] {
+            let end = if e == u64::MAX { Time::MAX } else { Time(e) };
+            p.commit(Time(s), end, c).unwrap();
+        }
+        p.check_invariants().unwrap();
+        for t in 0..120u64 {
+            for dur in [0u64, 1, 5, 30, 100, u64::MAX] {
+                assert_eq!(
+                    p.min_available(Time(t), dur),
+                    p.min_available_linear(Time(t), dur),
+                    "min_available at t={t} dur={dur}"
+                );
+                for cpus in [0u32, 1, 2, 8, 16, 17, 31, 32, 33] {
+                    assert_eq!(
+                        p.earliest_fit(cpus, dur, Time(t)),
+                        p.earliest_fit_linear(cpus, dur, Time(t)),
+                        "earliest_fit cpus={cpus} dur={dur} not_before={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_queries_match_linear_after_every_mutation_kind() {
+        let mut p = sample();
+        p.commit(Time(150), Time(250), 2).unwrap();
+        p.release_over(Time(150), Time(250), 2).unwrap();
+        p.advance_origin(Time(220));
+        p.check_invariants().unwrap();
+        for t in 200..350u64 {
+            for cpus in 0..=11u32 {
+                assert_eq!(
+                    p.earliest_fit(cpus, 75, Time(t)),
+                    p.earliest_fit_linear(cpus, 75, Time(t))
+                );
+            }
+            assert_eq!(
+                p.min_available(Time(t), 60),
+                p.min_available_linear(Time(t), 60)
+            );
+        }
     }
 }

@@ -109,6 +109,46 @@ proptest! {
         prop_assert_eq!(p.min_available(start, dur), expected);
     }
 
+    /// The O(log n) indexed queries agree with the linear oracles on
+    /// profiles shaped by random commitment sequences — the A/B oracle for
+    /// the segment-tree rework, probing every segment boundary (± 1) plus
+    /// random offsets, with degenerate durations included.
+    #[test]
+    fn indexed_queries_match_linear_oracle(
+        p in arb_profile(),
+        commits in arb_commits(),
+        probes in proptest::collection::vec((0u64..16_000, 0u64..10_000, 0u32..=TOTAL + 1), 1..24),
+    ) {
+        let mut p = p;
+        for (start, dur, cpus) in commits {
+            let end = Time(start.saturating_add(dur));
+            let _ = p.commit(Time(start), end, cpus);
+        }
+        p.check_invariants().map_err(TestCaseError::fail)?;
+        let mut starts: Vec<u64> = p.segments().iter().map(|&(t, _)| t.as_secs()).collect();
+        starts.extend(probes.iter().map(|&(t, _, _)| t));
+        for &(seg_start, _) in p.segments() {
+            starts.push(seg_start.as_secs().saturating_sub(1));
+            starts.push(seg_start.as_secs().saturating_add(1));
+        }
+        for &t in &starts {
+            for &(_, dur, cpus) in &probes {
+                for d in [dur, 0, u64::MAX] {
+                    prop_assert_eq!(
+                        p.min_available(Time(t), d),
+                        p.min_available_linear(Time(t), d),
+                        "min_available t={} dur={}", t, d
+                    );
+                    prop_assert_eq!(
+                        p.earliest_fit(cpus, d, Time(t)),
+                        p.earliest_fit_linear(cpus, d, Time(t)),
+                        "earliest_fit cpus={} dur={} not_before={}", cpus, d, t
+                    );
+                }
+            }
+        }
+    }
+
     /// A committed window reduces availability by exactly `cpus` inside it
     /// and leaves it unchanged outside.
     #[test]

@@ -197,6 +197,29 @@ pub enum WorkloadSpec {
     },
 }
 
+/// A/B oracle hook: when raised, [`WorkloadSpec::build_with_abort`] loads
+/// SWF traces through the original in-memory path (`read_to_string` →
+/// parse → clean) instead of the streaming path. The two are bit-identical
+/// — `tests/streaming_ab.rs` and the CI large-trace byte-diff prove it —
+/// and this toggle exists precisely so that proof can keep running
+/// end-to-end through the CLI. Not a [`WorkloadSpec`] field: the spec's
+/// `Debug` form keys the serve daemon's workload cache, and a mere replay
+/// mechanism must never produce a distinct cache identity.
+static SWF_IN_MEMORY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Forces (or restores) the in-memory SWF load path for every subsequent
+/// [`WorkloadSpec::build_with_abort`] in this process. See
+/// [`swf_in_memory`].
+pub fn set_swf_in_memory(enabled: bool) {
+    SWF_IN_MEMORY.store(enabled, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether the in-memory SWF load path is currently forced (A/B oracle
+/// hook; the streaming path is the default).
+pub fn swf_in_memory() -> bool {
+    SWF_IN_MEMORY.load(std::sync::atomic::Ordering::SeqCst)
+}
+
 impl WorkloadSpec {
     /// Materialises the jobs (generation or trace replay).
     pub fn build(&self) -> Result<Workload, ScenarioError> {
@@ -236,28 +259,77 @@ impl WorkloadSpec {
                 if abort.is_some_and(|f| f.load(std::sync::atomic::Ordering::SeqCst)) {
                     return Err(ScenarioError::Sim(bsld_sched::SimError::Aborted));
                 }
-                let text = std::fs::read_to_string(path).map_err(|e| {
-                    ScenarioError::Io(format!("cannot read {}: {e}", path.display()))
-                })?;
-                let mut trace = bsld_swf::parse_swf_with_abort(&text, abort).map_err(|e| {
-                    if e.kind == bsld_swf::ParseErrorKind::Aborted {
-                        ScenarioError::Sim(bsld_sched::SimError::Aborted)
-                    } else {
-                        ScenarioError::Workload(e.to_string())
-                    }
-                })?;
-                if *clean {
-                    bsld_swf::clean_trace_with_abort(
-                        &mut trace,
-                        &bsld_swf::CleanConfig::default(),
-                        abort,
-                    )
-                    .map_err(|_| ScenarioError::Sim(bsld_sched::SimError::Aborted))?;
-                }
+                let trace = if swf_in_memory() {
+                    Self::load_swf_in_memory(path, *clean, abort)?
+                } else {
+                    Self::load_swf_streaming(path, *clean, abort)?
+                };
                 let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
-                Ok(Workload::from_swf(name, &trace))
+                Workload::from_swf_with_abort(name, &trace, abort)
+                    .map_err(|_| ScenarioError::Sim(bsld_sched::SimError::Aborted))
             }
         }
+    }
+
+    /// Streaming SWF load: records flow straight from a [`std::io::BufRead`]
+    /// through parse (+ clean when requested) without ever materialising
+    /// the file's text, so peak memory is bounded by *surviving* records
+    /// rather than the file size.
+    fn load_swf_streaming(
+        path: &std::path::Path,
+        clean: bool,
+        abort: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<bsld_swf::SwfTrace, ScenarioError> {
+        use bsld_swf::{SwfStream, SwfStreamError};
+        let file = std::fs::File::open(path)
+            .map_err(|e| ScenarioError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let reader = std::io::BufReader::new(file);
+        let stream = SwfStream::with_abort(reader, abort);
+        let map_parse = |e: bsld_swf::ParseError| match e.kind {
+            bsld_swf::ParseErrorKind::Aborted => ScenarioError::Sim(bsld_sched::SimError::Aborted),
+            bsld_swf::ParseErrorKind::Io { .. } => {
+                ScenarioError::Io(format!("cannot read {}: {e}", path.display()))
+            }
+            _ => ScenarioError::Workload(e.to_string()),
+        };
+        if clean {
+            let (trace, _summary) = bsld_swf::clean_swf_stream(
+                stream,
+                &bsld_swf::CleanConfig::default(),
+            )
+            .map_err(|e| match e {
+                SwfStreamError::Parse(p) => map_parse(p),
+                SwfStreamError::Clean(_) => ScenarioError::Sim(bsld_sched::SimError::Aborted),
+            })?;
+            Ok(trace)
+        } else {
+            stream.collect_trace().map_err(map_parse)
+        }
+    }
+
+    /// The original `read_to_string` → parse → clean load path, kept as
+    /// the A/B oracle for the streaming one (see [`set_swf_in_memory`]).
+    /// Every error maps exactly as the streaming path maps it, so the two
+    /// are indistinguishable from the outside.
+    fn load_swf_in_memory(
+        path: &std::path::Path,
+        clean: bool,
+        abort: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<bsld_swf::SwfTrace, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let mut trace = bsld_swf::parse_swf_with_abort(&text, abort).map_err(|e| {
+            if e.kind == bsld_swf::ParseErrorKind::Aborted {
+                ScenarioError::Sim(bsld_sched::SimError::Aborted)
+            } else {
+                ScenarioError::Workload(e.to_string())
+            }
+        })?;
+        if clean {
+            bsld_swf::clean_trace_with_abort(&mut trace, &bsld_swf::CleanConfig::default(), abort)
+                .map_err(|_| ScenarioError::Sim(bsld_sched::SimError::Aborted))?;
+        }
+        Ok(trace)
     }
 }
 

@@ -83,6 +83,15 @@ impl Client {
         ]))
     }
 
+    /// `{"op":"cache","swf":…}` — pins a trace into the daemon's workload
+    /// cache (the path is resolved daemon-side).
+    pub fn cache_pin(&mut self, swf: &str) -> Result<Json, String> {
+        self.request(&Json::obj(vec![
+            ("op", Json::str("cache")),
+            ("swf", Json::str(swf)),
+        ]))
+    }
+
     /// `{"op":"shutdown"}` — asks the daemon to drain and exit.
     pub fn shutdown(&mut self) -> Result<Json, String> {
         self.request(&Json::obj(vec![("op", Json::str("shutdown"))]))

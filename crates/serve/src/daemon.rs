@@ -221,6 +221,13 @@ fn dispatch(
             Json::obj(pairs)
         }
         Request::Cache { clear: false } => state.cache_listing(),
+        Request::CachePin { swf } => match state.pin_swf(&swf) {
+            Ok(reply) => reply,
+            Err(msg) => {
+                Stats::bump(&state.stats.errors, 1);
+                error_reply(&msg)
+            }
+        },
         Request::Cache { clear: true } => {
             let (results, workloads) = state.clear_caches();
             Json::obj(vec![

@@ -9,7 +9,9 @@
 //! * `{"op":"status"}` — counters: requests, runs, cache hit rates,
 //!   uptime;
 //! * `{"op":"cache"}` — list resident result cells (`"clear":true`
-//!   empties both caches);
+//!   empties both caches; `"swf":"/path/trace.swf"` pins a parsed and
+//!   cleaned trace into the workload cache ahead of the queries that
+//!   will replay it);
 //! * `{"op":"shutdown"}` — drain in-flight connections and exit.
 //!
 //! Every reply carries `"ok"`; failures are structured
@@ -41,6 +43,12 @@ pub enum Request {
     Cache {
         /// Empty both caches instead of listing them.
         clear: bool,
+    },
+    /// Pin an SWF trace into the workload cache: parse and clean it now
+    /// (streaming) so later `run` requests over the same file start warm.
+    CachePin {
+        /// Daemon-side path of the `.swf` file.
+        swf: String,
     },
     /// Drain and exit.
     Shutdown,
@@ -95,9 +103,22 @@ impl Request {
                 Ok(Request::Run { scn, overrides })
             }
             "status" => Ok(Request::Status),
-            "cache" => Ok(Request::Cache {
-                clear: v.get("clear").and_then(Json::as_bool).unwrap_or(false),
-            }),
+            "cache" => {
+                let clear = v.get("clear").and_then(Json::as_bool).unwrap_or(false);
+                match v.get("swf") {
+                    None | Some(Json::Null) => Ok(Request::Cache { clear }),
+                    Some(_) if clear => {
+                        Err("\"cache\" takes either \"swf\" or \"clear\", not both".to_string())
+                    }
+                    Some(p) => {
+                        let swf = p
+                            .as_str()
+                            .ok_or("\"cache\" field \"swf\" must be a path string")?
+                            .to_string();
+                        Ok(Request::CachePin { swf })
+                    }
+                }
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown op {other:?} (expected run, status, cache or shutdown)"
@@ -271,6 +292,12 @@ mod tests {
             Request::Cache { clear: true }
         );
         assert_eq!(
+            Request::parse("{\"op\":\"cache\",\"swf\":\"/tmp/t.swf\"}").unwrap(),
+            Request::CachePin {
+                swf: "/tmp/t.swf".to_string()
+            }
+        );
+        assert_eq!(
             Request::parse("{\"op\":\"shutdown\"}").unwrap(),
             Request::Shutdown
         );
@@ -301,6 +328,8 @@ mod tests {
             "{\"op\":\"run\",\"scn\":\"x\",\"overrides\":{\"budget_s\":-1}}",
             "{\"op\":\"run\",\"scn\":\"x\",\"overrides\":{\"cap\":\"half\"}}",
             "{\"op\":\"run\",\"scn\":\"x\",\"overrides\":{\"wq\":1.5}}",
+            "{\"op\":\"cache\",\"swf\":42}",
+            "{\"op\":\"cache\",\"swf\":\"/tmp/t.swf\",\"clear\":true}",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} must not parse");
         }

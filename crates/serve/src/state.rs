@@ -340,6 +340,36 @@ impl ServerState {
         ])
     }
 
+    /// Pins an SWF trace into the workload cache: parses and cleans it
+    /// through the streaming path right now, keyed by path *and* content
+    /// hash, so subsequent `run` requests over the same file start warm.
+    /// The error string becomes the client's `{"ok":false,…}` reply.
+    pub fn pin_swf(&self, path: &str) -> Result<Json, String> {
+        let spec = WorkloadSpec::Swf {
+            path: std::path::PathBuf::from(path),
+            clean: true,
+        };
+        let key = workload_key(&spec);
+        let content_hash = file_fnv(std::path::Path::new(path));
+        Stats::bump(&self.stats.workload_misses, 1);
+        let w = Arc::new(spec.build_with_abort(None).map_err(|e| e.to_string())?);
+        let evicted = self.lock_workloads().insert(key, Arc::clone(&w)).is_some();
+        Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("pinned", Json::str(path)),
+            ("jobs", Json::Num(w.jobs.len() as f64)),
+            ("cpus", Json::Num(w.cpus as f64)),
+            (
+                "content_hash",
+                Json::str(match content_hash {
+                    Some(h) => format!("{h:016x}"),
+                    None => "unreadable".to_string(),
+                }),
+            ),
+            ("evicted", Json::Bool(evicted)),
+        ]))
+    }
+
     /// Empties both caches, returning how many entries were dropped.
     pub fn clear_caches(&self) -> (usize, usize) {
         let r = self.lock_results().clear();
@@ -365,9 +395,39 @@ impl ServerState {
 }
 
 /// Content hash of a workload spec — the workload-cache key. `Debug` of
-/// [`WorkloadSpec`] covers every field that affects the built workload.
+/// [`WorkloadSpec`] covers every field that affects the built workload;
+/// for SWF specs the *file contents* are folded in too, so rewriting a
+/// trace in place invalidates its cache entry instead of silently serving
+/// the old jobs.
 fn workload_key(spec: &WorkloadSpec) -> u64 {
-    fnv1a_64(format!("{spec:?}").as_bytes())
+    match spec {
+        WorkloadSpec::Swf { path, .. } => match file_fnv(path) {
+            Some(h) => fnv1a_64(format!("{spec:?}#{h:016x}").as_bytes()),
+            // Unreadable now → key on the spec alone; the build itself
+            // will surface the I/O error to the client.
+            None => fnv1a_64(format!("{spec:?}").as_bytes()),
+        },
+        _ => fnv1a_64(format!("{spec:?}").as_bytes()),
+    }
+}
+
+/// FNV-1a of a file's bytes, streamed in 64 KiB chunks (million-line
+/// traces must not be slurped just to key a cache).
+fn file_fnv(path: &std::path::Path) -> Option<u64> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path).ok()?;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = f.read(&mut buf).ok()?;
+        if n == 0 {
+            return Some(h);
+        }
+        for &b in &buf[..n] {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
 }
 
 /// FNV-1a, the same stable hash the campaign layer uses for cell IDs.
@@ -446,6 +506,84 @@ mod tests {
         let scn = format!("{SCN}replications = 3\n");
         let err = state().run_query(&scn, &Overrides::default()).unwrap_err();
         assert!(err.contains("replications"), "{err}");
+    }
+
+    fn write_trace(dir: &std::path::Path, name: &str, jobs: u64, seed: u64) -> std::path::PathBuf {
+        let path = dir.join(name);
+        let mut buf = Vec::new();
+        bsld_swf::generate_swf(&mut buf, jobs, seed, 64).unwrap();
+        std::fs::write(&path, buf).unwrap();
+        path
+    }
+
+    #[test]
+    fn pin_swf_warms_the_workload_cache() {
+        let dir = std::env::temp_dir().join(format!("bsld-pin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = write_trace(&dir, "pin.swf", 30, 5);
+        let st = state();
+        let reply = st.pin_swf(trace.to_str().unwrap()).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(reply.get("jobs").and_then(Json::as_u64), Some(30));
+        assert_eq!(reply.get("evicted").and_then(Json::as_bool), Some(false));
+        assert!(reply.get("content_hash").and_then(Json::as_str).is_some());
+        // A run over the pinned trace hits the warm entry: zero new misses.
+        let scn = format!(
+            "scenario = replay\nworkload = swf\nswf_path = {}\n",
+            trace.display()
+        );
+        st.run_query(&scn, &Overrides::default()).unwrap();
+        assert_eq!(st.stats.workload_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            st.stats.workload_misses.load(Ordering::Relaxed),
+            1,
+            "only the pin itself counts as a miss"
+        );
+        // Rewriting the file in place changes the content hash, so the
+        // stale pinned entry can never be served for the new bytes.
+        let before = workload_key(&WorkloadSpec::Swf {
+            path: trace.clone(),
+            clean: true,
+        });
+        write_trace(&dir, "pin.swf", 31, 6);
+        let after = workload_key(&WorkloadSpec::Swf {
+            path: trace.clone(),
+            clean: true,
+        });
+        assert_ne!(before, after);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pinning_past_capacity_evicts_the_oldest_trace() {
+        let dir = std::env::temp_dir().join(format!("bsld-pin-evict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let st = ServerState::new(StateConfig {
+            threads: 1,
+            workload_capacity: 2,
+            ..StateConfig::default()
+        });
+        for (i, name) in ["a.swf", "b.swf"].iter().enumerate() {
+            let p = write_trace(&dir, name, 10, i as u64);
+            let reply = st.pin_swf(p.to_str().unwrap()).unwrap();
+            assert_eq!(reply.get("evicted").and_then(Json::as_bool), Some(false));
+        }
+        let p = write_trace(&dir, "c.swf", 10, 9);
+        let reply = st.pin_swf(p.to_str().unwrap()).unwrap();
+        assert_eq!(
+            reply.get("evicted").and_then(Json::as_bool),
+            Some(true),
+            "third pin into a 2-slot cache must evict"
+        );
+        let listing = st.cache_listing();
+        assert_eq!(listing.get("workloads").and_then(Json::as_u64), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pinning_a_missing_file_is_a_structured_error() {
+        let err = state().pin_swf("/nonexistent/void.swf").unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper over [`std::collections::BinaryHeap`] that orders events by
-//! time and, within a single instant, by insertion order (FIFO). The stable
-//! tie-break is what makes simulation runs bit-for-bit reproducible: two
-//! events scheduled for the same second are always delivered in the order
-//! they were pushed, regardless of heap internals.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! A hand-rolled binary min-heap flattened onto a single `Vec` of
+//! `(packed key, payload)` pairs. The key packs `(time, insertion
+//! sequence)` into one `u128` — `(time << 64) | seq` — so the heap's
+//! sift operations compare a single integer, and the unique sequence
+//! number makes the key a *total* order: events at the same instant are
+//! always delivered in the order they were pushed (FIFO), regardless of
+//! heap internals. That stable tie-break is what makes simulation runs
+//! bit-for-bit reproducible; it is deliberately identical to the
+//! `(time, seq)` lexicographic order of the previous
+//! `BinaryHeap`-of-structs implementation (see the `matches_reference_*`
+//! tests).
 
 use crate::time::Time;
 
@@ -15,47 +18,30 @@ use crate::time::Time;
 /// with FIFO tie-breaking.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Index-tagged min-heap: `heap[0]` is the earliest entry; children of
+    /// node `i` live at `2i + 1` and `2i + 2`.
+    heap: Vec<(u128, E)>,
     seq: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Entry<E> {
-    time: Time,
-    seq: u64,
-    event: E,
+/// Packs `(time, seq)` into one integer whose natural order equals the
+/// lexicographic order of the pair.
+#[inline]
+fn pack(time: Time, seq: u64) -> u128 {
+    ((time.0 as u128) << 64) | (seq as u128)
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse both keys to pop the earliest
-        // time first and, within a time, the lowest sequence number.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// The time half of a packed key (the cast is lossless by construction).
+#[inline]
+fn unpack_time(key: u128) -> Time {
+    Time((key >> 64) as u64)
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             seq: 0,
         }
     }
@@ -63,27 +49,37 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with capacity for `n` events.
     pub fn with_capacity(n: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(n),
+            heap: Vec::with_capacity(n),
             seq: 0,
         }
     }
 
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: Time, event: E) {
-        let seq = self.seq;
+        let key = pack(time, self.seq);
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push((key, event));
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let (key, event) = self.heap.pop()?;
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((unpack_time(key), event))
     }
 
     /// The timestamp of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|&(key, _)| unpack_time(key))
     }
 
     /// The earliest pending event (time and payload) without removing it.
@@ -94,7 +90,7 @@ impl<E> EventQueue<E> {
     /// simulator uses it to batch same-instant job arrivals into a single
     /// scheduling pass.
     pub fn peek(&self) -> Option<(Time, &E)> {
-        self.heap.peek().map(|e| (e.time, &e.event))
+        self.heap.first().map(|(key, e)| (unpack_time(*key), e))
     }
 
     /// Number of pending events.
@@ -105,6 +101,39 @@ impl<E> EventQueue<E> {
     /// Whether the queue holds no events.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Restores the heap property upward from `i` after a push.
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[parent].0 <= self.heap[i].0 {
+                break;
+            }
+            self.heap.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    /// Restores the heap property downward from `i` after a pop.
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < n && self.heap[right].0 < self.heap[left].0 {
+                smallest = right;
+            }
+            if self.heap[i].0 <= self.heap[smallest].0 {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
     }
 }
 
@@ -117,6 +146,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BinaryHeap;
 
     #[test]
     fn delivers_in_time_order() {
@@ -193,5 +223,75 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(Time(3)));
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn extreme_times_survive_packing() {
+        let mut q = EventQueue::new();
+        q.push(Time::MAX, "max");
+        q.push(Time(0), "zero");
+        q.push(Time(u64::MAX - 1), "almost");
+        assert_eq!(q.pop(), Some((Time(0), "zero")));
+        assert_eq!(q.pop(), Some((Time(u64::MAX - 1), "almost")));
+        assert_eq!(q.pop(), Some((Time::MAX, "max")));
+    }
+
+    /// The previous implementation, preserved verbatim as the ordering
+    /// oracle: a `BinaryHeap` of `(time, seq)`-ordered entries.
+    struct Reference<E> {
+        heap: BinaryHeap<(std::cmp::Reverse<(Time, u64)>, E)>,
+        seq: u64,
+    }
+
+    impl<E: Ord> Reference<E> {
+        fn new() -> Self {
+            Reference {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }
+        }
+        fn push(&mut self, time: Time, event: E) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push((std::cmp::Reverse((time, seq)), event));
+        }
+        fn pop(&mut self) -> Option<(Time, E)> {
+            self.heap.pop().map(|(std::cmp::Reverse((t, _)), e)| (t, e))
+        }
+    }
+
+    /// Deterministic pseudo-random interleavings of pushes and pops: the
+    /// flattened heap and the reference deliver identical sequences.
+    #[test]
+    fn matches_reference_on_random_interleavings() {
+        let mut state = 0x2010_1234_5678_9abcu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _round in 0..50 {
+            let mut q = EventQueue::new();
+            let mut r = Reference::new();
+            for op in 0..200 {
+                if next() % 3 == 0 {
+                    assert_eq!(q.pop(), r.pop(), "divergence at op {op}");
+                } else {
+                    // Small time range forces heavy same-instant ties.
+                    let t = Time(next() % 16);
+                    let payload = op;
+                    q.push(t, payload);
+                    r.push(t, payload);
+                }
+            }
+            loop {
+                let (a, b) = (q.pop(), r.pop());
+                assert_eq!(a, b, "drain divergence");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

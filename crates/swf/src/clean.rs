@@ -131,9 +131,28 @@ pub fn clean_trace_with_abort(
         kept.push(r);
     }
 
-    // Pass 2: flurry removal. Jobs are scanned in submit order per user;
-    // inside any sliding window of `flurry_window_secs`, at most
-    // `flurry_max_jobs` jobs per user survive.
+    // Pass 2: flurry removal (shared with the streaming cleaner).
+    trace.records = flurry_pass(kept, cfg, abort, &mut summary)?;
+    Ok(summary)
+}
+
+/// Flurry removal: jobs are scanned in submit order per user; inside any
+/// sliding window of `flurry_window_secs`, at most `flurry_max_jobs` jobs
+/// per user survive. Sorts its input by `(submit, job_id)` first.
+///
+/// Shared verbatim between [`clean_trace_with_abort`] and the streaming
+/// cleaner ([`crate::clean_swf_stream`]) so the two paths stay
+/// bit-identical by construction.
+pub(crate) fn flurry_pass(
+    mut kept: Vec<SwfRecord>,
+    cfg: &CleanConfig,
+    abort: Option<&AtomicBool>,
+    summary: &mut CleanSummary,
+) -> Result<Vec<SwfRecord>, CleanAborted> {
+    let raised = |i: usize| {
+        i.is_multiple_of(ABORT_POLL_RECORDS)
+            && abort.is_some_and(|flag| flag.load(Ordering::SeqCst))
+    };
     kept.sort_by_key(|r| (r.submit, r.job_id));
     let mut recent: std::collections::HashMap<i64, std::collections::VecDeque<i64>> =
         std::collections::HashMap::new();
@@ -159,8 +178,7 @@ pub fn clean_trace_with_abort(
         }
         out.push(r);
     }
-    trace.records = out;
-    Ok(summary)
+    Ok(out)
 }
 
 /// Selects a `count`-job segment starting at `start` (by index in submit

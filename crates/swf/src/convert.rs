@@ -1,9 +1,29 @@
 //! SWF → domain-model conversion.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use bsld_model::Job;
 use bsld_simkernel::Time;
 
 use crate::record::SwfRecord;
+
+/// How many records are processed between two abort-flag polls in
+/// [`records_to_jobs_with_abort`] (same granularity rationale as the
+/// parser's line poll and the cleaner's record poll).
+const ABORT_POLL_RECORDS: usize = 4096;
+
+/// The abort flag was raised during a full-trace walk (conversion or
+/// statistics); the walk stopped cooperatively and produced nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceAborted;
+
+impl std::fmt::Display for TraceAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace processing aborted (abort flag raised)")
+    }
+}
+
+impl std::error::Error for TraceAborted {}
 
 /// Converts cleaned SWF records into simulator [`Job`]s.
 ///
@@ -20,8 +40,28 @@ use crate::record::SwfRecord;
 /// The engine applies the same clamp defensively for directly constructed
 /// jobs.
 pub fn records_to_jobs(records: &[SwfRecord]) -> Vec<Job> {
+    // The error arm is unreachable: without an abort flag the poll can
+    // never trip. Defaulting keeps this signature infallible without
+    // introducing a panic path.
+    records_to_jobs_with_abort(records, None).unwrap_or_default()
+}
+
+/// As [`records_to_jobs`], polling `abort` every few thousand records: a
+/// raised flag stops the conversion promptly instead of walking the rest
+/// of a multi-million-record trace.
+pub fn records_to_jobs_with_abort(
+    records: &[SwfRecord],
+    abort: Option<&AtomicBool>,
+) -> Result<Vec<Job>, TraceAborted> {
+    let raised = |i: usize| {
+        i.is_multiple_of(ABORT_POLL_RECORDS)
+            && abort.is_some_and(|flag| flag.load(Ordering::SeqCst))
+    };
     let mut jobs = Vec::with_capacity(records.len());
-    for r in records {
+    for (i, r) in records.iter().enumerate() {
+        if raised(i) {
+            return Err(TraceAborted);
+        }
         let (Some(procs), Some(req)) = (r.effective_procs(), r.effective_req_time()) else {
             continue;
         };
@@ -37,7 +77,7 @@ pub fn records_to_jobs(records: &[SwfRecord]) -> Vec<Job> {
             req,
         ));
     }
-    jobs
+    Ok(jobs)
 }
 
 #[cfg(test)]
@@ -83,5 +123,25 @@ mod tests {
         assert_eq!(jobs[0].runtime, 100, "runtime clamps down to the estimate");
         assert_eq!(jobs[0].requested, 100);
         assert!(jobs[0].estimate_exact());
+    }
+
+    #[test]
+    fn raised_abort_flag_stops_the_conversion() {
+        let records = vec![SwfRecord::simple(1, 0, 100, 4, 100)];
+        let flag = AtomicBool::new(true);
+        let err = records_to_jobs_with_abort(&records, Some(&flag)).unwrap_err();
+        assert_eq!(err, TraceAborted);
+        assert!(err.to_string().contains("aborted"));
+    }
+
+    #[test]
+    fn unraised_abort_flag_changes_nothing() {
+        let records = vec![
+            SwfRecord::simple(1, 0, 100, 4, 100),
+            SwfRecord::simple(2, 60, 50, 1, 50),
+        ];
+        let flag = AtomicBool::new(false);
+        let with = records_to_jobs_with_abort(&records, Some(&flag)).unwrap();
+        assert_eq!(with, records_to_jobs(&records));
     }
 }

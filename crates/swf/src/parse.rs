@@ -1,14 +1,15 @@
 //! SWF text parsing.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 
 use crate::record::{SwfHeader, SwfRecord, SwfTrace};
+use crate::stream::SwfStream;
 
 /// How many input lines are parsed between two abort-flag polls. Archive
 /// traces run to millions of lines, so the parse phase must observe a
 /// cooperative cancellation long before the event loop ever starts; one
 /// atomic load per 4096 lines is far below measurement noise.
-const ABORT_POLL_LINES: usize = 4096;
+pub(crate) const ABORT_POLL_LINES: usize = 4096;
 
 /// A parse failure, with the 1-based line number it occurred on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +38,13 @@ pub enum ParseErrorKind {
     /// The abort flag passed to [`parse_swf_with_abort`] was raised; the
     /// parse stopped cooperatively without reading the rest of the input.
     Aborted,
+    /// Reading the underlying byte stream failed (streaming parses only —
+    /// [`crate::SwfStream`] reads from arbitrary [`std::io::BufRead`]
+    /// sources, unlike the infallible in-memory `&str` path).
+    Io {
+        /// The I/O error, rendered to text (keeps this type `Eq`/`Clone`).
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -54,6 +62,9 @@ impl std::fmt::Display for ParseError {
             }
             ParseErrorKind::Aborted => {
                 write!(f, "line {}: parse aborted (abort flag raised)", self.line)
+            }
+            ParseErrorKind::Io { message } => {
+                write!(f, "line {}: read failed: {message}", self.line)
             }
         }
     }
@@ -81,38 +92,18 @@ pub fn parse_swf(text: &str) -> Result<SwfTrace, ParseError> {
 /// This is how a campaign's `cell_budget_s` covers the parse/clean phase:
 /// without the poll, a unit stuck parsing a huge trace would only notice
 /// its expired budget once the event loop started.
+///
+/// Since the streaming rework this is a collect shim over
+/// [`SwfStream`]: both paths run the same per-line code, so they cannot
+/// drift apart.
 pub fn parse_swf_with_abort(
     text: &str,
     abort: Option<&AtomicBool>,
 ) -> Result<SwfTrace, ParseError> {
-    let mut header = SwfHeader::default();
-    let mut records = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
-        if idx % ABORT_POLL_LINES == 0 {
-            if let Some(flag) = abort {
-                if flag.load(Ordering::SeqCst) {
-                    return Err(ParseError {
-                        line: lineno,
-                        kind: ParseErrorKind::Aborted,
-                    });
-                }
-            }
-        }
-        let line = raw.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(comment) = line.strip_prefix(';') {
-            parse_header_line(comment.trim(), &mut header);
-            continue;
-        }
-        records.push(parse_data_line(line, lineno)?);
-    }
-    Ok(SwfTrace { header, records })
+    SwfStream::with_abort(text.as_bytes(), abort).collect_trace()
 }
 
-fn parse_header_line(comment: &str, header: &mut SwfHeader) {
+pub(crate) fn parse_header_line(comment: &str, header: &mut SwfHeader) {
     if let Some((key, value)) = comment.split_once(':') {
         let value = value.trim();
         match key.trim() {
@@ -146,7 +137,7 @@ fn parse_header_line(comment: &str, header: &mut SwfHeader) {
     header.extra.push(comment.to_string());
 }
 
-fn parse_data_line(line: &str, lineno: usize) -> Result<SwfRecord, ParseError> {
+pub(crate) fn parse_data_line(line: &str, lineno: usize) -> Result<SwfRecord, ParseError> {
     let mut fields = [0i64; 18];
     let mut count = 0;
     for (i, tok) in line.split_whitespace().enumerate() {

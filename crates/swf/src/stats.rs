@@ -1,8 +1,16 @@
 //! Trace summary statistics.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use bsld_simkernel::stats::OnlineStats;
 
+use crate::convert::TraceAborted;
 use crate::record::SwfTrace;
+
+/// How many records are processed between two abort-flag polls in
+/// [`TraceStats::of_with_abort`] (same granularity rationale as the
+/// parser's line poll and the cleaner's record poll).
+const ABORT_POLL_RECORDS: usize = 4096;
 
 /// Aggregate statistics of a trace, for workload characterisation tables.
 #[derive(Debug, Clone)]
@@ -29,6 +37,23 @@ pub struct TraceStats {
 impl TraceStats {
     /// Computes statistics over a trace's records.
     pub fn of(trace: &SwfTrace) -> TraceStats {
+        // The error arm is unreachable: without an abort flag the poll can
+        // never trip. Falling back to empty-trace statistics keeps this
+        // signature infallible without introducing a panic path.
+        Self::of_with_abort(trace, None).unwrap_or_else(|_| Self::of(&SwfTrace::default()))
+    }
+
+    /// As [`TraceStats::of`], polling `abort` every few thousand records: a
+    /// raised flag stops the walk promptly instead of summarising the rest
+    /// of a multi-million-record trace.
+    pub fn of_with_abort(
+        trace: &SwfTrace,
+        abort: Option<&AtomicBool>,
+    ) -> Result<TraceStats, TraceAborted> {
+        let raised = |i: usize| {
+            i.is_multiple_of(ABORT_POLL_RECORDS)
+                && abort.is_some_and(|flag| flag.load(Ordering::SeqCst))
+        };
         let mut runtime = OnlineStats::new();
         let mut size = OnlineStats::new();
         let mut requested = OnlineStats::new();
@@ -38,7 +63,10 @@ impl TraceStats {
         let mut last = i64::MIN;
         let mut area = 0f64;
         let mut n = 0usize;
-        for r in &trace.records {
+        for (i, r) in trace.records.iter().enumerate() {
+            if raised(i) {
+                return Err(TraceAborted);
+            }
             let (Some(p), Some(req)) = (r.effective_procs(), r.effective_req_time()) else {
                 continue;
             };
@@ -68,7 +96,7 @@ impl TraceStats {
             (Some(m), s) if s > 0 => area / (m as f64 * s as f64),
             _ => 0.0,
         };
-        TraceStats {
+        Ok(TraceStats {
             jobs: n,
             runtime,
             size,
@@ -77,7 +105,7 @@ impl TraceStats {
             short_fraction: if n > 0 { short as f64 / n as f64 } else { 0.0 },
             span_secs,
             offered_load,
-        }
+        })
     }
 }
 
@@ -126,5 +154,36 @@ mod tests {
         };
         let s = TraceStats::of(&trace);
         assert_eq!(s.jobs, 1);
+    }
+
+    #[test]
+    fn raised_abort_flag_stops_the_walk() {
+        let trace = SwfTrace {
+            header: SwfHeader::default(),
+            records: vec![SwfRecord::simple(1, 0, 50, 2, 50)],
+        };
+        let flag = AtomicBool::new(true);
+        let err = TraceStats::of_with_abort(&trace, Some(&flag)).unwrap_err();
+        assert_eq!(err, TraceAborted);
+    }
+
+    #[test]
+    fn unraised_abort_flag_changes_nothing() {
+        let trace = SwfTrace {
+            header: SwfHeader {
+                max_procs: Some(10),
+                ..Default::default()
+            },
+            records: vec![
+                SwfRecord::simple(1, 0, 100, 1, 100),
+                SwfRecord::simple(2, 500, 1000, 4, 2000),
+            ],
+        };
+        let flag = AtomicBool::new(false);
+        let with = TraceStats::of_with_abort(&trace, Some(&flag)).unwrap();
+        let without = TraceStats::of(&trace);
+        assert_eq!(with.jobs, without.jobs);
+        assert_eq!(with.span_secs, without.span_secs);
+        assert_eq!(with.offered_load, without.offered_load);
     }
 }

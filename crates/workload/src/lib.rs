@@ -34,7 +34,8 @@ pub mod runtimes;
 pub mod sizes;
 
 use bsld_model::Job;
-use bsld_swf::{records_to_jobs, SwfTrace};
+use bsld_swf::{records_to_jobs, records_to_jobs_with_abort, SwfTrace, TraceAborted};
+use std::sync::atomic::AtomicBool;
 
 /// A named workload ready for simulation: a machine size and a list of
 /// jobs sorted by arrival.
@@ -54,7 +55,26 @@ impl Workload {
     /// Uses the header's `MaxProcs` as the machine size, falling back to
     /// the largest job.
     pub fn from_swf(name: impl Into<String>, trace: &SwfTrace) -> Workload {
-        let mut jobs = records_to_jobs(&trace.records);
+        Self::assemble(name.into(), trace, records_to_jobs(&trace.records))
+    }
+
+    /// As [`Workload::from_swf`], polling `abort` every few thousand
+    /// records during the job conversion walk. Million-line archive traces
+    /// spend real time here; a raised budget flag must be able to stop the
+    /// walk instead of waiting for the simulation to start.
+    pub fn from_swf_with_abort(
+        name: impl Into<String>,
+        trace: &SwfTrace,
+        abort: Option<&AtomicBool>,
+    ) -> Result<Workload, TraceAborted> {
+        let jobs = records_to_jobs_with_abort(&trace.records, abort)?;
+        Ok(Self::assemble(name.into(), trace, jobs))
+    }
+
+    /// Shared tail of the SWF constructors: sorts by arrival, re-ids
+    /// densely, and sizes the machine from the header (falling back to the
+    /// largest job).
+    fn assemble(name: String, trace: &SwfTrace, mut jobs: Vec<Job>) -> Workload {
         jobs.sort_by_key(|j| j.arrival);
         for (i, j) in jobs.iter_mut().enumerate() {
             j.id = bsld_model::JobId(i as u32);
@@ -64,7 +84,7 @@ impl Workload {
             .max_procs
             .unwrap_or_else(|| jobs.iter().map(|j| j.cpus).max().unwrap_or(1));
         Workload {
-            cluster_name: name.into(),
+            cluster_name: name,
             cpus,
             jobs,
         }
