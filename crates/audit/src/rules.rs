@@ -143,7 +143,7 @@ pub enum FileKind {
 
 /// Crates whose iteration order feeds persisted artifacts (reports, CSVs,
 /// manifests, schedules): rule D1 applies.
-const DETERMINISM_CRITICAL: [&str; 11] = [
+const DETERMINISM_CRITICAL: [&str; 12] = [
     "core",
     "sched",
     "simkernel",
@@ -157,6 +157,10 @@ const DETERMINISM_CRITICAL: [&str; 11] = [
     // The daemon's replies must be byte-identical to the one-shot CLI;
     // its clock reads (uptime, budget watchdog) carry per-line escapes.
     "serve",
+    // The trace plane must be a pure function of the simulated run; only
+    // the profiling plane (obs/src/profile.rs) reads the clock, behind
+    // justified escapes.
+    "obs",
 ];
 
 /// Crates exempt from D2 wholesale: `par` implements the wall-clock budget

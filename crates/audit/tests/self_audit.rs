@@ -99,6 +99,55 @@ fn the_serve_crate_is_audited_as_determinism_critical() {
 }
 
 #[test]
+fn the_obs_crate_is_audited_as_determinism_critical() {
+    // Positive control: both planes of the observability crate are in the
+    // scanned set (the profiling plane's deliberate clock reads carry
+    // justified audit:allow(D2) escapes, counted as suppressed).
+    let report = audit_workspace(&workspace_root()).expect("walk workspace");
+    for file in ["crates/obs/src/trace.rs", "crates/obs/src/profile.rs"] {
+        assert!(
+            report.files_scanned.iter().any(|f| f == file),
+            "{file} must be audited"
+        );
+    }
+
+    // Negative controls: a scratch `obs` crate seeding (a) a wall-clock
+    // read into the trace plane must trip D2 — the plane-separation
+    // guarantee — and (b) hash-order iteration must trip D1, proving the
+    // crate is on the determinism-critical list, not just scanned.
+    let root = std::env::temp_dir().join(format!("bsld-audit-obs-{}", std::process::id()));
+    let src_dir = root.join("crates/obs/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir scratch workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "use std::collections::HashMap;\n\
+         pub fn stamp() -> std::time::Instant {\n\
+         \x20   std::time::Instant::now()\n\
+         }\n\
+         pub fn dump(cells: &HashMap<u64, f64>) {\n\
+         \x20   for (k, v) in cells.iter() {\n\
+         \x20       println!(\"{k} {v}\");\n\
+         \x20   }\n\
+         }\n",
+    )
+    .expect("write seeded violations");
+
+    let report = audit_workspace(&root).expect("walk scratch workspace");
+    std::fs::remove_dir_all(&root).ok();
+    assert!(
+        report.violations.iter().any(|v| v.rule == Rule::D2),
+        "an unescaped clock read in crates/obs must fail D2:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.violations.iter().any(|v| v.rule == Rule::D1),
+        "hash-order iteration in crates/obs must fail D1:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
 fn a_seeded_violation_fails_the_audit() {
     // A unique-per-process scratch workspace; no wall clock or RNG needed.
     let root = std::env::temp_dir().join(format!("bsld-audit-neg-{}", std::process::id()));

@@ -45,7 +45,16 @@
 //!                                        answering JSON queries on a Unix
 //!                                        socket (see crates/serve)
 //!   query <op> --socket PATH             one request to a running daemon
+//!   trace-summary FILE                   validate a --trace-out Chrome
+//!                                        trace and print per-cell event
+//!                                        tallies (exit 1 on malformed
+//!                                        input — the CI trace validator)
 //! ```
+//!
+//! The grid experiments (`fig3`/`fig4`/`fig5`/`all`) additionally accept
+//! `--trace-out PATH`: write the deterministic simulation trace of every
+//! sweep cell as one Chrome-trace JSON file (Perfetto-loadable,
+//! byte-identical across re-runs regardless of `--threads`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -78,7 +87,9 @@ const EXPERIMENTS: &[&str] = &[
 
 fn usage() -> String {
     format!(
-        "usage: bsld-repro <{}|run|campaign-worker|campaign-merge|generate|gen-swf|simulate|audit|serve|query> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+        "usage: bsld-repro <{}|run|campaign-worker|campaign-merge|generate|gen-swf|simulate|audit|serve|query|trace-summary> [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv]\n\
+         \x20          (fig3/fig4/fig5/all also take --trace-out PATH: write the\n\
+         \x20          deterministic per-cell Chrome trace of the grid sweep)\n\
          run:       run FILE.scn [--jobs N] [--seed S] [--threads T] [--out DIR] [--no-csv] [--resume DIR]\n\
          \x20          [--swf-in-memory]\n\
          \x20          (--swf-in-memory replays SWF workloads through the legacy\n\
@@ -104,12 +115,17 @@ fn usage() -> String {
          serve:     serve --socket PATH [--workers W] [--threads T] [--cache N] [--budget S]\n\
          \x20          (daemon: keeps parsed workloads and finished cells resident, answers\n\
          \x20          line-delimited JSON queries on the Unix socket until shutdown)\n\
-         query:     query <run FILE.scn|status|cache [clear]|shutdown> --socket PATH\n\
+         query:     query <run FILE.scn|status|metrics|cache [clear]|shutdown> --socket PATH\n\
          \x20          [--set key=value ...] [--budget S] [--swf PATH]\n\
          \x20          (one request to a running daemon; `run` prints the same table as the\n\
          \x20          one-shot run subcommand, --set tweaks single knobs: bsld_th, wq, cap,\n\
-         \x20          model, jobs, seed, profile, enlarge_pct; `cache --swf PATH` pins a\n\
-         \x20          parsed+cleaned trace into the daemon's workload cache)",
+         \x20          model, jobs, seed, profile, enlarge_pct; `metrics` prints the\n\
+         \x20          profiling plane: cache counters + per-op latency histograms;\n\
+         \x20          `cache --swf PATH` pins a parsed+cleaned trace into the daemon's\n\
+         \x20          workload cache)\n\
+         trace-summary: trace-summary FILE\n\
+         \x20          (validate a --trace-out Chrome trace file and print per-cell event\n\
+         \x20          tallies; exits 1 on malformed input)",
         EXPERIMENTS.join("|")
     )
 }
@@ -210,6 +226,9 @@ fn parse_args() -> Result<(Args, bool), String> {
                 opts.out_dir = None;
                 out_set = true;
             }
+            "--trace-out" => {
+                opts.trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?));
+            }
             "--workload" => {
                 workload = Some(it.next().ok_or("--workload needs a value")?);
             }
@@ -280,7 +299,7 @@ fn parse_args() -> Result<(Args, bool), String> {
             other
                 if matches!(
                     experiment.as_deref(),
-                    Some("run" | "campaign-worker" | "campaign-merge" | "query")
+                    Some("run" | "campaign-worker" | "campaign-merge" | "query" | "trace-summary")
                 ) && positional.is_none()
                     && !other.starts_with('-') =>
             {
@@ -330,6 +349,13 @@ fn parse_args() -> Result<(Args, bool), String> {
         ));
     }
     let experiment = experiment.ok_or_else(usage)?;
+    if opts.trace_out.is_some() && !matches!(experiment.as_str(), "fig3" | "fig4" | "fig5" | "all")
+    {
+        return Err(format!(
+            "--trace-out only applies to the grid experiments (fig3, fig4, fig5, all)\n{}",
+            usage()
+        ));
+    }
     if resume.is_some() && experiment != "run" {
         return Err(format!(
             "--resume only applies to the run subcommand\n{}",
@@ -928,7 +954,7 @@ fn run_query(args: &Args) -> Result<(), String> {
         .clone()
         .ok_or("query needs --socket PATH (a running daemon's socket)")?;
     let op = args.positional.as_deref().ok_or(
-        "query needs an operation: query <run FILE.scn|status|cache [clear]|shutdown> --socket PATH",
+        "query needs an operation: query <run FILE.scn|status|metrics|cache [clear]|shutdown> --socket PATH",
     )?;
     let mut client = bsld_serve::Client::connect(&socket)?;
     match op {
@@ -960,6 +986,11 @@ fn run_query(args: &Args) -> Result<(), String> {
         }
         "status" => {
             let reply = client.status()?;
+            println!("{}", reply.render());
+            Ok(())
+        }
+        "metrics" => {
+            let reply = client.metrics()?;
             println!("{}", reply.render());
             Ok(())
         }
@@ -997,9 +1028,162 @@ fn run_query(args: &Args) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown query operation {other:?} (run FILE.scn | status | cache [clear] | shutdown)"
+            "unknown query operation {other:?} (run FILE.scn | status | metrics | cache [clear] | shutdown)"
         )),
     }
+}
+
+/// Per-cell tallies accumulated while validating a Chrome trace.
+#[derive(Default)]
+struct TraceCellSummary {
+    name: String,
+    arrivals: u64,
+    starts: u64,
+    backfilled: u64,
+    finishes: u64,
+    passes: u64,
+    elided: u64,
+    cap_vetoes: u64,
+    retries: u64,
+    sleeps: u64,
+    boosts: u64,
+    boost_vetoes: u64,
+    /// Latest simulated-microsecond timestamp seen.
+    last_us: u64,
+}
+
+/// `trace-summary FILE`: parse a `--trace-out` Chrome trace, reject
+/// anything malformed (not a JSON array, events missing `ph`/`pid`/`ts`,
+/// unknown event names, unbalanced job slices) and print per-cell event
+/// tallies. CI uses this as the trace validator: exit 1 means the trace
+/// plane regressed.
+fn run_trace_summary(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .as_deref()
+        .ok_or("trace-summary needs a trace file: bsld-repro trace-summary FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let Json::Arr(events) = doc else {
+        return Err(format!(
+            "{path}: a Chrome trace is a JSON array of event objects"
+        ));
+    };
+    let mut cells: Vec<TraceCellSummary> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let bad = |what: &str| format!("{path}: event {i} {what}");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("lacks a string \"ph\" phase"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("lacks a numeric \"pid\""))?;
+        // A hostile pid would balloon the per-cell table; real sweeps are
+        // a few dozen cells.
+        let pid = usize::try_from(pid)
+            .ok()
+            .filter(|&p| p < 100_000)
+            .ok_or_else(|| bad("has an implausible \"pid\""))?;
+        while cells.len() <= pid {
+            cells.push(TraceCellSummary::default());
+        }
+        let cell = &mut cells[pid];
+        if ph == "M" {
+            cell.name = ev
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("metadata lacks args.name"))?
+                .to_string();
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("lacks a numeric \"ts\""))?;
+        cell.last_us = cell.last_us.max(ts);
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("lacks a string \"name\""))?;
+        let arg_bool = |key: &str| {
+            ev.get("args")
+                .and_then(|a| a.get(key))
+                .and_then(Json::as_bool)
+        };
+        match (ph, name) {
+            ("B", _) => {
+                cell.starts += 1;
+                if arg_bool("backfilled") == Some(true) {
+                    cell.backfilled += 1;
+                }
+            }
+            ("E", _) => cell.finishes += 1,
+            ("i", "arrive") => cell.arrivals += 1,
+            ("i", "pass") => {
+                if arg_bool("elided") == Some(true) {
+                    cell.elided += 1;
+                } else {
+                    cell.passes += 1;
+                }
+            }
+            ("i", "cap veto") => cell.cap_vetoes += 1,
+            ("i", "power retry") => cell.retries += 1,
+            ("i", "sleep") => cell.sleeps += 1,
+            ("i", "boost") => cell.boosts += 1,
+            ("i", "boost veto") => cell.boost_vetoes += 1,
+            ("i", other) => return Err(bad(&format!("has an unknown instant name {other:?}"))),
+            (other, _) => return Err(bad(&format!("has an unknown phase {other:?}"))),
+        }
+    }
+    for (pid, c) in cells.iter().enumerate() {
+        if c.finishes > c.starts {
+            return Err(format!(
+                "{path}: pid {pid}: {} slice end(s) but only {} begin(s) — unbalanced job slices",
+                c.finishes, c.starts
+            ));
+        }
+    }
+    println!(
+        "{path}: {} event(s) across {} cell(s)",
+        events.len(),
+        cells.len()
+    );
+    println!(
+        "{:<32} {:>7} {:>7} {:>7} {:>6} {:>6} {:>5} {:>10}",
+        "cell", "arrive", "start", "finish", "pass", "elided", "veto", "span_sim_s"
+    );
+    let mut bf = 0u64;
+    let (mut retries, mut sleeps, mut boosts, mut bvetoes) = (0u64, 0u64, 0u64, 0u64);
+    for (pid, c) in cells.iter().enumerate() {
+        let label = if c.name.is_empty() {
+            format!("pid {pid}")
+        } else {
+            c.name.clone()
+        };
+        println!(
+            "{label:<32} {:>7} {:>7} {:>7} {:>6} {:>6} {:>5} {:>10}",
+            c.arrivals,
+            c.starts,
+            c.finishes,
+            c.passes,
+            c.elided,
+            c.cap_vetoes,
+            c.last_us / 1_000_000,
+        );
+        bf += c.backfilled;
+        retries += c.retries;
+        sleeps += c.sleeps;
+        boosts += c.boosts;
+        bvetoes += c.boost_vetoes;
+    }
+    println!(
+        "totals: {bf} backfilled start(s), {retries} power retry(s), {sleeps} sleep \
+         transition(s), {boosts} boost(s) ({bvetoes} vetoed)"
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -1076,6 +1260,12 @@ fn main() -> ExitCode {
         }
         "query" => {
             if let Err(e) = run_query(&args) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "trace-summary" => {
+            if let Err(e) = run_trace_summary(&args) {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
@@ -1189,7 +1379,7 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "unknown experiment: {other} (valid: {}, run, campaign-worker, campaign-merge, \
-                 generate, gen-swf, simulate, serve, query)\n{}",
+                 generate, gen-swf, simulate, serve, query, trace-summary)\n{}",
                 EXPERIMENTS.join(", "),
                 usage()
             );

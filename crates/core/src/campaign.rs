@@ -249,29 +249,34 @@ impl Campaign {
     }
 
     fn execute_unit_untimed(&self, cell: &CampaignCell, unit: &CampaignUnit) -> RepRow {
-        let res = match self.cell_budget_s {
-            None => unit.scenario.run(),
+        let (res, phases) = match self.cell_budget_s {
+            None => unit.scenario.run_phased_with_abort(None),
             Some(budget) => {
-                let (res, exhausted) =
-                    bsld_par::run_budgeted(budget, |flag| unit.scenario.run_with_abort(Some(flag)));
+                let ((res, phases), exhausted) = bsld_par::run_budgeted(budget, |flag| {
+                    unit.scenario.run_phased_with_abort(Some(flag))
+                });
                 match res {
                     // Trust a completed result over a raced deadline; only
                     // an *aborted* run is attributed to the budget.
                     Err(ScenarioError::Sim(bsld_sched::SimError::Aborted)) if exhausted => {
-                        return RepRow::from_failure(
+                        let mut row = RepRow::from_failure(
                             cell,
                             unit,
                             format!("exceeded cell_budget_s = {budget}"),
-                        )
+                        );
+                        row.set_phases(phases);
+                        return row;
                     }
-                    other => other,
+                    other => (other, phases),
                 }
             }
         };
-        match res {
+        let mut row = match res {
             Ok(res) => RepRow::from_result(cell, unit, &res),
             Err(e) => RepRow::from_failure(cell, unit, e.to_string()),
-        }
+        };
+        row.set_phases(phases);
+        row
     }
 }
 
@@ -338,15 +343,26 @@ pub struct RepRow {
     /// Wall-clock seconds this unit took to execute, recorded for fleet
     /// scheduling (straggler detection, work-stealing reassignment).
     /// Provenance only: it never feeds results, aggregates or cell
-    /// identity, and — being wall-clock — it is the one field excluded
-    /// from [`RepRow`] equality. `None` on rows parsed from manifests
-    /// that predate the column.
+    /// identity, and — being wall-clock — it is excluded from [`RepRow`]
+    /// equality together with the phase columns below. `None` on rows
+    /// parsed from manifests that predate the column.
     pub elapsed_s: Option<f64>,
+    /// Wall-clock seconds spent materialising the workload (SWF parse +
+    /// clean, or synthetic build). Provenance only, like `elapsed_s`;
+    /// `None` on rows from manifests that predate the phase columns.
+    pub parse_s: Option<f64>,
+    /// Wall-clock seconds spent constructing the simulator (cluster,
+    /// rails, engine). Provenance only; `None` on pre-phase manifests.
+    pub build_s: Option<f64>,
+    /// Wall-clock seconds spent in the simulation event loop plus metric
+    /// aggregation. Provenance only; `None` on pre-phase manifests.
+    pub sim_s: Option<f64>,
 }
 
 /// Equality is over the *simulated* outcome — every field except the
-/// wall-clock `elapsed_s`, whose run-to-run jitter would otherwise break
-/// resume/merge deduplication and the byte-identity guarantees.
+/// wall-clock `elapsed_s`/`parse_s`/`build_s`/`sim_s`, whose run-to-run
+/// jitter would otherwise break resume/merge deduplication and the
+/// byte-identity guarantees.
 impl PartialEq for RepRow {
     fn eq(&self, other: &Self) -> bool {
         self.cell == other.cell
@@ -359,10 +375,11 @@ impl PartialEq for RepRow {
 
 impl RepRow {
     /// Manifest column names, field order. Failed rows carry `-` in every
-    /// metric column. The final `elapsed_s` column is wall-clock
-    /// provenance; manifests written before it existed (17 columns) still
-    /// parse, with [`RepRow::elapsed_s`] left `None`.
-    pub const HEADERS: [&'static str; 18] = [
+    /// metric column. The trailing `elapsed_s`, `parse_s`, `build_s` and
+    /// `sim_s` columns are wall-clock provenance; manifests written before
+    /// the phase columns existed (18 columns) or before `elapsed_s`
+    /// (17 columns) still parse, with the missing fields left `None`.
+    pub const HEADERS: [&'static str; 21] = [
         "cell",
         "scenario",
         "rep",
@@ -381,6 +398,9 @@ impl RepRow {
         "energy_mem",
         "energy_net",
         "elapsed_s",
+        "parse_s",
+        "build_s",
+        "sim_s",
     ];
 
     /// The metrics of a completed row (`None` for failed rows).
@@ -428,6 +448,9 @@ impl RepRow {
                 energy_net: rail(bsld_power::RailKind::Interconnect),
             }),
             elapsed_s: None,
+            parse_s: None,
+            build_s: None,
+            sim_s: None,
         }
     }
 
@@ -440,7 +463,17 @@ impl RepRow {
             seed: unit_seed(unit),
             outcome: RepOutcome::Failed { reason },
             elapsed_s: None,
+            parse_s: None,
+            build_s: None,
+            sim_s: None,
         }
+    }
+
+    /// Stamps the profiling plane's phase breakdown onto the row.
+    fn set_phases(&mut self, p: bsld_obs::PhaseSecs) {
+        self.parse_s = Some(p.parse_s);
+        self.build_s = Some(p.build_s);
+        self.sim_s = Some(p.sim_s);
     }
 
     fn fields(&self) -> Vec<String> {
@@ -476,6 +509,9 @@ impl RepRow {
             }
         }
         out.push(opt(&self.elapsed_s));
+        out.push(opt(&self.parse_s));
+        out.push(opt(&self.build_s));
+        out.push(opt(&self.sim_s));
         out
     }
 
@@ -492,8 +528,10 @@ impl RepRow {
     /// tail of a crashed write — the unit simply reruns).
     pub fn parse_line(line: &str) -> Option<RepRow> {
         let f = parse_csv_line(line);
-        // 18 columns today; 17 from manifests written before `elapsed_s`.
-        if f.len() != Self::HEADERS.len() && f.len() != Self::HEADERS.len() - 1 {
+        // 21 columns today; 18 from manifests written before the phase
+        // columns; 17 from manifests written before `elapsed_s`.
+        let legacy_ok = f.len() == 18 || f.len() == 17;
+        if f.len() != Self::HEADERS.len() && !legacy_ok {
             return None;
         }
         let opt = |s: &str| -> Option<Option<f64>> {
@@ -522,16 +560,23 @@ impl RepRow {
             },
             _ => return None,
         };
+        // Trailing wall-clock columns, absent on legacy manifests.
+        let wall = |i: usize| -> Option<Option<f64>> {
+            match f.get(i).map(String::as_str) {
+                None | Some("-") => Some(None),
+                Some(s) => s.parse::<f64>().ok().map(Some),
+            }
+        };
         Some(RepRow {
             cell: CellId::parse(&f[0]).ok()?,
             name: f[1].clone(),
             rep: f[2].parse().ok()?,
             seed: f[3].parse().ok()?,
             outcome,
-            elapsed_s: match f.get(17).map(String::as_str) {
-                None | Some("-") => None,
-                Some(s) => Some(s.parse::<f64>().ok()?),
-            },
+            elapsed_s: wall(17)?,
+            parse_s: wall(18)?,
+            build_s: wall(19)?,
+            sim_s: wall(20)?,
         })
     }
 }
@@ -817,10 +862,12 @@ pub fn read_manifest_at(path: &Path) -> Result<Vec<RepRow>, ScenarioError> {
         None => return Ok(Vec::new()),
         Some(header) => {
             let expect = RepRow::HEADERS.join(",");
-            // Manifests written before the `elapsed_s` column resume fine:
-            // their rows parse with `elapsed_s = None`.
-            let legacy = RepRow::HEADERS[..RepRow::HEADERS.len() - 1].join(",");
-            if header != expect && header != legacy {
+            // Manifests written before the phase columns (18 columns) or
+            // before `elapsed_s` (17) resume fine: their rows parse with
+            // the missing wall-clock fields left `None`.
+            let legacy_elapsed = RepRow::HEADERS[..18].join(",");
+            let legacy = RepRow::HEADERS[..17].join(",");
+            if header != expect && header != legacy_elapsed && header != legacy {
                 return Err(ScenarioError::Io(format!(
                     "{} is not a campaign manifest (header {header:?})",
                     path.display()

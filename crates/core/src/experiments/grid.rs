@@ -79,7 +79,27 @@ pub fn run(opts: &ExpOptions) -> OriginalSizeGrid {
         .iter()
         .map(|(p, cfg)| cell_scenario(*p, opts, 0, cfg.as_ref()))
         .collect();
-    let results = scenario::run_many(&scenarios, opts.threads);
+    let results = match &opts.trace_out {
+        None => scenario::run_many(&scenarios, opts.threads),
+        Some(path) => {
+            // One buffer per cell, concatenated in expansion order: the
+            // trace file is a pure function of the sweep, independent of
+            // `opts.threads`.
+            let (results, events) = scenario::run_many_traced(&scenarios, opts.threads);
+            let cells: Vec<(String, Vec<bsld_obs::TraceEvent>)> = tasks
+                .iter()
+                .map(|(p, cfg)| match cfg {
+                    None => format!("{}-baseline", p.key()),
+                    Some(c) => format!("{} {}", p.key(), c.label()),
+                })
+                .zip(events)
+                .collect();
+            if let Err(e) = bsld_obs::write_chrome_trace(path, &cells) {
+                eprintln!("warning: cannot write trace {}: {e}", path.display());
+            }
+            results
+        }
+    };
 
     let mut baselines: Vec<(String, RunMetrics)> = Vec::new();
     let mut cells = Vec::new();

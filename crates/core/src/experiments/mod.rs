@@ -40,6 +40,10 @@ pub struct ExpOptions {
     pub threads: usize,
     /// Directory for CSV artifacts (`None` = don't write).
     pub out_dir: Option<PathBuf>,
+    /// Chrome-trace output path (`None` = tracing disabled, the
+    /// no-allocation fast path). Supported by the grid sweep; the file is
+    /// byte-identical across replays regardless of `threads`.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ExpOptions {
@@ -49,6 +53,7 @@ impl Default for ExpOptions {
             jobs: 5000,
             threads: bsld_par::default_threads(),
             out_dir: Some(PathBuf::from("results")),
+            trace_out: None,
         }
     }
 }
@@ -61,6 +66,7 @@ impl ExpOptions {
             jobs,
             threads: bsld_par::default_threads(),
             out_dir: None,
+            trace_out: None,
         }
     }
 }

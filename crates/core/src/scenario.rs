@@ -753,6 +753,57 @@ impl Scenario {
         self.run_prepared(&sim, &w.jobs)
     }
 
+    /// As [`Scenario::run`], but records the run's deterministic trace
+    /// events into `sink` — the engine and its power hook share it, so
+    /// scheduler and sleep-ladder events interleave in sim-time order.
+    /// Attaching a sink changes nothing about the simulated outcome.
+    pub fn run_with_sink(
+        &self,
+        sink: std::sync::Arc<dyn bsld_obs::TraceSink>,
+    ) -> Result<ScenarioResult, ScenarioError> {
+        let w = self.workload.build()?;
+        let mut sim = self.simulator(&w)?;
+        sim.engine.sink = Some(sink);
+        self.run_prepared(&sim, &w.jobs)
+    }
+
+    /// As [`Scenario::run_with_abort`], with the wall-clock profiling
+    /// plane attached: returns the phase breakdown (workload parse/build,
+    /// simulator construction, event loop) alongside the result — also on
+    /// failure, so budget-expired rows still record where the time went.
+    /// The readings are provenance only (campaign-manifest columns); they
+    /// never feed the simulated outcome.
+    pub fn run_phased_with_abort(
+        &self,
+        abort: Option<&bsld_par::AbortFlag>,
+    ) -> (Result<ScenarioResult, ScenarioError>, bsld_obs::PhaseSecs) {
+        let mut phases = bsld_obs::PhaseSecs::default();
+        let mut sw = bsld_obs::Stopwatch::start();
+        let w = match self
+            .workload
+            .build_with_abort(abort.map(bsld_par::AbortFlag::as_atomic))
+        {
+            Ok(w) => w,
+            Err(e) => {
+                phases.parse_s = sw.lap_s();
+                return (Err(e), phases);
+            }
+        };
+        phases.parse_s = sw.lap_s();
+        let mut sim = match self.simulator(&w) {
+            Ok(s) => s,
+            Err(e) => {
+                phases.build_s = sw.lap_s();
+                return (Err(e), phases);
+            }
+        };
+        sim.engine.abort = abort.map(bsld_par::AbortFlag::handle);
+        phases.build_s = sw.lap_s();
+        let res = self.run_prepared(&sim, &w.jobs);
+        phases.sim_s = sw.lap_s();
+        (res, phases)
+    }
+
     /// Runs the scenario's policy and power treatment on an already-built
     /// simulator and job list (the workload spec is not consulted).
     pub fn run_prepared(
@@ -817,6 +868,32 @@ pub fn run_many(
     threads: usize,
 ) -> Vec<Result<ScenarioResult, ScenarioError>> {
     bsld_par::par_map(scenarios.to_vec(), threads, |s| s.run())
+}
+
+/// As [`run_many`], with one [`bsld_obs::BufferSink`] attached per
+/// scenario. Returns the per-scenario trace events in **input order**:
+/// each cell's engine runs single-threaded (its buffer order is a pure
+/// function of the run) and the buffers are collected after the parallel
+/// sweep, so the trace is byte-identical under any thread count.
+pub fn run_many_traced(
+    scenarios: &[Scenario],
+    threads: usize,
+) -> (
+    Vec<Result<ScenarioResult, ScenarioError>>,
+    Vec<Vec<bsld_obs::TraceEvent>>,
+) {
+    let sinks: Vec<std::sync::Arc<bsld_obs::BufferSink>> = scenarios
+        .iter()
+        .map(|_| bsld_obs::BufferSink::shared())
+        .collect();
+    let tasks: Vec<(Scenario, std::sync::Arc<bsld_obs::BufferSink>)> = scenarios
+        .iter()
+        .cloned()
+        .zip(sinks.iter().cloned())
+        .collect();
+    let results = bsld_par::par_map(tasks, threads, |(s, sink)| s.run_with_sink(sink));
+    let events = sinks.iter().map(|s| s.take()).collect();
+    (results, events)
 }
 
 /// Memory-rail draw relative to the paper CPU model's endpoints

@@ -288,6 +288,12 @@ impl Simulator {
         };
         let mut hook =
             PowerCapPolicy::with_rails(&self.power, self.cluster.cpus, cap, sleep.clone());
+        if let Some(sink) = &self.engine.sink {
+            // The engine and its power hook share one sink, so sleep
+            // transitions interleave with scheduler events in sim-time
+            // order.
+            hook = hook.with_sink(sink.clone());
+        }
         let res = simulate_with_hook(
             &self.cluster,
             jobs,

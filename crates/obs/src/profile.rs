@@ -1,0 +1,357 @@
+//! The wall-clock profiling plane.
+//!
+//! Everything in this module observes the *host*, not the simulation:
+//! phase durations, request latencies, cache traffic. Its values are
+//! provenance — they are excluded from result equality, never feed cell
+//! identity or aggregates, and are exactly the fields the determinism
+//! tests strip before byte-diffing artifacts. The wall-clock reads are
+//! concentrated here behind [`Stopwatch`], each carrying the crate's only
+//! `audit:allow(D2)` escapes; the trace plane ([`crate::trace`]) must
+//! never call into this module.
+//!
+//! There is no global registry: each subsystem owns a plain struct of
+//! these primitives (e.g. the serve daemon's per-op histograms), so
+//! metric sets are typed, discoverable and allocation-free on the hot
+//! path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// A monotonically increasing event counter (relaxed atomics: totals,
+/// not synchronization).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level gauge that remembers its high-water mark (e.g. in-flight
+/// requests / queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Raises the level by one, updating the peak; returns the new level.
+    pub fn inc(&self) -> u64 {
+        let v = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(v, Ordering::Relaxed);
+        v
+    }
+
+    /// Lowers the level by one (saturating at zero).
+    pub fn dec(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two latency buckets (covers the full `u64` range).
+const BUCKETS: usize = 65;
+
+/// A lock-free power-of-two histogram: value `v` lands in bucket
+/// `bit_length(v)`, so bucket `i > 0` covers `[2^(i-1), 2^i)`. Reported
+/// percentiles are bucket upper bounds — exact enough for latency
+/// triage, constant memory, no locks on the record path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let bucket = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot for reporting (concurrent recorders
+    /// may skew percentiles by in-flight samples; totals stay exact).
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let pct = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            // Smallest bucket whose cumulative count covers quantile q.
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Upper bound of bucket i: 2^i - 1 (bucket 0 is {0}).
+                    return (1u64 << i.min(63)).saturating_sub(u64::from(i > 0));
+                }
+            }
+            self.max.load(Ordering::Relaxed)
+        };
+        HistogramSummary {
+            count: total,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// A point-in-time histogram report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Median, as the covering bucket's upper bound.
+    pub p50: u64,
+    /// 90th percentile, as the covering bucket's upper bound.
+    pub p90: u64,
+    /// 99th percentile, as the covering bucket's upper bound.
+    pub p99: u64,
+}
+
+/// A wall-clock stopwatch — the profiling plane's one clock seam. Holding
+/// clock reads here keeps the rest of the workspace free of `Instant::now`
+/// (the audit's D2 rule), so a new wall-clock read is always a deliberate,
+/// reviewed decision in this file.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        // audit:allow(D2): the profiling plane is wall-clock by definition; its readings are provenance only and never feed simulation results, aggregates or cell identity
+        Stopwatch { t0: Instant::now() }
+    }
+
+    /// Seconds since start (or the last [`Stopwatch::lap_s`]).
+    pub fn elapsed_s(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    /// Whole microseconds since start, for latency histograms.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Returns the seconds since the last lap (or start) and restarts the
+    /// watch — the phase-timer primitive: one watch, one lap per phase.
+    pub fn lap_s(&mut self) -> f64 {
+        // audit:allow(D2): profiling-plane phase boundary; see Stopwatch::start
+        let now = Instant::now();
+        let s = now.duration_since(self.t0).as_secs_f64();
+        self.t0 = now;
+        s
+    }
+}
+
+/// The per-run phase breakdown persisted as campaign-manifest provenance
+/// columns (`parse_s`, `build_s`, `sim_s`). Wall-clock: excluded from row
+/// equality exactly like `elapsed_s`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseSecs {
+    /// Workload materialisation: SWF parse + clean, or synthetic build.
+    pub parse_s: f64,
+    /// Simulator construction: cluster, rails, engine configuration.
+    pub build_s: f64,
+    /// The simulation event loop plus metric aggregation.
+    pub sim_s: f64,
+}
+
+/// A named phase accumulator for coarser harnesses (experiment drivers,
+/// ad-hoc profiling): phases registered by name, durations accumulated
+/// across repeats.
+#[derive(Debug, Default)]
+pub struct Phases {
+    entries: Mutex<Vec<(&'static str, f64)>>,
+}
+
+impl Phases {
+    /// Times `f` and accrues its duration under `name`.
+    pub fn time<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let sw = Stopwatch::start();
+        let out = f();
+        self.add(name, sw.elapsed_s());
+        out
+    }
+
+    /// Accrues `secs` under `name` (registering it on first use).
+    pub fn add(&self, name: &'static str, secs: f64) {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        match entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, total)) => *total += secs,
+            None => entries.push((name, secs)),
+        }
+    }
+
+    /// Total seconds accrued under `name`.
+    pub fn seconds(&self, name: &str) -> Option<f64> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// All phases in first-use order.
+    pub fn snapshot(&self) -> Vec<(&'static str, f64)> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_peak() {
+        let g = Gauge::new();
+        assert_eq!(g.inc(), 1);
+        assert_eq!(g.inc(), 2);
+        g.dec();
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.peak(), 2);
+        g.dec();
+        g.dec(); // saturates, no underflow
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1107);
+        assert_eq!(s.max, 1000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert!(s.p99 >= 1000, "p99 covers the top bucket, got {}", s.p99);
+        assert!(s.p50 <= 3, "median bucket upper bound, got {}", s.p50);
+    }
+
+    #[test]
+    fn histogram_empty_summary_is_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!((s.count, s.sum, s.max, s.p50, s.p99), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn stopwatch_laps_accumulate_phases() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap_s();
+        let b = sw.lap_s();
+        assert!(a >= 0.0 && b >= 0.0);
+        assert!(sw.elapsed_s() >= 0.0);
+        let _us = sw.elapsed_us();
+    }
+
+    #[test]
+    fn phases_accumulate_by_name() {
+        let p = Phases::default();
+        p.add("parse", 1.0);
+        p.add("parse", 0.5);
+        p.add("sim", 2.0);
+        assert_eq!(p.seconds("parse"), Some(1.5));
+        assert_eq!(p.seconds("sim"), Some(2.0));
+        assert_eq!(p.seconds("absent"), None);
+        let snap = p.snapshot();
+        assert_eq!(snap[0].0, "parse");
+        let out = p.time("timed", || 7);
+        assert_eq!(out, 7);
+        assert!(p.seconds("timed").is_some());
+    }
+}

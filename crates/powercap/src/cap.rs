@@ -111,6 +111,7 @@ pub struct PowerCapPolicy {
     stats: CapStats,
     gear_count: usize,
     last_admission: Option<LastAdmission>,
+    sink: Option<std::sync::Arc<dyn bsld_obs::TraceSink>>,
 }
 
 impl PowerCapPolicy {
@@ -126,6 +127,7 @@ impl PowerCapPolicy {
             stats: CapStats::default(),
             gear_count: pm.gears().len(),
             last_admission: None,
+            sink: None,
         }
     }
 
@@ -142,7 +144,47 @@ impl PowerCapPolicy {
             stats: CapStats::default(),
             gear_count: rails.gears().len(),
             last_admission: None,
+            sink: None,
         }
+    }
+
+    /// Attaches a trace sink: sleep-ladder transitions are recorded as
+    /// [`bsld_obs::TraceEvent::SleepTransition`] snapshots. Observation
+    /// only — enforcement and accounting are unchanged.
+    #[must_use]
+    pub fn with_sink(mut self, sink: std::sync::Arc<dyn bsld_obs::TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Emits a [`bsld_obs::TraceEvent::SleepTransition`] if the sleep
+    /// ladder moved between `before` and now.
+    fn emit_sleep_delta(&self, now: Time, before: (u64, u64, u32)) {
+        if let Some(sink) = &self.sink {
+            let after = (
+                self.idle.stats().sleeps,
+                self.idle.stats().wakes,
+                self.idle.sleeping(),
+            );
+            if after != before {
+                sink.record(bsld_obs::TraceEvent::SleepTransition {
+                    t: now.as_micros(),
+                    sleeps: after.0,
+                    wakes: after.1,
+                    sleeping: u64::from(after.2),
+                });
+            }
+        }
+    }
+
+    /// Snapshot of the sleep ladder for [`Self::emit_sleep_delta`], taken
+    /// only when a sink is attached.
+    fn sleep_snapshot(&self) -> (u64, u64, u32) {
+        (
+            self.idle.stats().sleeps,
+            self.idle.stats().wakes,
+            self.idle.sleeping(),
+        )
     }
 
     /// The machine's peak draw — every processor busy at the top gear —
@@ -216,7 +258,11 @@ impl PowerCapPolicy {
 
 impl PowerHook for PowerCapPolicy {
     fn on_time(&mut self, now: Time) {
+        let before = self.sink.as_ref().map(|_| self.sleep_snapshot());
         self.idle.advance(now.as_secs(), &mut self.ledger);
+        if let Some(before) = before {
+            self.emit_sleep_delta(now, before);
+        }
     }
 
     fn admit_start(
@@ -314,7 +360,13 @@ impl PowerHook for PowerCapPolicy {
     fn on_job_start(&mut self, now: Time, cpus: u32, gear: GearId) {
         self.on_time(now);
         let t = now.as_secs();
+        let before = self.sink.as_ref().map(|_| self.sleep_snapshot());
         self.idle.allocate(t, cpus, &mut self.ledger);
+        if let Some(before) = before {
+            // Waking sleeping processors to source the start is a ladder
+            // transition too.
+            self.emit_sleep_delta(now, before);
+        }
         self.ledger.start(t, cpus, gear);
         self.last_admission = None;
     }

@@ -127,6 +127,14 @@ pub struct EngineConfig {
     /// returns [`SimError::Aborted`] at the next event instead of driving
     /// the workload to completion. `None` (the default) checks nothing.
     pub abort: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Deterministic trace sink (the `bsld-obs` trace plane): when set,
+    /// the engine records structured sim-time events — arrivals, starts,
+    /// finishes, pass outcomes (including elision), cap vetoes, retries,
+    /// boosts — through it. Unlike [`EngineConfig::collect_trace`], a sink
+    /// does *not* disable pass elision: skipped passes are themselves
+    /// traced. `None` (the default) is a no-op: one branch per would-be
+    /// event, no allocation.
+    pub sink: Option<std::sync::Arc<dyn bsld_obs::TraceSink>>,
 }
 
 impl Default for EngineConfig {
@@ -139,6 +147,7 @@ impl Default for EngineConfig {
             boost: None,
             incremental: true,
             abort: None,
+            sink: None,
         }
     }
 }
@@ -513,6 +522,10 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             match ev {
                 Event::Arrive(id) => {
                     self.queue.push_back(id);
+                    self.emit(|| bsld_obs::TraceEvent::JobArrive {
+                        t: t.as_micros(),
+                        job: u64::from(id.0),
+                    });
                     if self.elide {
                         // Batch-peek: workload arrivals are enqueued before
                         // any completion, so same-instant arrivals are
@@ -526,6 +539,10 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                             match self.events.pop() {
                                 Some((_, Event::Arrive(id2))) => {
                                     self.queue.push_back(id2);
+                                    self.emit(|| bsld_obs::TraceEvent::JobArrive {
+                                        t: t.as_micros(),
+                                        job: u64::from(id2.0),
+                                    });
                                     batch.push(id2);
                                 }
                                 _ => unreachable!("peeked arrival must pop"),
@@ -541,6 +558,7 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                     self.schedule_pass();
                 }
                 Event::PowerRetry => {
+                    self.emit(|| bsld_obs::TraceEvent::PowerRetry { t: t.as_micros() });
                     self.schedule_pass();
                 }
             }
@@ -577,6 +595,16 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
     /// engine calls.
     fn job(&self, id: JobId) -> &'a Job {
         &self.jobs[id.index()]
+    }
+
+    /// Records a `bsld-obs` trace event on the configured sink. The
+    /// closure defers event construction, so the disabled path (`sink =
+    /// None`) costs one branch and allocates nothing.
+    #[inline]
+    fn emit(&self, ev: impl FnOnce() -> bsld_obs::TraceEvent) {
+        if let Some(sink) = &self.cfg.sink {
+            sink.record(ev());
+        }
     }
 
     fn ctx<'b>(&'b self, job: &'b Job, wq_others: usize) -> DecisionCtx<'b> {
@@ -657,15 +685,24 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         let wall = wall.min(expected);
         let finish_at = self.now + wall;
         self.events.push(finish_at, Event::Finish(id, 0));
+        let first_proc = procs.first().unwrap_or(0);
         if self.cfg.collect_trace {
             self.trace.push(TraceEvent::Start {
                 at: self.now,
                 job: id,
                 gear,
                 backfilled,
-                first_proc: procs.first().unwrap_or(0),
+                first_proc,
             });
         }
+        self.emit(|| bsld_obs::TraceEvent::JobStart {
+            t: self.now.as_micros(),
+            job: u64::from(id.0),
+            gear: u64::from(gear.0),
+            cpus: u64::from(job.cpus),
+            first_proc: u64::from(first_proc),
+            backfilled,
+        });
         let expected_end = self.now + expected;
         self.running.insert(
             id,
@@ -697,6 +734,12 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             .remove(&id)
             // audit:allow(R1): scheduler state invariant; the expect message states it, and the determinism suite exercises these paths
             .expect("completion of a job that is not running");
+        let first_proc = r.procs.first().unwrap_or(0);
+        self.emit(|| bsld_obs::TraceEvent::JobFinish {
+            t: self.now.as_micros(),
+            job: u64::from(id.0),
+            first_proc: u64::from(first_proc),
+        });
         self.pool.release(&r.procs);
         self.end_index_remove(r.expected_end, r.cpus);
         // Remember the freed window: the next pass pulls the pending
@@ -741,10 +784,19 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
     /// One scheduling pass under the configured discipline.
     fn schedule_pass(&mut self) {
         self.stats.passes += 1;
+        let rebuilds_before = self.stats.profile_rebuilds;
+        let running_before = self.running.len();
         match self.cfg.mode {
             SchedMode::Easy => self.schedule_pass_easy(),
             SchedMode::Conservative => self.schedule_pass_conservative(),
         }
+        self.emit(|| bsld_obs::TraceEvent::Pass {
+            t: self.now.as_micros(),
+            pass: self.stats.passes + self.stats.passes_skipped,
+            started: (self.running.len() - running_before) as u64,
+            rebuilt: self.stats.profile_rebuilds > rebuilds_before,
+            elided: false,
+        });
     }
 
     /// Removes `cpus` freed at `at` from the sorted running-jobs index.
@@ -834,6 +886,13 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             // Without backfilling, an arrival behind a blocked head is
             // inert (the reservation is bookkeeping only).
             self.stats.passes_skipped += 1;
+            self.emit(|| bsld_obs::TraceEvent::Pass {
+                t: self.now.as_micros(),
+                pass: self.stats.passes + self.stats.passes_skipped,
+                started: 0,
+                rebuilt: false,
+                elided: true,
+            });
             return;
         }
         if !self.cache_usable() {
@@ -881,10 +940,24 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
         }
         if started.is_empty() {
             self.stats.passes_skipped += 1;
+            self.emit(|| bsld_obs::TraceEvent::Pass {
+                t: self.now.as_micros(),
+                pass: self.stats.passes + self.stats.passes_skipped,
+                started: 0,
+                rebuilt: false,
+                elided: true,
+            });
         } else {
             self.stats.passes += 1;
             self.remove_started(&started);
             self.debug_check_profile();
+            self.emit(|| bsld_obs::TraceEvent::Pass {
+                t: self.now.as_micros(),
+                pass: self.stats.passes + self.stats.passes_skipped,
+                started: started.len() as u64,
+                rebuilt: false,
+                elided: false,
+            });
         }
         started.clear();
         self.scratch_started = started;
@@ -979,6 +1052,11 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             // entirely (it will be retried at the next event, when a
             // completion may have freed budget).
             let Some(gear) = self.hook_admit(job.cpus, gear, wq_others, true) else {
+                self.emit(|| bsld_obs::TraceEvent::CapVeto {
+                    t: self.now.as_micros(),
+                    job: u64::from(head.0),
+                    site: bsld_obs::VetoSite::Head,
+                });
                 break;
             };
             self.queue.pop_front();
@@ -1087,6 +1165,11 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             };
             if let Some(gear) = chosen {
                 let Some(admitted) = self.hook_admit(job.cpus, gear, wq_others, false) else {
+                    self.emit(|| bsld_obs::TraceEvent::CapVeto {
+                        t: self.now.as_micros(),
+                        job: u64::from(id.0),
+                        site: bsld_obs::VetoSite::Backfill,
+                    });
                     continue;
                 };
                 if admitted != gear {
@@ -1095,6 +1178,11 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                     let dur = self.time_model.dilate(job.requested, job.beta, admitted);
                     if !self.profile.can_fit(self.now, job.cpus, dur) {
                         self.hook_declined();
+                        self.emit(|| bsld_obs::TraceEvent::CapVeto {
+                            t: self.now.as_micros(),
+                            job: u64::from(id.0),
+                            site: bsld_obs::VetoSite::Backfill,
+                        });
                         continue;
                     }
                 }
@@ -1169,10 +1257,22 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                             Some(g)
                         } else {
                             self.hook_declined();
+                            self.emit(|| bsld_obs::TraceEvent::CapVeto {
+                                t: self.now.as_micros(),
+                                job: u64::from(id.0),
+                                site: bsld_obs::VetoSite::Conservative,
+                            });
                             None
                         }
                     }
-                    None => None,
+                    None => {
+                        self.emit(|| bsld_obs::TraceEvent::CapVeto {
+                            t: self.now.as_micros(),
+                            job: u64::from(id.0),
+                            site: bsld_obs::VetoSite::Conservative,
+                        });
+                        None
+                    }
                 }
             } else {
                 None
@@ -1240,6 +1340,10 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
             if let Some(h) = self.hook.as_deref_mut() {
                 // A boost raises draw; the power hook may veto it.
                 if !h.admit_gear_change(now, cpus, from, top) {
+                    self.emit(|| bsld_obs::TraceEvent::BoostVeto {
+                        t: now.as_micros(),
+                        job: u64::from(id.0),
+                    });
                     continue;
                 }
             }
@@ -1251,6 +1355,11 @@ impl<'a, P: FrequencyPolicy + ?Sized> Simulation<'a, P> {
                     from,
                 });
             }
+            self.emit(|| bsld_obs::TraceEvent::Boost {
+                t: now.as_micros(),
+                job: u64::from(id.0),
+                gear: u64::from(top.0),
+            });
         }
     }
 

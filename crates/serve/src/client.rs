@@ -75,6 +75,12 @@ impl Client {
         self.request(&Json::obj(vec![("op", Json::str("status"))]))
     }
 
+    /// `{"op":"metrics"}` — the profiling plane: counters plus per-op
+    /// latency histograms and queue depth.
+    pub fn metrics(&mut self) -> Result<Json, String> {
+        self.request(&Json::obj(vec![("op", Json::str("metrics"))]))
+    }
+
     /// `{"op":"cache"}` — a listing, or a wipe with `clear`.
     pub fn cache(&mut self, clear: bool) -> Result<Json, String> {
         self.request(&Json::obj(vec![

@@ -2,9 +2,11 @@
 //! [`ServerState`], with a fixed worker pool of connection handlers and a
 //! graceful drain on `shutdown`.
 //!
-//! This is the only module in the crate that reads the wall clock — once,
-//! at bind, to report uptime in `status` replies. Every reply *payload* a
-//! client acts on (tables, CSV) is clock-free.
+//! This is the only module in the crate that touches the wall clock —
+//! once directly at bind (uptime in `status` replies) and per request
+//! through [`bsld_obs::Stopwatch`] for the `metrics` op's latency
+//! histograms. Every reply *payload* a client acts on (tables, CSV) is
+//! clock-free.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -178,7 +180,17 @@ fn serve_connection(
                 Stats::bump(&state.stats.errors, 1);
                 error_reply(&msg)
             }
-            Ok(req) => dispatch(req, state, started, workers, &mut shutdown),
+            Ok(req) => {
+                let op = req.op_label();
+                state.metrics.in_flight.inc();
+                let sw = bsld_obs::Stopwatch::start();
+                let reply = dispatch(req, state, started, workers, &mut shutdown);
+                if let Some(h) = state.metrics.histogram(op) {
+                    h.record(sw.elapsed_us());
+                }
+                state.metrics.in_flight.dec();
+                reply
+            }
         };
         let mut text = reply.render();
         text.push('\n');
@@ -220,6 +232,7 @@ fn dispatch(
             pairs.extend(state.stats_pairs());
             Json::obj(pairs)
         }
+        Request::Metrics => state.metrics_json(),
         Request::Cache { clear: false } => state.cache_listing(),
         Request::CachePin { swf } => match state.pin_swf(&swf) {
             Ok(reply) => reply,

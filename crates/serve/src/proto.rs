@@ -8,6 +8,9 @@
 //!   caches; `overrides` nudges single knobs without editing the text;
 //! * `{"op":"status"}` — counters: requests, runs, cache hit rates,
 //!   uptime;
+//! * `{"op":"metrics"}` — the profiling plane: the `status` counters
+//!   plus per-op latency histogram summaries (microseconds) and the
+//!   in-flight request gauge;
 //! * `{"op":"cache"}` — list resident result cells (`"clear":true`
 //!   empties both caches; `"swf":"/path/trace.swf"` pins a parsed and
 //!   cleaned trace into the workload cache ahead of the queries that
@@ -39,6 +42,9 @@ pub enum Request {
     },
     /// Report daemon counters.
     Status,
+    /// Report the profiling plane: counters plus per-op latency
+    /// histograms and queue depth.
+    Metrics,
     /// List (or, with `clear`, empty) the caches.
     Cache {
         /// Empty both caches instead of listing them.
@@ -103,6 +109,7 @@ impl Request {
                 Ok(Request::Run { scn, overrides })
             }
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "cache" => {
                 let clear = v.get("clear").and_then(Json::as_bool).unwrap_or(false);
                 match v.get("swf") {
@@ -121,8 +128,20 @@ impl Request {
             }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op {other:?} (expected run, status, cache or shutdown)"
+                "unknown op {other:?} (expected run, status, metrics, cache or shutdown)"
             )),
+        }
+    }
+
+    /// The op label of this request — the key the daemon's per-op latency
+    /// histograms are indexed by (cache pins share the `cache` label).
+    pub fn op_label(&self) -> &'static str {
+        match self {
+            Request::Run { .. } => "run",
+            Request::Status => "status",
+            Request::Metrics => "metrics",
+            Request::Cache { .. } | Request::CachePin { .. } => "cache",
+            Request::Shutdown => "shutdown",
         }
     }
 }

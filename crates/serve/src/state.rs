@@ -68,11 +68,47 @@ pub struct Stats {
     /// Structured error replies sent (parse failures, bad overrides,
     /// budget aborts, …).
     pub errors: AtomicU64,
+    /// Result-cache entries displaced by capacity pressure.
+    pub result_evictions: bsld_obs::Counter,
+    /// Workload-cache entries displaced by capacity pressure.
+    pub workload_evictions: bsld_obs::Counter,
 }
 
 impl Stats {
     pub(crate) fn bump(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// The daemon's wall-clock profiling plane: per-op latency histograms
+/// (whole microseconds, power-of-two buckets) and the in-flight request
+/// gauge. Provenance only — reported by the `metrics` op, never part of
+/// any reply payload a client computes with.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// `run` request latency.
+    pub run_us: bsld_obs::Histogram,
+    /// `status` request latency.
+    pub status_us: bsld_obs::Histogram,
+    /// `cache` (list / clear / pin) request latency.
+    pub cache_us: bsld_obs::Histogram,
+    /// `metrics` request latency.
+    pub metrics_us: bsld_obs::Histogram,
+    /// Requests currently being dispatched; the peak is the deepest
+    /// concurrent queue observed.
+    pub in_flight: bsld_obs::Gauge,
+}
+
+impl ServeMetrics {
+    /// The latency histogram tracked for an op label, if any.
+    pub fn histogram(&self, op: &str) -> Option<&bsld_obs::Histogram> {
+        match op {
+            "run" => Some(&self.run_us),
+            "status" => Some(&self.status_us),
+            "cache" => Some(&self.cache_us),
+            "metrics" => Some(&self.metrics_us),
+            _ => None,
+        }
     }
 }
 
@@ -136,6 +172,9 @@ pub struct ServerState {
     workloads: Mutex<Lru<u64, Arc<Workload>>>,
     /// Query counters, reported by the `status` op.
     pub stats: Stats,
+    /// Per-op latency histograms and queue depth, reported by the
+    /// `metrics` op.
+    pub metrics: ServeMetrics,
 }
 
 impl ServerState {
@@ -146,6 +185,7 @@ impl ServerState {
             workloads: Mutex::new(Lru::new(cfg.workload_capacity)),
             cfg,
             stats: Stats::default(),
+            metrics: ServeMetrics::default(),
         }
     }
 
@@ -224,7 +264,9 @@ impl ServerState {
                         Err(ScenarioError::Sim(SimError::Aborted)) => aborted = true,
                         res => {
                             let out = res.map_err(|e| e.to_string());
-                            cache.insert(ids[i], out.clone());
+                            if cache.insert(ids[i], out.clone()).is_some() {
+                                self.stats.result_evictions.inc();
+                            }
                             outcomes[i] = Some(out);
                         }
                     }
@@ -312,7 +354,9 @@ impl ServerState {
         // clients racing on the same cold trace may both build it; the
         // results are identical and the second insert is a refresh.
         let w = Arc::new(spec.build_with_abort(abort.map(AbortFlag::as_atomic))?);
-        self.lock_workloads().insert(key, Arc::clone(&w));
+        if self.lock_workloads().insert(key, Arc::clone(&w)).is_some() {
+            self.stats.workload_evictions.inc();
+        }
         Ok(w)
     }
 
@@ -354,6 +398,9 @@ impl ServerState {
         Stats::bump(&self.stats.workload_misses, 1);
         let w = Arc::new(spec.build_with_abort(None).map_err(|e| e.to_string())?);
         let evicted = self.lock_workloads().insert(key, Arc::clone(&w)).is_some();
+        if evicted {
+            self.stats.workload_evictions.inc();
+        }
         Ok(Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("pinned", Json::str(path)),
@@ -389,8 +436,50 @@ impl ServerState {
             ("result_misses", c(&self.stats.result_misses)),
             ("workload_hits", c(&self.stats.workload_hits)),
             ("workload_misses", c(&self.stats.workload_misses)),
+            (
+                "result_evictions",
+                Json::Num(self.stats.result_evictions.get() as f64),
+            ),
+            (
+                "workload_evictions",
+                Json::Num(self.stats.workload_evictions.get() as f64),
+            ),
             ("errors", c(&self.stats.errors)),
         ]
+    }
+
+    /// The `metrics` reply: the `status` counters plus the profiling
+    /// plane — per-op latency histogram summaries (microseconds) and the
+    /// in-flight request gauge.
+    pub fn metrics_json(&self) -> Json {
+        let h = |hist: &bsld_obs::Histogram| {
+            let s = hist.summary();
+            Json::obj(vec![
+                ("count", Json::Num(s.count as f64)),
+                ("sum_us", Json::Num(s.sum as f64)),
+                ("max_us", Json::Num(s.max as f64)),
+                ("p50_us", Json::Num(s.p50 as f64)),
+                ("p90_us", Json::Num(s.p90 as f64)),
+                ("p99_us", Json::Num(s.p99 as f64)),
+            ])
+        };
+        let mut pairs = vec![("ok", Json::Bool(true))];
+        pairs.extend(self.stats_pairs());
+        pairs.push(("in_flight", Json::Num(self.metrics.in_flight.get() as f64)));
+        pairs.push((
+            "in_flight_peak",
+            Json::Num(self.metrics.in_flight.peak() as f64),
+        ));
+        pairs.push((
+            "latency",
+            Json::obj(vec![
+                ("run", h(&self.metrics.run_us)),
+                ("status", h(&self.metrics.status_us)),
+                ("cache", h(&self.metrics.cache_us)),
+                ("metrics", h(&self.metrics.metrics_us)),
+            ]),
+        ));
+        Json::obj(pairs)
     }
 }
 

@@ -38,6 +38,14 @@ impl Time {
         self.0
     }
 
+    /// Simulated microseconds since simulation start, saturating at
+    /// `u64::MAX` — the timestamp unit of the Chrome trace-event format
+    /// (`bsld-obs` trace plane).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0.saturating_mul(1_000_000)
+    }
+
     /// Saturating duration from `earlier` to `self` (zero if `earlier` is
     /// actually later).
     #[inline]

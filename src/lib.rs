@@ -18,6 +18,9 @@
 //! * [`powercap`] — the cluster power ledger, idle sleep states and
 //!   power-cap enforcement;
 //! * [`metrics`] — run summaries and report writers;
+//! * [`obs`] — observability: the deterministic sim-time trace plane
+//!   (Chrome-trace export) and the wall-clock profiling plane (counters,
+//!   histograms, phase timers);
 //! * [`core`] — the paper's BSLD-threshold policy, simulator facade, the
 //!   declarative scenario API (`core::scenario`: one serializable spec, one
 //!   `run()`, sweepable scenario files), the campaign layer
@@ -55,6 +58,7 @@ pub use bsld_cluster as cluster;
 pub use bsld_core as core;
 pub use bsld_metrics as metrics;
 pub use bsld_model as model;
+pub use bsld_obs as obs;
 pub use bsld_par as par;
 pub use bsld_power as power;
 pub use bsld_powercap as powercap;

@@ -113,9 +113,19 @@ fn torn_manifest_tail_is_ignored_and_rerun() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Drops the last `n` comma-separated columns of a manifest line —
+/// rewinds a row to an older manifest generation.
+fn drop_last_columns(line: &str, n: usize) -> &str {
+    let mut rest = line;
+    for _ in 0..n {
+        rest = rest.rsplit_once(',').unwrap().0;
+    }
+    rest
+}
+
 /// Manifests written before the `elapsed_s` column resume untouched: the
-/// legacy 17-column rows parse (with `elapsed_s = None`), every unit stays
-/// cached, and the final results are byte-identical.
+/// legacy 17-column rows parse (with every wall-clock field `None`), every
+/// unit stays cached, and the final results are byte-identical.
 #[test]
 fn legacy_manifest_without_elapsed_column_resumes_fully_cached() {
     let set = campaign_set(2);
@@ -124,17 +134,17 @@ fn legacy_manifest_without_elapsed_column_resumes_fully_cached() {
     let results = std::fs::read_to_string(dir.join(RESULTS_FILE)).unwrap();
 
     // Rewrite the manifest as a pre-elapsed_s campaign would have left it:
-    // drop the last column from the header and every row.
+    // drop the four wall-clock columns from the header and every row.
     let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
-    let legacy: Vec<&str> = manifest
-        .lines()
-        .map(|l| l.rsplit_once(',').unwrap().0)
-        .collect();
+    let legacy: Vec<&str> = manifest.lines().map(|l| drop_last_columns(l, 4)).collect();
     std::fs::write(dir.join(MANIFEST_FILE), format!("{}\n", legacy.join("\n"))).unwrap();
 
     let rows = read_manifest(&dir).unwrap();
     assert_eq!(rows.len(), 4);
     assert!(rows.iter().all(|r| r.elapsed_s.is_none()));
+    assert!(rows
+        .iter()
+        .all(|r| r.parse_s.is_none() && r.build_s.is_none() && r.sim_s.is_none()));
 
     let out = run_campaign(&set, &CampaignOptions::resume(1, &dir), None).unwrap();
     assert_eq!(out.resumed, 4, "every legacy row stays cached");
@@ -142,6 +152,43 @@ fn legacy_manifest_without_elapsed_column_resumes_fully_cached() {
         std::fs::read_to_string(dir.join(RESULTS_FILE)).unwrap(),
         results,
         "legacy resume reproduces the results byte for byte"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Manifests from the `elapsed_s`-but-no-phase-columns generation (18
+/// columns) also resume untouched: `elapsed_s` survives the round trip,
+/// the phase columns parse as `None`, and the final results are
+/// byte-identical.
+#[test]
+fn legacy_manifest_without_phase_columns_resumes_fully_cached() {
+    let set = campaign_set(2);
+    let dir = tmp_dir("legacy18");
+    run_campaign(&set, &CampaignOptions::fresh(1, &dir), None).unwrap();
+    let results = std::fs::read_to_string(dir.join(RESULTS_FILE)).unwrap();
+
+    // Rewind the manifest one generation: keep elapsed_s, drop the
+    // parse_s/build_s/sim_s phase breakdown.
+    let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+    let legacy: Vec<&str> = manifest.lines().map(|l| drop_last_columns(l, 3)).collect();
+    std::fs::write(dir.join(MANIFEST_FILE), format!("{}\n", legacy.join("\n"))).unwrap();
+
+    let rows = read_manifest(&dir).unwrap();
+    assert_eq!(rows.len(), 4);
+    assert!(
+        rows.iter().all(|r| r.elapsed_s.is_some()),
+        "elapsed_s survives an 18-column round trip"
+    );
+    assert!(rows
+        .iter()
+        .all(|r| r.parse_s.is_none() && r.build_s.is_none() && r.sim_s.is_none()));
+
+    let out = run_campaign(&set, &CampaignOptions::resume(1, &dir), None).unwrap();
+    assert_eq!(out.resumed, 4, "every 18-column row stays cached");
+    assert_eq!(
+        std::fs::read_to_string(dir.join(RESULTS_FILE)).unwrap(),
+        results,
+        "18-column resume reproduces the results byte for byte"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

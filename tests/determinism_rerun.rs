@@ -50,16 +50,21 @@ fn assert_same_bytes(a: &Path, b: &Path, name: &str) {
     );
 }
 
-/// Strips the trailing `elapsed_s` column — per-unit wall time is
-/// provenance, scheduler- and machine-dependent by design — after checking
-/// it holds what it should: a non-negative number (or `-` on legacy rows,
-/// `elapsed_s` on the header).
-fn strip_elapsed(line: &str) -> String {
-    let (rest, elapsed) = line.rsplit_once(',').expect("manifest line has columns");
-    assert!(
-        elapsed == "elapsed_s" || elapsed == "-" || elapsed.parse::<f64>().is_ok_and(|s| s >= 0.0),
-        "bad elapsed_s field {elapsed:?} in row {line:?}"
-    );
+/// Strips the four trailing wall-clock columns — `elapsed_s` and the
+/// `parse_s`/`build_s`/`sim_s` phase breakdown are provenance, scheduler-
+/// and machine-dependent by design — after checking each holds what it
+/// should: a non-negative number (or `-` on legacy/failure rows, the
+/// column name on the header).
+fn strip_wall_clock(line: &str) -> String {
+    let mut rest = line;
+    for name in ["sim_s", "build_s", "parse_s", "elapsed_s"] {
+        let (head, field) = rest.rsplit_once(',').expect("manifest line has columns");
+        assert!(
+            field == name || field == "-" || field.parse::<f64>().is_ok_and(|s| s >= 0.0),
+            "bad {name} field {field:?} in row {line:?}"
+        );
+        rest = head;
+    }
     rest.to_string()
 }
 
@@ -69,7 +74,7 @@ fn strip_elapsed(line: &str) -> String {
 /// scheduler-dependent by design — while its row *set* must not vary.
 fn sorted_manifest(dir: &Path) -> Vec<String> {
     let text = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
-    let mut lines = text.lines().map(strip_elapsed);
+    let mut lines = text.lines().map(strip_wall_clock);
     let header = lines.next().unwrap();
     let mut rows: Vec<String> = lines.collect();
     rows.sort();
@@ -111,19 +116,20 @@ fn single_threaded_runs_are_identical_down_to_the_manifest() {
     for name in [RESULTS_FILE, JSON_FILE] {
         assert_same_bytes(&first, &second, name);
     }
-    // The manifest is byte-stable up to its wall-clock provenance column
-    // (`elapsed_s` is the one deliberately nondeterministic field).
+    // The manifest is byte-stable up to its wall-clock provenance columns
+    // (`elapsed_s`/`parse_s`/`build_s`/`sim_s` are the deliberately
+    // nondeterministic fields).
     let stripped = |dir: &Path| -> Vec<String> {
         fs::read_to_string(dir.join(MANIFEST_FILE))
             .unwrap()
             .lines()
-            .map(strip_elapsed)
+            .map(strip_wall_clock)
             .collect()
     };
     assert_eq!(
         stripped(&first),
         stripped(&second),
-        "single-threaded manifests must match byte-for-byte modulo elapsed_s"
+        "single-threaded manifests must match byte-for-byte modulo the wall-clock columns"
     );
     fs::remove_dir_all(&first).ok();
     fs::remove_dir_all(&second).ok();

@@ -41,20 +41,28 @@ fn no_model_campaign_artifacts_are_byte_identical() {
     }
 
     // The manifest now ends every row with per-unit wall-clock provenance
-    // (`elapsed_s`); the byte-identical aggregates above prove it stays
-    // out of every derived artifact.
+    // (`elapsed_s` plus the `parse_s`/`build_s`/`sim_s` phase split); the
+    // byte-identical aggregates above prove it stays out of every derived
+    // artifact.
     let manifest = fs::read_to_string(out.join(MANIFEST_FILE)).unwrap();
     let mut lines = manifest.lines();
     assert!(
-        lines.next().unwrap().ends_with(",elapsed_s"),
-        "manifest header must carry the elapsed_s column"
+        lines
+            .next()
+            .unwrap()
+            .ends_with(",elapsed_s,parse_s,build_s,sim_s"),
+        "manifest header must carry the wall-clock provenance columns"
     );
     for row in lines {
-        let (_, elapsed) = row.rsplit_once(',').unwrap();
-        assert!(
-            elapsed.parse::<f64>().is_ok_and(|s| s >= 0.0),
-            "bad elapsed_s in manifest row {row:?}"
-        );
+        let mut rest = row;
+        for name in ["sim_s", "build_s", "parse_s", "elapsed_s"] {
+            let (head, field) = rest.rsplit_once(',').unwrap();
+            assert!(
+                field.parse::<f64>().is_ok_and(|s| s >= 0.0),
+                "bad {name} field {field:?} in manifest row {row:?}"
+            );
+            rest = head;
+        }
     }
     let _ = fs::remove_dir_all(&out);
 }
